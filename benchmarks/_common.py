@@ -1,0 +1,112 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index) and prints the same rows/series the paper
+reports.  Absolute numbers differ — the substrate is a Python simulator, not
+the authors' switches — but the comparisons (who wins, by roughly what
+factor) are the reproduction target; EXPERIMENTS.md records both.
+
+Scaling: set ``REPRO_BENCH_SCALE=large`` for bigger datasets / more samples
+(several minutes), default ``small`` keeps the whole suite in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import ALL_BASELINES
+from repro.dataplane import DevicePlane, Rule
+from repro.datasets import BuiltDataset, build_dataset
+from repro.sim import TulkunRunner
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+# Datasets exercised per figure at each scale: (name, pair_limit, multiplier)
+BURST_DATASETS = {
+    "small": [
+        ("INet2", 12, 8),
+        ("B4-13", 12, 4),
+        ("STFD", 12, 4),
+        ("AT1-1", 10, 1),
+        ("AT1-2", 10, 4),
+        ("FT-4", 16, 4),
+        ("NGDC", 16, 2),
+    ],
+    "large": [
+        ("INet2", None, 16),
+        ("B4-13", 24, 8),
+        ("STFD", 24, 8),
+        ("AT1-1", 20, 1),
+        ("AT1-2", 20, 4),
+        ("B4-18", 20, 4),
+        ("BTNA", 16, 2),
+        ("NTT", 16, 2),
+        ("AT2-1", 12, 1),
+        ("AT2-2", 12, 8),
+        ("OTEG", 10, 1),
+        ("FT-4", 32, 8),
+        ("FT-8", 24, 2),
+        ("NGDC", 24, 4),
+    ],
+}
+
+INCREMENTAL_DATASETS = {
+    "small": [("INet2", 10, 8), ("B4-13", 10, 4), ("STFD", 10, 4)],
+    "large": [
+        ("INet2", 16, 16), ("B4-13", 16, 8), ("STFD", 16, 8),
+        ("AT1-1", 12, 2), ("NTT", 10, 2), ("FT-4", 16, 4),
+    ],
+}
+
+NUM_UPDATES = {"small": 8, "large": 40}
+NUM_SCENES = {"small": 6, "large": 50}
+
+
+def fresh_rules(ds: BuiltDataset) -> Dict[str, List[Rule]]:
+    return {
+        dev: [Rule(r.match, r.action, r.priority) for r in rules]
+        for dev, rules in ds.rules_by_device.items()
+    }
+
+
+def fresh_planes(ds: BuiltDataset) -> Dict[str, DevicePlane]:
+    planes: Dict[str, DevicePlane] = {}
+    for dev, rules in fresh_rules(ds).items():
+        plane = DevicePlane(dev, ds.ctx)
+        plane.install_many(rules)
+        planes[dev] = plane
+    return planes
+
+
+def dataset_for(name: str, pair_limit, multiplier: int, seed: int = 1) -> BuiltDataset:
+    """A fresh dataset build (fresh BDD context — keeps tool timings fair:
+    no tool inherits another's warm operation caches)."""
+    return build_dataset(
+        name, pair_limit=pair_limit, seed=seed, rule_multiplier=multiplier
+    )
+
+
+def run_tulkun_burst(ds: BuiltDataset, cpu_scale: float = 1.0):
+    runner = TulkunRunner(ds.topology, ds.ctx, ds.invariants, cpu_scale=cpu_scale)
+    result = runner.burst_update(fresh_rules(ds))
+    return runner, result
+
+
+def run_baseline_burst(tool_cls, name: str, pair_limit, multiplier: int):
+    """Burst-verify with a freshly built dataset so BDD caches start cold."""
+    ds = dataset_for(name, pair_limit, multiplier)
+    tool = tool_cls(ds.topology, ds.ctx, ds.queries)
+    report = tool.burst_verify(fresh_planes(ds))
+    return ds, tool, report
+
+
+def print_header(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def print_row(*cells, widths=(12, 14, 14, 14, 10)) -> None:
+    parts = []
+    for cell, width in zip(cells, list(widths) + [12] * 10):
+        parts.append(f"{cell!s:<{width}}")
+    print("  ".join(parts))

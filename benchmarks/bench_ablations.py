@@ -1,0 +1,176 @@
+"""Ablations of Tulkun's design choices (DESIGN.md's "Design notes").
+
+A1 — Proposition 1 minimal counting information: message bytes with the
+reduction on vs. off (the off variant ships full count sets upstream).
+
+A2 — DPVNet suffix sharing (the §4.1 state minimization): node counts for
+the raw prefix-trie DAG vs. the suffix-merged one.
+
+A3 — BDD LEC tables vs. naive per-rule handling: how many distinct packet
+regions the verifiers would have to track without the minimal-LEC partition.
+"""
+
+import pytest
+
+from benchmarks._common import dataset_for, print_header, print_row, run_tulkun_burst
+from repro.automata import compile_regex, parse_regex
+from repro.core import dpvnet as dpvnet_mod
+from repro.core.dpvnet import build_enumeration_dpvnet
+from repro.datasets import build_dataset
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a1_minimal_counting_information(benchmark):
+    """Bytes on the wire with and without the Proposition 1 reduction."""
+    import repro.core.counting as counting_mod
+
+    outcome = {}
+
+    def run():
+        ds = dataset_for("INet2", 12, 8)
+        _runner, result = run_tulkun_burst(ds)
+        outcome["with"] = result.bytes_sent
+        # Disable the reduction: monkeypatch reduce_countset to identity.
+        original = counting_mod.reduce_countset
+        import repro.core.verifier as verifier_mod
+
+        verifier_mod.reduce_countset = lambda cs, exps: cs
+        try:
+            ds2 = dataset_for("INet2", 12, 8)
+            _runner2, result2 = run_tulkun_burst(ds2)
+            outcome["without"] = result2.bytes_sent
+        finally:
+            verifier_mod.reduce_countset = original
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation A1: Proposition 1 minimal counting information")
+    print_row("variant", "DVM bytes")
+    print_row("with reduction", outcome["with"])
+    print_row("without", outcome["without"])
+    benchmark.extra_info["bytes_with"] = outcome["with"]
+    benchmark.extra_info["bytes_without"] = outcome["without"]
+    # Reduction can only shrink (or match) the traffic.
+    assert outcome["with"] <= outcome["without"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a2_suffix_sharing(benchmark):
+    """DPVNet sizes with and without the suffix merge."""
+    outcome = {}
+
+    def run():
+        ds = build_dataset("BTNA", pair_limit=6, seed=1)
+        merged_nodes = 0
+        raw_nodes = 0
+        original = dpvnet_mod._suffix_merge
+        for invariant in ds.invariants:
+            from repro.core.planner import Planner
+
+            planner = Planner(ds.topology, ds.ctx)
+            net = planner.build_dpvnet(invariant)
+            merged_nodes += net.num_nodes
+            try:
+                dpvnet_mod._suffix_merge = lambda net_: net_
+                raw = planner.build_dpvnet(invariant)
+                raw_nodes += raw.num_nodes
+            finally:
+                dpvnet_mod._suffix_merge = original
+        outcome["merged"] = merged_nodes
+        outcome["raw"] = raw_nodes
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation A2: DPVNet suffix sharing (§4.1 minimization)")
+    print_row("variant", "total nodes")
+    print_row("prefix trie (raw)", outcome["raw"])
+    print_row("suffix-merged", outcome["merged"])
+    ratio = outcome["raw"] / max(outcome["merged"], 1)
+    print(f"\n  compression: {ratio:.2f}x")
+    benchmark.extra_info["raw_nodes"] = outcome["raw"]
+    benchmark.extra_info["merged_nodes"] = outcome["merged"]
+    assert outcome["merged"] <= outcome["raw"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a3_lec_vs_per_rule_regions(benchmark):
+    """Distinct packet regions tracked: minimal LECs vs. one per rule."""
+    outcome = {}
+
+    def run():
+        ds = dataset_for("INet2", 12, 8)
+        from repro.dataplane import DevicePlane
+
+        lec_regions = 0
+        rule_regions = 0
+        for dev, rules in ds.rules_by_device.items():
+            plane = DevicePlane(dev, ds.ctx)
+            plane.install_many(
+                [type(r)(r.match, r.action, r.priority) for r in rules]
+            )
+            lec_regions += len(plane.lec_table())
+            rule_regions += plane.num_rules
+        outcome["lec"] = lec_regions
+        outcome["rules"] = rule_regions
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation A3: minimal LEC partition vs per-rule regions")
+    print_row("variant", "regions")
+    print_row("per-rule", outcome["rules"])
+    print_row("minimal LECs", outcome["lec"])
+    print(f"\n  reduction: {outcome['rules'] / max(outcome['lec'], 1):.1f}x")
+    benchmark.extra_info["lec_regions"] = outcome["lec"]
+    benchmark.extra_info["rule_regions"] = outcome["rules"]
+    assert outcome["lec"] < outcome["rules"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a4_divide_and_conquer(benchmark):
+    """§7 one-big-switch partitioning vs flat verification: wall time of the
+    planner-side work on a mid-size WAN."""
+    import time
+
+    from repro.core.library import reachability
+    from repro.core.partition import partition_by_bfs, verify_partitioned
+    from repro.core.planner import Planner
+    from repro.dataplane import DevicePlane
+
+    outcome = {}
+
+    def run():
+        ds = build_dataset("BTNA", pair_limit=2, seed=1)
+        planes = {}
+        for dev, rules in ds.rules_by_device.items():
+            plane = DevicePlane(dev, ds.ctx)
+            plane.install_many(rules)
+            planes[dev] = plane
+        src, dst = ds.pairs[0]
+        space = ds.ctx.ip_prefix(ds.topology.external_prefixes[dst][0])
+
+        start = time.perf_counter()
+        flat = Planner(ds.topology, ds.ctx).verify(
+            reachability(space, src, dst, max_extra_hops=2), planes
+        )
+        outcome["flat_s"] = time.perf_counter() - start
+        assignment = partition_by_bfs(ds.topology, 3)
+        start = time.perf_counter()
+        split = verify_partitioned(
+            ds.topology, ds.ctx, planes, space, src, dst, assignment=assignment
+        )
+        outcome["split_s"] = time.perf_counter() - start
+        outcome["agree"] = flat.holds == split.holds
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation A4: divide-and-conquer vs flat verification (BTNA)")
+    print_row("variant", "wall time (s)")
+    print_row("flat", f"{outcome['flat_s']:.4f}")
+    print_row("partitioned (3)", f"{outcome['split_s']:.4f}")
+    benchmark.extra_info["flat_s"] = outcome["flat_s"]
+    benchmark.extra_info["split_s"] = outcome["split_s"]
+    assert outcome["agree"]

@@ -1,0 +1,60 @@
+"""Figure 11a — burst-update verification time and acceleration ratios.
+
+For every dataset: Tulkun's simulated verification time (rule install at
+t=0 → quiescence) next to each centralized tool's (collection + compute),
+and the tool/Tulkun acceleration ratio.  The paper's shape: Tulkun's
+advantage grows with device count (parallelism) and rule count (the EC
+bottleneck), peaking on DC fabrics; small WANs are latency-bound and close.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    BURST_DATASETS,
+    SCALE,
+    dataset_for,
+    fresh_planes,
+    print_header,
+    print_row,
+    run_tulkun_burst,
+)
+from repro.baselines import ALL_BASELINES
+
+
+@pytest.mark.benchmark(group="fig11a")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier",
+    BURST_DATASETS[SCALE],
+    ids=[entry[0] for entry in BURST_DATASETS[SCALE]],
+)
+def test_fig11a_burst_update(benchmark, name, pair_limit, multiplier):
+    tulkun_time = {}
+
+    def tulkun_run():
+        ds = dataset_for(name, pair_limit, multiplier)
+        _runner, result = run_tulkun_burst(ds)
+        tulkun_time["sim"] = result.verification_time
+        tulkun_time["holds"] = all(result.holds.values())
+        tulkun_time["messages"] = result.messages
+        return result
+
+    benchmark.pedantic(tulkun_run, rounds=1, iterations=1)
+    assert tulkun_time["holds"]
+
+    print_header(f"Figure 11a [{name}]: burst-update verification time")
+    print_row("tool", "sim time (ms)", "vs Tulkun")
+    print_row("Tulkun", f"{tulkun_time['sim'] * 1e3:.2f}", "1.00x")
+    benchmark.extra_info["tulkun_ms"] = tulkun_time["sim"] * 1e3
+
+    for tool_cls in ALL_BASELINES:
+        ds = dataset_for(name, pair_limit, multiplier)
+        tool = tool_cls(ds.topology, ds.ctx, ds.queries)
+        report = tool.burst_verify(fresh_planes(ds))
+        ratio = report.verification_time / max(tulkun_time["sim"], 1e-9)
+        print_row(
+            tool.name,
+            f"{report.verification_time * 1e3:.2f}",
+            f"{ratio:.2f}x",
+        )
+        benchmark.extra_info[f"{tool.name}_ms"] = report.verification_time * 1e3
+        assert report.holds

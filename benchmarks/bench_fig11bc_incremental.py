@@ -1,0 +1,118 @@
+"""Figures 11b and 11c — incremental verification.
+
+Per dataset: apply random single-rule updates one at a time (change +
+restore, both measured) and report
+
+* 11b — the percentage of updates verified in under 10 ms;
+* 11c — the 80% quantile of per-update verification time,
+
+for Tulkun and every centralized tool.  The paper's shape: Tulkun verifies
+the large majority under 10 ms because only affected devices recount and
+only changed results travel; centralized tools pay the device→verifier RTT
+before any compute starts.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    INCREMENTAL_DATASETS,
+    NUM_UPDATES,
+    SCALE,
+    dataset_for,
+    fresh_planes,
+    print_header,
+    print_row,
+    run_tulkun_burst,
+)
+from repro.baselines import ALL_BASELINES
+from repro.dataplane import Action, Rule
+from repro.sim import apply_intents, percentile, random_update_intents
+
+
+def _baseline_incremental(tool, planes, intents):
+    times = []
+    for intent in intents:
+        plane = planes[intent.dev]
+        if not plane.rules:
+            continue
+        victim = plane.rules[intent.rule_index % len(plane.rules)]
+        if intent.neutral:
+            clone = Rule(victim.match, victim.action, victim.priority)
+            report = tool.incremental_verify(
+                intent.dev, install=clone, remove_rule_id=victim.rule_id
+            )
+            times.append(report.verification_time)
+            continue
+        action = (
+            Action.forward_all(intent.new_next_hops)
+            if intent.new_next_hops
+            else Action.drop()
+        )
+        if action == victim.action:
+            continue
+        changed = Rule(victim.match, action, victim.priority)
+        report = tool.incremental_verify(
+            intent.dev, install=changed, remove_rule_id=victim.rule_id
+        )
+        times.append(report.verification_time)
+        restored = Rule(victim.match, victim.action, victim.priority)
+        report = tool.incremental_verify(
+            intent.dev, install=restored, remove_rule_id=changed.rule_id
+        )
+        times.append(report.verification_time)
+    return times
+
+
+@pytest.mark.benchmark(group="fig11bc")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier",
+    INCREMENTAL_DATASETS[SCALE],
+    ids=[entry[0] for entry in INCREMENTAL_DATASETS[SCALE]],
+)
+def test_fig11bc_incremental(benchmark, name, pair_limit, multiplier):
+    updates = NUM_UPDATES[SCALE]
+    results = {}
+
+    def tulkun_run():
+        ds = dataset_for(name, pair_limit, multiplier)
+        runner, _burst = run_tulkun_burst(ds)
+        planes = {
+            d: runner.network.devices[d].plane for d in ds.topology.devices
+        }
+        intents = random_update_intents(ds.topology, planes, updates, seed=5)
+        outcome = apply_intents(runner, intents)
+        results["Tulkun"] = outcome.times
+        results["_intents"] = intents
+        return outcome
+
+    benchmark.pedantic(tulkun_run, rounds=1, iterations=1)
+    intents = results.pop("_intents")
+
+    for tool_cls in ALL_BASELINES:
+        ds = dataset_for(name, pair_limit, multiplier)
+        tool = tool_cls(ds.topology, ds.ctx, ds.queries)
+        planes = fresh_planes(ds)
+        tool.burst_verify(planes)
+        results[tool_cls.name] = _baseline_incremental(tool, planes, intents)
+
+    print_header(
+        f"Figures 11b/11c [{name}]: incremental verification "
+        f"({updates} updates + restores)"
+    )
+    print_row("tool", "<10ms (11b)", "80% qtile ms (11c)")
+    tulkun_q80 = percentile(results["Tulkun"], 0.8)
+    for tool_name, times in results.items():
+        if not times:
+            continue
+        below = sum(1 for t in times if t < 0.010) / len(times)
+        q80 = percentile(times, 0.8)
+        speedup = (
+            "" if tool_name == "Tulkun"
+            else f"  ({q80 / max(tulkun_q80, 1e-9):.1f}x Tulkun)"
+        )
+        print_row(
+            tool_name, f"{below * 100:.1f}%", f"{q80 * 1e3:.3f}{speedup}"
+        )
+        benchmark.extra_info[f"{tool_name}_q80_ms"] = q80 * 1e3
+        benchmark.extra_info[f"{tool_name}_below10ms"] = below
+    assert results["Tulkun"]

@@ -1,0 +1,129 @@
+"""Figure 12 — verification under fault scenes.
+
+12a: for sampled fault scenes (≤3 link failures, Microsoft-WAN-shaped size
+distribution), the time for the network to re-verify after the failure
+(link-state flood + recount), Tulkun vs. centralized re-verification.
+
+12b/12c: incremental rule updates applied *while a fault scene is active* —
+percentage under 10 ms and the 80% quantile.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    NUM_SCENES,
+    NUM_UPDATES,
+    SCALE,
+    dataset_for,
+    fresh_planes,
+    print_header,
+    print_row,
+    run_tulkun_burst,
+)
+from repro.baselines import ApKeepVerifier, DeltaNetVerifier
+from repro.datasets import sample_fault_scenes
+from repro.sim import apply_intents, percentile, random_update_intents
+
+FAULT_DATASETS = {
+    "small": [("INet2", 8, 4), ("B4-13", 8, 2)],
+    "large": [("INet2", 16, 8), ("B4-13", 16, 4), ("STFD", 12, 4), ("NTT", 8, 2)],
+}
+
+
+@pytest.mark.benchmark(group="fig12a")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier",
+    FAULT_DATASETS[SCALE],
+    ids=[entry[0] for entry in FAULT_DATASETS[SCALE]],
+)
+def test_fig12a_fault_scene_verification(benchmark, name, pair_limit, multiplier):
+    scenes_count = NUM_SCENES[SCALE]
+    outcome = {}
+
+    def run():
+        ds = dataset_for(name, pair_limit, multiplier)
+        runner, _burst = run_tulkun_burst(ds)
+        scenes = sample_fault_scenes(ds.topology, scenes_count, seed=3)
+        times = []
+        for scene in scenes:
+            times.append(runner.fail_links(list(scene)))
+            runner.recover_links(list(scene))
+        outcome["times"] = times
+        outcome["ds"] = ds
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    times = outcome["times"]
+    ds = outcome["ds"]
+    average = sum(times) / len(times)
+
+    print_header(
+        f"Figure 12a [{name}]: recount after fault scenes "
+        f"({len(times)} scenes of ≤3 failures)"
+    )
+    print_row("tool", "avg time (ms)", "vs Tulkun")
+    print_row("Tulkun", f"{average * 1e3:.2f}", "1.00x")
+    benchmark.extra_info["tulkun_avg_ms"] = average * 1e3
+
+    # Centralized comparison: re-verify the whole network per scene (their
+    # ECs need no update when only topology changed — Delta-net's edge,
+    # which the paper observes beats Tulkun in this one setting).
+    for tool_cls in (ApKeepVerifier, DeltaNetVerifier):
+        fresh_ds = dataset_for(name, pair_limit, multiplier)
+        tool = tool_cls(fresh_ds.topology, fresh_ds.ctx, fresh_ds.queries)
+        report = tool.burst_verify(fresh_planes(fresh_ds))
+        # Per-scene centralized cost ≈ one full re-check (no EC rebuild).
+        per_scene = report.compute_time + tool.collection.update_latency(
+            fresh_ds.topology.devices[-1]
+        )
+        print_row(
+            tool.name, f"{per_scene * 1e3:.2f}",
+            f"{per_scene / max(average, 1e-9):.2f}x",
+        )
+        benchmark.extra_info[f"{tool.name}_avg_ms"] = per_scene * 1e3
+    assert times
+
+
+@pytest.mark.benchmark(group="fig12bc")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier",
+    FAULT_DATASETS[SCALE][:1],
+    ids=[FAULT_DATASETS[SCALE][0][0]],
+)
+def test_fig12bc_incremental_under_faults(benchmark, name, pair_limit, multiplier):
+    updates = NUM_UPDATES[SCALE]
+    outcome = {}
+
+    def run():
+        ds = dataset_for(name, pair_limit, multiplier)
+        runner, _burst = run_tulkun_burst(ds)
+        scenes = sample_fault_scenes(ds.topology, 3, seed=9)
+        times = []
+        for scene in scenes:
+            runner.fail_links(list(scene))
+            planes = {
+                d: runner.network.devices[d].plane
+                for d in ds.topology.devices
+            }
+            intents = random_update_intents(
+                ds.topology, planes, max(2, updates // 3), seed=11
+            )
+            result = apply_intents(runner, intents)
+            times.extend(result.times)
+            runner.recover_links(list(scene))
+        outcome["times"] = times
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    times = outcome["times"]
+    below = sum(1 for t in times if t < 0.010) / len(times)
+    q80 = percentile(times, 0.8)
+
+    print_header(
+        f"Figures 12b/12c [{name}]: incremental verification during fault scenes"
+    )
+    print_row("tool", "<10ms (12b)", "80% qtile ms (12c)")
+    print_row("Tulkun", f"{below * 100:.1f}%", f"{q80 * 1e3:.3f}")
+    benchmark.extra_info["tulkun_below10ms"] = below
+    benchmark.extra_info["tulkun_q80_ms"] = q80 * 1e3
+    assert times

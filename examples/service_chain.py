@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Service chaining with packet transformations, multicast and anycast.
+
+Three advanced behaviours on one small fabric:
+
+1. **NAT rewrite** — the load balancer LB rewrites dst_port 80 → 8080 before
+   forwarding to a backend; counting flows through the transformation via
+   DVM SUBSCRIBE messages (§5.2 "Handling packet transformation").
+2. **Multicast** — a monitoring tap requires every packet to reach both the
+   backend and the collector (Table 1 row 10).
+3. **Anycast** — two backends, exactly one of which must receive each
+   packet (Table 1 row 11, the §4.3 joint-counting construction).
+
+Run:  python examples/service_chain.py
+"""
+
+from repro.bdd import PacketSpaceContext
+from repro.core import Planner
+from repro.core.counting import CountExp
+from repro.core.invariant import Atom, Invariant, MatchKind, PathExpr
+from repro.core.library import anycast, multicast
+from repro.dataplane import Action, DevicePlane, Rule, Transform
+from repro.sim import TulkunRunner
+from repro.topology import Topology
+
+
+def build_topology():
+    topo = Topology("service_chain")
+    topo.add_link("GW", "LB")      # gateway → load balancer
+    topo.add_link("LB", "BE1")     # backends
+    topo.add_link("LB", "BE2")
+    topo.add_link("LB", "COL")     # monitoring collector
+    topo.attach_prefix("BE1", "10.8.0.0/24")
+    topo.attach_prefix("BE2", "10.8.0.0/24")
+    topo.attach_prefix("COL", "10.8.0.0/24")
+    return topo
+
+
+def main():
+    ctx = PacketSpaceContext()
+    topo = build_topology()
+    web = ctx.ip_prefix("10.8.0.0/24") & ctx.value("dst_port", 80)
+    rewritten = ctx.ip_prefix("10.8.0.0/24") & ctx.value("dst_port", 8080)
+
+    # ------------------------------------------------------------------
+    # 1. NAT rewrite through the chain GW → LB → BE1.
+    # ------------------------------------------------------------------
+    planes = {name: DevicePlane(name, ctx) for name in topo.devices}
+    planes["GW"].install_many([Rule(web, Action.forward_all(["LB"]), 10)])
+    planes["LB"].install_many(
+        [
+            Rule(
+                web,
+                Action.forward_all(
+                    ["BE1"], transform=Transform.set_fields(dst_port=8080)
+                ),
+                10,
+            )
+        ]
+    )
+    planes["BE1"].install_many([Rule(rewritten, Action.deliver(), 10)])
+
+    chain = Invariant(
+        web, ("GW",),
+        Atom(PathExpr.parse("GW LB BE1"), MatchKind.EXIST, CountExp(">=", 1)),
+        name="nat_chain",
+    )
+    planner = Planner(topo, ctx)
+    result = planner.verify(chain, planes)
+    print(f"NAT service chain (80 → 8080 rewrite): {result.summary()}")
+
+    # The same, distributed: SUBSCRIBE messages let BE1 report counts for
+    # the *rewritten* predicate back to LB.
+    runner = TulkunRunner(topo, ctx, [chain])
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    burst = runner.burst_update(rules)
+    lb = runner.network.devices["LB"].verifiers[chain.name]
+    print(f"  distributed: holds={burst.holds[chain.name]}, "
+          f"SUBSCRIBEs sent by LB: {lb.stats.subscribes_sent}")
+
+    # Without the rewrite, BE1 would not match — and verification says so.
+    bad_planes = {name: DevicePlane(name, ctx) for name in topo.devices}
+    bad_planes["GW"].install_many([Rule(web, Action.forward_all(["LB"]), 10)])
+    bad_planes["LB"].install_many([Rule(web, Action.forward_all(["BE1"]), 10)])
+    bad_planes["BE1"].install_many([Rule(rewritten, Action.deliver(), 10)])
+    result = planner.verify(chain, bad_planes)
+    print(f"  without the rewrite: {result.summary()}")
+
+    # ------------------------------------------------------------------
+    # 2. Multicast: every packet must reach BE1 *and* the collector.
+    # ------------------------------------------------------------------
+    space = ctx.ip_prefix("10.8.0.0/24")
+    mc_planes = {name: DevicePlane(name, ctx) for name in topo.devices}
+    mc_planes["GW"].install_many([Rule(space, Action.forward_all(["LB"]), 10)])
+    mc_planes["LB"].install_many(
+        [Rule(space, Action.forward_all(["BE1", "COL"]), 10)]
+    )
+    mc_planes["BE1"].install_many([Rule(space, Action.deliver(), 10)])
+    mc_planes["COL"].install_many([Rule(space, Action.deliver(), 10)])
+    mc = multicast(space, "GW", ["BE1", "COL"])
+    print(f"\nmulticast to backend + collector: "
+          f"{planner.verify(mc, mc_planes).summary()}")
+
+    # Drop the tap: multicast breaks.
+    rule = mc_planes["LB"].rules[0]
+    mc_planes["LB"].replace_rule(
+        rule.rule_id, Rule(space, Action.forward_all(["BE1"]), 10)
+    )
+    print(f"  after losing the tap: {planner.verify(mc, mc_planes).summary()}")
+
+    # ------------------------------------------------------------------
+    # 3. Anycast: exactly one backend must receive each packet.
+    # ------------------------------------------------------------------
+    ac_planes = {name: DevicePlane(name, ctx) for name in topo.devices}
+    ac_planes["GW"].install_many([Rule(space, Action.forward_all(["LB"]), 10)])
+    ac_planes["LB"].install_many(
+        [Rule(space, Action.forward_any(["BE1", "BE2"]), 10)]  # ECMP pick-one
+    )
+    ac_planes["BE1"].install_many([Rule(space, Action.deliver(), 10)])
+    ac_planes["BE2"].install_many([Rule(space, Action.deliver(), 10)])
+    ac = anycast(space, "GW", ["BE1", "BE2"])
+    result = planner.verify(ac, ac_planes)
+    print(f"\nanycast across two backends: {result.summary()}")
+    (region, counts) = result.source_counts["GW"][0]
+    print(f"  joint (BE1, BE2) counts per universe: {sorted(counts)} "
+          "(never both, never neither)")
+
+    # Misconfigured as ALL: both backends get a copy → violated.
+    rule = ac_planes["LB"].rules[0]
+    ac_planes["LB"].replace_rule(
+        rule.rule_id, Rule(space, Action.forward_all(["BE1", "BE2"]), 10)
+    )
+    print(f"  misconfigured as replication: "
+          f"{planner.verify(ac, ac_planes).summary()}")
+
+
+if __name__ == "__main__":
+    main()

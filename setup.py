@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools cannot do PEP 660
+editable installs (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Tulkun reproduction: distributed, on-device data plane verification.
+
+A full Python reproduction of "Beyond a Centralized Verifier: Scaling Data
+Plane Checking via Distributed, On-Device Verification" (SIGCOMM 2023):
+
+* :mod:`repro.bdd` — the BDD predicate engine and packet spaces;
+* :mod:`repro.automata` — device-alphabet regexes and minimal DFAs;
+* :mod:`repro.dataplane` — match-action tables, LECs, trace semantics;
+* :mod:`repro.topology` — topology model, generators, WAN zoo;
+* :mod:`repro.core` — the invariant language, planner, DPVNet, counting,
+  the DVM protocol and on-device verifiers, fault tolerance;
+* :mod:`repro.sim` — the discrete-event simulator and scenario runners;
+* :mod:`repro.baselines` — centralized DPV tools (AP, APKeep, Delta-net,
+  VeriFlow, Flash);
+* :mod:`repro.datasets` — the Figure 10 dataset registry and workloads.
+
+Quickstart::
+
+    from repro.bdd import PacketSpaceContext
+    from repro.topology import fig2a_example
+    from repro.core import Planner
+    from repro.core.library import waypoint_reachability
+
+    ctx = PacketSpaceContext()
+    topo = fig2a_example()
+    inv = waypoint_reachability(ctx.ip_prefix("10.0.0.0/23"), "S", "W", "D")
+    planner = Planner(topo, ctx)
+    result = planner.verify(inv, planes)   # planes: your data plane snapshot
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    DataPlaneError,
+    DatasetError,
+    PlannerError,
+    ProtocolError,
+    RegexSyntaxError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    SpecificationError,
+    TopologyError,
+)
+
+__all__ = [
+    "DataPlaneError",
+    "DatasetError",
+    "PlannerError",
+    "ProtocolError",
+    "RegexSyntaxError",
+    "ReproError",
+    "SerializationError",
+    "SimulationError",
+    "SpecificationError",
+    "TopologyError",
+    "__version__",
+]

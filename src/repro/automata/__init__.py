@@ -1,0 +1,54 @@
+"""Automata toolkit: device-alphabet regexes, NFAs and minimal DFAs.
+
+The planner multiplies these automata with the network topology to build
+DPVNets (§4.1 of the paper).
+"""
+
+from repro.automata.dfa import Dfa, compile_regex, dfa_product, dfa_union
+from repro.automata.nfa import Label, Nfa, build_nfa
+from repro.automata.regex import (
+    ANY,
+    EPSILON,
+    Alternate,
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    SymbolClass,
+    alternate,
+    concat,
+    literal_path,
+    optional,
+    parse_regex,
+    plus,
+    star,
+)
+
+__all__ = [
+    "ANY",
+    "EPSILON",
+    "Alternate",
+    "AnySymbol",
+    "Concat",
+    "Dfa",
+    "Epsilon",
+    "Label",
+    "Nfa",
+    "Regex",
+    "Star",
+    "Symbol",
+    "SymbolClass",
+    "alternate",
+    "build_nfa",
+    "compile_regex",
+    "concat",
+    "dfa_product",
+    "dfa_union",
+    "literal_path",
+    "optional",
+    "parse_regex",
+    "plus",
+    "star",
+]

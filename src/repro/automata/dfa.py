@@ -1,0 +1,269 @@
+"""Deterministic automata over a concrete device alphabet.
+
+Subset construction concretizes the NFA's symbolic labels against the set of
+devices present in the topology; Hopcroft's algorithm minimizes the result
+(the paper performs "state minimization ... to remove redundant nodes", §4.1,
+citing [36] = Hopcroft 1971).
+
+A :class:`Dfa` here is *complete*: every (state, device) pair has a
+transition, with a designated dead state absorbing rejected paths.  The
+planner walks the automaton during the product construction and simply never
+enters the dead state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import Nfa, build_nfa
+from repro.automata.regex import Regex
+from repro.errors import RegexSyntaxError
+
+__all__ = ["Dfa", "compile_regex", "dfa_product", "dfa_union"]
+
+
+class Dfa:
+    """A complete DFA over a fixed device alphabet.
+
+    Attributes
+    ----------
+    alphabet:
+        Ordered tuple of device names.
+    start:
+        Start state id.
+    accepting:
+        Frozen set of accepting state ids.
+    transitions:
+        ``transitions[state][symbol_index]`` is the successor state.
+    dead:
+        The absorbing reject state (or ``None`` if the DFA accepts from
+        everywhere — cannot happen for our path expressions but kept general).
+    """
+
+    def __init__(
+        self,
+        alphabet: Sequence[str],
+        transitions: List[List[int]],
+        start: int,
+        accepting: FrozenSet[int],
+    ) -> None:
+        self.alphabet: Tuple[str, ...] = tuple(alphabet)
+        self.symbol_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.alphabet)
+        }
+        self.transitions = transitions
+        self.start = start
+        self.accepting = accepting
+        self.dead = self._find_dead()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def _find_dead(self) -> Optional[int]:
+        for state, row in enumerate(self.transitions):
+            if state in self.accepting:
+                continue
+            if all(target == state for target in row):
+                return state
+        return None
+
+    def step(self, state: int, device: str) -> int:
+        """Successor of ``state`` on ``device`` (dead state if rejected)."""
+        try:
+            return self.transitions[state][self.symbol_index[device]]
+        except KeyError:
+            raise RegexSyntaxError(
+                f"device {device!r} not in automaton alphabet"
+            ) from None
+
+    def is_dead(self, state: int) -> bool:
+        return self.dead is not None and state == self.dead
+
+    def accepts(self, path: Iterable[str]) -> bool:
+        state = self.start
+        for device in path:
+            state = self.step(state, device)
+            if self.is_dead(state):
+                return False
+        return state in self.accepting
+
+    def live_states(self) -> FrozenSet[int]:
+        """States that can still reach an accepting state."""
+        reverse: Dict[int, Set[int]] = {s: set() for s in range(self.num_states)}
+        for state, row in enumerate(self.transitions):
+            for target in row:
+                reverse[target].add(state)
+        alive: Set[int] = set(self.accepting)
+        stack = list(self.accepting)
+        while stack:
+            state = stack.pop()
+            for pred in reverse[state]:
+                if pred not in alive:
+                    alive.add(pred)
+                    stack.append(pred)
+        return frozenset(alive)
+
+
+# ----------------------------------------------------------------------
+# Subset construction
+# ----------------------------------------------------------------------
+def _subset_construction(nfa: Nfa, alphabet: Sequence[str]) -> Dfa:
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    order: List[FrozenSet[int]] = [start_set]
+    transitions: List[List[int]] = []
+    worklist = [start_set]
+    while worklist:
+        current = worklist.pop()
+        row = [0] * len(alphabet)
+        for i, device in enumerate(alphabet):
+            target = nfa.step(current, device)
+            state = index.get(target)
+            if state is None:
+                state = len(order)
+                index[target] = state
+                order.append(target)
+                worklist.append(target)
+            row[i] = state
+        # Rows may be appended out of order relative to state ids: fix below.
+        while len(transitions) <= index[current]:
+            transitions.append([])
+        transitions[index[current]] = row
+    accepting = frozenset(
+        state for subset, state in index.items() if nfa.accept in subset
+    )
+    return Dfa(alphabet, transitions, 0, accepting)
+
+
+# ----------------------------------------------------------------------
+# Hopcroft minimization
+# ----------------------------------------------------------------------
+def _minimize(dfa: Dfa) -> Dfa:
+    n = dfa.num_states
+    num_symbols = len(dfa.alphabet)
+    if n <= 1:
+        return dfa
+
+    # Precompute inverse transitions.
+    inverse: List[List[List[int]]] = [
+        [[] for _ in range(num_symbols)] for _ in range(n)
+    ]
+    for state in range(n):
+        for symbol in range(num_symbols):
+            inverse[dfa.transitions[state][symbol]][symbol].append(state)
+
+    accepting = set(dfa.accepting)
+    non_accepting = set(range(n)) - accepting
+    partition: List[Set[int]] = [block for block in (accepting, non_accepting) if block]
+    in_block = [0] * n
+    for block_id, block in enumerate(partition):
+        for state in block:
+            in_block[state] = block_id
+
+    worklist: List[Tuple[int, int]] = [
+        (block_id, symbol)
+        for block_id in range(len(partition))
+        for symbol in range(num_symbols)
+    ]
+    while worklist:
+        block_id, symbol = worklist.pop()
+        splitter = partition[block_id]
+        # States with a transition on `symbol` into the splitter.
+        movers: Set[int] = set()
+        for state in splitter:
+            movers.update(inverse[state][symbol])
+        touched: Dict[int, Set[int]] = {}
+        for state in movers:
+            touched.setdefault(in_block[state], set()).add(state)
+        for target_id, moved in touched.items():
+            block = partition[target_id]
+            if len(moved) == len(block):
+                continue
+            remainder = block - moved
+            partition[target_id] = moved
+            new_id = len(partition)
+            partition.append(remainder)
+            for state in remainder:
+                in_block[state] = new_id
+            for sym in range(num_symbols):
+                worklist.append((new_id, sym))
+
+    # Rebuild the DFA over blocks.
+    new_start = in_block[dfa.start]
+    new_accepting = frozenset(in_block[s] for s in dfa.accepting)
+    new_transitions: List[List[int]] = [[0] * num_symbols for _ in partition]
+    for block_id, block in enumerate(partition):
+        representative = next(iter(block))
+        for symbol in range(num_symbols):
+            new_transitions[block_id][symbol] = in_block[
+                dfa.transitions[representative][symbol]
+            ]
+    return Dfa(dfa.alphabet, new_transitions, new_start, new_accepting)
+
+
+def compile_regex(regex: Regex, alphabet: Sequence[str]) -> Dfa:
+    """Compile a path expression into a minimal complete DFA.
+
+    ``alphabet`` must contain every device the expression names; extra
+    devices are fine (they simply drive non-matching paths to the dead
+    state or through wildcards).
+    """
+    nfa = build_nfa(regex)
+    missing = nfa.mentioned_devices() - set(alphabet)
+    if missing:
+        raise RegexSyntaxError(
+            f"expression names devices absent from the topology: {sorted(missing)}"
+        )
+    return _minimize(_subset_construction(nfa, alphabet))
+
+
+# ----------------------------------------------------------------------
+# Products (used by §4.3 compound invariants)
+# ----------------------------------------------------------------------
+def _binary_product(
+    a: Dfa, b: Dfa, accept_rule
+) -> Dfa:
+    if a.alphabet != b.alphabet:
+        raise RegexSyntaxError("DFA product requires identical alphabets")
+    num_symbols = len(a.alphabet)
+    index: Dict[Tuple[int, int], int] = {}
+    order: List[Tuple[int, int]] = []
+
+    def get(pair: Tuple[int, int]) -> int:
+        state = index.get(pair)
+        if state is None:
+            state = len(order)
+            index[pair] = state
+            order.append(pair)
+        return state
+
+    start = get((a.start, b.start))
+    transitions: List[List[int]] = []
+    cursor = 0
+    while cursor < len(order):
+        sa, sb = order[cursor]
+        row = [
+            get((a.transitions[sa][symbol], b.transitions[sb][symbol]))
+            for symbol in range(num_symbols)
+        ]
+        transitions.append(row)
+        cursor += 1
+    accepting = frozenset(
+        state
+        for (sa, sb), state in index.items()
+        if accept_rule(sa in a.accepting, sb in b.accepting)
+    )
+    return _minimize(Dfa(a.alphabet, transitions, start, accepting))
+
+
+def dfa_product(a: Dfa, b: Dfa) -> Dfa:
+    """Intersection of two path languages."""
+    return _binary_product(a, b, lambda x, y: x and y)
+
+
+def dfa_union(a: Dfa, b: Dfa) -> Dfa:
+    """Union of two path languages."""
+    return _binary_product(a, b, lambda x, y: x or y)

@@ -1,0 +1,179 @@
+"""Thompson construction: regex AST → nondeterministic finite automaton.
+
+Edges carry *symbolic* labels (:class:`Label`) instead of concrete device
+names so that ``.`` wildcards and negated classes stay compact; the DFA layer
+concretizes them against the topology's device alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.automata.regex import (
+    Alternate,
+    AnySymbol,
+    Concat,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    SymbolClass,
+)
+from repro.errors import RegexSyntaxError
+
+__all__ = ["Label", "Nfa", "build_nfa"]
+
+
+@dataclass(frozen=True)
+class Label:
+    """Symbolic edge label: a set (or co-set) of device names.
+
+    ``negated=False, members=∅`` is never constructed; the wildcard is
+    ``negated=True, members=∅`` ("anything not in the empty set").
+    """
+
+    members: FrozenSet[str]
+    negated: bool
+
+    @classmethod
+    def any(cls) -> "Label":
+        return cls(frozenset(), True)
+
+    @classmethod
+    def only(cls, names: FrozenSet[str]) -> "Label":
+        return cls(names, False)
+
+    @classmethod
+    def excluding(cls, names: FrozenSet[str]) -> "Label":
+        return cls(names, True)
+
+    def accepts(self, device: str) -> bool:
+        inside = device in self.members
+        return not inside if self.negated else inside
+
+
+class Nfa:
+    """An NFA with one start state and one accept state per Thompson's
+    construction.  States are integers; epsilon edges are kept separate."""
+
+    def __init__(self) -> None:
+        self.num_states = 0
+        self.edges: List[List[Tuple[Label, int]]] = []
+        self.epsilons: List[List[int]] = []
+        self.start = -1
+        self.accept = -1
+
+    def new_state(self) -> int:
+        self.edges.append([])
+        self.epsilons.append([])
+        self.num_states += 1
+        return self.num_states - 1
+
+    def add_edge(self, src: int, label: Label, dst: int) -> None:
+        self.edges[src].append((label, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilons[src].append(dst)
+
+    # ------------------------------------------------------------------
+    # Simulation helpers (used by the DFA layer and tests)
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilons[state]:
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], device: str) -> FrozenSet[int]:
+        targets: Set[int] = set()
+        for state in states:
+            for label, dst in self.edges[state]:
+                if label.accepts(device):
+                    targets.add(dst)
+        return self.epsilon_closure(targets)
+
+    def matches(self, path: List[str]) -> bool:
+        """Reference matcher used for cross-checking the DFA in tests."""
+        current = self.epsilon_closure({self.start})
+        for device in path:
+            current = self.step(current, device)
+            if not current:
+                return False
+        return self.accept in current
+
+    def mentioned_devices(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for edge_list in self.edges:
+            for label, _dst in edge_list:
+                names.update(label.members)
+        return frozenset(names)
+
+
+@dataclass
+class _Fragment:
+    start: int
+    accept: int
+
+
+def build_nfa(regex: Regex) -> Nfa:
+    """Compile a regex AST into an NFA via Thompson's construction."""
+    nfa = Nfa()
+
+    def compile_node(node: Regex) -> _Fragment:
+        if isinstance(node, Epsilon):
+            s = nfa.new_state()
+            a = nfa.new_state()
+            nfa.add_epsilon(s, a)
+            return _Fragment(s, a)
+        if isinstance(node, Symbol):
+            s = nfa.new_state()
+            a = nfa.new_state()
+            nfa.add_edge(s, Label.only(frozenset({node.name})), a)
+            return _Fragment(s, a)
+        if isinstance(node, AnySymbol):
+            s = nfa.new_state()
+            a = nfa.new_state()
+            nfa.add_edge(s, Label.any(), a)
+            return _Fragment(s, a)
+        if isinstance(node, SymbolClass):
+            s = nfa.new_state()
+            a = nfa.new_state()
+            if node.negated:
+                nfa.add_edge(s, Label.excluding(node.members), a)
+            else:
+                nfa.add_edge(s, Label.only(node.members), a)
+            return _Fragment(s, a)
+        if isinstance(node, Concat):
+            fragments = [compile_node(part) for part in node.parts]
+            for left, right in zip(fragments, fragments[1:]):
+                nfa.add_epsilon(left.accept, right.start)
+            return _Fragment(fragments[0].start, fragments[-1].accept)
+        if isinstance(node, Alternate):
+            s = nfa.new_state()
+            a = nfa.new_state()
+            for option in node.options:
+                fragment = compile_node(option)
+                nfa.add_epsilon(s, fragment.start)
+                nfa.add_epsilon(fragment.accept, a)
+            return _Fragment(s, a)
+        if isinstance(node, Star):
+            inner = compile_node(node.inner)
+            s = nfa.new_state()
+            a = nfa.new_state()
+            nfa.add_epsilon(s, inner.start)
+            nfa.add_epsilon(s, a)
+            nfa.add_epsilon(inner.accept, inner.start)
+            nfa.add_epsilon(inner.accept, a)
+            return _Fragment(s, a)
+        raise RegexSyntaxError(f"cannot compile node {node!r}")
+
+    fragment = compile_node(regex)
+    nfa.start = fragment.start
+    nfa.accept = fragment.accept
+    return nfa

@@ -1,0 +1,373 @@
+"""Regular expressions over the set of network devices.
+
+Tulkun's invariant language specifies path patterns as regular expressions
+whose alphabet symbols are device identifiers (§3, Figure 4).  This module
+provides the AST, a textual parser, and convenience combinators.
+
+Supported syntax (whitespace between tokens is optional where unambiguous)::
+
+    S .* W .* D        waypoint W between S and D
+    S D | S . D        alternation, "." matches any one device
+    [A B]              any device in the class
+    [^A B]             any device not in the class
+    A{2,4}             bounded repetition
+    A+  A?  A*         usual postfix operators
+
+Device identifiers are ``[A-Za-z_][A-Za-z0-9_-]*`` tokens, so compact forms
+like ``S.*D`` parse as expected for single-token device names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import RegexSyntaxError
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Symbol",
+    "AnySymbol",
+    "SymbolClass",
+    "Concat",
+    "Alternate",
+    "Star",
+    "parse_regex",
+    "concat",
+    "alternate",
+    "star",
+    "plus",
+    "optional",
+    "literal_path",
+    "EPSILON",
+    "ANY",
+]
+
+
+class Regex:
+    """Base class for regex AST nodes.  Nodes are immutable."""
+
+    def devices(self) -> FrozenSet[str]:
+        """All device names mentioned anywhere in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """Matches the empty path."""
+
+    def devices(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """Matches exactly one named device."""
+
+    name: str
+
+    def devices(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AnySymbol(Regex):
+    """Matches any single device (the ``.`` wildcard)."""
+
+    def devices(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class SymbolClass(Regex):
+    """Matches one device from (or outside) a finite set."""
+
+    members: FrozenSet[str]
+    negated: bool = False
+
+    def devices(self) -> FrozenSet[str]:
+        return self.members
+
+    def __str__(self) -> str:
+        inner = " ".join(sorted(self.members))
+        return f"[^{inner}]" if self.negated else f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    parts: Tuple[Regex, ...]
+
+    def devices(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.devices()
+        return result
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Alternate(Regex):
+    options: Tuple[Regex, ...]
+
+    def devices(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for option in self.options:
+            result |= option.devices()
+        return result
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(o) for o in self.options)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    inner: Regex
+
+    def devices(self) -> FrozenSet[str]:
+        return self.inner.devices()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(node: Regex) -> str:
+    text = str(node)
+    if isinstance(node, (Concat, Alternate)):
+        return f"({text})"
+    return text
+
+
+EPSILON = Epsilon()
+ANY = AnySymbol()
+
+
+# ----------------------------------------------------------------------
+# Combinators (the programmatic way to build path expressions)
+# ----------------------------------------------------------------------
+def concat(*parts: Regex) -> Regex:
+    """Sequence the given expressions, flattening nested concatenations."""
+    flat: List[Regex] = []
+    for part in parts:
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternate(*options: Regex) -> Regex:
+    """Union of the given expressions, flattening and deduplicating."""
+    flat: List[Regex] = []
+    for option in options:
+        if isinstance(option, Alternate):
+            candidates: Iterable[Regex] = option.options
+        else:
+            candidates = (option,)
+        for candidate in candidates:
+            if candidate not in flat:
+                flat.append(candidate)
+    if not flat:
+        raise RegexSyntaxError("alternation of zero options")
+    if len(flat) == 1:
+        return flat[0]
+    return Alternate(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    if isinstance(inner, (Star, Epsilon)):
+        return inner if isinstance(inner, Star) else EPSILON
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    return concat(inner, star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    return alternate(inner, EPSILON)
+
+
+def repeat(inner: Regex, lo: int, hi: int) -> Regex:
+    """``inner{lo,hi}`` as explicit unrolling (hi must be finite)."""
+    if lo < 0 or hi < lo:
+        raise RegexSyntaxError(f"invalid repetition bounds {{{lo},{hi}}}")
+    required = [inner] * lo
+    optional_tail = [optional(inner)] * (hi - lo)
+    return concat(*required, *optional_tail)
+
+
+def literal_path(devices: Sequence[str]) -> Regex:
+    """The regex matching exactly one concrete path."""
+    return concat(*(Symbol(d) for d in devices))
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+_Token = Tuple[str, str]  # (kind, text)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()|.*+?":
+            tokens.append((ch, ch))
+            i += 1
+            continue
+        if ch == "[":
+            j = text.find("]", i)
+            if j < 0:
+                raise RegexSyntaxError(f"unterminated class at position {i}")
+            body = text[i + 1 : j].strip()
+            negated = body.startswith("^")
+            if negated:
+                body = body[1:]
+            members = tuple(part for part in body.replace(",", " ").split() if part)
+            if not members:
+                raise RegexSyntaxError(f"empty class at position {i}")
+            tokens.append(("class", ("^" if negated else "") + " ".join(members)))
+            i = j + 1
+            continue
+        if ch == "{":
+            j = text.find("}", i)
+            if j < 0:
+                raise RegexSyntaxError(f"unterminated repetition at position {i}")
+            tokens.append(("repeat", text[i + 1 : j]))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            tokens.append(("name", text[i:j]))
+            i = j
+            continue
+        raise RegexSyntaxError(f"unexpected character {ch!r} at position {i}")
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the grammar above."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Union[_Token, None]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        expr = self.alternation()
+        token = self.peek()
+        if token is not None:
+            raise RegexSyntaxError(f"unexpected trailing token {token[1]!r}")
+        return expr
+
+    def alternation(self) -> Regex:
+        options = [self.concatenation()]
+        while self.peek() is not None and self.peek()[0] == "|":
+            self.take()
+            options.append(self.concatenation())
+        return alternate(*options) if len(options) > 1 else options[0]
+
+    def concatenation(self) -> Regex:
+        parts: List[Regex] = []
+        while True:
+            token = self.peek()
+            if token is None or token[0] in ("|", ")"):
+                break
+            parts.append(self.postfix())
+        if not parts:
+            return EPSILON
+        return concat(*parts)
+
+    def postfix(self) -> Regex:
+        node = self.atom()
+        while True:
+            token = self.peek()
+            if token is None:
+                return node
+            kind = token[0]
+            if kind == "*":
+                self.take()
+                node = star(node)
+            elif kind == "+":
+                self.take()
+                node = plus(node)
+            elif kind == "?":
+                self.take()
+                node = optional(node)
+            elif kind == "repeat":
+                self.take()
+                node = self._apply_repeat(node, token[1])
+            else:
+                return node
+
+    def _apply_repeat(self, node: Regex, spec: str) -> Regex:
+        try:
+            if "," in spec:
+                lo_text, hi_text = spec.split(",", 1)
+                lo = int(lo_text)
+                hi = int(hi_text)
+            else:
+                lo = hi = int(spec)
+        except ValueError as exc:
+            raise RegexSyntaxError(f"malformed repetition {{{spec}}}") from exc
+        return repeat(node, lo, hi)
+
+    def atom(self) -> Regex:
+        kind, text = self.take()
+        if kind == "name":
+            return Symbol(text)
+        if kind == ".":
+            return ANY
+        if kind == "class":
+            negated = text.startswith("^")
+            members = frozenset((text[1:] if negated else text).split())
+            return SymbolClass(members, negated)
+        if kind == "(":
+            inner = self.alternation()
+            closing = self.take()
+            if closing[0] != ")":
+                raise RegexSyntaxError("expected ')'")
+            return inner
+        raise RegexSyntaxError(f"unexpected token {text!r}")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a textual path expression into a :class:`Regex` AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RegexSyntaxError("empty expression")
+    return _Parser(tokens).parse()

@@ -1,0 +1,45 @@
+"""Centralized DPV baselines: AP, APKeep, Delta-net, VeriFlow and Flash.
+
+Each is a from-scratch reimplementation of the tool's core data structure
+and verification loop (the originals are Java/C++ systems we cannot run
+here); all share the management-network collection model and the EC-graph
+invariant checker in :mod:`repro.baselines.base`.
+"""
+
+from repro.baselines.ap import ApVerifier, compute_atomic_predicates
+from repro.baselines.apkeep import ApKeepVerifier
+from repro.baselines.base import (
+    BaselineReport,
+    CentralizedVerifier,
+    CollectionModel,
+    ReachabilityQuery,
+    build_ec_graph,
+    check_query_on_graph,
+)
+from repro.baselines.deltanet import DeltaNetVerifier
+from repro.baselines.flash import FlashVerifier
+from repro.baselines.veriflow import VeriFlowVerifier
+
+ALL_BASELINES = (
+    ApVerifier,
+    ApKeepVerifier,
+    DeltaNetVerifier,
+    VeriFlowVerifier,
+    FlashVerifier,
+)
+
+__all__ = [
+    "ALL_BASELINES",
+    "ApKeepVerifier",
+    "ApVerifier",
+    "BaselineReport",
+    "CentralizedVerifier",
+    "CollectionModel",
+    "DeltaNetVerifier",
+    "FlashVerifier",
+    "ReachabilityQuery",
+    "VeriFlowVerifier",
+    "build_ec_graph",
+    "check_query_on_graph",
+    "compute_atomic_predicates",
+]

@@ -1,0 +1,267 @@
+"""Shared infrastructure for the centralized DPV baselines (§9.3.1).
+
+Every baseline follows the same centralized architecture the paper compares
+against: devices ship their data planes to one verifier over the management
+network; the verifier partitions packet space into equivalence classes (each
+tool with its own data structure — that is where they differ) and checks the
+invariants by traversing each class's forwarding graph.
+
+The common pieces here:
+
+* :class:`ReachabilityQuery` — the baseline-facing invariant form (all-pair
+  loop-free blackhole-free reachability with a hop bound, §9.2/§9.3.1).
+* :func:`check_query_on_graph` — BFS over one EC's forwarding graph,
+  detecting unreachability, loops and blackholes.
+* :class:`CollectionModel` — management-network latency accounting: each
+  device sends its rules to the verifier along lowest-latency paths.
+* :class:`CentralizedVerifier` — the abstract tool interface; concrete tools
+  implement snapshot EC computation and (where the original supports it)
+  incremental maintenance.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.dataplane.action import EXTERNAL, Action
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
+from repro.topology.graph import Topology
+
+__all__ = [
+    "ReachabilityQuery",
+    "EcGraph",
+    "check_query_on_graph",
+    "CollectionModel",
+    "CentralizedVerifier",
+    "BaselineReport",
+]
+
+
+@dataclass(frozen=True)
+class ReachabilityQuery:
+    """One (ingress, destination) reachability requirement.
+
+    The packet space is the destination prefix; the requirement is delivery
+    at ``dest`` within ``shortest + max_extra_hops`` hops on a loop-free,
+    blackhole-free path — the §9.2 invariant."""
+
+    ingress: str
+    dest: str
+    prefix: str
+    max_extra_hops: int = 2
+
+
+# One EC's forwarding behaviour: device -> (next hop devices, delivers, drops)
+EcGraph = Dict[str, Tuple[Tuple[str, ...], bool, bool]]
+
+
+def build_ec_graph(
+    planes: Mapping[str, DevicePlane], pred: Predicate
+) -> EcGraph:
+    """Forwarding graph of one equivalence class.
+
+    Assumes ``pred`` lies within a single LEC on every device (that is what
+    being an EC means); uses the first overlapping LEC action.
+    """
+    graph: EcGraph = {}
+    for dev, plane in planes.items():
+        pieces = plane.fwd(pred)
+        action = pieces[0][1] if pieces else Action.drop()
+        hops = action.internal_next_hops()
+        graph[dev] = (hops, action.delivers, action.is_drop)
+    return graph
+
+
+def check_query_on_graph(
+    graph: EcGraph,
+    query: ReachabilityQuery,
+    topology: Topology,
+) -> Optional[str]:
+    """Check one query against one EC graph; return an error string or
+    ``None``.
+
+    BFS from the ingress following the EC's forwarding edges; flags
+    unreachability within the hop bound, forwarding loops and blackholes.
+    """
+    shortest = topology.shortest_hops(query.ingress, query.dest)
+    if shortest is None:
+        return None  # disconnected pair: nothing to require
+    bound = shortest + query.max_extra_hops
+    frontier = {query.ingress}
+    visited: Set[str] = set()
+    delivered = False
+    hops = 0
+    while frontier and hops <= bound:
+        next_frontier: Set[str] = set()
+        for dev in frontier:
+            entry = graph.get(dev)
+            if entry is None:
+                continue
+            next_hops, delivers, drops = entry
+            if delivers and dev == query.dest:
+                delivered = True
+            if drops:
+                return f"blackhole at {dev}"
+            for hop in next_hops:
+                if hop in visited:
+                    # Revisiting a device on this EC's graph means a cycle is
+                    # reachable: report a loop.
+                    return f"loop via {hop}"
+                next_frontier.add(hop)
+        visited |= frontier
+        frontier = next_frontier - visited
+        hops += 1
+        if delivered:
+            return None
+    if delivered:
+        return None
+    return f"{query.ingress} cannot reach {query.dest} within {bound} hops"
+
+
+@dataclass
+class CollectionModel:
+    """Management-network accounting for centralized tools (§9.3.1: "we
+    randomly assign a device as the location of the verifier, and let all
+    devices send it their data planes along lowest-latency paths")."""
+
+    topology: Topology
+    verifier_location: str
+    per_rule_seconds: float = 2e-7  # serialization/transmission per rule
+
+    def __post_init__(self) -> None:
+        self._latency = self.topology.latency_distances_from(self.verifier_location)
+
+    def burst_collection_time(self, planes: Mapping[str, DevicePlane]) -> float:
+        """Time until the last device's data plane fully arrives."""
+        worst = 0.0
+        for dev, plane in planes.items():
+            latency = self._latency.get(dev, 0.0)
+            worst = max(worst, latency + plane.num_rules * self.per_rule_seconds)
+        return worst
+
+    def update_latency(self, dev: str) -> float:
+        """One rule update travelling device → verifier."""
+        return self._latency.get(dev, 0.0) + self.per_rule_seconds
+
+
+@dataclass
+class BaselineReport:
+    """Outcome + timing of one baseline verification run."""
+
+    tool: str
+    verification_time: float  # simulated: collection + scaled compute
+    compute_time: float       # raw wall-clock compute on the verifier
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.errors
+
+
+class CentralizedVerifier:
+    """Abstract centralized DPV tool."""
+
+    name = "abstract"
+    #: whether the tool has a native incremental mode (Flash and AP recompute)
+    incremental_native = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        ctx: PacketSpaceContext,
+        queries: Sequence[ReachabilityQuery],
+        verifier_location: Optional[str] = None,
+        cpu_scale: float = 1.0,
+    ) -> None:
+        self.topology = topology
+        self.ctx = ctx
+        self.queries = list(queries)
+        location = verifier_location or topology.devices[0]
+        self.collection = CollectionModel(topology, location)
+        self.cpu_scale = cpu_scale
+        self.planes: Dict[str, DevicePlane] = {}
+
+    # ------------------------------------------------------------------
+    # Tool-specific hooks
+    # ------------------------------------------------------------------
+    def _snapshot_compute(self) -> List[str]:
+        """Build ECs from scratch and verify all queries."""
+        raise NotImplementedError
+
+    def _incremental_compute(
+        self, dev: str, deltas, install=None, removed=None
+    ) -> List[str]:
+        """Update ECs for one device's LEC deltas and re-verify affected
+        queries.  ``install``/``removed`` are the Rule objects involved (for
+        tools that index rules, e.g. VeriFlow's trie).  Tools without native
+        incremental mode fall back to :meth:`_snapshot_compute`."""
+        return self._snapshot_compute()
+
+    # ------------------------------------------------------------------
+    # Driver API (mirrors the Tulkun runner's scenarios)
+    # ------------------------------------------------------------------
+    def burst_verify(self, planes: Mapping[str, DevicePlane]) -> BaselineReport:
+        self.planes = dict(planes)
+        collection = self.collection.burst_collection_time(planes)
+        t0 = _time.perf_counter()
+        errors = self._snapshot_compute()
+        compute = _time.perf_counter() - t0
+        return BaselineReport(
+            tool=self.name,
+            verification_time=collection + compute * self.cpu_scale,
+            compute_time=compute,
+            errors=errors,
+        )
+
+    def incremental_verify(
+        self,
+        dev: str,
+        install: Optional[Rule] = None,
+        remove_rule_id: Optional[int] = None,
+    ) -> BaselineReport:
+        """Apply one rule update and verify it."""
+        plane = self.planes[dev]
+        deltas = []
+        removed = None
+        if remove_rule_id is not None:
+            removed = plane.get_rule(remove_rule_id)
+            deltas.extend(plane.remove_rule(remove_rule_id))
+        if install is not None:
+            deltas.extend(plane.install_rule(install))
+        latency = self.collection.update_latency(dev)
+        t0 = _time.perf_counter()
+        errors = self._incremental_compute(dev, deltas, install=install, removed=removed)
+        compute = _time.perf_counter() - t0
+        return BaselineReport(
+            tool=self.name,
+            verification_time=latency + compute * self.cpu_scale,
+            compute_time=compute,
+            errors=errors,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared helpers for the concrete tools
+    # ------------------------------------------------------------------
+    def _verify_predicate_classes(
+        self, classes: Iterable[Predicate]
+    ) -> List[str]:
+        """Check every query against every EC overlapping its prefix."""
+        errors: List[str] = []
+        query_preds = [
+            (query, self.ctx.ip_prefix(query.prefix)) for query in self.queries
+        ]
+        for ec in classes:
+            graph: Optional[EcGraph] = None
+            for query, pred in query_preds:
+                if not ec.overlaps(pred):
+                    continue
+                if graph is None:
+                    graph = build_ec_graph(self.planes, ec)
+                error = check_query_on_graph(graph, query, self.topology)
+                if error is not None:
+                    errors.append(f"[{self.name}] EC {ec.node}: {error}")
+        return errors

@@ -1,0 +1,222 @@
+"""VeriFlow: real-time invariant checking with a prefix trie (NSDI'13).
+
+VeriFlow organizes rules in a multi-way trie keyed by destination prefix;
+an update's *equivalence classes* are found by walking the trie for rules
+overlapping the update and slicing the address space at their boundaries.
+Only those classes get their forwarding graphs rebuilt and re-verified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.base import (
+    CentralizedVerifier,
+    EcGraph,
+    check_query_on_graph,
+)
+from repro.baselines.deltanet import _rule_interval
+from repro.bdd.fields import ip_to_int
+from repro.dataplane.action import Action
+
+__all__ = ["VeriFlowVerifier"]
+
+
+class _TrieNode:
+    __slots__ = ("children", "rules")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.rules: List[Tuple[str, object]] = []  # (device, rule)
+
+
+class VeriFlowVerifier(CentralizedVerifier):
+    name = "VeriFlow"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._root: Optional[_TrieNode] = None
+
+    # ------------------------------------------------------------------
+    # Trie maintenance
+    # ------------------------------------------------------------------
+    def _insert(self, dev: str, rule, base: int, length: int) -> None:
+        node = self._root
+        assert node is not None
+        for i in range(length):
+            bit = (base >> (31 - i)) & 1
+            child = node.children.get(bit)
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        node.rules.append((dev, rule))
+
+    def _build_trie(self) -> None:
+        self._root = _TrieNode()
+        for dev, plane in self.planes.items():
+            for rule in plane.rules:
+                interval = _rule_interval(rule)
+                if interval is None:
+                    continue
+                base = interval[0]
+                length = 32 - (interval[1] - interval[0]).bit_length() + 1
+                self._insert(dev, rule, base, length)
+
+    def _overlapping_rules(self, base: int, length: int) -> List[Tuple[str, object]]:
+        """Rules whose prefixes overlap [base, base + 2^(32-length))
+        (ancestors on the trie path + the full subtree below)."""
+        found: List[Tuple[str, object]] = []
+        node = self._root
+        assert node is not None
+        found.extend(node.rules)
+        for i in range(length):
+            bit = (base >> (31 - i)) & 1
+            node = node.children.get(bit)
+            if node is None:
+                return found
+            found.extend(node.rules)
+        # Full subtree below the update's prefix.
+        stack = list(node.children.values())
+        while stack:
+            sub = stack.pop()
+            found.extend(sub.rules)
+            stack.extend(sub.children.values())
+        return found
+
+    # ------------------------------------------------------------------
+    # Equivalence classes from rule boundaries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slice_classes(
+        rules: List[Tuple[str, object]], window: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        marks: Set[int] = {window[0], window[1]}
+        for _dev, rule in rules:
+            interval = _rule_interval(rule)
+            if interval is None:
+                continue
+            marks.add(max(window[0], min(window[1], interval[0])))
+            marks.add(max(window[0], min(window[1], interval[1])))
+        ordered = sorted(marks)
+        return list(zip(ordered, ordered[1:]))
+
+    def _paint_classes(
+        self, classes: List[Tuple[int, int]]
+    ) -> Dict[str, List[Action]]:
+        """Per-device actions for each class via one low-to-high priority
+        sweep (linear in rules, instead of a scan per class)."""
+        import bisect
+
+        boundaries = [lo for lo, _hi in classes] + [classes[-1][1]]
+        painted: Dict[str, List[Action]] = {}
+        drop = Action.drop()
+        for dev, plane in self.planes.items():
+            actions = [drop] * len(classes)
+            for rule in sorted(plane.rules, key=lambda r: (r.priority, r.rule_id)):
+                interval = _rule_interval(rule)
+                if interval is None:
+                    continue
+                start = bisect.bisect_left(boundaries, interval[0])
+                end = bisect.bisect_left(boundaries, interval[1])
+                for i in range(start, min(end, len(classes))):
+                    if classes[i][0] >= interval[0] and classes[i][1] <= interval[1]:
+                        actions[i] = rule.action
+            painted[dev] = actions
+        return painted
+
+    def _verify_classes(self, classes: List[Tuple[int, int]]) -> List[str]:
+        if not classes:
+            return []
+        errors: List[str] = []
+        query_ranges = []
+        for query in self.queries:
+            base, _, length = query.prefix.partition("/")
+            lo = ip_to_int(base)
+            hi = lo + (1 << (32 - int(length)))
+            query_ranges.append((query, lo, hi))
+        painted = self._paint_classes(classes)
+        for index, (lo, hi) in enumerate(classes):
+            graph: Optional[EcGraph] = None
+            for query, qlo, qhi in query_ranges:
+                if hi <= qlo or qhi <= lo:
+                    continue
+                if graph is None:
+                    graph = {
+                        dev: (
+                            actions[index].internal_next_hops(),
+                            actions[index].delivers,
+                            actions[index].is_drop,
+                        )
+                        for dev, actions in painted.items()
+                    }
+                error = check_query_on_graph(graph, query, self.topology)
+                if error is not None:
+                    errors.append(f"[{self.name}] EC [{lo},{hi}): {error}")
+        return errors
+
+    # ------------------------------------------------------------------
+    def _snapshot_compute(self) -> List[str]:
+        self._build_trie()
+        all_rules = [
+            (dev, rule)
+            for dev, plane in self.planes.items()
+            for rule in plane.rules
+        ]
+        classes = self._slice_classes(all_rules, (0, 1 << 32))
+        return self._verify_classes(classes)
+
+    def _locate(self, base: int, length: int) -> Optional[_TrieNode]:
+        node = self._root
+        assert node is not None
+        for i in range(length):
+            bit = (base >> (31 - i)) & 1
+            node = node.children.get(bit)
+            if node is None:
+                return None
+        return node
+
+    def _incremental_compute(
+        self, dev: str, deltas, install=None, removed=None
+    ) -> List[str]:
+        if self._root is None:
+            return self._snapshot_compute()
+        # Keep the trie in sync with the single-rule change.
+        for rule, removing in ((removed, True), (install, False)):
+            if rule is None:
+                continue
+            interval = _rule_interval(rule)
+            if interval is None:
+                continue
+            base = interval[0]
+            length = 32 - (interval[1] - interval[0]).bit_length() + 1
+            if removing:
+                node = self._locate(base, length)
+                if node is not None:
+                    node.rules = [
+                        (d, r)
+                        for d, r in node.rules
+                        if not (d == dev and r.rule_id == rule.rule_id)
+                    ]
+            else:
+                self._insert(dev, rule, base, length)
+        if not deltas:
+            return []
+        # The update's footprint in prefix form, from the delta predicates.
+        errors: List[str] = []
+        for delta in deltas:
+            ctx = delta.predicate.ctx
+            for cube in delta.predicate.cubes():
+                value, mask = ctx.layout.decode(cube, "dst_ip")
+                length = 0
+                for i in range(32):
+                    if mask & (1 << (31 - i)):
+                        length += 1
+                    else:
+                        break
+                base = value & (((1 << length) - 1) << (32 - length) if length else 0)
+                window = (base, base + (1 << (32 - length)))
+                overlapping = self._overlapping_rules(base, length)
+                classes = self._slice_classes(overlapping, window)
+                errors.extend(self._verify_classes(classes))
+        return errors

@@ -1,0 +1,28 @@
+"""Binary decision diagram engine and packet-space predicates.
+
+This package is the predicate substrate of the reproduction: every packet set
+(packet spaces of invariants, LECs, CIB predicates, baseline equivalence
+classes) is a canonical BDD managed here.
+"""
+
+from repro.bdd.fields import Field, HeaderLayout, int_to_ip, ip_to_int
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.bdd.serialize import (
+    deserialize_predicate,
+    serialize_predicate,
+)
+
+__all__ = [
+    "BddManager",
+    "FALSE",
+    "TRUE",
+    "Field",
+    "HeaderLayout",
+    "PacketSpaceContext",
+    "Predicate",
+    "deserialize_predicate",
+    "serialize_predicate",
+    "int_to_ip",
+    "ip_to_int",
+]

@@ -1,0 +1,228 @@
+"""Header-field encodings on top of the BDD engine.
+
+A :class:`HeaderLayout` assigns each packet header field a contiguous block of
+BDD variables (most-significant bit first, which keeps IP-prefix predicates
+linear in the prefix length).  The default layout matches the match fields
+exercised by the paper's examples: destination/source IPv4 addresses and
+destination/source TCP/UDP ports.
+
+Example
+-------
+>>> layout = HeaderLayout.default()
+>>> mgr = layout.new_manager()
+>>> p1 = layout.prefix(mgr, "dst_ip", "10.0.0.0", 23)
+>>> p2 = layout.prefix(mgr, "dst_ip", "10.0.0.0", 24)
+>>> mgr.implies(p2, p1)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+__all__ = ["Field", "HeaderLayout", "ip_to_int", "int_to_ip"]
+
+
+def ip_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named header field occupying ``width`` BDD variables.
+
+    ``offset`` is the index of the field's most significant bit in the global
+    variable ordering.
+    """
+
+    name: str
+    offset: int
+    width: int
+
+    def bit_vars(self) -> Sequence[int]:
+        """Variable indices for this field, MSB first."""
+        return range(self.offset, self.offset + self.width)
+
+
+class HeaderLayout:
+    """Maps header fields onto a global BDD variable ordering."""
+
+    def __init__(self, fields: Sequence[Tuple[str, int]]) -> None:
+        """``fields`` is an ordered list of ``(name, bit_width)`` pairs."""
+        self._fields: Dict[str, Field] = {}
+        offset = 0
+        for name, width in fields:
+            if width <= 0:
+                raise ValueError(f"field {name!r} must have positive width")
+            if name in self._fields:
+                raise ValueError(f"duplicate field name {name!r}")
+            self._fields[name] = Field(name, offset, width)
+            offset += width
+        self.num_vars = offset
+
+    @classmethod
+    def default(cls) -> "HeaderLayout":
+        """The standard 5-tuple-ish layout used throughout the reproduction.
+
+        dst_ip is first in the ordering because destination-prefix predicates
+        dominate real FIBs; putting their bits at the top keeps those BDDs
+        tiny.
+        """
+        return cls(
+            [
+                ("dst_ip", 32),
+                ("dst_port", 16),
+                ("src_ip", 32),
+                ("src_port", 16),
+                ("proto", 8),
+            ]
+        )
+
+    @classmethod
+    def dst_only(cls) -> "HeaderLayout":
+        """A compact layout for destination-IP-only data planes (Delta-net's
+        assumption), used by the large-scale datasets to keep BDDs small."""
+        return cls([("dst_ip", 32)])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def field(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(f"unknown header field {name!r}") from None
+
+    def field_names(self) -> List[str]:
+        return list(self._fields)
+
+    def has_field(self, name: str) -> bool:
+        return name in self._fields
+
+    def new_manager(self) -> BddManager:
+        """Create a BDD manager sized for this layout."""
+        return BddManager(self.num_vars)
+
+    # ------------------------------------------------------------------
+    # Predicate constructors (raw node level; Predicate wraps these)
+    # ------------------------------------------------------------------
+    def value(self, mgr: BddManager, name: str, value: int) -> int:
+        """Packet set where ``name`` equals ``value`` exactly."""
+        field = self.field(name)
+        if not 0 <= value < (1 << field.width):
+            raise ValueError(f"value {value} out of range for field {name!r}")
+        literals = {
+            field.offset + i: bool((value >> (field.width - 1 - i)) & 1)
+            for i in range(field.width)
+        }
+        return mgr.cube(literals)
+
+    def prefix(self, mgr: BddManager, name: str, base, prefix_len: int) -> int:
+        """Packet set where the top ``prefix_len`` bits of ``name`` match.
+
+        ``base`` may be an int or (for dst_ip/src_ip) a dotted-quad string.
+        """
+        field = self.field(name)
+        if isinstance(base, str):
+            base = ip_to_int(base)
+        if not 0 <= prefix_len <= field.width:
+            raise ValueError(f"prefix length {prefix_len} invalid for {name!r}")
+        literals = {
+            field.offset + i: bool((base >> (field.width - 1 - i)) & 1)
+            for i in range(prefix_len)
+        }
+        return mgr.cube(literals)
+
+    def range_(self, mgr: BddManager, name: str, lo: int, hi: int) -> int:
+        """Packet set where ``lo <= field <= hi`` (inclusive).
+
+        Built as a union of maximal aligned prefixes covering the range, so
+        the resulting BDD stays small.
+        """
+        field = self.field(name)
+        limit = 1 << field.width
+        if not (0 <= lo <= hi < limit):
+            raise ValueError(f"range [{lo}, {hi}] invalid for field {name!r}")
+        result = FALSE
+        cursor = lo
+        while cursor <= hi:
+            # Largest aligned block starting at cursor that fits in the range.
+            block = cursor & -cursor if cursor else limit
+            while cursor + block - 1 > hi:
+                block >>= 1
+            prefix_len = field.width - block.bit_length() + 1
+            result = mgr.apply_or(result, self.prefix(mgr, name, cursor, prefix_len))
+            cursor += block
+        return result
+
+    def not_value(self, mgr: BddManager, name: str, value: int) -> int:
+        """Packet set where ``name`` differs from ``value``."""
+        return mgr.apply_not(self.value(mgr, name, value))
+
+    def whole_space(self, mgr: BddManager) -> int:  # noqa: D401 - trivial
+        """The universal packet set."""
+        return TRUE
+
+    # ------------------------------------------------------------------
+    # Decoding helpers
+    # ------------------------------------------------------------------
+    def decode(self, assignment: Dict[int, bool], name: str) -> Tuple[int, int]:
+        """Extract ``(value, known_mask)`` for field ``name`` from a cube.
+
+        Bits absent from the assignment are free; ``known_mask`` has 1s where
+        the cube pins the bit.
+        """
+        field = self.field(name)
+        value = 0
+        mask = 0
+        for i in range(field.width):
+            var = field.offset + i
+            bit = 1 << (field.width - 1 - i)
+            if var in assignment:
+                mask |= bit
+                if assignment[var]:
+                    value |= bit
+        return value, mask
+
+    def concrete_packet(
+        self, mgr: BddManager, node: int
+    ) -> Optional[Dict[str, int]]:
+        """Materialize one concrete packet from a predicate, or ``None``.
+
+        Free bits default to zero.
+        """
+        assignment = mgr.pick_one(node)
+        if assignment is None:
+            return None
+        packet = {}
+        for name in self._fields:
+            value, _mask = self.decode(assignment, name)
+            packet[name] = value
+        return packet
+
+    def packet_to_node(self, mgr: BddManager, packet: Dict[str, int]) -> int:
+        """Predicate matching exactly one fully specified packet."""
+        node = TRUE
+        for name, value in packet.items():
+            node = mgr.apply_and(node, self.value(mgr, name, value))
+        return node

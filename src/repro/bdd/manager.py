@@ -1,0 +1,309 @@
+"""Hash-consed reduced ordered binary decision diagrams (ROBDDs).
+
+This is the predicate engine underneath every packet-set operation in the
+reproduction, standing in for the JDD library used by the paper's prototype
+(§8).  Packet sets are encoded as boolean functions over header bits and
+manipulated with logical operations, which is exactly how Tulkun's on-device
+verifiers intersect, union and complement LECs and CIB predicates.
+
+Implementation notes
+--------------------
+* Nodes are identified by small integers.  ``0`` is the constant FALSE and
+  ``1`` the constant TRUE.  Every other node is a triple
+  ``(var, low, high)`` stored in parallel lists; the *unique table* maps the
+  triple back to its id so structurally equal nodes are shared.
+* All boolean operations are implemented through the classic ``ite``
+  (if-then-else) operator with memoization, which keeps the code small and
+  guarantees canonicity.
+* Variables are ordered by their integer index; lower index = closer to the
+  root.  Callers choose the ordering through
+  :class:`repro.bdd.fields.HeaderLayout`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["BddManager", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+# Sentinel variable index for terminal nodes; larger than any real variable so
+# that terminals always sort "below" internal nodes.
+_TERMINAL_VAR = 1 << 30
+
+
+class BddManager:
+    """Owns a shared node table and all BDD operations.
+
+    Every :class:`~repro.bdd.predicate.Predicate` belongs to exactly one
+    manager; mixing node ids across managers is undefined.  Managers are not
+    thread-safe (the simulator is single-threaded by design).
+
+    Parameters
+    ----------
+    num_vars:
+        Total number of boolean variables.  Needed for model counting.
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        # Parallel arrays for node storage; slots 0/1 are the terminals.
+        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._count_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Return the canonical node for ``(var, low, high)``."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """Return the BDD for the single variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable index {index} out of range")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """Return the BDD for the negation of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable index {index} out of range")
+        return self._mk(index, TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+    def top_var(self, node: int) -> int:
+        """Variable index at the root of ``node`` (terminals sort last)."""
+        return self._var[node]
+
+    def low(self, node: int) -> int:
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        return self._high[node]
+
+    def node_count(self) -> int:
+        """Total number of live nodes in the table (including terminals)."""
+        return len(self._var)
+
+    def size(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node``."""
+        seen = {FALSE, TRUE}
+        stack = [node]
+        count = 0
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            count += 1
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return count
+
+    # ------------------------------------------------------------------
+    # Core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """Compute ``(f AND g) OR (NOT f AND h)`` canonically."""
+        # Terminal shortcuts.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+
+        v = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, v)
+        g0, g1 = self._cofactors(g, v)
+        h0, h1 = self._cofactors(h, v)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(v, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, var: int) -> Tuple[int, int]:
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """Set difference ``f AND NOT g``."""
+        return self.ite(f, self.apply_not(g), FALSE)
+
+    def implies(self, f: int, g: int) -> bool:
+        """True iff ``f`` is a subset of ``g`` as a packet set."""
+        return self.apply_diff(f, g) == FALSE
+
+    def equal(self, f: int, g: int) -> bool:
+        """Canonical form makes equality a pointer comparison."""
+        return f == g
+
+    def is_false(self, f: int) -> bool:
+        return f == FALSE
+
+    def is_true(self, f: int) -> bool:
+        return f == TRUE
+
+    def overlaps(self, f: int, g: int) -> bool:
+        """True iff the two packet sets intersect."""
+        return self.apply_and(f, g) != FALSE
+
+    def exists(self, node: int, variables: frozenset) -> int:
+        """Existentially quantify the given variables out of ``node``.
+
+        Used to implement packet transformations: rewriting a header field to
+        a constant is "forget the old bits, then constrain to the new value".
+        """
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if n in (FALSE, TRUE):
+                return n
+            cached = cache.get(n)
+            if cached is not None:
+                return cached
+            v = self._var[n]
+            low = walk(self._low[n])
+            high = walk(self._high[n])
+            if v in variables:
+                result = self.apply_or(low, high)
+            else:
+                result = self._mk(v, low, high)
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    # ------------------------------------------------------------------
+    # Cube / assignment construction
+    # ------------------------------------------------------------------
+    def cube(self, literals: Dict[int, bool]) -> int:
+        """Conjunction of variables set to fixed values.
+
+        ``literals`` maps variable index -> required boolean value.
+        """
+        result = TRUE
+        # Build bottom-up in reverse variable order for linear-time _mk use.
+        for index in sorted(literals, reverse=True):
+            if literals[index]:
+                result = self._mk(index, FALSE, result)
+            else:
+                result = self._mk(index, result, FALSE)
+        return result
+
+    # ------------------------------------------------------------------
+    # Model counting and enumeration
+    # ------------------------------------------------------------------
+    def count(self, node: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        return self._count_over(node, 0) if self.num_vars else (1 if node == TRUE else 0)
+
+    def _count_over(self, node: int, from_var: int) -> int:
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 1 << (self.num_vars - from_var)
+        cached = self._count_cache.get(node)
+        if cached is None:
+            v = self._var[node]
+            lo = self._count_over(self._low[node], v + 1)
+            hi = self._count_over(self._high[node], v + 1)
+            cached = lo + hi
+            self._count_cache[node] = cached
+        # The cache stores the count assuming we start exactly at the node's
+        # own variable; scale by the skipped variables above it.
+        return cached << (self._var[node] - from_var)
+
+    def pick_one(self, node: int) -> Optional[Dict[int, bool]]:
+        """Return one satisfying assignment (partial: only forced variables).
+
+        Returns ``None`` when the function is unsatisfiable.  Unmentioned
+        variables may take either value.
+        """
+        if node == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        while node != TRUE:
+            if self._low[node] != FALSE:
+                assignment[self._var[node]] = False
+                node = self._low[node]
+            else:
+                assignment[self._var[node]] = True
+                node = self._high[node]
+        return assignment
+
+    def iter_cubes(self, node: int) -> Iterator[Dict[int, bool]]:
+        """Yield disjoint cubes (partial assignments) covering the function."""
+        if node == FALSE:
+            return
+        path: Dict[int, bool] = {}
+
+        def walk(n: int) -> Iterator[Dict[int, bool]]:
+            if n == TRUE:
+                yield dict(path)
+                return
+            if n == FALSE:
+                return
+            v = self._var[n]
+            path[v] = False
+            yield from walk(self._low[n])
+            path[v] = True
+            yield from walk(self._high[n])
+            del path[v]
+
+        yield from walk(node)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (node table is kept)."""
+        self._ite_cache.clear()
+        self._count_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BddManager(num_vars={self.num_vars}, nodes={self.node_count()})"

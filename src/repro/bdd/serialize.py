@@ -1,0 +1,138 @@
+"""Compact binary serialization of BDD predicates.
+
+The paper's prototype adapts the JDD library so BDDs can be shipped between
+devices inside Protobuf-encoded DVM UPDATE messages (§8).  We provide the
+equivalent here: a self-contained wire format that encodes the sub-DAG rooted
+at a node in topological order, using variable-length integers.
+
+Wire format
+-----------
+::
+
+    varint  num_nodes
+    repeated node records, children-before-parents:
+        varint var
+        varint low   (index into [FALSE, TRUE, rec 0, rec 1, ...])
+        varint high  (same indexing)
+    varint  root    (same indexing)
+
+Decoding into a *different* manager is supported as long as both sides share
+the same header layout (they always do inside one network), which mirrors how
+physical devices exchange BDDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.errors import SerializationError
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "serialize_node",
+    "deserialize_node",
+    "serialize_predicate",
+    "deserialize_predicate",
+]
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise SerializationError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode an unsigned varint at ``pos``; return ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise SerializationError("varint too long")
+
+
+def serialize_node(mgr: BddManager, root: int) -> bytes:
+    """Serialize the sub-DAG rooted at ``root`` into bytes."""
+    # Topological order, children first, via iterative post-order DFS.
+    order: List[int] = []
+    seen = {FALSE, TRUE}
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in seen:
+            continue
+        if expanded:
+            seen.add(node)
+            order.append(node)
+        else:
+            stack.append((node, True))
+            stack.append((mgr.high(node), False))
+            stack.append((mgr.low(node), False))
+
+    index: Dict[int, int] = {FALSE: 0, TRUE: 1}
+    for i, node in enumerate(order):
+        index[node] = i + 2
+
+    out = bytearray()
+    encode_varint(len(order), out)
+    for node in order:
+        encode_varint(mgr.top_var(node), out)
+        encode_varint(index[mgr.low(node)], out)
+        encode_varint(index[mgr.high(node)], out)
+    encode_varint(index[root], out)
+    return bytes(out)
+
+
+def deserialize_node(mgr: BddManager, data: bytes) -> int:
+    """Reconstruct a serialized sub-DAG inside ``mgr``; return the root id."""
+    num_nodes, pos = decode_varint(data, 0)
+    ids: List[int] = [FALSE, TRUE]
+    for _ in range(num_nodes):
+        var, pos = decode_varint(data, pos)
+        low_idx, pos = decode_varint(data, pos)
+        high_idx, pos = decode_varint(data, pos)
+        if low_idx >= len(ids) or high_idx >= len(ids):
+            raise SerializationError("forward reference in BDD stream")
+        if var >= mgr.num_vars:
+            raise SerializationError(
+                f"variable {var} outside manager with {mgr.num_vars} vars"
+            )
+        # _mk is canonical: equal sub-DAGs re-merge automatically.
+        ids.append(mgr._mk(var, ids[low_idx], ids[high_idx]))  # noqa: SLF001
+    root_idx, pos = decode_varint(data, pos)
+    if pos != len(data):
+        raise SerializationError("trailing bytes after BDD stream")
+    if root_idx >= len(ids):
+        raise SerializationError("root index out of range")
+    return ids[root_idx]
+
+
+def serialize_predicate(pred: Predicate) -> bytes:
+    """Serialize a predicate for transmission in a DVM message."""
+    return serialize_node(pred.ctx.mgr, pred.node)
+
+
+def deserialize_predicate(ctx: PacketSpaceContext, data: bytes) -> Predicate:
+    """Reconstruct a predicate previously produced by
+    :func:`serialize_predicate` (possibly by another context with the same
+    layout)."""
+    return ctx.wrap(deserialize_node(ctx.mgr, data))

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``verify``
+    One-shot centralized verification of a specification against a topology
+    and FIB snapshot::
+
+        python -m repro verify --topology net.topo --fib net.fib \
+                               --spec invariants.tulkun
+
+``simulate``
+    Full distributed verification (on-device verifiers + DVM protocol over
+    the discrete-event simulator), reporting verdicts, timing and message
+    counts.
+
+``dpvnet``
+    Print the DPVNet the planner builds for each invariant (nodes, edges,
+    per-device task counts) without verifying anything.
+
+``datasets``
+    List the built-in datasets with their statistics.
+
+All file formats are the plain-text ones documented in
+:mod:`repro.topology.fileformat` (topology), :mod:`repro.dataplane.fib`
+(FIBs) and :mod:`repro.core.language` (invariants).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bdd import PacketSpaceContext
+from repro.core.language import parse_invariants
+from repro.core.planner import Planner
+from repro.dataplane.fib import parse_fib_text
+from repro.topology.fileformat import parse_topology_text
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _format_packet(packet: dict) -> str:
+    """Human-readable witness packet (IPs as dotted quads)."""
+    from repro.bdd.fields import int_to_ip
+
+    parts = []
+    for name, value in packet.items():
+        if name.endswith("_ip"):
+            parts.append(f"{name}={int_to_ip(value)}")
+        else:
+            parts.append(f"{name}={value}")
+    return ", ".join(parts)
+
+
+def _load_inputs(args):
+    ctx = PacketSpaceContext()
+    topology = parse_topology_text(_load(args.topology))
+    planes = parse_fib_text(ctx, _load(args.fib))
+    invariants = parse_invariants(ctx, _load(args.spec))
+    # Devices appearing in the topology but not the FIB get empty planes.
+    from repro.dataplane.device import DevicePlane
+
+    for dev in topology.devices:
+        planes.setdefault(dev, DevicePlane(dev, ctx))
+    return ctx, topology, planes, invariants
+
+
+def cmd_verify(args) -> int:
+    ctx, topology, planes, invariants = _load_inputs(args)
+    planner = Planner(topology, ctx)
+    failures = 0
+    for invariant in invariants:
+        if args.validate:
+            planner.validate(invariant)
+        result = planner.verify(invariant, planes)
+        print(result.summary())
+        for violation in result.violations[: args.max_violations]:
+            packet = violation.example_packet()
+            detail = violation.message or f"counts={list(violation.counts)}"
+            print(f"  [{violation.ingress}] {detail}")
+            if packet and not violation.message:
+                print(f"    witness packet: {_format_packet(packet)}")
+        if not result.holds:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.sim import TulkunRunner
+
+    ctx, topology, planes, invariants = _load_inputs(args)
+    runner = TulkunRunner(topology, ctx, invariants, cpu_scale=args.cpu_scale)
+    rules = {dev: list(plane.rules) for dev, plane in planes.items()}
+    # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
+    from repro.dataplane.rule import Rule
+
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+        for dev, dev_rules in rules.items()
+    }
+    result = runner.burst_update(rules)
+    print(f"verification time: {result.verification_time * 1e3:.3f} ms (simulated)")
+    print(f"events: {result.events}, DVM messages: {result.messages}, "
+          f"bytes: {result.bytes_sent}")
+    failures = 0
+    for name, holds in sorted(result.holds.items()):
+        print(f"  {name}: {'HOLDS' if holds else 'VIOLATED'}")
+        if not holds:
+            failures += 1
+            for violation in runner.network.violations(name)[: args.max_violations]:
+                print(f"    {violation}")
+    return 1 if failures else 0
+
+
+def cmd_dpvnet(args) -> int:
+    ctx, topology, _planes, invariants = _load_inputs(args)
+    planner = Planner(topology, ctx)
+    for invariant in invariants:
+        net = planner.build_dpvnet(invariant)
+        tasks = planner.decompose(invariant, net)
+        print(f"{invariant.name}: {net.stats()}")
+        if args.verbose:
+            for nid in sorted(net.nodes):
+                node = net.nodes[nid]
+                children = ", ".join(
+                    net.nodes[c].label for c in node.children
+                )
+                marker = " *" if any(node.accept) else ""
+                print(f"  {node.label}{marker} -> [{children}]")
+        per_device = {
+            dev: task.num_nodes for dev, task in sorted(tasks.tasks.items())
+        }
+        print(f"  tasks per device: {per_device}")
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    from repro.datasets import build_dataset, dataset_names
+
+    print(f"{'name':<10} {'kind':<5} {'devices':>8} {'links':>6} {'rules':>7}")
+    for name in dataset_names():
+        ds = build_dataset(name, pair_limit=4)
+        stats = ds.stats()
+        print(
+            f"{stats['name']:<10} {stats['kind']:<5} {stats['devices']:>8} "
+            f"{stats['links']:>6} {stats['rules']:>7}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tulkun: distributed, on-device data plane verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_io(p):
+        p.add_argument("--topology", required=True, help="topology text file")
+        p.add_argument("--fib", required=True, help="FIB text file")
+        p.add_argument("--spec", required=True, help="invariant spec file")
+        p.add_argument("--max-violations", type=int, default=5)
+
+    p_verify = sub.add_parser("verify", help="one-shot centralized verification")
+    add_io(p_verify)
+    p_verify.add_argument(
+        "--validate", action="store_true",
+        help="run the §3 packet-space/destination consistency check",
+    )
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_sim = sub.add_parser("simulate", help="distributed verification (simulator)")
+    add_io(p_sim)
+    p_sim.add_argument("--cpu-scale", type=float, default=1.0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_net = sub.add_parser("dpvnet", help="print planner output (DPVNet + tasks)")
+    add_io(p_net)
+    p_net.add_argument("--verbose", action="store_true")
+    p_net.set_defaults(func=cmd_dpvnet)
+
+    p_ds = sub.add_parser("datasets", help="list built-in datasets")
+    p_ds.set_defaults(func=cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

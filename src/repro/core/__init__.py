@@ -1,0 +1,82 @@
+"""Tulkun core: invariants, planner, DPVNet, counting, DVM, verifiers."""
+
+from repro.core.analysis import gate_devices, gate_nodes, path_count
+from repro.core.counting import CountExp, CountSet, CountVec, cross_sum, union
+from repro.core.dpvnet import DpvNet, DpvNode, build_enumeration_dpvnet, build_product_dpvnet
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.core.invariant import (
+    And,
+    Atom,
+    Behavior,
+    EndKind,
+    FaultSpec,
+    Invariant,
+    LengthFilter,
+    MatchKind,
+    Not,
+    Or,
+    PathExpr,
+)
+from repro.core.multipath import (
+    used_paths,
+    verify_disjointness,
+    verify_route_symmetry,
+)
+from repro.core.offline import count_node, count_sources
+from repro.core.partition import (
+    BigSwitchAbstraction,
+    partition_by_bfs,
+    verify_partitioned,
+)
+from repro.core.planner import Planner
+from repro.core.predmap import PredMap
+from repro.core.result import VerificationResult, Violation
+from repro.core.tasks import DeviceTask, NodeTask, TaskSet
+from repro.core.verifier import OnDeviceVerifier
+from repro.core.wire import decode_message, encode_message
+
+__all__ = [
+    "And",
+    "BigSwitchAbstraction",
+    "Atom",
+    "Behavior",
+    "CountExp",
+    "CountSet",
+    "CountVec",
+    "DeviceTask",
+    "DpvNet",
+    "DpvNode",
+    "EndKind",
+    "FaultSpec",
+    "Invariant",
+    "LengthFilter",
+    "MatchKind",
+    "NodeTask",
+    "Not",
+    "OnDeviceVerifier",
+    "Or",
+    "PathExpr",
+    "Planner",
+    "PredMap",
+    "SubscribeMessage",
+    "TaskSet",
+    "UpdateMessage",
+    "VerificationResult",
+    "Violation",
+    "build_enumeration_dpvnet",
+    "build_product_dpvnet",
+    "count_node",
+    "count_sources",
+    "cross_sum",
+    "decode_message",
+    "encode_message",
+    "gate_devices",
+    "gate_nodes",
+    "partition_by_bfs",
+    "path_count",
+    "union",
+    "used_paths",
+    "verify_disjointness",
+    "verify_partitioned",
+    "verify_route_symmetry",
+]

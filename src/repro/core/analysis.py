@@ -1,0 +1,91 @@
+"""Planner-side analyses from the §7 discussion.
+
+*Local verification of invariants with exist operators.*  The paper proves
+that ``equal`` invariants need no counting communication, and observes that
+the same can hold for ``exist`` invariants at nodes whose device is a *cut*
+of the network — every valid path passes through them, so their local count
+determines the global verdict.  :func:`gate_nodes` computes exactly those
+nodes on a DPVNet (by path counting), and :func:`gate_devices` lifts the
+property to devices; a deployment could skip upstream propagation beyond
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.dpvnet import DpvNet
+
+__all__ = ["gate_nodes", "gate_devices", "path_count"]
+
+
+def path_count(net: DpvNet) -> int:
+    """Number of source→accepting paths in the DPVNet (exact, big ints)."""
+    down = _paths_down(net)
+    return sum(
+        down[source]
+        for source in net.sources.values()
+        if source is not None
+    )
+
+
+def _paths_down(net: DpvNet) -> Dict[int, int]:
+    """paths_down[u]: number of paths from u to any accepting node
+    (counting u itself when accepting)."""
+    down: Dict[int, int] = {}
+    for nid in net.reverse_topological_order():
+        node = net.node(nid)
+        total = 1 if any(node.accept) else 0
+        for child in node.children:
+            total += down[child]
+        down[nid] = total
+    return down
+
+
+def _paths_up(net: DpvNet) -> Dict[int, int]:
+    """paths_up[u]: number of source→u paths."""
+    up: Dict[int, int] = {nid: 0 for nid in net.nodes}
+    for source in net.sources.values():
+        if source is not None:
+            up[source] += 1
+    for nid in reversed(net.reverse_topological_order()):
+        for child in net.node(nid).children:
+            up[child] += up[nid]
+    return up
+
+
+def gate_nodes(net: DpvNet) -> Set[int]:
+    """Nodes through which *every* valid path passes.
+
+    For an ``exist`` invariant, such a node's counting result equals the
+    source's up to the (fixed) upstream prefix structure: its device can
+    verify locally, and its minimal counting information toward upstream
+    neighbors is effectively empty (§7).
+    """
+    total = path_count(net)
+    if total == 0:
+        return set()
+    down = _paths_down(net)
+    up = _paths_up(net)
+    gates: Set[int] = set()
+    for nid, node in net.nodes.items():
+        # Paths through nid = (source→nid paths) × (nid→accept paths);
+        # acceptance *at* nid terminates those paths, already in down[nid].
+        through = up[nid] * down[nid]
+        if through == total:
+            gates.add(nid)
+    return gates
+
+
+def gate_devices(net: DpvNet) -> List[str]:
+    """Devices all of whose DPVNet presence is on every valid path — the
+    paper's example: device A in the Figure 2a network."""
+    gates = gate_nodes(net)
+    by_dev: Dict[str, List[int]] = {}
+    for nid, node in net.nodes.items():
+        by_dev.setdefault(node.dev, []).append(nid)
+    result = []
+    for dev, nids in sorted(by_dev.items()):
+        if len(nids) == 1 and nids[0] in gates:
+            result.append(dev)
+    return result

@@ -1,0 +1,165 @@
+"""Count-set algebra (§4.2, Equations (1) and (2)).
+
+A *count vector* has one component per ``(match_op, path_exp)`` atom of the
+invariant (one component for simple invariants; §4.3 compound invariants use
+several).  A *count set* is the deduplicated set of count vectors the network
+can realize across universes: ANY-type actions make it grow (⊕, set union),
+ALL-type actions combine copies (⊗, cross-product sum).
+
+The module also implements Proposition 1's *minimal counting information*
+reduction, which shrinks what a node must send upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "CountVec",
+    "CountSet",
+    "zero_vec",
+    "unit_vec",
+    "singleton",
+    "cross_sum",
+    "union",
+    "CountExp",
+    "minimal_info",
+]
+
+CountVec = Tuple[int, ...]
+# Canonical representation: sorted tuple of distinct vectors.
+CountSet = Tuple[CountVec, ...]
+
+
+def zero_vec(arity: int) -> CountVec:
+    return (0,) * arity
+
+
+def unit_vec(arity: int, component: int) -> CountVec:
+    vec = [0] * arity
+    vec[component] = 1
+    return tuple(vec)
+
+
+def vec_add(a: CountVec, b: CountVec) -> CountVec:
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def singleton(vec: CountVec) -> CountSet:
+    return (vec,)
+
+
+def canonical(vectors: Iterable[CountVec]) -> CountSet:
+    return tuple(sorted(set(vectors)))
+
+
+def cross_sum(a: CountSet, b: CountSet) -> CountSet:
+    """⊗: every universe of ``a`` combines with every universe of ``b``.
+
+    Models an ALL-type split: copies travel both ways, the per-universe
+    totals add.
+    """
+    return canonical(vec_add(x, y) for x in a for y in b)
+
+
+def union(a: CountSet, b: CountSet) -> CountSet:
+    """⊕: the universes of ``a`` and ``b`` are alternative fates."""
+    return canonical((*a, *b))
+
+
+def cross_sum_many(sets: Sequence[CountSet], arity: int) -> CountSet:
+    result = singleton(zero_vec(arity))
+    for cs in sets:
+        result = cross_sum(result, cs)
+    return result
+
+
+def union_many(sets: Sequence[CountSet]) -> CountSet:
+    merged: List[CountVec] = []
+    for cs in sets:
+        merged.extend(cs)
+    return canonical(merged)
+
+
+@dataclass(frozen=True)
+class CountExp:
+    """A count predicate ``op N`` from the language's ``exist`` operator."""
+
+    op: str  # one of '==', '>=', '>', '<=', '<'
+    bound: int
+
+    _OPS = {
+        "==": lambda count, bound: count == bound,
+        ">=": lambda count, bound: count >= bound,
+        ">": lambda count, bound: count > bound,
+        "<=": lambda count, bound: count <= bound,
+        "<": lambda count, bound: count < bound,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown count operator {self.op!r}")
+        if self.bound < 0:
+            raise ValueError("count bound must be non-negative")
+
+    def holds(self, count: int) -> bool:
+        return self._OPS[self.op](count, self.bound)
+
+    def __str__(self) -> str:
+        return f"exist {self.op} {self.bound}"
+
+
+def minimal_info(counts: Sequence[int], exp: CountExp) -> Tuple[int, ...]:
+    """Proposition 1: the minimal subset of a (scalar) count set a node must
+    propagate upstream for the source to verify ``exp`` correctly.
+
+    * ``>= N`` / ``> N``: the minimum (⊗ is monotone, so upstream sums only
+      grow; the minimum bounds every universe from below).
+    * ``<= N`` / ``< N``: the maximum, symmetrically.
+    * ``== N``: the two smallest distinct values — two distinct values prove
+      a violation regardless of what gets added upstream, one value is the
+      exact count.
+    """
+    if not counts:
+        return ()
+    distinct = sorted(set(counts))
+    if exp.op in (">=", ">"):
+        return (distinct[0],)
+    if exp.op in ("<=", "<"):
+        return (distinct[-1],)
+    return tuple(distinct[: min(len(distinct), 2)])
+
+
+def reduce_countset(cs: CountSet, exps: Sequence[CountExp | None]) -> CountSet:
+    """Apply Proposition 1 componentwise to a vector count set.
+
+    Components whose expression is ``None`` (e.g. the invariant combines
+    atoms with negation, where the reduction is unsound) are left intact;
+    the reduction keeps, for each component, the vectors whose component
+    value survives the scalar reduction.  For arity-1 sets this degenerates
+    to Proposition 1 exactly.
+    """
+    if not cs:
+        return cs
+    arity = len(cs[0])
+    if all(exp is None for exp in exps):
+        return cs
+    if arity == 1 and exps[0] is not None:
+        keep = set(minimal_info([vec[0] for vec in cs], exps[0]))
+        return canonical(vec for vec in cs if vec[0] in keep)
+    # For multi-atom invariants the joint distribution matters (§4.3), so we
+    # only drop a vector when every component is redundant under its own
+    # reduction — a conservative, always-sound filter.
+    keep_per_component: List[set] = []
+    for i, exp in enumerate(exps):
+        values = [vec[i] for vec in cs]
+        if exp is None:
+            keep_per_component.append(set(values))
+        else:
+            keep_per_component.append(set(minimal_info(values, exp)))
+    return canonical(
+        vec
+        for vec in cs
+        if any(vec[i] in keep_per_component[i] for i in range(arity))
+    )

@@ -1,0 +1,92 @@
+"""DVM protocol messages (§5).
+
+Distributed Verification Messaging is the vector-protocol-inspired wire
+format on-device verifiers use to exchange counting results.  Messages flow
+along DPVNet links in the reverse direction (child device → parent device),
+so no loop prevention is needed.
+
+The UPDATE message principle (§5.2): the union of withdrawn predicates must
+equal the union of the predicates of the incoming counting results.  The
+constructor enforces it, turning protocol bugs into immediate failures
+instead of silent divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.bdd.serialize import serialize_predicate
+from repro.core.counting import CountSet
+from repro.errors import ProtocolError
+
+__all__ = ["UpdateMessage", "SubscribeMessage", "DvmMessage", "wire_size"]
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """Counting-result transfer along one DPVNet link, child to parent.
+
+    Attributes
+    ----------
+    intended_link:
+        ``(parent_node_id, child_node_id)`` — the DPVNet link this result
+        propagates (oppositely) along.  The receiving device dispatches on
+        it (§8: "an UPDATE message is dispatched based on the intended link
+        field").
+    withdrawn:
+        Union of the predicates whose previous results are obsolete.
+    results:
+        Disjoint ``(predicate, count set)`` entries; their union must equal
+        ``withdrawn``.
+    """
+
+    intended_link: Tuple[int, int]
+    withdrawn: Predicate
+    results: Tuple[Tuple[Predicate, CountSet], ...]
+
+    def __post_init__(self) -> None:
+        covered = self.withdrawn.ctx.union(pred for pred, _cs in self.results)
+        if covered != self.withdrawn:
+            raise ProtocolError(
+                "UPDATE principle violated: withdrawn predicates must equal "
+                "the union of incoming counting results"
+            )
+
+    def wire_size(self) -> int:
+        """Approximate encoded size in bytes (BDD bytes + 8 per count)."""
+        size = 16  # link ids + header
+        size += len(serialize_predicate(self.withdrawn))
+        for pred, cs in self.results:
+            size += len(serialize_predicate(pred))
+            size += 8 * sum(len(vec) for vec in cs) + 4
+        return size
+
+
+@dataclass(frozen=True)
+class SubscribeMessage:
+    """Packet-transformation subscription (§5.2).
+
+    When a device transforms packets in ``pred_from`` into ``pred_to``
+    before forwarding, it subscribes to its downstream neighbor's counting
+    results for ``pred_to`` instead of ``pred_from``.
+    """
+
+    intended_link: Tuple[int, int]
+    pred_from: Predicate
+    pred_to: Predicate
+
+    def wire_size(self) -> int:
+        return (
+            16
+            + len(serialize_predicate(self.pred_from))
+            + len(serialize_predicate(self.pred_to))
+        )
+
+
+DvmMessage = object  # UpdateMessage | SubscribeMessage
+
+
+def wire_size(message) -> int:
+    return message.wire_size()

@@ -1,0 +1,320 @@
+"""The invariant model: the abstract syntax of Figure 3 as Python objects.
+
+An invariant is a ``(packet_space, ingress_set, behavior[, fault_scenes])``
+tuple.  A behavior is a boolean combination of ``(match_op, path_exp)``
+atoms; a path expression is a device regex with optional length filters and
+a loop-free marker.
+
+The textual front end lives in :mod:`repro.core.language`; ready-made
+constructors for the Table 1 invariants live in :mod:`repro.core.library`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.automata.regex import Regex, parse_regex
+from repro.bdd.predicate import Predicate
+from repro.core.counting import CountExp, CountVec
+from repro.errors import SpecificationError
+
+__all__ = [
+    "LengthFilter",
+    "EndKind",
+    "PathExpr",
+    "MatchKind",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Behavior",
+    "FaultSpec",
+    "Invariant",
+]
+
+
+@dataclass(frozen=True)
+class LengthFilter:
+    """A hop-count filter on matching paths.
+
+    ``base`` is either the literal number of *links* allowed, or the string
+    ``"shortest"`` making the filter *symbolic* (§6): its concrete value
+    depends on the (possibly failed) topology.  ``offset`` shifts the bound,
+    e.g. ``(<=, "shortest", 2)`` is the paper's ``<= shortest + 2``.
+    """
+
+    op: str  # '<=', '<', '==', '>=', '>'
+    base: Union[int, str]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", "<", "==", ">=", ">"):
+            raise SpecificationError(f"unknown length filter operator {self.op!r}")
+        if isinstance(self.base, str) and self.base != "shortest":
+            raise SpecificationError(f"unknown symbolic length base {self.base!r}")
+
+    @property
+    def symbolic(self) -> bool:
+        return isinstance(self.base, str)
+
+    def bound(self, shortest: Optional[int]) -> int:
+        """Concrete bound given the topology's shortest-path hop count."""
+        if self.symbolic:
+            if shortest is None:
+                raise SpecificationError(
+                    "symbolic length filter on a disconnected source/destination"
+                )
+            return shortest + self.offset
+        return int(self.base) + self.offset
+
+    def admits(self, hops: int, shortest: Optional[int]) -> bool:
+        bound = self.bound(shortest)
+        return {
+            "<=": hops <= bound,
+            "<": hops < bound,
+            "==": hops == bound,
+            ">=": hops >= bound,
+            ">": hops > bound,
+        }[self.op]
+
+    def max_hops(self, shortest: Optional[int], fallback: int) -> int:
+        """An upper bound on admitted hop counts (used to bound search)."""
+        if self.op in ("<=", "=="):
+            return self.bound(shortest)
+        if self.op == "<":
+            return self.bound(shortest) - 1
+        return fallback
+
+    def __str__(self) -> str:
+        base = self.base if not self.symbolic else "shortest"
+        offset = f"+{self.offset}" if self.offset else ""
+        return f"{self.op} {base}{offset}"
+
+
+class EndKind(enum.Enum):
+    """Which trace endings an atom counts (see DESIGN.md).
+
+    The paper expresses blackhole-freeness as counting paths matching
+    ``.* and not S.*D``; operationally that is "count traces that *end*
+    without correct delivery".  We make the end kind explicit instead of
+    complementing regexes with unbounded path sets.
+    """
+
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A path pattern: regex over devices + filters + loop-free marker."""
+
+    regex: Regex
+    length_filters: Tuple[LengthFilter, ...] = ()
+    simple_only: bool = False  # the language's loop_free shortcut
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        length_filters: Sequence[LengthFilter] = (),
+        simple_only: bool = False,
+    ) -> "PathExpr":
+        return cls(parse_regex(text), tuple(length_filters), simple_only)
+
+    def has_symbolic_filter(self) -> bool:
+        return any(f.symbolic for f in self.length_filters)
+
+    def devices(self) -> FrozenSet[str]:
+        return self.regex.devices()
+
+    def __str__(self) -> str:
+        text = str(self.regex)
+        extras = [str(f) for f in self.length_filters]
+        if self.simple_only:
+            extras.append("loop_free")
+        if extras:
+            return f"({text}, {', '.join(extras)})"
+        return text
+
+
+class MatchKind(enum.Enum):
+    EXIST = "exist"
+    EQUAL = "equal"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One ``(match_op, path_exp)`` pair.
+
+    * ``EXIST`` atoms hold in a universe when the number of traces matching
+      ``path`` satisfies ``count_exp``.
+    * ``EQUAL`` atoms hold when the union of universes equals the *full* set
+      of paths matching ``path`` (the RCDC all-shortest-path behaviour) —
+      verified by local checks, never by counting.
+    """
+
+    path: PathExpr
+    kind: MatchKind = MatchKind.EXIST
+    count_exp: Optional[CountExp] = None
+    end_kind: EndKind = EndKind.DELIVERED
+
+    def __post_init__(self) -> None:
+        if self.kind is MatchKind.EXIST and self.count_exp is None:
+            raise SpecificationError("exist atoms need a count expression")
+        if self.kind is MatchKind.EQUAL and self.count_exp is not None:
+            raise SpecificationError("equal atoms take no count expression")
+
+    def __str__(self) -> str:
+        if self.kind is MatchKind.EQUAL:
+            return f"(equal, {self.path})"
+        return f"({self.count_exp}, {self.path})"
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "Behavior"
+
+    def __str__(self) -> str:
+        return f"not {self.inner}"
+
+
+@dataclass(frozen=True)
+class And:
+    parts: Tuple["Behavior", ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: Tuple["Behavior", ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.parts) + ")"
+
+
+Behavior = Union[Atom, Not, And, Or]
+
+
+def collect_atoms(behavior: Behavior) -> List[Atom]:
+    """The behavior's *counting components*, left-to-right.
+
+    Atoms that share a path expression and end kind count the same quantity
+    (their ``count_exp`` only matters at evaluation time), so they share one
+    component — e.g. anycast's ``exist == 1`` and ``exist == 0`` checks on
+    the same ``S.*D`` pattern produce a single component.  The returned list
+    holds the first atom seen per component.
+    """
+    atoms: List[Atom] = []
+    keys: List[tuple] = []
+
+    def walk(node: Behavior) -> None:
+        if isinstance(node, Atom):
+            key = (node.path, node.end_kind)
+            if key not in keys:
+                keys.append(key)
+                atoms.append(node)
+        elif isinstance(node, Not):
+            walk(node.inner)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part)
+        else:
+            raise SpecificationError(f"unknown behavior node {node!r}")
+
+    walk(behavior)
+    return atoms
+
+
+def component_index(atoms: Sequence[Atom], atom: Atom) -> int:
+    """Count-vector component of an atom (shared per (path, end_kind))."""
+    for i, candidate in enumerate(atoms):
+        if candidate.path == atom.path and candidate.end_kind == atom.end_kind:
+            return i
+    raise SpecificationError(f"atom {atom} not among the behavior components")
+
+
+def evaluate_behavior(behavior: Behavior, atoms: Sequence[Atom], vec: CountVec) -> bool:
+    """Truth of the behavior formula for one universe's count vector."""
+
+    def walk(node: Behavior) -> bool:
+        if isinstance(node, Atom):
+            index = component_index(atoms, node)
+            assert node.count_exp is not None
+            return node.count_exp.holds(vec[index])
+        if isinstance(node, Not):
+            return not walk(node.inner)
+        if isinstance(node, And):
+            return all(walk(part) for part in node.parts)
+        if isinstance(node, Or):
+            return any(walk(part) for part in node.parts)
+        raise SpecificationError(f"unknown behavior node {node!r}")
+
+    return walk(behavior)
+
+
+def positive_count_exps(
+    behavior: Behavior, atoms: Sequence[Atom]
+) -> List[Optional[CountExp]]:
+    """Per-atom count expressions usable for Proposition 1 reduction.
+
+    An atom's expression can drive the minimal-information reduction only if
+    the atom appears purely positively (no enclosing ``not``) and the
+    invariant has a single atom; otherwise the joint distribution matters and
+    we return ``None`` for it (reduction disabled — always sound).
+    """
+    if len(atoms) == 1 and isinstance(behavior, Atom):
+        return [behavior.count_exp]
+    return [None] * len(atoms)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The optional ``fault_scenes`` field (§6).
+
+    Either an explicit tuple of scenes (each a frozenset of failed links) or
+    the ``any_k`` sugar meaning every combination of up to ``k`` failures.
+    """
+
+    scenes: Tuple[FrozenSet[Tuple[str, str]], ...] = ()
+    any_k: Optional[int] = None
+
+    @classmethod
+    def explicit(cls, scenes: Iterable[Iterable[Tuple[str, str]]]) -> "FaultSpec":
+        normalized = tuple(
+            frozenset(tuple(sorted(link)) for link in scene) for scene in scenes
+        )
+        return cls(scenes=normalized)
+
+    @classmethod
+    def up_to(cls, k: int) -> "FaultSpec":
+        if k < 1:
+            raise SpecificationError("any_k requires k >= 1")
+        return cls(any_k=k)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A complete invariant specification."""
+
+    packet_space: Predicate
+    ingress_set: Tuple[str, ...]
+    behavior: Behavior
+    fault_spec: Optional[FaultSpec] = None
+    name: str = "invariant"
+
+    def __post_init__(self) -> None:
+        if not self.ingress_set:
+            raise SpecificationError("invariant needs at least one ingress device")
+        if self.packet_space.is_empty:
+            raise SpecificationError("invariant packet space is empty")
+
+    def atoms(self) -> List[Atom]:
+        return collect_atoms(self.behavior)
+
+    def __str__(self) -> str:
+        ingress = ", ".join(self.ingress_set)
+        return f"{self.name}: (P, [{ingress}], {self.behavior})"

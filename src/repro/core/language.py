@@ -1,0 +1,376 @@
+"""The declarative invariant specification language (§3, Figure 3).
+
+A concrete textual syntax for the paper's abstract grammar.  Example::
+
+    invariant waypoint {
+        packet_space: dst_ip = 10.0.0.0/23;
+        ingress: S;
+        behavior: exist >= 1 on (S .* W .* D) with loop_free;
+        fault_scenes: any 2;
+    }
+
+    invariant no_port80_to_E {
+        packet_space: dst_ip = 10.0.1.0/24 and dst_port = 80;
+        ingress: S;
+        behavior: exist == 0 on (S .* E);
+    }
+
+Grammar sketch::
+
+    file          := invariant*
+    invariant     := "invariant" NAME "{" field* "}"
+    field         := "packet_space" ":" space_expr ";"
+                   | "ingress" ":" NAME ("," NAME)* ";"
+                   | "behavior" ":" behavior ";"
+                   | "fault_scenes" ":" scenes ";"
+    space_expr    := space_or
+    space_or      := space_and ("or" space_and)*
+    space_and     := space_atom ("and" space_atom)*
+    space_atom    := "not" space_atom | "(" space_expr ")"
+                   | FIELD "=" value | FIELD "!=" value
+                   | FIELD "in" INT ".." INT | "any"
+    value         := CIDR | IPv4 | INT
+    behavior      := b_or
+    b_or          := b_and ("or" b_and)*
+    b_and         := b_unary ("and" b_unary)*
+    b_unary       := "not" b_unary | "(" behavior ")" | atom
+    atom          := ("exist" CMP INT | "equal") "on" "(" REGEX ")"
+                     ("with" modifier ("," modifier)*)?
+    modifier      := "loop_free" | "dropped" | CMP length
+    length        := INT | "shortest" ("+" INT)?
+    scenes        := "any" INT | scene ("," scene)*
+    scene         := "{" pair* "}"        pair := "(" NAME "," NAME ")"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.automata.regex import parse_regex
+from repro.bdd.fields import ip_to_int
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.core.counting import CountExp
+from repro.core.invariant import (
+    And,
+    Atom,
+    Behavior,
+    EndKind,
+    FaultSpec,
+    Invariant,
+    LengthFilter,
+    MatchKind,
+    Not,
+    Or,
+    PathExpr,
+)
+from repro.errors import SpecificationError
+
+__all__ = ["parse_invariants", "parse_packet_space"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<cidr>\d+\.\d+\.\d+\.\d+/\d+)
+  | (?P<ip>\d+\.\d+\.\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<op><=|>=|==|!=|=|<|>|\.\.|\+)
+  | (?P<punct>[{}();:,.*|\[\]^?])
+    """,
+    re.VERBOSE,
+)
+
+Token = Tuple[str, str]
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SpecificationError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], ctx: PacketSpaceContext) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expect_text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SpecificationError("unexpected end of specification")
+        if expect_text is not None and token[1] != expect_text:
+            raise SpecificationError(
+                f"expected {expect_text!r}, found {token[1]!r}"
+            )
+        self.pos += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token[1] == text
+
+    # ------------------------------------------------------------------
+    def parse_file(self) -> List[Invariant]:
+        invariants: List[Invariant] = []
+        while self.peek() is not None:
+            invariants.append(self.parse_invariant())
+        return invariants
+
+    def parse_invariant(self) -> Invariant:
+        self.take("invariant")
+        name = self.take()[1]
+        self.take("{")
+        space: Optional[Predicate] = None
+        ingress: Tuple[str, ...] = ()
+        behavior: Optional[Behavior] = None
+        fault_spec: Optional[FaultSpec] = None
+        while not self.at("}"):
+            field = self.take()[1]
+            self.take(":")
+            if field == "packet_space":
+                space = self.parse_space_or()
+            elif field == "ingress":
+                names = [self.take()[1]]
+                while self.at(","):
+                    self.take(",")
+                    names.append(self.take()[1])
+                ingress = tuple(names)
+            elif field == "behavior":
+                behavior = self.parse_behavior_or()
+            elif field == "fault_scenes":
+                fault_spec = self.parse_scenes()
+            else:
+                raise SpecificationError(f"unknown invariant field {field!r}")
+            self.take(";")
+        self.take("}")
+        if space is None:
+            raise SpecificationError(f"invariant {name!r} missing packet_space")
+        if not ingress:
+            raise SpecificationError(f"invariant {name!r} missing ingress")
+        if behavior is None:
+            raise SpecificationError(f"invariant {name!r} missing behavior")
+        return Invariant(space, ingress, behavior, fault_spec, name=name)
+
+    # ------------------------------------------------------------------
+    # Packet space expressions
+    # ------------------------------------------------------------------
+    def parse_space_or(self) -> Predicate:
+        left = self.parse_space_and()
+        while self.at("or"):
+            self.take("or")
+            left = left | self.parse_space_and()
+        return left
+
+    def parse_space_and(self) -> Predicate:
+        left = self.parse_space_atom()
+        while self.at("and"):
+            self.take("and")
+            left = left & self.parse_space_atom()
+        return left
+
+    def parse_space_atom(self) -> Predicate:
+        if self.at("not"):
+            self.take("not")
+            return ~self.parse_space_atom()
+        if self.at("("):
+            self.take("(")
+            inner = self.parse_space_or()
+            self.take(")")
+            return inner
+        if self.at("any"):
+            self.take("any")
+            return self.ctx.universe
+        kind, field_name = self.take()
+        if kind != "name":
+            raise SpecificationError(f"expected header field, found {field_name!r}")
+        op_kind, op = self.take()
+        if op == "in":
+            lo = int(self.take()[1])
+            self.take("..")
+            hi = int(self.take()[1])
+            return self.ctx.range_(field_name, lo, hi)
+        if op not in ("=", "!="):
+            raise SpecificationError(f"unexpected operator {op!r} in packet space")
+        value_kind, value_text = self.take()
+        if value_kind == "cidr":
+            base, _, length = value_text.partition("/")
+            pred = self.ctx.prefix(field_name, base, int(length))
+        elif value_kind == "ip":
+            pred = self.ctx.value(field_name, ip_to_int(value_text))
+        elif value_kind == "int":
+            pred = self.ctx.value(field_name, int(value_text))
+        else:
+            raise SpecificationError(f"bad value {value_text!r} in packet space")
+        return ~pred if op == "!=" else pred
+
+    # ------------------------------------------------------------------
+    # Behaviors
+    # ------------------------------------------------------------------
+    def parse_behavior_or(self) -> Behavior:
+        parts = [self.parse_behavior_and()]
+        while self.at("or"):
+            self.take("or")
+            parts.append(self.parse_behavior_and())
+        return Or(tuple(parts)) if len(parts) > 1 else parts[0]
+
+    def parse_behavior_and(self) -> Behavior:
+        parts = [self.parse_behavior_unary()]
+        while self.at("and"):
+            self.take("and")
+            parts.append(self.parse_behavior_unary())
+        return And(tuple(parts)) if len(parts) > 1 else parts[0]
+
+    def parse_behavior_unary(self) -> Behavior:
+        if self.at("not"):
+            self.take("not")
+            return Not(self.parse_behavior_unary())
+        if self.at("("):
+            # Lookahead: "(" may open a parenthesized behavior or an atom's
+            # regex; an atom always starts with exist/equal, so parens here
+            # mean grouping.
+            self.take("(")
+            inner = self.parse_behavior_or()
+            self.take(")")
+            return inner
+        return self.parse_atom()
+
+    def parse_atom(self) -> Atom:
+        kind_token = self.take()
+        if kind_token[1] == "exist":
+            op = self.take()[1]
+            if op not in ("==", ">=", ">", "<=", "<"):
+                raise SpecificationError(f"bad count operator {op!r}")
+            bound = int(self.take()[1])
+            count_exp: Optional[CountExp] = CountExp(op, bound)
+            kind = MatchKind.EXIST
+        elif kind_token[1] == "equal":
+            count_exp = None
+            kind = MatchKind.EQUAL
+        else:
+            raise SpecificationError(
+                f"expected 'exist' or 'equal', found {kind_token[1]!r}"
+            )
+        self.take("on")
+        regex_text = self._take_regex()
+        filters: List[LengthFilter] = []
+        simple = False
+        end = EndKind.DELIVERED
+        if self.at("with"):
+            self.take("with")
+            while True:
+                simple_, end_, filt = self._parse_modifier()
+                simple = simple or simple_
+                if end_ is not None:
+                    end = end_
+                if filt is not None:
+                    filters.append(filt)
+                if self.at(","):
+                    self.take(",")
+                    continue
+                break
+        path = PathExpr(parse_regex(regex_text), tuple(filters), simple)
+        return Atom(path, kind, count_exp, end)
+
+    def _take_regex(self) -> str:
+        """Consume a parenthesized regex verbatim (tokens back to text)."""
+        self.take("(")
+        depth = 1
+        parts: List[str] = []
+        while depth:
+            token = self.take()
+            if token[1] == "(":
+                depth += 1
+            elif token[1] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            parts.append(token[1])
+        return " ".join(parts)
+
+    def _parse_modifier(
+        self,
+    ) -> Tuple[bool, Optional[EndKind], Optional[LengthFilter]]:
+        token = self.peek()
+        if token is None:
+            raise SpecificationError("dangling 'with'")
+        if token[1] == "loop_free":
+            self.take()
+            return True, None, None
+        if token[1] == "dropped":
+            self.take()
+            return False, EndKind.DROPPED, None
+        if token[1] == "delivered":
+            self.take()
+            return False, EndKind.DELIVERED, None
+        op = self.take()[1]
+        if op not in ("<=", "<", "==", ">=", ">"):
+            raise SpecificationError(f"unknown behavior modifier {op!r}")
+        base_token = self.take()
+        if base_token[1] == "shortest":
+            offset = 0
+            if self.at("+"):
+                self.take("+")
+                offset = int(self.take()[1])
+            return False, None, LengthFilter(op, "shortest", offset)
+        return False, None, LengthFilter(op, int(base_token[1]))
+
+    # ------------------------------------------------------------------
+    # Fault scenes
+    # ------------------------------------------------------------------
+    def parse_scenes(self) -> FaultSpec:
+        if self.at("any"):
+            self.take("any")
+            return FaultSpec.up_to(int(self.take()[1]))
+        scenes: List[List[Tuple[str, str]]] = []
+        while True:
+            self.take("{")
+            scene: List[Tuple[str, str]] = []
+            while self.at("("):
+                self.take("(")
+                a = self.take()[1]
+                self.take(",")
+                b = self.take()[1]
+                self.take(")")
+                scene.append((a, b))
+            self.take("}")
+            scenes.append(scene)
+            if self.at(","):
+                self.take(",")
+                continue
+            break
+        return FaultSpec.explicit(scenes)
+
+
+def parse_invariants(ctx: PacketSpaceContext, text: str) -> List[Invariant]:
+    """Parse a specification file into invariants."""
+    return _Parser(_tokenize(text), ctx).parse_file()
+
+
+def parse_packet_space(ctx: PacketSpaceContext, text: str) -> Predicate:
+    """Parse just a packet-space expression, e.g.
+    ``"dst_ip = 10.0.0.0/23 and dst_port != 80"``."""
+    parser = _Parser(_tokenize(text), ctx)
+    pred = parser.parse_space_or()
+    trailing = parser.peek()
+    if trailing is not None:
+        raise SpecificationError(
+            f"trailing tokens after packet space: {trailing[1]!r}"
+        )
+    return pred

@@ -1,0 +1,263 @@
+"""Ready-made invariant constructors: every row of Table 1.
+
+Each function returns an :class:`~repro.core.invariant.Invariant` built from
+the same specification the paper gives, so examples and tests can say
+``reachability(space, "S", "D")`` instead of spelling regexes out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.automata.regex import parse_regex
+from repro.bdd.predicate import Predicate
+from repro.core.counting import CountExp
+from repro.core.invariant import (
+    And,
+    Atom,
+    EndKind,
+    FaultSpec,
+    Invariant,
+    LengthFilter,
+    MatchKind,
+    Not,
+    Or,
+    PathExpr,
+)
+
+__all__ = [
+    "reachability",
+    "isolation",
+    "loop_freeness",
+    "blackhole_freeness",
+    "waypoint_reachability",
+    "bounded_length_reachability",
+    "different_ingress_reachability",
+    "all_shortest_path_availability",
+    "non_redundant_reachability",
+    "multicast",
+    "anycast",
+    "subset_behavior",
+]
+
+
+def _exist(path: PathExpr, op: str, n: int, end: EndKind = EndKind.DELIVERED) -> Atom:
+    return Atom(path, MatchKind.EXIST, CountExp(op, n), end)
+
+
+def reachability(
+    space: Predicate,
+    ingress: str,
+    destination: str,
+    fault_spec: Optional[FaultSpec] = None,
+    loop_free: bool = True,
+    max_extra_hops: Optional[int] = None,
+) -> Invariant:
+    """Row 1: ``(P, [S], (exist >= 1, S.*D))``.
+
+    ``max_extra_hops`` adds the paper's practical ``<= shortest + k`` length
+    filter (§9.2 uses k=2).
+    """
+    filters: Tuple[LengthFilter, ...] = ()
+    if max_extra_hops is not None:
+        filters = (LengthFilter("<=", "shortest", max_extra_hops),)
+    path = PathExpr(
+        parse_regex(f"{ingress} .* {destination}"),
+        filters,
+        simple_only=loop_free,
+    )
+    return Invariant(
+        space,
+        (ingress,),
+        _exist(path, ">=", 1),
+        fault_spec,
+        name=f"reach_{ingress}_{destination}",
+    )
+
+
+def isolation(space: Predicate, ingress: str, destination: str) -> Invariant:
+    """Row 2: ``(P, [S], (exist == 0, S.*D))``."""
+    path = PathExpr(parse_regex(f"{ingress} .* {destination}"), simple_only=True)
+    return Invariant(
+        space, (ingress,), _exist(path, "==", 0),
+        name=f"isolate_{ingress}_{destination}",
+    )
+
+
+def loop_freeness(space: Predicate, ingress: str, max_hops: int) -> Invariant:
+    """Row 3: no trace visits any device twice.
+
+    The paper encodes this as a (large) regex; we use the equivalent and far
+    cheaper formulation: zero traces may *end* (delivered or dropped) on a
+    non-simple path — operationally, every copy's fate is reached within the
+    simple-path DPVNet, so a copy that loops never produces a counted end and
+    reveals itself as a missing delivery.  Here we check the direct variant:
+    at least one delivery along a simple path, and no copy left uncounted, by
+    requiring every trace end to lie on a simple path of bounded length.
+    """
+    path = PathExpr(
+        parse_regex(f"{ingress} .*"),
+        (LengthFilter("<=", max_hops),),
+        simple_only=True,
+    )
+    # Every universe must see >= 1 trace end within the simple bounded DAG;
+    # a looping copy contributes nothing anywhere, so counts drop below 1.
+    delivered = _exist(path, ">=", 1, EndKind.DELIVERED)
+    dropped = _exist(path, ">=", 1, EndKind.DROPPED)
+    return Invariant(
+        space, (ingress,), Or((delivered, dropped)),
+        name=f"loopfree_{ingress}",
+    )
+
+
+def blackhole_freeness(space: Predicate, ingress: str, max_hops: int) -> Invariant:
+    """Row 4: ``(P, [S], (exist == 0, .* and not S.*D))`` — no copy may be
+    dropped inside the network.  Expressed as "zero dropped trace ends along
+    any (bounded simple) path"."""
+    path = PathExpr(
+        parse_regex(f"{ingress} .*"),
+        (LengthFilter("<=", max_hops),),
+        simple_only=True,
+    )
+    return Invariant(
+        space, (ingress,), _exist(path, "==", 0, EndKind.DROPPED),
+        name=f"blackholefree_{ingress}",
+    )
+
+
+def waypoint_reachability(
+    space: Predicate, ingress: str, waypoint: str, destination: str,
+    loop_free: bool = True,
+) -> Invariant:
+    """Row 5: ``(P, [S], (exist >= 1, S.*W.*D))``."""
+    path = PathExpr(
+        parse_regex(f"{ingress} .* {waypoint} .* {destination}"),
+        simple_only=loop_free,
+    )
+    return Invariant(
+        space, (ingress,), _exist(path, ">=", 1),
+        name=f"waypoint_{ingress}_{waypoint}_{destination}",
+    )
+
+
+def bounded_length_reachability(
+    space: Predicate, ingress: str, destination: str, max_hops: int
+) -> Invariant:
+    """Row 6: ``(P, [S], (exist >= 1, SD|S.D|S..D))`` — reachability within a
+    hop budget, expressed with a length filter instead of regex unrolling."""
+    path = PathExpr(
+        parse_regex(f"{ingress} .* {destination}"),
+        (LengthFilter("<=", max_hops),),
+        simple_only=True,
+    )
+    return Invariant(
+        space, (ingress,), _exist(path, ">=", 1),
+        name=f"bounded_{ingress}_{destination}_{max_hops}",
+    )
+
+
+def different_ingress_reachability(
+    space: Predicate, ingresses: Sequence[str], destination: str
+) -> Invariant:
+    """Row 7: ``(P, [X, Y], (exist >= 1, X.*D|Y.*D))`` — packets entering at
+    any listed ingress must reach the destination."""
+    options = "|".join(f"{ingress} .* {destination}" for ingress in ingresses)
+    path = PathExpr(parse_regex(options), simple_only=True)
+    return Invariant(
+        space, tuple(ingresses), _exist(path, ">=", 1),
+        name=f"multi_ingress_{destination}",
+    )
+
+
+def all_shortest_path_availability(
+    space: Predicate, ingress: str, destination: str
+) -> Invariant:
+    """Row 8 (RCDC): ``(P, [S], (equal, (S.*D, (== shortest))))`` — every
+    shortest path must be available; verified by local contracts."""
+    path = PathExpr(
+        parse_regex(f"{ingress} .* {destination}"),
+        (LengthFilter("==", "shortest"),),
+        simple_only=True,
+    )
+    return Invariant(
+        space, (ingress,), Atom(path, MatchKind.EQUAL),
+        name=f"all_shortest_{ingress}_{destination}",
+    )
+
+
+def non_redundant_reachability(
+    space: Predicate, ingress: str, destination: str
+) -> Invariant:
+    """Row 9 (new in Tulkun): exactly one copy delivered — catches both
+    blackholes and redundant delivery."""
+    path = PathExpr(parse_regex(f"{ingress} .* {destination}"), simple_only=True)
+    return Invariant(
+        space, (ingress,), _exist(path, "==", 1),
+        name=f"nonredundant_{ingress}_{destination}",
+    )
+
+
+def multicast(
+    space: Predicate, ingress: str, destinations: Sequence[str]
+) -> Invariant:
+    """Row 10 (new in Tulkun): at least one copy to *every* destination."""
+    atoms = [
+        _exist(PathExpr(parse_regex(f"{ingress} .* {dest}"), simple_only=True), ">=", 1)
+        for dest in destinations
+    ]
+    behavior = And(tuple(atoms)) if len(atoms) > 1 else atoms[0]
+    return Invariant(
+        space, (ingress,), behavior,
+        name=f"multicast_{ingress}_{'_'.join(destinations)}",
+    )
+
+
+def anycast(
+    space: Predicate, ingress: str, destinations: Sequence[str]
+) -> Invariant:
+    """Row 11 (new in Tulkun): exactly one destination receives the packet —
+    in every universe, one of the destinations counts 1 and the rest 0."""
+    if len(destinations) < 2:
+        raise ValueError("anycast needs at least two candidate destinations")
+    atoms = [
+        _exist(PathExpr(parse_regex(f"{ingress} .* {dest}"), simple_only=True), "==", 1)
+        for dest in destinations
+    ]
+    zero_atoms = [
+        _exist(PathExpr(parse_regex(f"{ingress} .* {dest}"), simple_only=True), "==", 0)
+        for dest in destinations
+    ]
+    options = []
+    for chosen in range(len(destinations)):
+        parts = [
+            atoms[i] if i == chosen else zero_atoms[i]
+            for i in range(len(destinations))
+        ]
+        options.append(And(tuple(parts)))
+    return Invariant(
+        space, (ingress,), Or(tuple(options)),
+        name=f"anycast_{ingress}_{'_'.join(destinations)}",
+    )
+
+
+def subset_behavior(
+    space: Predicate, ingress: str, path: PathExpr, max_hops: int
+) -> Invariant:
+    """The ``subset`` syntax sugar (§3): every universe's trace set is a
+    non-empty subset of the paths matching ``path``: at least one matching
+    delivery, zero trace ends (delivered or dropped) off the pattern.
+
+    The off-pattern half is approximated by "no drops within the bounded
+    simple DAG", the same operational reading used for blackhole-freeness.
+    """
+    any_path = PathExpr(
+        parse_regex(f"{ingress} .*"),
+        (LengthFilter("<=", max_hops),),
+        simple_only=True,
+    )
+    return Invariant(
+        space,
+        (ingress,),
+        And((_exist(path, ">=", 1), _exist(any_path, "==", 0, EndKind.DROPPED))),
+        name=f"subset_{ingress}",
+    )

@@ -1,0 +1,215 @@
+"""Multi-path invariants: the §7 "Multi-path comparison" extension.
+
+The core language covers "single-path" invariants — one packet space whose
+traces must match a pattern.  §7 sketches the extension for invariants that
+*compare the traces of two packet spaces* (route symmetry, node-/link-
+disjointness): build a DPVNet per packet space, let verifiers collect the
+actual complete paths, and run a user-defined comparison operator on the
+collected path sets.
+
+This module implements that design offline (the collection step is the
+planner walking each DPVNet against the data plane):
+
+* :func:`used_paths` — the set of complete paths packets of a space may
+  actually take (union over universes), computed region-wise along the
+  DPVNet so packet transformations are handled;
+* comparison operators: :func:`route_symmetric`,
+  :func:`node_disjoint`, :func:`link_disjoint`;
+* :func:`verify_route_symmetry` / :func:`verify_disjointness` — end-to-end
+  checks returning :class:`~repro.core.result.VerificationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.core.counting import CountExp
+from repro.core.invariant import Atom, Invariant, MatchKind, PathExpr
+from repro.core.planner import Planner
+from repro.core.result import VerificationResult, Violation
+from repro.dataplane.action import EXTERNAL
+from repro.dataplane.device import DevicePlane
+
+__all__ = [
+    "used_paths",
+    "route_symmetric",
+    "node_disjoint",
+    "link_disjoint",
+    "verify_route_symmetry",
+    "verify_disjointness",
+]
+
+Path = Tuple[str, ...]
+
+
+def used_paths(
+    planner: Planner,
+    planes: Mapping[str, DevicePlane],
+    space: Predicate,
+    ingress: str,
+    path: PathExpr,
+) -> FrozenSet[Path]:
+    """All complete paths some packet of ``space`` may take (any universe).
+
+    A DPVNet path is *used* when every device along it forwards a non-empty
+    sub-region of the (transform-adjusted) packet space to the next hop, and
+    the final device delivers it.  ALL- and ANY-type groups both contribute:
+    "may take in some universe" is a union over both kinds of branching.
+    """
+    invariant = Invariant(
+        space, (ingress,),
+        Atom(path, MatchKind.EXIST, CountExp(">=", 1)),
+        name=f"paths_{ingress}",
+    )
+    net = planner.build_dpvnet(invariant)
+    source = net.sources.get(ingress)
+    if source is None:
+        return frozenset()
+    used: Set[Path] = set()
+
+    def walk(node_id: int, region: Predicate, prefix: Path) -> None:
+        if region.is_empty:
+            return
+        node = net.node(node_id)
+        here = prefix + (node.dev,)
+        plane = planes.get(node.dev)
+        if plane is None:
+            return
+        for piece, action in plane.fwd(region):
+            if piece.is_empty:
+                continue
+            if any(node.accept) and EXTERNAL in action.group:
+                used.add(here)
+            for member in action.internal_next_hops():
+                child_id = net.child_by_dev[node_id].get(member)
+                if child_id is None:
+                    continue
+                downstream = (
+                    action.transform.apply(piece)
+                    if action.transform else piece
+                )
+                walk(child_id, downstream, here)
+
+    walk(source, space, ())
+    return frozenset(used)
+
+
+# ----------------------------------------------------------------------
+# Comparison operators
+# ----------------------------------------------------------------------
+def route_symmetric(
+    forward: FrozenSet[Path], backward: FrozenSet[Path]
+) -> List[str]:
+    """Middlebox-traversal symmetry: every A→B path, reversed, must be a
+    used B→A path (and vice versa).  Returns human-readable mismatches."""
+    problems: List[str] = []
+    reversed_backward = {tuple(reversed(p)) for p in backward}
+    for p in sorted(forward):
+        if p not in reversed_backward:
+            problems.append(f"forward path {list(p)} has no reverse twin")
+    reversed_forward = {tuple(reversed(p)) for p in forward}
+    for p in sorted(backward):
+        if p not in reversed_forward:
+            problems.append(f"backward path {list(p)} has no forward twin")
+    return problems
+
+
+def node_disjoint(
+    first: FrozenSet[Path], second: FrozenSet[Path]
+) -> List[str]:
+    """1+1 protection style: the interior devices of the two path sets must
+    not overlap (endpoints excluded)."""
+    interior_first = {dev for p in first for dev in p[1:-1]}
+    interior_second = {dev for p in second for dev in p[1:-1]}
+    shared = sorted(interior_first & interior_second)
+    if shared:
+        return [f"paths share interior devices: {shared}"]
+    return []
+
+
+def link_disjoint(
+    first: FrozenSet[Path], second: FrozenSet[Path]
+) -> List[str]:
+    """The two path sets must not traverse any common link."""
+    def links(paths: FrozenSet[Path]) -> Set[Tuple[str, str]]:
+        found: Set[Tuple[str, str]] = set()
+        for p in paths:
+            for a, b in zip(p, p[1:]):
+                found.add((a, b) if a <= b else (b, a))
+        return found
+
+    shared = sorted(links(first) & links(second))
+    if shared:
+        return [f"paths share links: {shared}"]
+    return []
+
+
+# ----------------------------------------------------------------------
+# End-to-end checks
+# ----------------------------------------------------------------------
+def verify_route_symmetry(
+    planner: Planner,
+    planes: Mapping[str, DevicePlane],
+    space_fwd: Predicate,
+    space_bwd: Predicate,
+    endpoint_a: str,
+    endpoint_b: str,
+    max_extra_hops: int = 2,
+) -> VerificationResult:
+    """A↔B route symmetry over two packet spaces (forward/return traffic)."""
+    from repro.core.invariant import LengthFilter
+
+    filters = (LengthFilter("<=", "shortest", max_extra_hops),)
+    fwd_paths = used_paths(
+        planner, planes, space_fwd, endpoint_a,
+        PathExpr.parse(f"{endpoint_a} .* {endpoint_b}", filters, True),
+    )
+    bwd_paths = used_paths(
+        planner, planes, space_bwd, endpoint_b,
+        PathExpr.parse(f"{endpoint_b} .* {endpoint_a}", filters, True),
+    )
+    problems = route_symmetric(fwd_paths, bwd_paths)
+    violations = [
+        Violation(endpoint_a, space_fwd, message=problem)
+        for problem in problems
+    ]
+    return VerificationResult(
+        invariant_name=f"route_symmetry_{endpoint_a}_{endpoint_b}",
+        holds=not violations,
+        violations=violations,
+    )
+
+
+def verify_disjointness(
+    planner: Planner,
+    planes: Mapping[str, DevicePlane],
+    space_first: Predicate,
+    space_second: Predicate,
+    ingress: str,
+    destination: str,
+    mode: str = "node",
+    max_extra_hops: int = 2,
+) -> VerificationResult:
+    """Node-/link-disjointness of the paths used by two packet spaces from
+    the same ingress to the same destination (1+1 protection checking)."""
+    from repro.core.invariant import LengthFilter
+
+    if mode not in ("node", "link"):
+        raise ValueError("mode must be 'node' or 'link'")
+    filters = (LengthFilter("<=", "shortest", max_extra_hops),)
+    expr = PathExpr.parse(f"{ingress} .* {destination}", filters, True)
+    first = used_paths(planner, planes, space_first, ingress, expr)
+    second = used_paths(planner, planes, space_second, ingress, expr)
+    compare = node_disjoint if mode == "node" else link_disjoint
+    problems = compare(first, second)
+    if not first or not second:
+        problems.append("one of the packet spaces uses no path at all")
+    violations = [
+        Violation(ingress, space_first, message=problem) for problem in problems
+    ]
+    return VerificationResult(
+        invariant_name=f"{mode}_disjoint_{ingress}_{destination}",
+        holds=not violations,
+        violations=violations,
+    )

@@ -1,0 +1,204 @@
+"""Algorithm 1: reverse-topological counting on a DPVNet (§4.2).
+
+This is the *centralized reference implementation* of the counting problem —
+the same mathematics the distributed DVM protocol computes incrementally.
+The planner uses it for one-shot verification, the test suite uses it as the
+oracle the protocol must converge to, and the simulator's devices reuse its
+per-node kernel.
+
+Packet transformations are handled by carrying the (possibly rewritten)
+packet space down the recursion and mapping child partitions back through
+the transform's pre-image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.core.counting import (
+    CountSet,
+    canonical,
+    cross_sum,
+    singleton,
+    union,
+    zero_vec,
+)
+from repro.core.dpvnet import DpvNet
+from repro.core.invariant import Atom, EndKind
+from repro.dataplane.action import EXTERNAL, Action, GroupType
+from repro.dataplane.device import DevicePlane
+
+__all__ = ["count_node", "count_sources", "node_base_vector", "merge_pieces"]
+
+Pieces = List[Tuple[Predicate, CountSet]]
+
+
+def merge_pieces(pieces: Pieces) -> Pieces:
+    """Union regions with identical count sets (the paper presents S1's
+    final mapping as [(P2∪P4, 1), (P3, [0, 1])], i.e. merged)."""
+    merged: List[Tuple[Predicate, CountSet]] = []
+    index = {}
+    for pred, cs in pieces:
+        i = index.get(cs)
+        if i is None:
+            index[cs] = len(merged)
+            merged.append((pred, cs))
+        else:
+            merged[i] = (merged[i][0] | pred, cs)
+    return merged
+
+
+def node_base_vector(
+    accept: Tuple[bool, ...], atoms: Sequence[Atom], end: EndKind
+) -> Tuple[int, ...]:
+    """Count-vector contribution of a trace ending at a node with the given
+    acceptance flags, by the given end kind (delivery vs drop)."""
+    return tuple(
+        1 if flag and atom.end_kind is end else 0
+        for flag, atom in zip(accept, atoms)
+    )
+
+
+def count_node(
+    net: DpvNet,
+    planes: Mapping[str, DevicePlane],
+    atoms: Sequence[Atom],
+    node_id: int,
+    pred: Predicate,
+    memo: Optional[Dict[Tuple[int, int], Pieces]] = None,
+    live_children: Optional[Mapping[int, Sequence[int]]] = None,
+) -> Pieces:
+    """Count set of ``pred`` at DPVNet node ``node_id``.
+
+    Returns a disjoint partition of ``pred`` with the per-piece count set:
+    how many copies (per atom) reach an accepted trace end from this node, in
+    each universe.
+
+    ``live_children`` optionally restricts each node's outgoing edges (the
+    fault-scene recount, §6); default is all edges.
+    """
+    if memo is None:
+        memo = {}
+    arity = net.arity
+    ctx = pred.ctx
+    key = (node_id, pred.node)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    node = net.node(node_id)
+    children_ids = (
+        live_children[node_id] if live_children is not None else node.children
+    )
+    child_of_dev = {net.node(cid).dev: cid for cid in children_ids}
+    plane = planes.get(node.dev)
+    pieces: Pieces = []
+    if plane is None:
+        pieces = [(pred, singleton(zero_vec(arity)))]
+        memo[key] = pieces
+        return pieces
+
+    for piece, action in plane.fwd(pred):
+        pieces.extend(
+            _count_action(
+                net, planes, atoms, node_id, piece, action, child_of_dev, memo,
+                live_children,
+            )
+        )
+    memo[key] = pieces
+    return pieces
+
+
+def _count_action(
+    net: DpvNet,
+    planes: Mapping[str, DevicePlane],
+    atoms: Sequence[Atom],
+    node_id: int,
+    piece: Predicate,
+    action: Action,
+    child_of_dev: Mapping[str, int],
+    memo: Dict[Tuple[int, int], Pieces],
+    live_children: Optional[Mapping[int, Sequence[int]]],
+) -> Pieces:
+    arity = net.arity
+    node = net.node(node_id)
+    ctx = piece.ctx
+
+    if action.is_drop:
+        base = node_base_vector(node.accept, atoms, EndKind.DROPPED)
+        return [(piece, singleton(base))]
+
+    transform = action.transform
+    deliver_vec = node_base_vector(node.accept, atoms, EndKind.DELIVERED)
+
+    def child_pieces(member: str, region: Predicate) -> Pieces:
+        """Count set partition contributed by forwarding ``region`` to one
+        group member, mapped back into this node's packet frame."""
+        if member == EXTERNAL:
+            return [(region, singleton(deliver_vec))]
+        child_id = child_of_dev.get(member)
+        if child_id is None:
+            # Copy leaves the DPVNet: it can never complete a valid path.
+            return [(region, singleton(zero_vec(arity)))]
+        downstream_region = transform.apply(region) if transform else region
+        parts = count_node(
+            net, planes, atoms, child_id, downstream_region, memo, live_children
+        )
+        if transform is None:
+            return parts
+        mapped: Pieces = []
+        for sub, cs in parts:
+            back = transform.preimage(sub) & region
+            if not back.is_empty:
+                mapped.append((back, cs))
+        return mapped
+
+    if action.group_type is GroupType.ANY:
+        # ⊕ across members, refined so every sub-region gets the union of
+        # its members' possible fates (Equation (2)).
+        parts: Pieces = [(piece, ())]
+        for member in action.group:
+            refined: Pieces = []
+            for region, cs in parts:
+                for sub, cs_member in child_pieces(member, region):
+                    refined.append((sub, union(cs, cs_member)))
+            parts = refined
+        return parts
+
+    # ALL-type (Equation (1)): ⊗ across members; delivery via EXTERNAL is one
+    # more factor, contributing the acceptance vector to every universe.
+    parts = [(piece, singleton(zero_vec(arity)))]
+    for member in action.group:
+        refined = []
+        for region, cs in parts:
+            for sub, cs_member in child_pieces(member, region):
+                refined.append((sub, cross_sum(cs, cs_member)))
+        parts = refined
+    return parts
+
+
+def count_sources(
+    net: DpvNet,
+    planes: Mapping[str, DevicePlane],
+    atoms: Sequence[Atom],
+    packet_space: Predicate,
+    live_children: Optional[Mapping[int, Sequence[int]]] = None,
+) -> Dict[str, Pieces]:
+    """Final counting results per ingress (the mappings at S1 in Fig. 2c).
+
+    Ingresses with no valid path (source pruned away) map the whole packet
+    space to the all-zero count.
+    """
+    results: Dict[str, Pieces] = {}
+    memo: Dict[Tuple[int, int], Pieces] = {}
+    for ingress, source in net.sources.items():
+        if source is None:
+            results[ingress] = [
+                (packet_space, singleton(zero_vec(net.arity)))
+            ]
+            continue
+        results[ingress] = merge_pieces(
+            count_node(net, planes, atoms, source, packet_space, memo, live_children)
+        )
+    return results

@@ -1,0 +1,351 @@
+"""Divide-and-conquer verification: the §7 "one-big-switch" abstraction.
+
+For networks with a huge number of valid paths — or for incremental
+deployment where one verifier instance serves a whole partition — the paper
+proposes dividing the network into partitions, abstracting each as one big
+switch, building the DPVNet on the abstract network, and performing intra-/
+inter-partition verification.
+
+This module implements that pipeline:
+
+1. :func:`partition_by_bfs` — a simple balanced partitioner (operators
+   would normally supply pods/areas).
+2. :class:`BigSwitchAbstraction` — the abstract topology (one device per
+   partition) plus the *intra-partition verification* step: for each
+   partition, a nested planner run checks which neighbor partitions the
+   packet space can actually cross to, producing the abstract data plane.
+3. :func:`verify_partitioned` — reachability verification on the abstract
+   network; sound and complete for partition-level reachability when
+   partitions are internally connected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.core.counting import CountExp
+from repro.core.invariant import Atom, Invariant, LengthFilter, MatchKind, PathExpr
+from repro.core.planner import Planner
+from repro.core.result import VerificationResult, Violation
+from repro.dataplane.action import Action
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
+from repro.errors import PlannerError
+from repro.topology.graph import Topology
+
+__all__ = ["partition_by_bfs", "BigSwitchAbstraction", "verify_partitioned"]
+
+
+def partition_by_bfs(topology: Topology, num_partitions: int) -> Dict[str, str]:
+    """Assign devices to ``num_partitions`` clusters by balanced BFS growth.
+
+    Returns device → partition-name.  Deterministic.
+    """
+    if num_partitions < 1:
+        raise PlannerError("need at least one partition")
+    devices = topology.devices
+    seeds = devices[:: max(1, len(devices) // num_partitions)][:num_partitions]
+    assignment: Dict[str, str] = {}
+    frontiers: List[List[str]] = []
+    for index, seed in enumerate(seeds):
+        name = f"part{index}"
+        assignment[seed] = name
+        frontiers.append([seed])
+    changed = True
+    while changed:
+        changed = False
+        for index, frontier in enumerate(frontiers):
+            name = f"part{index}"
+            next_frontier: List[str] = []
+            for dev in frontier:
+                for neighbor in topology.neighbors(dev):
+                    if neighbor not in assignment:
+                        assignment[neighbor] = name
+                        next_frontier.append(neighbor)
+                        changed = True
+            frontiers[index] = next_frontier
+    # Unreached devices (disconnected graphs) land in part0.
+    for dev in devices:
+        assignment.setdefault(dev, "part0")
+    return assignment
+
+
+class BigSwitchAbstraction:
+    """One-big-switch view of a partitioned network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        ctx: PacketSpaceContext,
+        assignment: Mapping[str, str],
+    ) -> None:
+        self.topology = topology
+        self.ctx = ctx
+        self.assignment = dict(assignment)
+        missing = set(topology.devices) - set(self.assignment)
+        if missing:
+            raise PlannerError(f"devices without a partition: {sorted(missing)}")
+        self.partitions: Dict[str, List[str]] = {}
+        for dev, part in sorted(self.assignment.items()):
+            self.partitions.setdefault(part, []).append(dev)
+        self._abstract = self._build_abstract_topology()
+
+    # ------------------------------------------------------------------
+    def _build_abstract_topology(self) -> Topology:
+        abstract = Topology(f"{self.topology.name}_abstract")
+        for part in self.partitions:
+            abstract.add_device(part)
+        for link in self.topology.links():
+            pa = self.assignment[link.a]
+            pb = self.assignment[link.b]
+            if pa != pb and not abstract.has_link(pa, pb):
+                abstract.add_link(pa, pb, link.latency)
+        return abstract
+
+    @property
+    def abstract_topology(self) -> Topology:
+        return self._abstract
+
+    def border_devices(self, part: str, toward: str) -> List[str]:
+        """Devices of ``part`` with a link into partition ``toward``."""
+        result = []
+        for dev in self.partitions[part]:
+            for neighbor in self.topology.neighbors(dev):
+                if self.assignment[neighbor] == toward:
+                    result.append(dev)
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # Intra-partition verification → abstract data plane
+    # ------------------------------------------------------------------
+    def _sub_topology(self, part: str) -> Topology:
+        members = set(self.partitions[part])
+        sub = Topology(part)
+        for dev in members:
+            sub.add_device(dev)
+        for link in self.topology.links():
+            if link.a in members and link.b in members:
+                sub.add_link(link.a, link.b, link.latency)
+        return sub
+
+    def _crosses(
+        self,
+        part: str,
+        planes: Mapping[str, DevicePlane],
+        space: Predicate,
+        entries: Sequence[str],
+        toward: str,
+    ) -> bool:
+        """Intra-partition check: can ``space`` get from every entry border
+        of ``part`` to some device that forwards it into ``toward``?
+
+        Runs a nested reachability verification inside the partition with a
+        virtual egress standing for the neighbor partition.
+        """
+        sub = self._sub_topology(part)
+        egress_name = f"virt_egress_{toward}"
+        borders = self.border_devices(part, toward)
+        if not borders:
+            return False
+        extended = sub.with_virtual_device(egress_name, borders)
+        # Planes restricted to the partition; border devices get their rules
+        # rewritten so next hops inside `toward` become the virtual egress.
+        sub_planes: Dict[str, DevicePlane] = {}
+        toward_members = set(self.partitions[toward])
+        members = set(self.partitions[part])
+        for dev in members:
+            plane = planes.get(dev)
+            clone = DevicePlane(dev, self.ctx)
+            if plane is None:
+                sub_planes[dev] = clone
+                continue
+            for rule in plane.rules:
+                group = []
+                for hop in rule.action.group:
+                    if hop in toward_members:
+                        if egress_name not in group:
+                            group.append(egress_name)
+                    elif hop in members or hop == "@ext":
+                        group.append(hop)
+                    # hops into *other* partitions vanish inside this view
+                if group:
+                    action = Action(
+                        tuple(sorted(group)), rule.action.group_type,
+                        rule.action.transform,
+                    )
+                else:
+                    action = Action.drop()
+                clone.install_many([Rule(rule.match, action, rule.priority)])
+            sub_planes[dev] = clone
+        egress_plane = DevicePlane(egress_name, self.ctx)
+        egress_plane.install_many([Rule(self.ctx.universe, Action.deliver(), 0)])
+        sub_planes[egress_name] = egress_plane
+
+        planner = Planner(extended, self.ctx)
+        for entry in entries:
+            # Bound the intra-partition search: unbounded simple-path
+            # enumeration is exponential on dense partitions.
+            invariant = Invariant(
+                space, (entry,),
+                Atom(
+                    PathExpr.parse(
+                        f"{entry} .* {egress_name}",
+                        (LengthFilter("<=", "shortest", 2),),
+                        simple_only=True,
+                    ),
+                    MatchKind.EXIST, CountExp(">=", 1),
+                ),
+                name=f"{part}_{entry}_to_{toward}",
+            )
+            if not planner.verify(invariant, sub_planes).holds:
+                return False
+        return True
+
+    def abstract_planes(
+        self,
+        planes: Mapping[str, DevicePlane],
+        space: Predicate,
+        ingress: str,
+        destination: str,
+    ) -> Dict[str, DevicePlane]:
+        """The abstract data plane for one reachability question.
+
+        Partition P forwards ``space`` to neighbor partition Q iff the
+        intra-partition verification shows the space crossing P toward Q
+        from P's relevant entry points (the ingress device for the source
+        partition, the borders otherwise).  The destination partition
+        delivers iff the space reaches the destination device inside it.
+        """
+        source_part = self.assignment[ingress]
+        dest_part = self.assignment[destination]
+        abstract_planes: Dict[str, DevicePlane] = {}
+        for part in self.partitions:
+            plane = DevicePlane(part, self.ctx)
+            group: List[str] = []
+            for neighbor_part in self._abstract.neighbors(part):
+                if part == source_part:
+                    entries = [ingress]
+                else:
+                    entries = self._entry_borders(part)
+                if not entries:
+                    continue
+                if self._crosses(part, planes, space, entries, neighbor_part):
+                    group.append(neighbor_part)
+            delivers = False
+            if part == dest_part:
+                entries = (
+                    [ingress] if part == source_part else self._entry_borders(part)
+                )
+                delivers = self._reaches_inside(
+                    part, planes, space, entries, destination
+                )
+            if delivers:
+                group.append("@ext")
+            if group:
+                plane.install_many(
+                    [Rule(space, Action.forward_all(group), 1)]
+                )
+            abstract_planes[part] = plane
+        return abstract_planes
+
+    def _entry_borders(self, part: str) -> List[str]:
+        """All devices of ``part`` with a link out of the partition."""
+        entries: List[str] = []
+        for dev in self.partitions[part]:
+            for neighbor in self.topology.neighbors(dev):
+                if self.assignment[neighbor] != part:
+                    entries.append(dev)
+                    break
+        return entries
+
+    def _reaches_inside(
+        self,
+        part: str,
+        planes: Mapping[str, DevicePlane],
+        space: Predicate,
+        entries: Sequence[str],
+        destination: str,
+    ) -> bool:
+        sub = self._sub_topology(part)
+        members = set(self.partitions[part])
+        sub_planes: Dict[str, DevicePlane] = {}
+        for dev in members:
+            plane = planes.get(dev)
+            clone = DevicePlane(dev, self.ctx)
+            if plane is not None:
+                for rule in plane.rules:
+                    group = tuple(
+                        hop for hop in rule.action.group
+                        if hop in members or hop == "@ext"
+                    )
+                    action = (
+                        Action(group, rule.action.group_type, rule.action.transform)
+                        if group else Action.drop()
+                    )
+                    clone.install_many([Rule(rule.match, action, rule.priority)])
+            sub_planes[dev] = clone
+        planner = Planner(sub, self.ctx)
+        for entry in entries:
+            if entry == destination:
+                continue
+            invariant = Invariant(
+                space, (entry,),
+                Atom(
+                    PathExpr.parse(
+                        f"{entry} .* {destination}",
+                        (LengthFilter("<=", "shortest", 2),),
+                        simple_only=True,
+                    ),
+                    MatchKind.EXIST, CountExp(">=", 1),
+                ),
+                name=f"{part}_{entry}_to_{destination}",
+            )
+            if not planner.verify(invariant, sub_planes).holds:
+                return False
+        return True
+
+
+def verify_partitioned(
+    topology: Topology,
+    ctx: PacketSpaceContext,
+    planes: Mapping[str, DevicePlane],
+    space: Predicate,
+    ingress: str,
+    destination: str,
+    num_partitions: int = 2,
+    assignment: Optional[Mapping[str, str]] = None,
+) -> VerificationResult:
+    """Divide-and-conquer reachability: intra-partition nested verification
+    plus inter-partition verification on the one-big-switch abstraction."""
+    if assignment is None:
+        assignment = partition_by_bfs(topology, num_partitions)
+    abstraction = BigSwitchAbstraction(topology, ctx, assignment)
+    abstract_planes = abstraction.abstract_planes(
+        planes, space, ingress, destination
+    )
+    source_part = assignment[ingress]
+    dest_part = assignment[destination]
+    planner = Planner(abstraction.abstract_topology, ctx)
+    if source_part == dest_part:
+        holds = abstraction._reaches_inside(  # noqa: SLF001
+            source_part, planes, space, [ingress], destination
+        )
+        violations = [] if holds else [
+            Violation(ingress, space, message="intra-partition reachability failed")
+        ]
+        return VerificationResult(
+            invariant_name=f"partitioned_{ingress}_{destination}",
+            holds=holds,
+            violations=violations,
+        )
+    invariant = Invariant(
+        space, (source_part,),
+        Atom(
+            PathExpr.parse(f"{source_part} .* {dest_part}", simple_only=True),
+            MatchKind.EXIST, CountExp(">=", 1),
+        ),
+        name=f"partitioned_{ingress}_{destination}",
+    )
+    return planner.verify(invariant, abstract_planes)

@@ -1,0 +1,316 @@
+"""The verification planner (§4).
+
+Given an invariant and the topology (never the data plane — DPVNet is
+data-plane independent, §2.2.2), the planner:
+
+1. compiles every behavior atom's path expression to a minimal DFA;
+2. builds the DPVNet, choosing the product construction for plain regexes
+   and the simple-path enumeration for ``loop_free`` / length-filtered
+   expressions (see :mod:`repro.core.dpvnet`);
+3. decomposes the counting problem into per-device :class:`DeviceTask`s;
+4. for one-shot (centralized) verification, runs Algorithm 1 and evaluates
+   the behavior formula over the resulting count sets.
+
+``equal``-operator atoms short-circuit into *local checks* (§4.2): every
+node only checks that its device forwards the packet space to all of the
+node's downstream-neighbor devices — the RCDC local contract as a special
+case; no counting or communication is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.automata.dfa import Dfa, compile_regex
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.core.counting import CountSet, singleton, zero_vec
+from repro.core.dpvnet import (
+    DpvNet,
+    build_enumeration_dpvnet,
+    build_product_dpvnet,
+)
+from repro.core.invariant import (
+    Atom,
+    Invariant,
+    MatchKind,
+    collect_atoms,
+    evaluate_behavior,
+    positive_count_exps,
+)
+from repro.core.offline import count_sources
+from repro.core.result import VerificationResult, Violation
+from repro.core.tasks import DeviceTask, NeighborRef, NodeTask, TaskSet
+from repro.dataplane.action import EXTERNAL
+from repro.dataplane.device import DevicePlane
+from repro.errors import PlannerError, SpecificationError
+from repro.topology.graph import Topology
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Plans and (optionally) centrally executes verification."""
+
+    def __init__(self, topology: Topology, ctx: PacketSpaceContext) -> None:
+        self.topology = topology
+        self.ctx = ctx
+        self._dist_cache: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # DPVNet construction
+    # ------------------------------------------------------------------
+    def compile_atoms(self, invariant: Invariant) -> Tuple[List[Atom], List[Dfa]]:
+        atoms = collect_atoms(invariant.behavior)
+        if not atoms:
+            raise SpecificationError("behavior has no atoms")
+        kinds = {atom.kind for atom in atoms}
+        if MatchKind.EQUAL in kinds and len(atoms) > 1:
+            raise SpecificationError(
+                "equal atoms cannot be combined with other atoms"
+            )
+        alphabet = self.topology.devices
+        dfas = [compile_regex(atom.path.regex, alphabet) for atom in atoms]
+        return atoms, dfas
+
+    def build_dpvnet(
+        self,
+        invariant: Invariant,
+        topology: Optional[Topology] = None,
+    ) -> DpvNet:
+        """Construct the DPVNet for an invariant (§4.1).
+
+        ``topology`` overrides the planner's topology (fault scenes pass the
+        failed-link subgraph here).
+        """
+        topo = topology or self.topology
+        atoms, dfas = self.compile_atoms(invariant)
+        needs_enumeration = any(
+            atom.path.simple_only or atom.path.length_filters for atom in atoms
+        )
+        ingresses = list(invariant.ingress_set)
+        if not needs_enumeration:
+            return build_product_dpvnet(
+                topo, dfas, ingresses, max_hops=topo.num_devices
+            )
+
+        dist_to: Dict[str, Dict[str, int]] = {}
+
+        def shortest(ingress: str, dev: str) -> Optional[int]:
+            if dev not in dist_to:
+                dist_to[dev] = topo.hop_distances_to(dev)
+            return dist_to[dev].get(ingress)
+
+        def accept_path(atom_index: int, ingress: str, path: Tuple[str, ...]) -> bool:
+            atom = atoms[atom_index]
+            hops = len(path) - 1
+            for filt in atom.path.length_filters:
+                if not filt.admits(hops, shortest(ingress, path[-1])):
+                    return False
+            return True
+
+        max_hops = self._max_hops_bound(topo, atoms, ingresses)
+        simple = any(atom.path.simple_only for atom in atoms)
+        return build_enumeration_dpvnet(
+            topo, dfas, ingresses, accept_path, max_hops, simple_only=simple
+        )
+
+    def _max_hops_bound(
+        self, topo: Topology, atoms: Sequence[Atom], ingresses: Sequence[str]
+    ) -> int:
+        """Smallest safe search depth implied by the length filters."""
+        fallback = topo.num_devices - 1
+        bounds: List[int] = []
+        for atom in atoms:
+            atom_bound = fallback
+            for filt in atom.path.length_filters:
+                if filt.op in ("<=", "<", "=="):
+                    if filt.symbolic:
+                        # shortest+offset: bound by the worst shortest-path
+                        # distance over all (ingress, device) pairs.
+                        worst = 0
+                        for ingress in ingresses:
+                            for dev in topo.devices:
+                                hops = topo.shortest_hops(ingress, dev)
+                                if hops is not None:
+                                    worst = max(worst, hops)
+                        atom_bound = min(atom_bound, filt.max_hops(worst, fallback))
+                    else:
+                        atom_bound = min(atom_bound, filt.max_hops(None, fallback))
+            bounds.append(atom_bound)
+        return max(bounds) if bounds else fallback
+
+    # ------------------------------------------------------------------
+    # Task decomposition (§2.2.2)
+    # ------------------------------------------------------------------
+    def decompose(self, invariant: Invariant, net: Optional[DpvNet] = None) -> TaskSet:
+        """Split the DPVNet into per-device counting tasks."""
+        atoms, _dfas = self.compile_atoms(invariant)
+        if net is None:
+            net = self.build_dpvnet(invariant)
+        node_home = {nid: node.dev for nid, node in net.nodes.items()}
+        source_of = {
+            nid: ingress
+            for ingress, nid in net.sources.items()
+            if nid is not None
+        }
+        reduction = tuple(positive_count_exps(invariant.behavior, atoms))
+        tasks: Dict[str, DeviceTask] = {}
+        for nid, node in net.nodes.items():
+            task = tasks.get(node.dev)
+            if task is None:
+                task = DeviceTask(
+                    dev=node.dev,
+                    invariant_name=invariant.name,
+                    packet_space=invariant.packet_space,
+                    atoms=tuple(atoms),
+                    behavior=invariant.behavior,
+                    reduction_exps=reduction,
+                )
+                tasks[node.dev] = task
+            edge_scenes = {}
+            if net.edge_scenes is not None:
+                for child in node.children:
+                    scenes = net.edge_scenes.get((nid, child))
+                    if scenes is not None:
+                        edge_scenes[child] = scenes
+            accept_scenes = {}
+            net_accept_scenes = getattr(net, "accept_scenes", None)
+            if net_accept_scenes:
+                for i in range(net.arity):
+                    scenes = net_accept_scenes.get((nid, i))
+                    if scenes is not None:
+                        accept_scenes[i] = scenes
+            task.nodes.append(
+                NodeTask(
+                    node_id=nid,
+                    label=node.label,
+                    dev=node.dev,
+                    accept=node.accept,
+                    accept_scenes=accept_scenes,
+                    downstream=[
+                        NeighborRef(child, net.node(child).dev)
+                        for child in node.children
+                    ],
+                    upstream=[
+                        NeighborRef(parent, net.node(parent).dev)
+                        for parent in node.parents
+                    ],
+                    is_source_for=source_of.get(nid),
+                    edge_scenes=edge_scenes,
+                )
+            )
+        return TaskSet(
+            invariant_name=invariant.name,
+            tasks=tasks,
+            node_home=node_home,
+            source_nodes=dict(net.sources),
+            arity=net.arity,
+        )
+
+    # ------------------------------------------------------------------
+    # One-shot centralized verification (reference path)
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        invariant: Invariant,
+        planes: Mapping[str, DevicePlane],
+        net: Optional[DpvNet] = None,
+    ) -> VerificationResult:
+        """Verify the invariant against a data plane snapshot (Algorithm 1 +
+        behavior evaluation, or local checks for ``equal``)."""
+        atoms, _dfas = self.compile_atoms(invariant)
+        if net is None:
+            net = self.build_dpvnet(invariant)
+        if atoms[0].kind is MatchKind.EQUAL:
+            return self._verify_equal(invariant, planes, net)
+
+        source_counts = count_sources(net, planes, atoms, invariant.packet_space)
+        violations: List[Violation] = []
+        for ingress, pieces in source_counts.items():
+            for region, countset in pieces:
+                bad = tuple(
+                    vec
+                    for vec in countset
+                    if not evaluate_behavior(invariant.behavior, atoms, vec)
+                )
+                if bad:
+                    violations.append(Violation(ingress, region, bad))
+        return VerificationResult(
+            invariant_name=invariant.name,
+            holds=not violations,
+            violations=violations,
+            source_counts=source_counts,
+            dpvnet_stats=net.stats(),
+        )
+
+    def _verify_equal(
+        self,
+        invariant: Invariant,
+        planes: Mapping[str, DevicePlane],
+        net: DpvNet,
+    ) -> VerificationResult:
+        """§4.2 local checks: minimal counting information is the empty set.
+
+        Node ``u`` passes iff ``u.dev`` forwards every packet of the space
+        (with an ALL-type action) to exactly the devices of u's downstream
+        neighbors, and accepting nodes deliver.
+        """
+        violations: List[Violation] = []
+        space = invariant.packet_space
+        for nid, node in net.nodes.items():
+            plane = planes.get(node.dev)
+            expected = {net.node(child).dev for child in node.children}
+            if any(node.accept):
+                expected = expected | {EXTERNAL}
+            if plane is None:
+                violations.append(
+                    Violation(node.dev, space, message=f"{node.label}: no data plane")
+                )
+                continue
+            for piece, action in plane.fwd(space):
+                actual = set(action.group)
+                missing = expected - actual
+                if missing:
+                    violations.append(
+                        Violation(
+                            node.dev,
+                            piece,
+                            message=(
+                                f"{node.label}: next-hop group must include "
+                                f"{sorted(expected)}, got {action}"
+                            ),
+                        )
+                    )
+        return VerificationResult(
+            invariant_name=invariant.name,
+            holds=not violations,
+            violations=violations,
+            dpvnet_stats=net.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # §3 consistency validation
+    # ------------------------------------------------------------------
+    def validate(self, invariant: Invariant) -> None:
+        """Raise if the destination IPs in the packet space are inconsistent
+        with the destination devices of the path expressions (§3)."""
+        if not self.topology.external_prefixes:
+            return  # nothing to check against
+        if not self.ctx.layout.has_field("dst_ip"):
+            return
+        atoms = collect_atoms(invariant.behavior)
+        mentioned = set()
+        for atom in atoms:
+            mentioned |= set(atom.path.devices())
+        owners: List[str] = []
+        for device, prefixes in self.topology.external_prefixes.items():
+            for prefix in prefixes:
+                pred = self.ctx.ip_prefix(prefix)
+                if pred.overlaps(invariant.packet_space):
+                    owners.append(device)
+                    break
+        if owners and mentioned and not (set(owners) & mentioned):
+            raise SpecificationError(
+                f"packet space is owned by {sorted(set(owners))} but the path "
+                f"expressions only mention {sorted(mentioned)}"
+            )

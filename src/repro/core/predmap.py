@@ -1,0 +1,162 @@
+"""Predicate-keyed maps: disjoint (packet set → value) partitions.
+
+CIBIn, LocCIB and CIBOut (§5.1) are all maps from *disjoint* packet-space
+predicates to counting results.  :class:`PredMap` maintains that disjointness
+invariant under lookups, regional reassignment and diffing, and is the one
+data structure the DVM implementation leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+
+__all__ = ["PredMap"]
+
+V = TypeVar("V")
+
+
+class PredMap(Generic[V]):
+    """A partition of (a subset of) packet space into valued regions.
+
+    Entries are pairwise-disjoint ``(Predicate, value)`` pairs.  Regions with
+    equal values are merged opportunistically so the map stays minimal —
+    mirroring how the paper's devices "merge entries with the same count
+    value" before sending (§5.2 step 3).
+    """
+
+    def __init__(self, ctx: PacketSpaceContext) -> None:
+        self.ctx = ctx
+        # Keyed by value when hashable for cheap merging; we keep a list of
+        # (pred, value) and merge on write.
+        self._entries: List[Tuple[Predicate, V]] = []
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[Predicate, V]]:
+        return list(self._entries)
+
+    def domain(self) -> Predicate:
+        """Union of all keyed regions."""
+        return self.ctx.union(pred for pred, _value in self._entries)
+
+    def lookup(self, region: Predicate) -> List[Tuple[Predicate, V]]:
+        """Split ``region`` along entry boundaries.
+
+        Returns disjoint ``(piece, value)`` pairs covering the part of
+        ``region`` that the map covers; uncovered leftovers are not returned
+        (callers that need them use :meth:`lookup_with_default`).
+        """
+        pieces: List[Tuple[Predicate, V]] = []
+        remaining = region
+        for pred, value in self._entries:
+            if remaining.is_empty:
+                break
+            piece = remaining & pred
+            if not piece.is_empty:
+                pieces.append((piece, value))
+                remaining = remaining - pred
+        return pieces
+
+    def lookup_with_default(
+        self, region: Predicate, default: V
+    ) -> List[Tuple[Predicate, V]]:
+        """Like :meth:`lookup` but the uncovered remainder maps to
+        ``default``."""
+        pieces = self.lookup(region)
+        covered = self.ctx.union(piece for piece, _value in pieces)
+        leftover = region - covered
+        if not leftover.is_empty:
+            pieces.append((leftover, default))
+        return pieces
+
+    def value_at(self, region: Predicate) -> Optional[V]:
+        """Value of a region entirely inside one entry, else ``None``."""
+        for pred, value in self._entries:
+            if pred.covers(region):
+                return value
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Predicate, V]]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def assign(self, pieces: Iterable[Tuple[Predicate, V]]) -> None:
+        """Overwrite the regions of ``pieces`` with their new values.
+
+        Existing entries are carved down so disjointness is preserved; new
+        pieces with values equal to an adjacent surviving region are merged.
+        """
+        new_pieces = [(pred, value) for pred, value in pieces if not pred.is_empty]
+        if not new_pieces:
+            return
+        overwritten = self.ctx.union(pred for pred, _value in new_pieces)
+        survivors: List[Tuple[Predicate, V]] = []
+        for pred, value in self._entries:
+            kept = pred - overwritten
+            if not kept.is_empty:
+                survivors.append((kept, value))
+        survivors.extend(new_pieces)
+        self._entries = self._merge(survivors)
+
+    def remove(self, region: Predicate) -> None:
+        """Delete ``region`` from the map's domain."""
+        if region.is_empty:
+            return
+        survivors: List[Tuple[Predicate, V]] = []
+        for pred, value in self._entries:
+            kept = pred - region
+            if not kept.is_empty:
+                survivors.append((kept, value))
+        self._entries = survivors
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def _merge(self, entries: List[Tuple[Predicate, V]]) -> List[Tuple[Predicate, V]]:
+        merged: Dict[object, Predicate] = {}
+        values: Dict[object, V] = {}
+        order: List[object] = []
+        for pred, value in entries:
+            try:
+                key: object = value
+                hash(key)
+            except TypeError:
+                key = id(value)
+            if key in merged:
+                merged[key] = merged[key] | pred
+            else:
+                merged[key] = pred
+                values[key] = value
+                order.append(key)
+        return [(merged[key], values[key]) for key in order]
+
+    # ------------------------------------------------------------------
+    # Diffing
+    # ------------------------------------------------------------------
+    def changed_region(self, other: "PredMap[V]") -> Predicate:
+        """Packet space where this map's value differs from ``other``'s
+        (missing-in-one counts as different)."""
+        changed = self.ctx.empty
+        all_domain = self.domain() | other.domain()
+        remaining = all_domain
+        for pred, value in self._entries:
+            for other_pred, other_value in other._entries:  # noqa: SLF001
+                piece = pred & other_pred
+                if not piece.is_empty and value != other_value:
+                    changed = changed | piece
+            remaining = remaining - pred
+        # Regions covered by exactly one map are changes too.
+        only_self = self.domain() - other.domain()
+        only_other = other.domain() - self.domain()
+        return changed | only_self | only_other
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PredMap({len(self._entries)} regions)"

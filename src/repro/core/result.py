@@ -1,0 +1,61 @@
+"""Verification verdicts and violation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.core.counting import CountSet
+
+__all__ = ["Violation", "VerificationResult"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One packet-space region that fails the invariant.
+
+    ``counts`` holds the per-universe count vectors observed for the region;
+    for local-check (``equal``) violations it is empty and ``message``
+    explains the failed contract.
+    """
+
+    ingress: str
+    region: Predicate
+    counts: CountSet = ()
+    message: str = ""
+
+    def example_packet(self) -> Optional[Dict[str, int]]:
+        """A concrete packet witnessing the violation."""
+        return self.region.sample()
+
+    def __str__(self) -> str:
+        detail = self.message or f"counts={list(self.counts)}"
+        return f"Violation(ingress={self.ingress}, {detail})"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one invariant against one data plane."""
+
+    invariant_name: str
+    holds: bool
+    violations: List[Violation] = field(default_factory=list)
+    source_counts: Dict[str, List[Tuple[Predicate, CountSet]]] = field(
+        default_factory=dict
+    )
+    dpvnet_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def summary(self) -> str:
+        if self.holds:
+            return f"{self.invariant_name}: HOLDS"
+        return (
+            f"{self.invariant_name}: VIOLATED "
+            f"({len(self.violations)} violating region(s))"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VerificationResult({self.summary()})"

@@ -1,0 +1,506 @@
+"""On-device verifiers (§5, §8).
+
+An :class:`OnDeviceVerifier` executes the counting tasks the planner assigned
+to one device.  It is a pure event-driven state machine: every handler takes
+an event (a DVM message, a LEC delta from the local data plane, a link state
+change, a fault-scene activation) and returns the list of DVM messages to
+send, each addressed to a neighbor device.  The discrete-event simulator —
+or, in a real deployment, a TCP agent — moves the messages.
+
+State per DPVNet node (§5.1):
+
+* ``CIBIn(v)`` — latest counting results received from downstream neighbor
+  ``v``, a disjoint predicate → count-set map.
+* ``LocCIB`` — this node's own latest counts.  Causality is implicit: every
+  recomputation rebuilds the affected region from the CIBIn tables, which is
+  the paper's inverse-⊗/⊕-then-reapply update expressed without storing the
+  causality tuples.
+* ``CIBOut`` — what upstream neighbors currently believe (after
+  Proposition 1 minimal-information reduction); used to suppress no-op
+  UPDATEs, so only changed results travel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.core.counting import (
+    CountSet,
+    cross_sum,
+    reduce_countset,
+    singleton,
+    union,
+    zero_vec,
+)
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.core.invariant import (
+    Atom,
+    EndKind,
+    MatchKind,
+    evaluate_behavior,
+)
+from repro.core.offline import node_base_vector
+from repro.core.predmap import PredMap
+from repro.core.result import Violation
+from repro.core.tasks import DeviceTask, NodeTask
+from repro.dataplane.action import EXTERNAL, Action, GroupType
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.lec import LecDelta
+from repro.errors import ProtocolError
+
+__all__ = ["OnDeviceVerifier", "Outgoing"]
+
+Outgoing = Tuple[str, object]  # (destination device, DVM message)
+
+
+@dataclass
+class _NodeState:
+    cib_in: Dict[int, PredMap] = field(default_factory=dict)
+    loc_cib: Optional[PredMap] = None
+    cib_out: Optional[PredMap] = None
+    interest: Optional[Predicate] = None
+    subscribed: Dict[int, Predicate] = field(default_factory=dict)
+
+
+@dataclass
+class _Stats:
+    updates_received: int = 0
+    updates_sent: int = 0
+    subscribes_received: int = 0
+    subscribes_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    recomputations: int = 0
+
+
+class OnDeviceVerifier:
+    """The verification agent of one device for one invariant."""
+
+    def __init__(self, task: DeviceTask, plane: DevicePlane) -> None:
+        self.task = task
+        self.plane = plane
+        self.ctx: PacketSpaceContext = task.packet_space.ctx
+        self.arity = len(task.atoms)
+        self.is_local_check = task.atoms[0].kind is MatchKind.EQUAL
+
+        self.nodes: Dict[int, NodeTask] = {n.node_id: n for n in task.nodes}
+        self._child_by_dev: Dict[int, Dict[str, int]] = {
+            nid: {ref.dev: ref.node_id for ref in node.downstream}
+            for nid, node in self.nodes.items()
+        }
+        self._child_dev: Dict[int, Dict[int, str]] = {
+            nid: {ref.node_id: ref.dev for ref in node.downstream}
+            for nid, node in self.nodes.items()
+        }
+        self.state: Dict[int, _NodeState] = {}
+        for nid in self.nodes:
+            st = _NodeState()
+            st.loc_cib = PredMap(self.ctx)
+            st.cib_out = PredMap(self.ctx)
+            st.interest = task.packet_space
+            self.state[nid] = st
+
+        self.dead_neighbors: Set[str] = set()
+        self.active_scene: Optional[int] = None
+        # Per-ingress verdict at source nodes hosted here.
+        self.verdicts: Dict[str, Tuple[bool, List[Violation]]] = {}
+        self.local_violations: List[Violation] = []
+        self.stats = _Stats()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def initialize(self) -> List[Outgoing]:
+        """Compute initial LEC + CIB state and announce it (§9.4's
+        "initialization phase")."""
+        self.plane.lec_table()  # force the LEC build
+        if self.is_local_check:
+            self._run_local_checks()
+            return []
+        outgoing: List[Outgoing] = []
+        for nid in self.nodes:
+            outgoing.extend(self._recompute(nid, self.state[nid].interest))
+        return outgoing
+
+    def handle_update(self, message: UpdateMessage) -> List[Outgoing]:
+        """§5.2 UPDATE handling: steps 1-3."""
+        self.stats.updates_received += 1
+        self.stats.bytes_received += message.wire_size()
+        parent_id, child_id = message.intended_link
+        node = self.nodes.get(parent_id)
+        if node is None:
+            raise ProtocolError(
+                f"device {self.task.dev} received UPDATE for foreign node "
+                f"{parent_id}"
+            )
+        st = self.state[parent_id]
+        # Step 1: update CIBIn(v).
+        cib = st.cib_in.get(child_id)
+        if cib is None:
+            cib = PredMap(self.ctx)
+            st.cib_in[child_id] = cib
+        cib.remove(message.withdrawn)
+        cib.assign(list(message.results))
+        # Steps 2+3: recompute the affected LocCIB region and propagate.
+        affected = self._preimage_region(parent_id, child_id, message.withdrawn)
+        return self._recompute(parent_id, affected)
+
+    def handle_subscribe(self, message: SubscribeMessage) -> List[Outgoing]:
+        """A parent subscribed to transformed-predicate results (§5.2)."""
+        self.stats.subscribes_received += 1
+        _parent_id, child_id = message.intended_link
+        node = self.nodes.get(child_id)
+        if node is None:
+            raise ProtocolError(
+                f"device {self.task.dev} received SUBSCRIBE for foreign node "
+                f"{child_id}"
+            )
+        st = self.state[child_id]
+        outgoing: List[Outgoing] = []
+        new_region = message.pred_to - st.interest
+        if not new_region.is_empty:
+            st.interest = st.interest | message.pred_to
+            outgoing.extend(self._recompute(child_id, new_region))
+        # Re-announce current results over the subscribed region so the
+        # subscriber converges regardless of message ordering.
+        outgoing.extend(
+            self._announce_region(child_id, message.pred_to, force=True)
+        )
+        return outgoing
+
+    def handle_lec_deltas(self, deltas: Sequence[LecDelta]) -> List[Outgoing]:
+        """Internal rule-update event (§5.2 "Internal event handling")."""
+        if not deltas:
+            return []
+        if self.is_local_check:
+            self._run_local_checks()
+            return []
+        changed = self.ctx.union(delta.predicate for delta in deltas)
+        outgoing: List[Outgoing] = []
+        for nid in self.nodes:
+            region = changed & self.state[nid].interest
+            outgoing.extend(self._recompute(nid, region))
+        return outgoing
+
+    def handle_link_change(self, neighbor: str, is_up: bool) -> List[Outgoing]:
+        """Adjacent link failure/recovery: zero (restore) the counts of
+        predicates forwarded over that link (§6, concrete-filter case)."""
+        if is_up:
+            self.dead_neighbors.discard(neighbor)
+        else:
+            self.dead_neighbors.add(neighbor)
+        if self.is_local_check:
+            self._run_local_checks()
+            return []
+        outgoing: List[Outgoing] = []
+        for nid in self.nodes:
+            region = self._region_toward(nid, neighbor)
+            outgoing.extend(self._recompute(nid, region))
+        if is_up:
+            # Parents on the recovered link missed our updates while it was
+            # down: force a full re-announcement toward them so their CIBIn
+            # resynchronizes.
+            for nid, node in self.nodes.items():
+                if any(ref.dev == neighbor for ref in node.upstream):
+                    outgoing.extend(
+                        self._announce_region(
+                            nid, self.state[nid].interest, force=True
+                        )
+                    )
+        return outgoing
+
+    def activate_scene(self, scene_id: Optional[int]) -> List[Outgoing]:
+        """Switch to a precomputed fault scene: recount along the DPVNet
+        edges labeled for this scene (§6 "online recounting")."""
+        if scene_id == self.active_scene:
+            return []
+        self.active_scene = scene_id
+        if self.is_local_check:
+            self._run_local_checks()
+            return []
+        outgoing: List[Outgoing] = []
+        for nid in self.nodes:
+            outgoing.extend(self._recompute(nid, self.state[nid].interest))
+        return outgoing
+
+    # ------------------------------------------------------------------
+    # Counting kernel
+    # ------------------------------------------------------------------
+    def _edge_alive(self, node: NodeTask, child_id: int, child_dev: str) -> bool:
+        if child_dev in self.dead_neighbors:
+            return False
+        scenes = node.edge_scenes.get(child_id)
+        if scenes is not None:
+            sid = 0 if self.active_scene is None else self.active_scene
+            return sid in scenes
+        return True
+
+    def _preimage_region(
+        self, node_id: int, child_id: int, downstream_region: Predicate
+    ) -> Predicate:
+        """Map a child's changed region back into this node's packet frame
+        (identity without transforms, pre-image through them)."""
+        st = self.state[node_id]
+        child_dev = self._child_dev[node_id].get(child_id)
+        if child_dev is None:
+            return self.ctx.empty
+        region = self.ctx.empty
+        for piece, action in self.plane.fwd(st.interest):
+            if child_dev not in action.group:
+                continue
+            if action.transform is None:
+                region = region | (piece & downstream_region)
+            else:
+                region = region | (
+                    piece & action.transform.preimage(downstream_region)
+                )
+        return region
+
+    def _region_toward(self, node_id: int, neighbor: str) -> Predicate:
+        """Packet space this node's device forwards toward ``neighbor``."""
+        st = self.state[node_id]
+        region = self.ctx.empty
+        for piece, action in self.plane.fwd(st.interest):
+            if neighbor in action.group:
+                region = region | piece
+        return region
+
+    def _recompute(self, node_id: int, region: Predicate) -> List[Outgoing]:
+        """Steps 2 and 3 of UPDATE handling: rebuild LocCIB over ``region``
+        from the LEC table and the CIBIn tables, then propagate changes."""
+        st = self.state[node_id]
+        region = region & st.interest
+        if region.is_empty:
+            return []
+        self.stats.recomputations += 1
+        node = self.nodes[node_id]
+        subscribes: List[Outgoing] = []
+        pieces: List[Tuple[Predicate, CountSet]] = []
+        for piece, action in self.plane.fwd(region):
+            pieces.extend(self._count_action(node, piece, action, subscribes))
+        st.loc_cib.assign(pieces)
+        if node.is_source_for is not None:
+            self._update_verdict(node)
+        outgoing = self._announce_region(node_id, region, precomputed=pieces)
+        return subscribes + outgoing
+
+    def _count_action(
+        self,
+        node: NodeTask,
+        piece: Predicate,
+        action: Action,
+        subscribes: List[Outgoing],
+    ) -> List[Tuple[Predicate, CountSet]]:
+        arity = self.arity
+        atoms = self.task.atoms
+        st = self.state[node.node_id]
+
+        accept = node.accept_in_scene(self.active_scene)
+        if action.is_drop:
+            base = node_base_vector(accept, atoms, EndKind.DROPPED)
+            return [(piece, singleton(base))]
+
+        deliver_vec = node_base_vector(accept, atoms, EndKind.DELIVERED)
+        transform = action.transform
+        zero = singleton(zero_vec(arity))
+
+        def member_pieces(member: str, region: Predicate):
+            if member == EXTERNAL:
+                return [(region, singleton(deliver_vec))]
+            child_id = self._child_by_dev[node.node_id].get(member)
+            if child_id is None or not self._edge_alive(node, child_id, member):
+                return [(region, zero)]
+            target = transform.apply(region) if transform else region
+            if transform is not None:
+                self._maybe_subscribe(node, child_id, member, region, target, subscribes)
+            cib = st.cib_in.get(child_id)
+            if cib is None:
+                parts = [(target, zero)]
+            else:
+                parts = cib.lookup_with_default(target, zero)
+            if transform is None:
+                return parts
+            mapped = []
+            for sub, cs in parts:
+                back = transform.preimage(sub) & region
+                if not back.is_empty:
+                    mapped.append((back, cs))
+            return mapped
+
+        if action.group_type is GroupType.ANY:
+            parts: List[Tuple[Predicate, CountSet]] = [(piece, ())]
+            for member in action.group:
+                refined: List[Tuple[Predicate, CountSet]] = []
+                for region, cs in parts:
+                    for sub, cs_member in member_pieces(member, region):
+                        refined.append((sub, union(cs, cs_member)))
+                parts = refined
+            return parts
+
+        parts = [(piece, singleton(zero_vec(arity)))]
+        for member in action.group:
+            refined = []
+            for region, cs in parts:
+                for sub, cs_member in member_pieces(member, region):
+                    refined.append((sub, cross_sum(cs, cs_member)))
+            parts = refined
+        return parts
+
+    def _maybe_subscribe(
+        self,
+        node: NodeTask,
+        child_id: int,
+        child_dev: str,
+        region: Predicate,
+        target: Predicate,
+        subscribes: List[Outgoing],
+    ) -> None:
+        st = self.state[node.node_id]
+        already = st.subscribed.get(child_id, self.ctx.empty)
+        if already.covers(target):
+            return
+        st.subscribed[child_id] = already | target
+        self.stats.subscribes_sent += 1
+        subscribes.append(
+            (
+                child_dev,
+                SubscribeMessage(
+                    intended_link=(node.node_id, child_id),
+                    pred_from=region,
+                    pred_to=target,
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _announce_region(
+        self,
+        node_id: int,
+        region: Predicate,
+        precomputed: Optional[List[Tuple[Predicate, CountSet]]] = None,
+        force: bool = False,
+    ) -> List[Outgoing]:
+        """Send UPDATEs upstream for the parts of ``region`` whose (reduced)
+        counting result actually changed."""
+        node = self.nodes[node_id]
+        if not node.upstream:
+            return []
+        st = self.state[node_id]
+        if precomputed is None:
+            current = st.loc_cib.lookup_with_default(
+                region, singleton(zero_vec(self.arity))
+            )
+        else:
+            current = precomputed
+        reduced = [
+            (pred, reduce_countset(cs, self.task.reduction_exps))
+            for pred, cs in current
+        ]
+        if force:
+            changed = region
+        else:
+            # A region never announced is equivalent to the all-zero count:
+            # receivers default missing CIBIn entries to zero, so suppressing
+            # initial zero announcements keeps the protocol quiet and correct.
+            zero_cs = reduce_countset(
+                singleton(zero_vec(self.arity)), self.task.reduction_exps
+            )
+            changed = self.ctx.empty
+            for pred, cs in reduced:
+                for sub, old in st.cib_out.lookup_with_default(pred, None):
+                    effective_old = old if old is not None else zero_cs
+                    if effective_old != cs:
+                        changed = changed | sub
+        if changed.is_empty:
+            return []
+        payload: List[Tuple[Predicate, CountSet]] = []
+        for pred, cs in reduced:
+            part = pred & changed
+            if not part.is_empty:
+                payload.append((part, cs))
+        st.cib_out.assign(payload)
+        outgoing: List[Outgoing] = []
+        for parent in node.upstream:
+            message = UpdateMessage(
+                intended_link=(parent.node_id, node_id),
+                withdrawn=changed,
+                results=tuple(payload),
+            )
+            self.stats.updates_sent += 1
+            self.stats.bytes_sent += message.wire_size()
+            outgoing.append((parent.dev, message))
+        return outgoing
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def _update_verdict(self, node: NodeTask) -> None:
+        assert node.is_source_for is not None
+        st = self.state[node.node_id]
+        pieces = st.loc_cib.lookup_with_default(
+            self.task.packet_space, singleton(zero_vec(self.arity))
+        )
+        violations: List[Violation] = []
+        for region, cs in pieces:
+            bad = tuple(
+                vec
+                for vec in cs
+                if not evaluate_behavior(self.task.behavior, self.task.atoms, vec)
+            )
+            if bad:
+                violations.append(Violation(node.is_source_for, region, bad))
+        self.verdicts[node.is_source_for] = (not violations, violations)
+
+    def _run_local_checks(self) -> None:
+        """``equal``-operator local contracts (§4.2): no counting at all."""
+        self.local_violations = []
+        space = self.task.packet_space
+        for nid, node in self.nodes.items():
+            expected = {ref.dev for ref in node.downstream
+                        if self._edge_alive(node, ref.node_id, ref.dev)}
+            if any(node.accept):
+                expected = expected | {EXTERNAL}
+            for piece, action in self.plane.fwd(space):
+                actual = set(action.group)
+                if expected - actual:
+                    self.local_violations.append(
+                        Violation(
+                            self.task.dev,
+                            piece,
+                            message=(
+                                f"{node.label}: next-hop group must include "
+                                f"{sorted(expected)}, got {action}"
+                            ),
+                        )
+                    )
+        self.verdicts[self.task.dev] = (
+            not self.local_violations,
+            list(self.local_violations),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def memory_proxy(self) -> int:
+        """A rough memory footprint: total BDD nodes referenced by CIBs."""
+        total = 0
+        for st in self.state.values():
+            for pred, _cs in st.loc_cib:
+                total += pred.size()
+            for cib in st.cib_in.values():
+                for pred, _cs in cib:
+                    total += pred.size()
+        return total
+
+    def source_counts(self, ingress: str):
+        """Counting results at this device's source node for ``ingress``."""
+        for nid, node in self.nodes.items():
+            if node.is_source_for == ingress:
+                return self.state[nid].loc_cib.lookup_with_default(
+                    self.task.packet_space, singleton(zero_vec(self.arity))
+                )
+        return None

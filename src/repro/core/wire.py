@@ -1,0 +1,118 @@
+"""Byte-level DVM message codec.
+
+The paper's prototype serializes BDDs with an adapted JDD + Protobuf stack so
+counting results travel between devices as bytes (§8).  This module is the
+equivalent: a compact, self-describing binary encoding of UPDATE and
+SUBSCRIBE messages over the BDD wire format of :mod:`repro.bdd.serialize`.
+
+Layout (all integers are LEB128 varints)::
+
+    byte   message type (1 = UPDATE, 2 = SUBSCRIBE)
+    varint parent_node_id, child_node_id        # the intended link
+    UPDATE:
+        blob   withdrawn predicate
+        varint num_results
+        repeated: blob predicate, varint num_vectors,
+                  repeated: varint arity, repeated varint component
+    SUBSCRIBE:
+        blob   pred_from
+        blob   pred_to
+
+A ``blob`` is ``varint length`` + the BDD stream bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.bdd.serialize import (
+    decode_varint,
+    deserialize_predicate,
+    encode_varint,
+    serialize_predicate,
+)
+from repro.core.counting import CountSet
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.errors import SerializationError
+
+__all__ = ["encode_message", "decode_message"]
+
+_UPDATE = 1
+_SUBSCRIBE = 2
+
+
+def _put_blob(pred: Predicate, out: bytearray) -> None:
+    data = serialize_predicate(pred)
+    encode_varint(len(data), out)
+    out.extend(data)
+
+
+def _get_blob(ctx: PacketSpaceContext, data: bytes, pos: int) -> Tuple[Predicate, int]:
+    length, pos = decode_varint(data, pos)
+    if pos + length > len(data):
+        raise SerializationError("truncated predicate blob")
+    pred = deserialize_predicate(ctx, data[pos : pos + length])
+    return pred, pos + length
+
+
+def encode_message(message) -> bytes:
+    """Serialize an UPDATE or SUBSCRIBE message to bytes."""
+    out = bytearray()
+    if isinstance(message, UpdateMessage):
+        out.append(_UPDATE)
+        encode_varint(message.intended_link[0], out)
+        encode_varint(message.intended_link[1], out)
+        _put_blob(message.withdrawn, out)
+        encode_varint(len(message.results), out)
+        for pred, countset in message.results:
+            _put_blob(pred, out)
+            encode_varint(len(countset), out)
+            for vec in countset:
+                encode_varint(len(vec), out)
+                for component in vec:
+                    encode_varint(component, out)
+        return bytes(out)
+    if isinstance(message, SubscribeMessage):
+        out.append(_SUBSCRIBE)
+        encode_varint(message.intended_link[0], out)
+        encode_varint(message.intended_link[1], out)
+        _put_blob(message.pred_from, out)
+        _put_blob(message.pred_to, out)
+        return bytes(out)
+    raise SerializationError(f"cannot encode message of type {type(message)!r}")
+
+
+def decode_message(ctx: PacketSpaceContext, data: bytes):
+    """Inverse of :func:`encode_message` (into the receiver's context)."""
+    if not data:
+        raise SerializationError("empty message")
+    kind = data[0]
+    parent, pos = decode_varint(data, 1)
+    child, pos = decode_varint(data, pos)
+    if kind == _UPDATE:
+        withdrawn, pos = _get_blob(ctx, data, pos)
+        num_results, pos = decode_varint(data, pos)
+        results: List[Tuple[Predicate, CountSet]] = []
+        for _ in range(num_results):
+            pred, pos = _get_blob(ctx, data, pos)
+            num_vectors, pos = decode_varint(data, pos)
+            vectors = []
+            for _ in range(num_vectors):
+                arity, pos = decode_varint(data, pos)
+                vec = []
+                for _ in range(arity):
+                    component, pos = decode_varint(data, pos)
+                    vec.append(component)
+                vectors.append(tuple(vec))
+            results.append((pred, tuple(sorted(set(vectors)))))
+        if pos != len(data):
+            raise SerializationError("trailing bytes after UPDATE")
+        return UpdateMessage((parent, child), withdrawn, tuple(results))
+    if kind == _SUBSCRIBE:
+        pred_from, pos = _get_blob(ctx, data, pos)
+        pred_to, pos = _get_blob(ctx, data, pos)
+        if pos != len(data):
+            raise SerializationError("trailing bytes after SUBSCRIBE")
+        return SubscribeMessage((parent, child), pred_from, pred_to)
+    raise SerializationError(f"unknown message type byte {kind}")

@@ -1,0 +1,37 @@
+"""Data plane model: rules, actions, devices, LECs and trace semantics."""
+
+from repro.dataplane.action import EXTERNAL, Action, GroupType, Transform
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.fib import format_fib_text, parse_fib_text
+from repro.dataplane.lec import (
+    LecDelta,
+    LecTable,
+    compute_lec_table,
+    diff_lec_tables,
+)
+from repro.dataplane.rule import Rule
+from repro.dataplane.trace import (
+    Trace,
+    TraceStatus,
+    count_matching_traces,
+    enumerate_universes,
+)
+
+__all__ = [
+    "EXTERNAL",
+    "Action",
+    "DevicePlane",
+    "GroupType",
+    "LecDelta",
+    "LecTable",
+    "Rule",
+    "Trace",
+    "TraceStatus",
+    "Transform",
+    "compute_lec_table",
+    "count_matching_traces",
+    "diff_lec_tables",
+    "enumerate_universes",
+    "format_fib_text",
+    "parse_fib_text",
+]

@@ -1,0 +1,151 @@
+"""Forwarding actions: ALL/ANY groups, drops and packet transformations.
+
+The paper's data plane model (§2.1): each match-action entry forwards a
+packet to a *group* of next hops.  An empty group drops.  A non-empty group
+is either ALL-type (the packet is replicated to every member — multicast,
+broadcast, 1+1 protection) or ANY-type (exactly one member is chosen by a
+vendor-specific blackbox — ECMP, LAG).  Actions may first transform the
+packet (§5.2 "Handling packet transformation"), modeled as setting header
+fields to constants (the NAT/tunnel-endpoint style rewrite).
+
+``EXTERNAL`` is the pseudo next hop meaning "deliver out an external port".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.errors import DataPlaneError
+
+__all__ = ["GroupType", "Transform", "Action", "EXTERNAL"]
+
+EXTERNAL = "@ext"
+
+
+class GroupType(enum.Enum):
+    """How a multi-member next-hop group treats the packet."""
+
+    ALL = "ALL"
+    ANY = "ANY"
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A header rewrite: set each named field to a constant value.
+
+    ``assignments`` is a sorted tuple of ``(field_name, value)`` pairs so that
+    transforms hash and compare by value.
+    """
+
+    assignments: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def set_fields(cls, **fields: int) -> "Transform":
+        return cls(tuple(sorted(fields.items())))
+
+    def apply(self, pred: Predicate) -> Predicate:
+        """Image of a packet set under the rewrite."""
+        ctx = pred.ctx
+        node = pred.node
+        for name, value in self.assignments:
+            fld = ctx.layout.field(name)
+            node = ctx.mgr.exists(node, frozenset(fld.bit_vars()))
+            node = ctx.mgr.apply_and(node, ctx.layout.value(ctx.mgr, name, value))
+        return ctx.wrap(node)
+
+    def preimage(self, pred: Predicate) -> Predicate:
+        """Packets whose rewritten form lands in ``pred``.
+
+        For a set-to-constant rewrite the pre-image constrains every field
+        except the rewritten ones, which become free.
+        """
+        ctx = pred.ctx
+        node = pred.node
+        for name, value in self.assignments:
+            fld = ctx.layout.field(name)
+            constrained = ctx.mgr.apply_and(
+                node, ctx.layout.value(ctx.mgr, name, value)
+            )
+            node = ctx.mgr.exists(constrained, frozenset(fld.bit_vars()))
+        return ctx.wrap(node)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}={value}" for name, value in self.assignments)
+        return f"set({inner})"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A forwarding action.  Immutable and hashable: LEC grouping keys on it."""
+
+    group: Tuple[str, ...]
+    group_type: GroupType = GroupType.ALL
+    transform: Optional[Transform] = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.group)) != len(self.group):
+            raise DataPlaneError(f"duplicate next hops in group {self.group}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def forward(
+        cls,
+        next_hops,
+        group_type: GroupType = GroupType.ALL,
+        transform: Optional[Transform] = None,
+    ) -> "Action":
+        hops = tuple(sorted(next_hops))
+        if not hops:
+            raise DataPlaneError("use Action.drop() for an empty group")
+        return cls(hops, group_type, transform)
+
+    @classmethod
+    def forward_all(cls, next_hops, transform: Optional[Transform] = None) -> "Action":
+        return cls.forward(next_hops, GroupType.ALL, transform)
+
+    @classmethod
+    def forward_any(cls, next_hops, transform: Optional[Transform] = None) -> "Action":
+        return cls.forward(next_hops, GroupType.ANY, transform)
+
+    @classmethod
+    def deliver(cls) -> "Action":
+        """Deliver out the external port (destination behaviour)."""
+        return cls((EXTERNAL,), GroupType.ALL, None)
+
+    @classmethod
+    def drop(cls) -> "Action":
+        return cls((), GroupType.ALL, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_drop(self) -> bool:
+        return not self.group
+
+    @property
+    def delivers(self) -> bool:
+        return EXTERNAL in self.group
+
+    def internal_next_hops(self) -> Tuple[str, ...]:
+        """Group members that are real devices (not the external port)."""
+        return tuple(hop for hop in self.group if hop != EXTERNAL)
+
+    def without_next_hop(self, device: str) -> "Action":
+        """The action after a next hop vanished (link-down handling)."""
+        remaining = tuple(hop for hop in self.group if hop != device)
+        if not remaining:
+            return Action.drop()
+        return Action(remaining, self.group_type, self.transform)
+
+    def __str__(self) -> str:
+        if self.is_drop:
+            return "drop"
+        prefix = f"{self.transform}; " if self.transform else ""
+        kind = self.group_type.value
+        return f"{prefix}fwd({kind}, {{{', '.join(self.group)}}})"

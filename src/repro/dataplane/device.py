@@ -1,0 +1,110 @@
+"""Per-device data plane: a prioritized match-action table with LEC cache.
+
+This is the "FIB/ACL" box of Figure 1: the forwarding state an on-device
+verifier reads.  Rule installs/removals return :class:`LecDelta` lists so the
+verifier can process exactly the packet-space regions whose behaviour
+changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.dataplane.action import Action
+from repro.dataplane.lec import LecDelta, LecTable, compute_lec_table, diff_lec_tables
+from repro.dataplane.rule import Rule
+from repro.errors import DataPlaneError
+
+__all__ = ["DevicePlane"]
+
+
+class DevicePlane:
+    """The data plane of one device."""
+
+    def __init__(self, name: str, ctx: PacketSpaceContext) -> None:
+        self.name = name
+        self.ctx = ctx
+        self._rules: Dict[int, Rule] = {}
+        self._lec_cache: Optional[LecTable] = None
+
+    # ------------------------------------------------------------------
+    # Table manipulation
+    # ------------------------------------------------------------------
+    @property
+    def rules(self) -> List[Rule]:
+        return sorted(self._rules.values(), key=Rule.sort_key)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    def get_rule(self, rule_id: int) -> Optional[Rule]:
+        """The installed rule with this id, or ``None``."""
+        return self._rules.get(rule_id)
+
+    def install_rule(self, rule: Rule) -> List[LecDelta]:
+        """Install a rule; return the LEC regions whose action changed."""
+        if rule.rule_id in self._rules:
+            raise DataPlaneError(
+                f"rule {rule.rule_id} already installed on {self.name}"
+            )
+        old = self.lec_table()
+        self._rules[rule.rule_id] = rule
+        self._lec_cache = None
+        return diff_lec_tables(old, self.lec_table())
+
+    def remove_rule(self, rule_id: int) -> List[LecDelta]:
+        """Remove a rule by id; return the changed LEC regions."""
+        if rule_id not in self._rules:
+            raise DataPlaneError(f"rule {rule_id} not installed on {self.name}")
+        old = self.lec_table()
+        del self._rules[rule_id]
+        self._lec_cache = None
+        return diff_lec_tables(old, self.lec_table())
+
+    def replace_rule(self, rule_id: int, new_rule: Rule) -> List[LecDelta]:
+        """Atomically swap a rule (the §2.2.3 'B updates its action' case)."""
+        if rule_id not in self._rules:
+            raise DataPlaneError(f"rule {rule_id} not installed on {self.name}")
+        old = self.lec_table()
+        del self._rules[rule_id]
+        self._rules[new_rule.rule_id] = new_rule
+        self._lec_cache = None
+        return diff_lec_tables(old, self.lec_table())
+
+    def install_many(self, rules: Sequence[Rule]) -> None:
+        """Bulk install without delta computation (burst-update fast path)."""
+        for rule in rules:
+            if rule.rule_id in self._rules:
+                raise DataPlaneError(
+                    f"rule {rule.rule_id} already installed on {self.name}"
+                )
+            self._rules[rule.rule_id] = rule
+        self._lec_cache = None
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._lec_cache = None
+
+    # ------------------------------------------------------------------
+    # Forwarding queries
+    # ------------------------------------------------------------------
+    def lec_table(self) -> LecTable:
+        if self._lec_cache is None:
+            self._lec_cache = compute_lec_table(self.ctx, self.rules)
+        return self._lec_cache
+
+    def fwd(self, pred: Predicate) -> List[Tuple[Predicate, Action]]:
+        """Split a packet set along LEC boundaries into (piece, action)."""
+        return self.lec_table().action_of(pred)
+
+    def fwd_packet(self, packet: Dict[str, int]) -> Action:
+        """Action applied to one concrete packet (reference semantics)."""
+        pred = self.ctx.packet(**packet)
+        pieces = self.fwd(pred)
+        # A concrete packet lies in exactly one LEC.
+        return pieces[0][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DevicePlane({self.name!r}, rules={self.num_rules})"

@@ -1,0 +1,128 @@
+"""Plain-text FIB format.
+
+A human-editable representation of destination-prefix forwarding tables used
+by the examples and the dataset tooling.  One device section per ``#``
+header, one rule per line::
+
+    # device S
+    200 10.0.0.0/24 ALL A,B
+    100 10.0.0.0/23 ANY B
+    10  0.0.0.0/0   DROP
+    # device D
+    200 10.0.0.0/23 ALL @ext
+
+Priorities are explicit (longest-prefix-match generators emit the prefix
+length as priority).  ``@ext`` is delivery out an external port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext
+from repro.dataplane.action import Action, GroupType
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
+from repro.errors import DataPlaneError
+
+__all__ = ["parse_fib_text", "format_fib_text"]
+
+
+def parse_fib_text(
+    ctx: PacketSpaceContext, text: str
+) -> Dict[str, DevicePlane]:
+    """Parse the text format into per-device planes."""
+    planes: Dict[str, DevicePlane] = {}
+    current: DevicePlane | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            header = line[1:].strip()
+            if not header.lower().startswith("device"):
+                continue  # ordinary comment
+            name = header.split(None, 1)[1].strip()
+            if not name:
+                raise DataPlaneError(f"line {lineno}: missing device name")
+            current = planes.setdefault(name, DevicePlane(name, ctx))
+            continue
+        if current is None:
+            raise DataPlaneError(f"line {lineno}: rule before any device header")
+        parts = line.split()
+        if len(parts) not in (3, 4):
+            raise DataPlaneError(f"line {lineno}: malformed rule {line!r}")
+        try:
+            priority = int(parts[0])
+        except ValueError as exc:
+            raise DataPlaneError(f"line {lineno}: bad priority {parts[0]!r}") from exc
+        match = ctx.ip_prefix(parts[1])
+        kind = parts[2].upper()
+        if kind == "DROP":
+            action = Action.drop()
+        else:
+            if len(parts) != 4:
+                raise DataPlaneError(f"line {lineno}: missing next hops")
+            hops = [hop for hop in parts[3].split(",") if hop]
+            if kind == "ALL":
+                action = Action.forward_all(hops)
+            elif kind == "ANY":
+                action = Action.forward_any(hops)
+            else:
+                raise DataPlaneError(f"line {lineno}: unknown action type {kind!r}")
+        current.install_many([Rule(match, action, priority)])
+    return planes
+
+
+def format_fib_text(planes: Mapping[str, DevicePlane]) -> str:
+    """Best-effort inverse of :func:`parse_fib_text`.
+
+    Only destination-prefix rules round-trip exactly; arbitrary BDD matches
+    are emitted as comments because the text format cannot express them.
+    """
+    lines: List[str] = []
+    for name in sorted(planes):
+        plane = planes[name]
+        lines.append(f"# device {name}")
+        for rule in plane.rules:
+            action = rule.action
+            if action.is_drop:
+                spec = "DROP"
+                hops = ""
+            else:
+                spec = action.group_type.value
+                hops = " " + ",".join(action.group)
+            prefix = _prefix_of(rule)
+            if prefix is None:
+                lines.append(f"# (unrepresentable match, rule {rule.rule_id})")
+            else:
+                lines.append(f"{rule.priority} {prefix} {spec}{hops}")
+    return "\n".join(lines) + "\n"
+
+
+def _prefix_of(rule: Rule) -> str | None:
+    """Recover a dst_ip CIDR from a rule match if it is a pure prefix."""
+    ctx = rule.match.ctx
+    if not ctx.layout.has_field("dst_ip"):
+        return None
+    assignment = ctx.mgr.pick_one(rule.match.node)
+    if assignment is None:
+        return None
+    value, mask = ctx.layout.decode(assignment, "dst_ip")
+    # Determine prefix length: longest run of known bits from the MSB.
+    length = 0
+    for i in range(32):
+        if mask & (1 << (31 - i)):
+            length += 1
+        else:
+            break
+    from repro.bdd.fields import int_to_ip
+
+    candidate = ctx.prefix("dst_ip", value & _prefix_mask(length), length)
+    if candidate == rule.match:
+        return f"{int_to_ip(value & _prefix_mask(length))}/{length}"
+    return None
+
+
+def _prefix_mask(length: int) -> int:
+    return ((1 << length) - 1) << (32 - length) if length else 0

@@ -1,0 +1,121 @@
+"""Local equivalence classes (LECs).
+
+A LEC of a device is a maximal packet set whose members all receive the same
+action at that device (§5.1).  The LEC builder turns a prioritized rule list
+into the minimal such partition using first-match semantics, and computes
+deltas between successive tables — the deltas are what the DVM protocol
+propagates on rule updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.dataplane.action import Action
+from repro.dataplane.rule import Rule
+
+__all__ = ["LecTable", "LecDelta", "compute_lec_table", "diff_lec_tables"]
+
+
+@dataclass(frozen=True)
+class LecDelta:
+    """A region of packet space whose action changed."""
+
+    predicate: Predicate
+    old_action: Action
+    new_action: Action
+
+
+class LecTable:
+    """Minimal (packet_space, action) partition of the whole packet space.
+
+    Internally a dict keyed by action; the predicates are pairwise disjoint
+    and their union is the universe (packets matching no rule map to drop).
+    """
+
+    def __init__(self, ctx: PacketSpaceContext, entries: Dict[Action, Predicate]) -> None:
+        self.ctx = ctx
+        self._entries = {
+            action: pred for action, pred in entries.items() if not pred.is_empty
+        }
+
+    # ------------------------------------------------------------------
+    def actions(self) -> List[Action]:
+        return list(self._entries)
+
+    def entries(self) -> List[Tuple[Predicate, Action]]:
+        return [(pred, action) for action, pred in self._entries.items()]
+
+    def predicate_for(self, action: Action) -> Predicate:
+        return self._entries.get(action, self.ctx.empty)
+
+    def action_of(self, pred: Predicate) -> List[Tuple[Predicate, Action]]:
+        """Split ``pred`` along LEC boundaries: disjoint (piece, action) pairs
+        covering all of ``pred``."""
+        pieces: List[Tuple[Predicate, Action]] = []
+        remaining = pred
+        for action, lec_pred in self._entries.items():
+            if remaining.is_empty:
+                break
+            piece = remaining & lec_pred
+            if not piece.is_empty:
+                pieces.append((piece, action))
+                remaining = remaining - lec_pred
+        if not remaining.is_empty:
+            # Every packet is in some LEC (drop is explicit); reaching here
+            # means the table was built incorrectly.
+            pieces.append((remaining, Action.drop()))
+        return pieces
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LecTable({len(self)} classes)"
+
+
+def compute_lec_table(
+    ctx: PacketSpaceContext, rules: Sequence[Rule]
+) -> LecTable:
+    """Build the minimal LEC partition from a prioritized rule list."""
+    entries: Dict[Action, int] = {}
+    mgr = ctx.mgr
+    remaining = ctx.universe.node
+    for rule in sorted(rules, key=Rule.sort_key):
+        if remaining == 0:
+            break
+        effective = mgr.apply_and(rule.match.node, remaining)
+        if effective == 0:
+            continue
+        remaining = mgr.apply_diff(remaining, rule.match.node)
+        prior = entries.get(rule.action, 0)
+        entries[rule.action] = mgr.apply_or(prior, effective)
+    if remaining != 0:
+        drop = Action.drop()
+        entries[drop] = mgr.apply_or(entries.get(drop, 0), remaining)
+    return LecTable(ctx, {action: ctx.wrap(node) for action, node in entries.items()})
+
+
+def diff_lec_tables(old: LecTable, new: LecTable) -> List[LecDelta]:
+    """Regions whose action changed between two LEC tables.
+
+    The result is a disjoint list of deltas; its union is exactly the packet
+    space where old and new disagree.  This is the "withdrawn predicates /
+    incoming counting results" payload of an internal rule-update event.
+    """
+    ctx = new.ctx
+    deltas: List[LecDelta] = []
+    for new_action, new_pred in new._entries.items():  # noqa: SLF001
+        # Anything in new_pred that had a *different* action before changed.
+        changed = new_pred - old.predicate_for(new_action)
+        if changed.is_empty:
+            continue
+        for old_action, old_pred in old._entries.items():  # noqa: SLF001
+            if old_action == new_action:
+                continue
+            piece = changed & old_pred
+            if not piece.is_empty:
+                deltas.append(LecDelta(piece, old_action, new_action))
+    return deltas

@@ -1,0 +1,50 @@
+"""Match-action rules.
+
+A rule matches a packet set (as a BDD predicate built from header fields) and
+carries a forwarding action.  Tables order rules by descending priority; ties
+break toward the more recently installed rule, matching how devices treat
+equal-priority TCAM entries in practice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bdd.predicate import Predicate
+from repro.dataplane.action import Action
+
+__all__ = ["Rule"]
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class Rule:
+    """One prioritized match-action entry.
+
+    Attributes
+    ----------
+    match:
+        Packet set this rule matches.
+    action:
+        Forwarding action applied to matched packets.
+    priority:
+        Larger numbers win.  Longest-prefix-match FIBs encode prefix length
+        as priority.
+    rule_id:
+        Unique per-process id used to address the rule in updates.
+    """
+
+    match: Predicate
+    action: Action
+    priority: int = 0
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+
+    def sort_key(self) -> tuple:
+        """Descending priority, then newest first."""
+        return (-self.priority, -self.rule_id)
+
+    def __str__(self) -> str:
+        return f"Rule#{self.rule_id}(prio={self.priority}, {self.action})"

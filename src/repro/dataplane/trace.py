@@ -1,0 +1,131 @@
+"""Reference trace/universe semantics (§2.1).
+
+This module executes a concrete packet through the network *by brute force*
+and enumerates every universe: ALL-type groups fork traces inside a universe,
+ANY-type groups fork the set of universes itself (the "multiverse").  It is
+deliberately simple and exponential — it exists as the ground-truth oracle
+the property tests compare the DPVNet counting algorithm and the DVM protocol
+against, and as the executable definition of the paper's semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dataplane.action import EXTERNAL, Action, GroupType
+from repro.dataplane.device import DevicePlane
+from repro.errors import DataPlaneError
+
+__all__ = ["TraceStatus", "Trace", "enumerate_universes", "count_matching_traces"]
+
+
+class TraceStatus(enum.Enum):
+    """Terminal fate of one packet copy."""
+
+    DELIVERED = "delivered"  # left the network through an external port
+    DROPPED = "dropped"      # matched a drop action (or no rule)
+    LOOPING = "looping"      # exceeded the hop budget
+
+
+@dataclass(frozen=True)
+class Trace:
+    """The sequence of devices one packet copy visited, and how it ended."""
+
+    path: Tuple[str, ...]
+    status: TraceStatus
+
+    def __str__(self) -> str:
+        return f"[{', '.join(self.path)}] ({self.status.value})"
+
+
+Universe = FrozenSet[Trace]
+
+
+def enumerate_universes(
+    planes: Mapping[str, DevicePlane],
+    ingress: str,
+    packet: Dict[str, int],
+    max_hops: int = 16,
+) -> List[Universe]:
+    """All universes of ``packet`` entering at ``ingress``.
+
+    Each universe is a frozen set of traces.  Duplicated universes (identical
+    trace sets arising from symmetric choices) are collapsed.
+    """
+    if ingress not in planes:
+        raise DataPlaneError(f"unknown ingress device {ingress!r}")
+
+    def expand(device: str, pkt: Dict[str, int], path: Tuple[str, ...]) -> List[FrozenSet[Trace]]:
+        """Alternatives for the sub-multiverse rooted at (device, pkt)."""
+        path = path + (device,)
+        if len(path) > max_hops:
+            return [frozenset({Trace(path, TraceStatus.LOOPING)})]
+        plane = planes.get(device)
+        if plane is None:
+            return [frozenset({Trace(path, TraceStatus.DROPPED)})]
+        action = plane.fwd_packet(pkt)
+        if action.is_drop:
+            return [frozenset({Trace(path, TraceStatus.DROPPED)})]
+        next_pkt = pkt
+        if action.transform is not None:
+            next_pkt = dict(pkt)
+            for name, value in action.transform.assignments:
+                next_pkt[name] = value
+
+        def branch(member: str) -> List[FrozenSet[Trace]]:
+            if member == EXTERNAL:
+                return [frozenset({Trace(path, TraceStatus.DELIVERED)})]
+            return expand(member, next_pkt, path)
+
+        if action.group_type is GroupType.ANY:
+            alternatives: List[FrozenSet[Trace]] = []
+            for member in action.group:
+                alternatives.extend(branch(member))
+            return _dedup(alternatives)
+
+        # ALL-type: one alternative per combination of member alternatives.
+        member_alternatives = [branch(member) for member in action.group]
+        combined: List[FrozenSet[Trace]] = []
+        for combo in itertools.product(*member_alternatives):
+            merged: Set[Trace] = set()
+            for alt in combo:
+                merged.update(alt)
+            combined.append(frozenset(merged))
+        return _dedup(combined)
+
+    return _dedup(expand(ingress, dict(packet), ()))
+
+
+def _dedup(universes: Sequence[Universe]) -> List[Universe]:
+    seen: Set[Universe] = set()
+    unique: List[Universe] = []
+    for universe in universes:
+        if universe not in seen:
+            seen.add(universe)
+            unique.append(universe)
+    return unique
+
+
+def count_matching_traces(
+    universes: Sequence[Universe], accepts, require_delivery: bool = True
+) -> List[int]:
+    """For each universe, how many traces match the path predicate.
+
+    ``accepts`` is a callable over device-name sequences (typically
+    ``dfa.accepts``).  Returns the deduplicated, sorted list of per-universe
+    counts — exactly the count set Algorithm 1 computes at the DPVNet source,
+    which makes this the oracle for the counting property tests.
+    """
+    counts: Set[int] = set()
+    for universe in universes:
+        n = 0
+        for trace in universe:
+            if require_delivery and trace.status is not TraceStatus.DELIVERED:
+                continue
+            if accepts(list(trace.path)):
+                n += 1
+        counts.add(n)
+    return sorted(counts)

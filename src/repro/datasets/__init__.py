@@ -1,0 +1,29 @@
+"""Datasets: the Figure 10 registry, FIB synthesis and workload generators."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    BuiltDataset,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+)
+from repro.datasets.routing import (
+    assign_prefixes,
+    generate_fibs,
+    inject_errors,
+    split_prefix,
+)
+from repro.datasets.workloads import sample_fault_scenes
+
+__all__ = [
+    "DATASETS",
+    "BuiltDataset",
+    "DatasetSpec",
+    "assign_prefixes",
+    "build_dataset",
+    "dataset_names",
+    "generate_fibs",
+    "inject_errors",
+    "sample_fault_scenes",
+    "split_prefix",
+]

@@ -1,0 +1,182 @@
+"""The dataset registry: the thirteen datasets of Figure 10, scaled.
+
+Each entry pairs a topology builder with FIB-synthesis parameters.  WAN/LAN
+datasets follow the paper's names; the DC fabrics are scaled down (FT-48 →
+FT-4/FT-8, NGDC → a 3-tier Clos) because pure-Python counting at 2880
+devices is intractable — see DESIGN.md's substitution table.  The *relative*
+characteristics the experiments depend on are preserved: pairwise-identical
+topologies with different rule counts (AT1-1/AT1-2, AT2-1/AT2-2), small-
+diameter DC fabrics, latency-dominated WANs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.fields import HeaderLayout
+from repro.bdd.predicate import PacketSpaceContext
+from repro.baselines.base import ReachabilityQuery
+from repro.core.invariant import Invariant, LengthFilter
+from repro.core.library import reachability
+from repro.dataplane.rule import Rule
+from repro.datasets.routing import generate_fibs
+from repro.errors import DatasetError
+from repro.topology.generators import clos3, fattree
+from repro.topology.graph import Topology
+from repro.topology.zoo import WAN_BUILDERS
+
+__all__ = ["DatasetSpec", "BuiltDataset", "DATASETS", "build_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: how to build one dataset."""
+
+    name: str
+    kind: str  # "WAN" | "LAN" | "DC"
+    build_topology: Callable[[], Topology]
+    rule_multiplier: int = 1
+    note: str = ""
+
+
+def _ft(k: int) -> Callable[[], Topology]:
+    return lambda: fattree(k)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "INet2": DatasetSpec("INet2", "WAN", WAN_BUILDERS["INet2"]),
+    "B4-13": DatasetSpec("B4-13", "WAN", WAN_BUILDERS["B4-13"]),
+    "STFD": DatasetSpec("STFD", "LAN", WAN_BUILDERS["STFD"]),
+    "AT1-1": DatasetSpec("AT1-1", "WAN", WAN_BUILDERS["AT1-1"]),
+    "AT1-2": DatasetSpec(
+        "AT1-2", "WAN", WAN_BUILDERS["AT1-2"], rule_multiplier=4,
+        note="same topology as AT1-1, ~4x rules",
+    ),
+    "B4-18": DatasetSpec("B4-18", "WAN", WAN_BUILDERS["B4-18"]),
+    "BTNA": DatasetSpec("BTNA", "WAN", WAN_BUILDERS["BTNA"]),
+    "NTT": DatasetSpec("NTT", "WAN", WAN_BUILDERS["NTT"]),
+    "AT2-1": DatasetSpec("AT2-1", "WAN", WAN_BUILDERS["AT2-1"]),
+    "AT2-2": DatasetSpec(
+        "AT2-2", "WAN", WAN_BUILDERS["AT2-2"], rule_multiplier=8,
+        note="same topology as AT2-1, ~8x rules",
+    ),
+    "OTEG": DatasetSpec("OTEG", "WAN", WAN_BUILDERS["OTEG"]),
+    "FT-4": DatasetSpec("FT-4", "DC", _ft(4), note="fattree, FT-48 stand-in"),
+    "FT-8": DatasetSpec("FT-8", "DC", _ft(8), note="fattree, FT-48 stand-in"),
+    "NGDC": DatasetSpec(
+        "NGDC", "DC", lambda: clos3(2, 4, 2, 6),
+        note="3-tier Clos standing in for the real DC",
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    return list(DATASETS)
+
+
+@dataclass
+class BuiltDataset:
+    """A materialized dataset: topology + rules + the verification workload.
+
+    ``queries`` drive the centralized baselines; ``invariants`` are the same
+    requirements in Tulkun form (one reachability invariant per sampled
+    pair).  Both cover the *same* pair sample so timing ratios are fair.
+    """
+
+    spec: DatasetSpec
+    topology: Topology
+    ctx: PacketSpaceContext
+    rules_by_device: Dict[str, List[Rule]]
+    queries: List[ReachabilityQuery]
+    invariants: List[Invariant]
+    pairs: List[Tuple[str, str]]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def total_rules(self) -> int:
+        return sum(len(rules) for rules in self.rules_by_device.values())
+
+    def stats(self) -> Dict[str, object]:
+        """The Figure 10 statistics row for this dataset."""
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "devices": self.topology.num_devices,
+            "links": self.topology.num_links,
+            "rules": self.total_rules(),
+            "pairs": len(self.pairs),
+            "note": self.spec.note,
+        }
+
+
+def _edge_devices(spec: DatasetSpec, topology: Topology) -> List[str]:
+    """Devices that originate/receive traffic: prefix owners (ToRs for DC,
+    every PoP for WAN)."""
+    return sorted(topology.external_prefixes)
+
+
+def build_dataset(
+    name: str,
+    pair_limit: Optional[int] = 24,
+    max_extra_hops: int = 2,
+    seed: int = 7,
+    ctx: Optional[PacketSpaceContext] = None,
+    rule_multiplier: Optional[int] = None,
+) -> BuiltDataset:
+    """Materialize a dataset.
+
+    ``pair_limit`` caps the number of (ingress, destination) pairs the
+    verification workload covers (the paper verifies all pairs on a testbed/
+    Java stack; all-pairs in pure Python is reserved for the small datasets —
+    pass ``None`` to force it).  Pairs are sampled deterministically.
+
+    ``rule_multiplier`` overrides the registry's per-dataset rule scaling
+    (each external prefix splits into that many sub-prefix rules) — the knob
+    that moves the workload from latency-dominated to compute-dominated, as
+    the real datasets' rule counts do.
+    """
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(f"unknown dataset {name!r}; see dataset_names()")
+    topology = spec.build_topology()
+    if ctx is None:
+        # Destination-prefix data planes: the compact layout keeps BDDs tiny.
+        ctx = PacketSpaceContext(HeaderLayout.dst_only())
+    multiplier = rule_multiplier if rule_multiplier is not None else spec.rule_multiplier
+    rules = generate_fibs(topology, ctx, rule_multiplier=multiplier)
+
+    edges = _edge_devices(spec, topology)
+    all_pairs = [
+        (src, dst) for src in edges for dst in edges if src != dst
+    ]
+    rng = random.Random(seed)
+    if pair_limit is not None and len(all_pairs) > pair_limit:
+        pairs = rng.sample(all_pairs, pair_limit)
+    else:
+        pairs = all_pairs
+
+    queries: List[ReachabilityQuery] = []
+    invariants: List[Invariant] = []
+    for src, dst in pairs:
+        prefix = topology.external_prefixes[dst][0]
+        queries.append(ReachabilityQuery(src, dst, prefix, max_extra_hops))
+        space = ctx.ip_prefix(prefix)
+        if spec.kind == "DC":
+            # All-ToR-pair shortest-path reachability (§9.3.1).
+            inv = reachability(space, src, dst, max_extra_hops=0)
+        else:
+            inv = reachability(space, src, dst, max_extra_hops=max_extra_hops)
+        invariants.append(inv)
+    return BuiltDataset(
+        spec=spec,
+        topology=topology,
+        ctx=ctx,
+        rules_by_device=rules,
+        queries=queries,
+        invariants=invariants,
+        pairs=pairs,
+    )

@@ -1,0 +1,129 @@
+"""FIB synthesis: destination-prefix shortest-path routing with ECMP.
+
+The paper's datasets pair real/synthetic topologies with forwarding tables
+(Fig. 10).  We synthesize the tables the way the networks' routing protocols
+would: every externally-owned prefix is announced from its owner device, and
+every other device installs a longest-prefix rule pointing at its ECMP set
+of shortest-path next hops.  A rule multiplier splits each prefix into
+sub-prefixes with identical behaviour, reproducing the rule-count scaling of
+the AT1-2/AT2-2 dataset variants (same topology, ~3-12× more rules).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bdd.fields import int_to_ip, ip_to_int
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.dataplane.action import Action, GroupType
+from repro.dataplane.rule import Rule
+from repro.errors import DatasetError
+from repro.topology.graph import Topology
+
+__all__ = ["assign_prefixes", "generate_fibs", "split_prefix"]
+
+
+def assign_prefixes(topology: Topology, base_octet: int = 10) -> None:
+    """Give every device one /24 external prefix if none are attached yet
+    (WAN datasets: every PoP originates routes)."""
+    if topology.external_prefixes:
+        return
+    for index, dev in enumerate(topology.devices):
+        prefix = f"{base_octet}.{index // 256}.{index % 256}.0/24"
+        topology.attach_prefix(dev, prefix)
+
+
+def split_prefix(prefix: str, ways: int) -> List[str]:
+    """Split a CIDR prefix into ``ways`` equal sub-prefixes (ways must be a
+    power of two)."""
+    if ways <= 1:
+        return [prefix]
+    if ways & (ways - 1):
+        raise DatasetError("prefix split factor must be a power of two")
+    base_text, _, length_text = prefix.partition("/")
+    base = ip_to_int(base_text)
+    length = int(length_text)
+    extra_bits = ways.bit_length() - 1
+    if length + extra_bits > 32:
+        raise DatasetError(f"cannot split {prefix} {ways} ways")
+    step = 1 << (32 - length - extra_bits)
+    return [
+        f"{int_to_ip(base + i * step)}/{length + extra_bits}"
+        for i in range(ways)
+    ]
+
+
+def generate_fibs(
+    topology: Topology,
+    ctx: PacketSpaceContext,
+    rule_multiplier: int = 1,
+    ecmp: bool = True,
+    default_drop: bool = True,
+) -> Dict[str, List[Rule]]:
+    """Synthesize per-device rules implementing shortest-path routing toward
+    every external prefix.
+
+    Returns rules per device (not installed anywhere); rule priority encodes
+    prefix length so longest-prefix-match emerges from the priority order.
+    """
+    assign_prefixes(topology)
+    rules: Dict[str, List[Rule]] = {dev: [] for dev in topology.devices}
+    group_type = GroupType.ANY if ecmp else GroupType.ALL
+
+    for owner, prefixes in sorted(topology.external_prefixes.items()):
+        distances = topology.hop_distances_to(owner)
+        for prefix in prefixes:
+            for sub in split_prefix(prefix, rule_multiplier):
+                match = ctx.ip_prefix(sub)
+                priority = int(sub.partition("/")[2])
+                rules[owner].append(Rule(match, Action.deliver(), priority))
+                for dev in topology.devices:
+                    if dev == owner or dev not in distances:
+                        continue
+                    next_hops = [
+                        neighbor
+                        for neighbor in topology.neighbors(dev)
+                        if distances.get(neighbor, 1 << 30) == distances[dev] - 1
+                    ]
+                    if not next_hops:
+                        continue
+                    action = Action.forward(next_hops, group_type)
+                    rules[dev].append(Rule(match, action, priority))
+
+    if default_drop:
+        for dev in topology.devices:
+            rules[dev].append(Rule(ctx.universe, Action.drop(), priority=-1))
+    return rules
+
+
+def inject_errors(
+    topology: Topology,
+    rules: Mapping[str, List[Rule]],
+    ctx: PacketSpaceContext,
+    count: int,
+    seed: int,
+) -> List[Tuple[str, str]]:
+    """Corrupt ``count`` random forwarding rules in place (blackholes and
+    mis-forwardings), as §9.3.1's error injection.  Returns descriptions of
+    the injected errors for assertion in tests."""
+    rng = random.Random(seed)
+    injected: List[Tuple[str, str]] = []
+    devices = [dev for dev, dev_rules in rules.items() if len(dev_rules) > 1]
+    for _ in range(count):
+        dev = rng.choice(devices)
+        dev_rules = rules[dev]
+        index = rng.randrange(len(dev_rules))
+        victim = dev_rules[index]
+        if victim.action.is_drop:
+            continue
+        if rng.random() < 0.5 or not topology.neighbors(dev):
+            new_action = Action.drop()
+            kind = "blackhole"
+        else:
+            wrong = rng.choice(topology.neighbors(dev))
+            new_action = Action.forward_all([wrong])
+            kind = f"misforward->{wrong}"
+        dev_rules[index] = Rule(victim.match, new_action, victim.priority)
+        injected.append((dev, kind))
+    return injected

@@ -1,0 +1,56 @@
+"""Workload generators for the §9.3 experiments.
+
+Burst workloads are the datasets' full rule sets; incremental workloads come
+from :func:`repro.sim.runner.random_update_intents`; this module adds the
+fault-scene sampler used by §9.3.4 (50 scenes of ≤3 link failures, shaped
+after the Microsoft WAN failure statistics the paper cites: single-link
+failures dominate, triple failures are rare).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.topology.graph import Topology
+
+__all__ = ["sample_fault_scenes"]
+
+# Rough shape of [95]'s failure-size distribution: most scenes lose one
+# link, few lose three.
+_SIZE_WEIGHTS = {1: 0.70, 2: 0.22, 3: 0.08}
+
+
+def sample_fault_scenes(
+    topology: Topology,
+    count: int,
+    seed: int,
+    max_failures: int = 3,
+    require_connected: bool = True,
+) -> List[Tuple[Tuple[str, str], ...]]:
+    """Sample ``count`` distinct fault scenes of ≤ ``max_failures`` links.
+
+    With ``require_connected`` (the default) scenes that disconnect the
+    topology are re-drawn — the paper's recount experiments measure
+    verification of the *surviving* paths, not partition detection.
+    """
+    rng = random.Random(seed)
+    links = sorted(topology.link_set())
+    sizes = [s for s in sorted(_SIZE_WEIGHTS) if s <= max_failures]
+    weights = [_SIZE_WEIGHTS[s] for s in sizes]
+    scenes: List[Tuple[Tuple[str, str], ...]] = []
+    seen = set()
+    attempts = 0
+    while len(scenes) < count and attempts < count * 50:
+        attempts += 1
+        size = rng.choices(sizes, weights=weights)[0]
+        if size > len(links):
+            continue
+        scene = tuple(sorted(rng.sample(links, size)))
+        if scene in seen:
+            continue
+        if require_connected and not topology.without_links(scene).is_connected():
+            continue
+        seen.add(scene)
+        scenes.append(scene)
+    return scenes

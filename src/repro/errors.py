@@ -1,0 +1,57 @@
+"""Exception hierarchy for the Tulkun reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one type to handle any failure originating in this package.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SpecificationError(ReproError):
+    """An invariant specification is malformed or internally inconsistent.
+
+    Raised, e.g., when the destination IPs in a packet space do not match the
+    destination devices of the corresponding ``path_exp`` (the consistency
+    check described in §3 of the paper), or when the DSL text fails to parse.
+    """
+
+
+class RegexSyntaxError(SpecificationError):
+    """A path regular expression could not be parsed."""
+
+
+class TopologyError(ReproError):
+    """A topology operation referenced an unknown device or link."""
+
+
+class DataPlaneError(ReproError):
+    """A data plane table or rule is malformed."""
+
+
+class PlannerError(ReproError):
+    """The planner could not construct a DPVNet or decompose tasks."""
+
+
+class ProtocolError(ReproError):
+    """A DVM protocol message is malformed or violates protocol invariants.
+
+    The most important protocol invariant is the UPDATE message principle:
+    the union of withdrawn predicates must equal the union of the predicates
+    of the incoming counting results (§5.2).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be built or an unknown dataset name was used."""
+
+
+class SerializationError(ReproError):
+    """A BDD or message could not be serialized or deserialized."""

@@ -1,0 +1,29 @@
+"""Event-driven simulator: kernel, network, scenario runners, metrics."""
+
+from repro.sim.kernel import SimKernel
+from repro.sim.metrics import DeviceMetrics, MetricsCollector, cdf_points, percentile
+from repro.sim.network import SimDevice, SimNetwork
+from repro.sim.runner import (
+    BurstResult,
+    IncrementalResult,
+    TulkunRunner,
+    UpdateIntent,
+    apply_intents,
+    random_update_intents,
+)
+
+__all__ = [
+    "BurstResult",
+    "DeviceMetrics",
+    "IncrementalResult",
+    "MetricsCollector",
+    "SimDevice",
+    "SimKernel",
+    "SimNetwork",
+    "TulkunRunner",
+    "UpdateIntent",
+    "apply_intents",
+    "cdf_points",
+    "percentile",
+    "random_update_intents",
+]

@@ -1,0 +1,62 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: events are (time, sequence, callback)
+triples popped from a heap.  Equal-time events run in scheduling order, which
+keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["SimKernel"]
+
+
+class SimKernel:
+    """The simulator's clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError("negative delay")
+        self.schedule_at(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run to quiescence (or ``until``); return the final clock value."""
+        while self._queue:
+            time, _seq, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            action()
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError("event budget exhausted (livelock?)")
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now

@@ -1,0 +1,356 @@
+"""Simulated network of on-device verifiers.
+
+Each :class:`SimDevice` owns a data plane and one verifier per invariant and
+processes events *serially* — the clock advances by the measured wall time of
+every handler (scaled to model the device CPU), so the dependency-chain
+parallelism that gives Tulkun its speedup shows up faithfully: independent
+devices overlap in simulated time, chained DVM hops serialize.
+
+Links are in-order channels with propagation latency (the TCP stand-in).
+Messages crossing a failed link are dropped; verifiers resynchronize on
+recovery.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext
+from repro.core.tasks import TaskSet
+from repro.core.verifier import OnDeviceVerifier, Outgoing
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
+from repro.errors import SimulationError
+from repro.sim.kernel import SimKernel
+from repro.sim.metrics import MetricsCollector
+from repro.topology.graph import Topology, canonical_link
+
+__all__ = ["SimDevice", "SimNetwork"]
+
+
+class SimDevice:
+    """One network device: data plane + verification agents."""
+
+    def __init__(
+        self,
+        name: str,
+        plane: DevicePlane,
+        network: "SimNetwork",
+    ) -> None:
+        self.name = name
+        self.plane = plane
+        self.network = network
+        self.verifiers: Dict[str, OnDeviceVerifier] = {}
+        self.busy_until: float = 0.0
+
+    def add_task(self, task_set: TaskSet) -> None:
+        task = task_set.tasks.get(self.name)
+        if task is not None:
+            self.verifiers[task_set.invariant_name] = OnDeviceVerifier(
+                task, self.plane
+            )
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        handler: Callable[[], List[Outgoing]],
+        invariant: Optional[str] = None,
+        record_message_cost: bool = False,
+        record_init_cost: bool = False,
+    ) -> None:
+        """Run a handler now; advance device time; route outgoing messages.
+
+        The handler executes at event-pop time (device events are serial, so
+        state order equals processing order); its wall-clock cost, scaled by
+        the network's CPU factor, becomes the simulated processing time.
+        """
+        kernel = self.network.kernel
+        start = max(kernel.now, self.busy_until)
+        t0 = _time.perf_counter()
+        outgoing = handler() or []
+        cost = (_time.perf_counter() - t0) * self.network.cpu_scale
+        finish = start + cost
+        self.busy_until = finish
+
+        metrics = self.network.metrics.device(self.name)
+        metrics.events_processed += 1
+        metrics.busy_time += cost
+        if record_message_cost:
+            metrics.message_costs.append(cost)
+        if record_init_cost:
+            metrics.init_cost += cost
+        self.network.note_activity(finish)
+
+        for dest, message in outgoing:
+            self.network.send(self.name, dest, message, invariant, at=finish)
+
+
+class SimNetwork:
+    """The whole simulated deployment for a set of invariants."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        ctx: PacketSpaceContext,
+        planes: Mapping[str, DevicePlane],
+        task_sets: Sequence[TaskSet],
+        cpu_scale: float = 1.0,
+        serialize_messages: bool = False,
+        proxies: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """``serialize_messages`` round-trips every DVM message through the
+        byte codec (exact wire accounting + end-to-end codec exercise).
+
+        ``proxies`` maps devices to the hosts their verifiers run on — the
+        §7 *incremental deployment* mode where off-device instances play
+        verifier for devices without one (RCDC generalization).  Messages
+        then travel proxy-to-proxy along lowest-latency paths, and local
+        data plane events pay the device→proxy hop.
+        """
+        self.topology = topology
+        self.ctx = ctx
+        self.kernel = SimKernel()
+        self.cpu_scale = cpu_scale
+        self.serialize_messages = serialize_messages
+        self.proxies: Dict[str, str] = dict(proxies or {})
+        self._proxy_latency: Dict[str, Dict[str, float]] = {}
+        self.metrics = MetricsCollector()
+        self.devices: Dict[str, SimDevice] = {}
+        self.task_sets = list(task_sets)
+        self.failed_links: Set[Tuple[str, str]] = set()
+        self.last_activity: float = 0.0
+        # Per directed (src, dst) channel: last delivery time (FIFO/TCP).
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+
+        for name in topology.devices:
+            plane = planes.get(name)
+            if plane is None:
+                plane = DevicePlane(name, ctx)
+            device = SimDevice(name, plane, self)
+            for task_set in self.task_sets:
+                device.add_task(task_set)
+            self.devices[name] = device
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _latency_between(self, a: str, b: str) -> float:
+        """Lowest-latency path delay between two hosts (proxy routing)."""
+        if a == b:
+            return 0.0
+        table = self._proxy_latency.get(a)
+        if table is None:
+            table = self.topology.latency_distances_from(a)
+            self._proxy_latency[a] = table
+        latency = table.get(b)
+        if latency is None:
+            raise SimulationError(f"no path between proxies {a!r} and {b!r}")
+        return latency
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        message,
+        invariant: Optional[str],
+        at: float,
+    ) -> None:
+        src_host = self.proxies.get(src, src)
+        dst_host = self.proxies.get(dst, dst)
+        if self.proxies:
+            # Proxy deployment: messages ride the management paths between
+            # the hosts running the verifiers.
+            latency = self._latency_between(src_host, dst_host)
+        else:
+            if canonical_link(src, dst) in self.failed_links:
+                return  # the TCP connection is down; resync on recovery
+            if not self.topology.has_link(src, dst):
+                raise SimulationError(
+                    f"no link {src!r}-{dst!r} for DVM message"
+                )
+            latency = self.topology.latency(src, dst)
+        if self.serialize_messages:
+            from repro.core.wire import decode_message, encode_message
+
+            message = decode_message(self.ctx, encode_message(message))
+        key = (src, dst)
+        arrival = max(at + latency, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = arrival
+        metrics = self.metrics.device(src)
+        metrics.messages_sent += 1
+        size = message.wire_size() if hasattr(message, "wire_size") else 64
+        metrics.bytes_sent += size
+
+        def deliver() -> None:
+            device = self.devices[dst]
+            recv = self.metrics.device(dst)
+            recv.messages_received += 1
+            recv.bytes_received += size
+            verifier = device.verifiers.get(invariant) if invariant else None
+            if verifier is None:
+                return
+            from repro.core.dvm import SubscribeMessage, UpdateMessage
+
+            if isinstance(message, UpdateMessage):
+                device.process(
+                    lambda: verifier.handle_update(message),
+                    invariant,
+                    record_message_cost=True,
+                )
+            elif isinstance(message, SubscribeMessage):
+                device.process(
+                    lambda: verifier.handle_subscribe(message),
+                    invariant,
+                    record_message_cost=True,
+                )
+            else:
+                raise SimulationError(f"unknown message type {type(message)}")
+
+        self.kernel.schedule_at(arrival, deliver)
+
+    def note_activity(self, at: float) -> None:
+        if at > self.last_activity:
+            self.last_activity = at
+
+    # ------------------------------------------------------------------
+    # Scenario drivers
+    # ------------------------------------------------------------------
+    def initialize(self, at: float = 0.0) -> None:
+        """Kick off the initialization phase on every device."""
+        for name, device in self.devices.items():
+            for inv_name, verifier in device.verifiers.items():
+                def make(dev=device, ver=verifier, inv=inv_name):
+                    def run() -> None:
+                        dev.process(ver.initialize, inv, record_init_cost=True)
+                    return run
+                self.kernel.schedule_at(at, make())
+
+    def install_rules(self, dev: str, rules: Sequence[Rule], at: float) -> None:
+        """Burst-install rules on a device (data plane + verifier deltas)."""
+        device = self.devices[dev]
+
+        def run() -> None:
+            start = max(self.kernel.now, device.busy_until)
+            t0 = _time.perf_counter()
+            device.plane.install_many(rules)
+            all_out: List[Tuple[str, object, str]] = []
+            for inv_name, verifier in device.verifiers.items():
+                for dest, msg in verifier.initialize():
+                    all_out.append((dest, msg, inv_name))
+            cost = (_time.perf_counter() - t0) * self.cpu_scale
+            finish = start + cost
+            device.busy_until = finish
+            metrics = self.metrics.device(dev)
+            metrics.events_processed += 1
+            metrics.busy_time += cost
+            metrics.init_cost += cost
+            self.note_activity(finish)
+            for dest, msg, inv_name in all_out:
+                self.send(dev, dest, msg, inv_name, at=finish)
+
+        self.kernel.schedule_at(at, run)
+
+    def apply_rule_update(
+        self,
+        dev: str,
+        at: float,
+        install: Optional[Rule] = None,
+        remove_rule_id: Optional[int] = None,
+    ) -> None:
+        """Incremental rule update: compute LEC deltas, drive verifiers."""
+        device = self.devices[dev]
+
+        def run() -> None:
+            start = max(self.kernel.now, device.busy_until)
+            t0 = _time.perf_counter()
+            deltas = []
+            if remove_rule_id is not None:
+                deltas.extend(device.plane.remove_rule(remove_rule_id))
+            if install is not None:
+                deltas.extend(device.plane.install_rule(install))
+            all_out: List[Tuple[str, object, str]] = []
+            for inv_name, verifier in device.verifiers.items():
+                for dest, msg in verifier.handle_lec_deltas(deltas):
+                    all_out.append((dest, msg, inv_name))
+            cost = (_time.perf_counter() - t0) * self.cpu_scale
+            finish = start + cost
+            device.busy_until = finish
+            metrics = self.metrics.device(dev)
+            metrics.events_processed += 1
+            metrics.busy_time += cost
+            metrics.message_costs.append(cost)
+            self.note_activity(finish)
+            for dest, msg, inv_name in all_out:
+                self.send(dev, dest, msg, inv_name, at=finish)
+
+        self.kernel.schedule_at(at, run)
+
+    def change_link(self, a: str, b: str, is_up: bool, at: float) -> None:
+        """Fail or recover a link; both endpoints react locally."""
+        link = canonical_link(a, b)
+
+        def run() -> None:
+            if is_up:
+                self.failed_links.discard(link)
+            else:
+                self.failed_links.add(link)
+            for endpoint, other in ((a, b), (b, a)):
+                device = self.devices[endpoint]
+                for inv_name, verifier in device.verifiers.items():
+                    def make(dev=device, ver=verifier, inv=inv_name, neigh=other):
+                        def handler() -> List[Outgoing]:
+                            return ver.handle_link_change(neigh, is_up)
+                        return lambda: dev.process(handler, inv)
+                    make()()
+
+        self.kernel.schedule_at(at, run)
+
+    def activate_scene(self, scene_id: Optional[int], at: float) -> None:
+        """Switch every verifier to a precomputed fault scene (§6)."""
+
+        def run() -> None:
+            for device in self.devices.values():
+                for inv_name, verifier in device.verifiers.items():
+                    def make(dev=device, ver=verifier, inv=inv_name):
+                        def handler() -> List[Outgoing]:
+                            return ver.activate_scene(scene_id)
+                        return lambda: dev.process(handler, inv)
+                    make()()
+
+        self.kernel.schedule_at(at, run)
+
+    # ------------------------------------------------------------------
+    # Run + results
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run to quiescence; returns the time of the last activity."""
+        self.kernel.run(until=until)
+        return self.last_activity
+
+    def verdicts(self, invariant: str) -> Dict[str, Tuple[bool, list]]:
+        """Per-ingress verdicts gathered from source-node devices."""
+        verdicts: Dict[str, Tuple[bool, list]] = {}
+        for device in self.devices.values():
+            verifier = device.verifiers.get(invariant)
+            if verifier is not None:
+                verdicts.update(verifier.verdicts)
+        return verdicts
+
+    def all_hold(self, invariant: str) -> bool:
+        verdicts = self.verdicts(invariant)
+        return bool(verdicts) and all(ok for ok, _violations in verdicts.values())
+
+    def violations(self, invariant: str) -> list:
+        out = []
+        for _ingress, (_ok, violations) in self.verdicts(invariant).items():
+            out.extend(violations)
+        return out
+
+    def snapshot_memory(self) -> None:
+        """Record each verifier's memory proxy into the metrics."""
+        for name, device in self.devices.items():
+            total = sum(v.memory_proxy() for v in device.verifiers.values())
+            metrics = self.metrics.device(name)
+            metrics.memory_proxy_peak = max(metrics.memory_proxy_peak, total)

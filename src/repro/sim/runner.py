@@ -1,0 +1,278 @@
+"""High-level scenario drivers: the experiments of §9 as reusable functions.
+
+A :class:`TulkunRunner` wires planner → task sets → simulated network and
+exposes the three DPV scenarios the paper measures:
+
+* **burst update** — install the full data plane at t=0, run to quiescence;
+  verification time is the quiescence time (Fig. 11a);
+* **incremental update** — apply single rule updates to a converged network
+  and measure per-update convergence time (Fig. 11b/11c);
+* **fault scenes** — fail links, let verifiers recount (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext
+from repro.core.invariant import Invariant
+from repro.core.planner import Planner
+from repro.core.tasks import TaskSet
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
+from repro.sim.network import SimNetwork
+from repro.topology.graph import Topology
+
+__all__ = ["TulkunRunner", "BurstResult", "IncrementalResult"]
+
+
+@dataclass
+class BurstResult:
+    verification_time: float
+    holds: Dict[str, bool]
+    events: int
+    messages: int
+    bytes_sent: int
+
+
+@dataclass
+class IncrementalResult:
+    times: List[float] = field(default_factory=list)
+
+    def quantile(self, q: float) -> float:
+        from repro.sim.metrics import percentile
+
+        return percentile(self.times, q)
+
+    def fraction_below(self, threshold: float) -> float:
+        if not self.times:
+            return 0.0
+        return sum(1 for t in self.times if t < threshold) / len(self.times)
+
+
+class TulkunRunner:
+    """Plan, deploy and drive Tulkun over a simulated network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        ctx: PacketSpaceContext,
+        invariants: Sequence[Invariant],
+        cpu_scale: float = 1.0,
+        prebuilt_nets: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """``prebuilt_nets`` optionally maps invariant names to prebuilt
+        DPVNets (e.g. fault-tolerant ones from
+        :func:`repro.core.fault.compute_fault_plan`)."""
+        self.topology = topology
+        self.ctx = ctx
+        self.invariants = list(invariants)
+        self.planner = Planner(topology, ctx)
+        self.task_sets: List[TaskSet] = [
+            self.planner.decompose(
+                inv,
+                net=(prebuilt_nets or {}).get(inv.name),  # type: ignore[arg-type]
+            )
+            for inv in self.invariants
+        ]
+        self.cpu_scale = cpu_scale
+        self.network: Optional[SimNetwork] = None
+
+    # ------------------------------------------------------------------
+    def deploy(self, planes: Mapping[str, DevicePlane]) -> SimNetwork:
+        """Create the simulated network with the given data planes."""
+        self.network = SimNetwork(
+            self.topology, self.ctx, planes, self.task_sets, self.cpu_scale
+        )
+        return self.network
+
+    def burst_update(
+        self,
+        rules_by_device: Mapping[str, Sequence[Rule]],
+    ) -> BurstResult:
+        """§9.3.2: all forwarding rules installed at once at t=0."""
+        planes: Dict[str, DevicePlane] = {}
+        network = self.deploy(planes)
+        for dev, rules in rules_by_device.items():
+            network.install_rules(dev, list(rules), at=0.0)
+        # Devices without rules still initialize (they announce zero counts).
+        for dev in self.topology.devices:
+            if dev not in rules_by_device:
+                network.install_rules(dev, [], at=0.0)
+        finish = network.run()
+        network.snapshot_memory()
+        return BurstResult(
+            verification_time=finish,
+            holds={
+                inv.name: network.all_hold(inv.name) for inv in self.invariants
+            },
+            events=network.kernel.events_processed,
+            messages=network.metrics.total_messages(),
+            bytes_sent=network.metrics.total_bytes(),
+        )
+
+    def incremental_updates(
+        self,
+        updates: Sequence[Tuple[str, Optional[Rule], Optional[int]]],
+    ) -> IncrementalResult:
+        """Apply updates one by one to the (already deployed and converged)
+        network; measure per-update convergence time.
+
+        Each update is ``(device, rule_to_install, rule_id_to_remove)``.
+        """
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        result = IncrementalResult()
+        for dev, install, remove_id in updates:
+            start = network.last_activity
+            network.apply_rule_update(
+                dev, at=start, install=install, remove_rule_id=remove_id
+            )
+            finish = network.run()
+            result.times.append(max(0.0, finish - start))
+        network.snapshot_memory()
+        return result
+
+    def fail_links(
+        self, links: Sequence[Tuple[str, str]], scene_id: Optional[int] = None
+    ) -> float:
+        """Fail a set of links (a fault scene); return recount duration.
+
+        With ``scene_id`` given, verifiers also switch to the precomputed
+        fault-tolerant DPVNet labels for that scene after the (simulated)
+        link-state flood.
+        """
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        start = network.last_activity
+        for a, b in links:
+            network.change_link(a, b, is_up=False, at=start)
+        if scene_id is not None:
+            flood = start + self._flood_latency()
+            network.activate_scene(scene_id, at=flood)
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def recover_links(self, links: Sequence[Tuple[str, str]]) -> float:
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        start = network.last_activity
+        for a, b in links:
+            network.change_link(a, b, is_up=True, at=start)
+        if any(
+            ts for ts in self.task_sets
+        ):
+            network.activate_scene(None, at=start + self._flood_latency())
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def _flood_latency(self) -> float:
+        """Approximate link-state flood completion: diameter × max latency."""
+        max_latency = max(
+            (link.latency for link in self.topology.links()), default=0.0
+        )
+        return self.topology.diameter_hops() * max_latency
+
+
+@dataclass(frozen=True)
+class UpdateIntent:
+    """A deferred single-rule update: resolved against the live data plane
+    at apply time (rule ids churn as updates are applied).
+
+    ``neutral`` intents reinstall the same rule under a new id — a
+    behaviour-preserving update (the common case in real churn: route
+    refreshes, priority reshuffles).  The device still recomputes its LEC
+    delta, but nothing propagates.
+    """
+
+    dev: str
+    rule_index: int
+    new_next_hops: Tuple[str, ...]  # empty tuple = drop
+    neutral: bool = False
+
+
+def random_update_intents(
+    topology: Topology,
+    planes: Mapping[str, DevicePlane],
+    count: int,
+    seed: int,
+    drop_fraction: float = 0.05,
+    neutral_fraction: float = 0.5,
+) -> List[UpdateIntent]:
+    """§9.2/§9.3.3 incremental workload: ``count`` random rule updates.
+
+    A ``neutral_fraction`` of them are behaviour-preserving reinstalls (the
+    dominant case in production churn — the paper notes that "for most rule
+    updates, the number of affected devices is small"); the rest re-point a
+    random installed rule at a random neighbor (occasionally a drop,
+    injecting an error the verifiers must catch).
+    """
+    rng = random.Random(seed)
+    devices = sorted(dev for dev, plane in planes.items() if plane.num_rules)
+    if not devices:
+        raise ValueError("no device has rules to update")
+    intents: List[UpdateIntent] = []
+    for _ in range(count):
+        dev = rng.choice(devices)
+        if rng.random() < neutral_fraction:
+            intents.append(UpdateIntent(dev, rng.randrange(10**6), (), True))
+            continue
+        neighbors = topology.neighbors(dev)
+        if rng.random() < drop_fraction or not neighbors:
+            hops: Tuple[str, ...] = ()
+        else:
+            hops = (rng.choice(neighbors),)
+        intents.append(
+            UpdateIntent(dev, rng.randrange(10**6), hops)
+        )
+    return intents
+
+
+def apply_intents(
+    runner: TulkunRunner, intents: Sequence[UpdateIntent], restore: bool = True
+) -> IncrementalResult:
+    """Apply intents one at a time; with ``restore`` each change is undone by
+    a follow-up (also measured) update, keeping the FIB near its converged
+    state as the paper's per-update methodology does."""
+    from repro.dataplane.action import Action
+
+    network = runner.network
+    if network is None:
+        raise RuntimeError("deploy/burst_update the network first")
+    result = IncrementalResult()
+
+    def one_update(dev: str, install: Rule, remove_id: int) -> None:
+        start = network.last_activity
+        network.apply_rule_update(dev, at=start, install=install, remove_rule_id=remove_id)
+        finish = network.run()
+        result.times.append(max(0.0, finish - start))
+
+    for intent in intents:
+        plane = network.devices[intent.dev].plane
+        rules = plane.rules
+        if not rules:
+            continue
+        rule = rules[intent.rule_index % len(rules)]
+        if intent.neutral:
+            # Behaviour-preserving reinstall: still a rule update the
+            # verifier must process (and prove quiet), so it is measured.
+            clone = Rule(rule.match, rule.action, rule.priority)
+            one_update(intent.dev, clone, rule.rule_id)
+            continue
+        if intent.new_next_hops:
+            new_action = Action.forward_all(intent.new_next_hops)
+        else:
+            new_action = Action.drop()
+        if new_action == rule.action:
+            continue  # no-op re-point carries no extra signal
+        changed = Rule(rule.match, new_action, rule.priority)
+        one_update(intent.dev, changed, rule.rule_id)
+        if restore:
+            restored = Rule(rule.match, rule.action, rule.priority)
+            one_update(intent.dev, restored, changed.rule_id)
+    return result

@@ -1,0 +1,45 @@
+"""Network topologies: the graph model, generators and the WAN zoo."""
+
+from repro.topology.generators import (
+    anycast_example,
+    clos,
+    fattree,
+    fig2a_example,
+    grid,
+    line,
+    random_wan,
+    ring,
+    star,
+)
+from repro.topology.generators import clos3
+from repro.topology.graph import Link, Topology, canonical_link
+from repro.topology.zoo import (
+    WAN_BUILDERS,
+    b4_13,
+    b4_18,
+    inet2,
+    rocketfuel_like,
+    stanford,
+)
+
+__all__ = [
+    "Link",
+    "Topology",
+    "WAN_BUILDERS",
+    "anycast_example",
+    "b4_13",
+    "b4_18",
+    "canonical_link",
+    "clos",
+    "clos3",
+    "fattree",
+    "fig2a_example",
+    "grid",
+    "inet2",
+    "line",
+    "random_wan",
+    "ring",
+    "rocketfuel_like",
+    "stanford",
+    "star",
+]

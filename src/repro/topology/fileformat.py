@@ -1,0 +1,76 @@
+"""Plain-text topology format for the CLI and examples.
+
+::
+
+    # comment
+    topology my-wan
+    link A B 0.015          # endpoints + latency in seconds (optional)
+    link B C
+    prefix D 10.0.0.0/24    # external prefix attachment
+
+Latency defaults to 10 µs (the paper's LAN/DC figure) when omitted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+__all__ = ["parse_topology_text", "format_topology_text"]
+
+_DEFAULT_LATENCY = 1e-5
+
+
+def parse_topology_text(text: str) -> Topology:
+    topo = Topology("net")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0].lower()
+        if keyword == "topology":
+            if len(parts) != 2:
+                raise TopologyError(f"line {lineno}: topology needs a name")
+            topo.name = parts[1]
+        elif keyword == "link":
+            if len(parts) not in (3, 4):
+                raise TopologyError(f"line {lineno}: link A B [latency]")
+            latency = _DEFAULT_LATENCY
+            if len(parts) == 4:
+                try:
+                    latency = float(parts[3])
+                except ValueError as exc:
+                    raise TopologyError(
+                        f"line {lineno}: bad latency {parts[3]!r}"
+                    ) from exc
+            topo.add_link(parts[1], parts[2], latency)
+        elif keyword == "device":
+            if len(parts) != 2:
+                raise TopologyError(f"line {lineno}: device NAME")
+            topo.add_device(parts[1])
+        elif keyword == "prefix":
+            if len(parts) != 3:
+                raise TopologyError(f"line {lineno}: prefix DEVICE CIDR")
+            topo.attach_prefix(parts[1], parts[2])
+        else:
+            raise TopologyError(f"line {lineno}: unknown keyword {keyword!r}")
+    return topo
+
+
+def format_topology_text(topo: Topology) -> str:
+    lines: List[str] = [f"topology {topo.name}"]
+    linked = set()
+    for link in topo.links():
+        lines.append(f"link {link.a} {link.b} {link.latency:g}")
+        linked.add(link.a)
+        linked.add(link.b)
+    for dev in topo.devices:
+        if dev not in linked:
+            lines.append(f"device {dev}")
+    for dev in sorted(topo.external_prefixes):
+        for prefix in topo.external_prefixes[dev]:
+            lines.append(f"prefix {dev} {prefix}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,207 @@
+"""Topology generators: the paper's running example, fattrees, Clos fabrics
+and parameterized random WANs.
+
+All generators return :class:`~repro.topology.graph.Topology` objects.  DC
+links get the paper's 10 µs latency; WAN generators take a latency sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+__all__ = [
+    "fig2a_example",
+    "anycast_example",
+    "fattree",
+    "clos",
+    "line",
+    "ring",
+    "star",
+    "random_wan",
+    "grid",
+]
+
+DC_LATENCY = 1e-5  # 10 microseconds, §9.3.1
+
+
+def fig2a_example() -> Topology:
+    """The 5-device network of Figure 2a (S, A, B, W, D).
+
+    Links: S-A, A-B, A-W, B-W, B-D, W-D.  D owns the example prefixes.
+    """
+    topo = Topology("fig2a")
+    for a, b in [("S", "A"), ("A", "B"), ("A", "W"), ("B", "W"), ("B", "D"), ("W", "D")]:
+        topo.add_link(a, b, DC_LATENCY)
+    topo.attach_prefix("D", "10.0.0.0/23")
+    topo.attach_prefix("B", "10.0.2.0/24")
+    return topo
+
+
+def anycast_example() -> Topology:
+    """The Figure 5a network: S with two candidate egress devices D and E."""
+    topo = Topology("fig5a")
+    for a, b in [("S", "A"), ("A", "D"), ("A", "E")]:
+        topo.add_link(a, b, DC_LATENCY)
+    topo.attach_prefix("D", "10.1.0.0/24")
+    topo.attach_prefix("E", "10.1.0.0/24")
+    return topo
+
+
+def fattree(k: int) -> Topology:
+    """A k-ary fattree [Al-Fares et al. 2008]: (k/2)^2 core switches, k pods
+    of k/2 aggregation + k/2 edge switches.  FT-48 in the paper; we sweep
+    smaller k for tractability (see DESIGN.md substitutions).
+
+    Device naming: ``core_i``, ``agg_p_i``, ``edge_p_i``.
+    Each edge switch owns one /24 external prefix.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError("fattree arity k must be a positive even number")
+    half = k // 2
+    topo = Topology(f"ft{k}")
+    cores = [f"core_{i}" for i in range(half * half)]
+    for pod in range(k):
+        aggs = [f"agg_{pod}_{i}" for i in range(half)]
+        edges = [f"edge_{pod}_{i}" for i in range(half)]
+        for agg in aggs:
+            for edge in edges:
+                topo.add_link(agg, edge, DC_LATENCY)
+        # agg i connects to cores [i*half, (i+1)*half)
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[i * half + j], DC_LATENCY)
+    for pod in range(k):
+        for i in range(half):
+            edge = f"edge_{pod}_{i}"
+            subnet = pod * half + i
+            topo.attach_prefix(edge, f"10.{subnet // 256}.{subnet % 256}.0/24")
+    return topo
+
+
+def clos(
+    num_spines: int, num_leaves: int, latency: float = DC_LATENCY
+) -> Topology:
+    """A 2-tier leaf-spine Clos fabric; stands in for the paper's NGDC when
+    combined with :func:`clos3` below for the 3-tier case."""
+    if num_spines < 1 or num_leaves < 1:
+        raise TopologyError("Clos fabric needs at least one spine and leaf")
+    topo = Topology(f"clos_{num_spines}x{num_leaves}")
+    for leaf_idx in range(num_leaves):
+        leaf = f"leaf_{leaf_idx}"
+        for spine_idx in range(num_spines):
+            topo.add_link(leaf, f"spine_{spine_idx}", latency)
+        topo.attach_prefix(leaf, f"10.{leaf_idx // 256}.{leaf_idx % 256}.0/24")
+    return topo
+
+
+def clos3(
+    num_supers: int,
+    num_pods: int,
+    spines_per_pod: int,
+    leaves_per_pod: int,
+    latency: float = DC_LATENCY,
+) -> Topology:
+    """A 3-tier Clos (super-spine / pod-spine / leaf), the NGDC stand-in."""
+    topo = Topology(f"clos3_{num_supers}_{num_pods}_{spines_per_pod}_{leaves_per_pod}")
+    for pod in range(num_pods):
+        spines = [f"spine_{pod}_{i}" for i in range(spines_per_pod)]
+        leaves = [f"leaf_{pod}_{i}" for i in range(leaves_per_pod)]
+        for spine in spines:
+            for leaf in leaves:
+                topo.add_link(spine, leaf, latency)
+            for sup in range(num_supers):
+                topo.add_link(spine, f"super_{sup}", latency)
+    subnet = 0
+    for pod in range(num_pods):
+        for i in range(leaves_per_pod):
+            topo.attach_prefix(
+                f"leaf_{pod}_{i}", f"10.{subnet // 256}.{subnet % 256}.0/24"
+            )
+            subnet += 1
+    return topo
+
+
+def line(n: int, latency: float = DC_LATENCY) -> Topology:
+    """A chain d0 - d1 - ... - d(n-1)."""
+    if n < 1:
+        raise TopologyError("line needs at least one device")
+    topo = Topology(f"line{n}")
+    topo.add_device("d0")
+    for i in range(1, n):
+        topo.add_link(f"d{i - 1}", f"d{i}", latency)
+    return topo
+
+
+def ring(n: int, latency: float = DC_LATENCY) -> Topology:
+    """A cycle of n devices."""
+    if n < 3:
+        raise TopologyError("ring needs at least three devices")
+    topo = line(n, latency)
+    topo.add_link(f"d{n - 1}", "d0", latency)
+    topo.name = f"ring{n}"
+    return topo
+
+
+def star(n_leaves: int, latency: float = DC_LATENCY) -> Topology:
+    """A hub connected to ``n_leaves`` leaf devices."""
+    if n_leaves < 1:
+        raise TopologyError("star needs at least one leaf")
+    topo = Topology(f"star{n_leaves}")
+    for i in range(n_leaves):
+        topo.add_link("hub", f"leaf_{i}", latency)
+    return topo
+
+
+def grid(rows: int, cols: int, latency: float = DC_LATENCY) -> Topology:
+    """A rows×cols mesh (the chained-diamond stress shape from §4.2's
+    discussion of counting-result explosion is a 2×n grid)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    topo = Topology(f"grid{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_device(f"g{r}_{c}")
+            if r > 0:
+                topo.add_link(f"g{r - 1}_{c}", f"g{r}_{c}", latency)
+            if c > 0:
+                topo.add_link(f"g{r}_{c - 1}", f"g{r}_{c}", latency)
+    return topo
+
+
+def random_wan(
+    n: int,
+    extra_edges: int,
+    seed: int,
+    latency_sampler: Optional[Callable[[random.Random], float]] = None,
+    name: Optional[str] = None,
+) -> Topology:
+    """A connected random WAN: a random spanning tree plus ``extra_edges``
+    chords, with latencies drawn from ``latency_sampler`` (default: 1-40 ms,
+    the shape of public WAN ping statistics used by the paper).
+
+    Deterministic for a given seed, which the dataset registry relies on.
+    """
+    if n < 2:
+        raise TopologyError("random WAN needs at least two devices")
+    rng = random.Random(seed)
+    if latency_sampler is None:
+        latency_sampler = lambda r: r.uniform(0.001, 0.040)  # noqa: E731
+    topo = Topology(name or f"wan{n}_{seed}")
+    names = [f"r{i}" for i in range(n)]
+    # Random spanning tree: connect each new node to a random existing one.
+    for i in range(1, n):
+        j = rng.randrange(i)
+        topo.add_link(names[i], names[j], latency_sampler(rng))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 20:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if not topo.has_link(a, b):
+            topo.add_link(a, b, latency_sampler(rng))
+            added += 1
+    return topo

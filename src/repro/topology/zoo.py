@@ -1,0 +1,150 @@
+"""Embedded WAN/LAN topologies shaped after the paper's datasets (Fig. 10).
+
+INet2, B4 and STFD use explicit edge lists modeled on the public topologies
+(Internet2/Abilene, Google B4, the Stanford backbone).  The Rocketfuel-style
+AS topologies (AT1/AT2), BTNA, NTT and OTEG are synthesized with fixed seeds
+at their approximate published sizes — the originals are measurement data we
+do not ship, and the substitution preserves what matters for the experiments:
+node/link counts, diameter and latency spread (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.generators import random_wan
+from repro.topology.graph import Topology
+
+__all__ = ["inet2", "b4_13", "b4_18", "stanford", "rocketfuel_like", "WAN_BUILDERS"]
+
+
+def _build(name: str, edges: Sequence[Tuple[str, str, float]]) -> Topology:
+    topo = Topology(name)
+    for a, b, latency in edges:
+        topo.add_link(a, b, latency)
+    return topo
+
+
+def inet2() -> Topology:
+    """The 9-PoP Internet2 layer-3 WAN used by the testbed experiments (§9.2).
+
+    Latencies approximate great-circle propagation between the PoPs.
+    """
+    ms = 1e-3
+    edges = [
+        ("SEAT", "SALT", 18 * ms),
+        ("SEAT", "LOSA", 28 * ms),
+        ("LOSA", "SALT", 15 * ms),
+        ("LOSA", "HOUS", 33 * ms),
+        ("SALT", "KANS", 14 * ms),
+        ("KANS", "HOUS", 17 * ms),
+        ("KANS", "CHIC", 11 * ms),
+        ("HOUS", "ATLA", 19 * ms),
+        ("CHIC", "ATLA", 16 * ms),
+        ("CHIC", "WASH", 15 * ms),
+        ("ATLA", "WASH", 12 * ms),
+        ("CHIC", "NEWY", 17 * ms),
+        ("WASH", "NEWY", 5 * ms),
+    ]
+    return _build("INet2", edges)
+
+
+def b4_13() -> Topology:
+    """A 13-site rendition of Google's B4 inter-datacenter WAN (2013)."""
+    ms = 1e-3
+    edges = [
+        ("b1", "b2", 5 * ms), ("b1", "b3", 12 * ms), ("b2", "b3", 10 * ms),
+        ("b2", "b4", 25 * ms), ("b3", "b4", 22 * ms), ("b3", "b5", 18 * ms),
+        ("b4", "b5", 8 * ms), ("b4", "b6", 30 * ms), ("b5", "b6", 26 * ms),
+        ("b5", "b7", 14 * ms), ("b6", "b7", 12 * ms), ("b6", "b8", 40 * ms),
+        ("b7", "b8", 38 * ms), ("b7", "b9", 20 * ms), ("b8", "b9", 16 * ms),
+        ("b8", "b10", 24 * ms), ("b9", "b10", 10 * ms), ("b9", "b11", 28 * ms),
+        ("b10", "b11", 14 * ms), ("b10", "b12", 32 * ms), ("b11", "b12", 18 * ms),
+        ("b11", "b13", 22 * ms), ("b12", "b13", 9 * ms), ("b1", "b5", 35 * ms),
+        ("b2", "b7", 42 * ms),
+    ]
+    return _build("B4-13", edges)
+
+
+def b4_18() -> Topology:
+    """An 18-site rendition of B4-and-after (2018)."""
+    base = b4_13()
+    topo = Topology("B4-18")
+    for link in base.links():
+        topo.add_link(link.a, link.b, link.latency)
+    ms = 1e-3
+    extra = [
+        ("b14", "b1", 20 * ms), ("b14", "b3", 15 * ms),
+        ("b15", "b4", 12 * ms), ("b15", "b6", 17 * ms),
+        ("b16", "b8", 21 * ms), ("b16", "b10", 11 * ms),
+        ("b17", "b11", 13 * ms), ("b17", "b13", 19 * ms),
+        ("b18", "b12", 16 * ms), ("b18", "b14", 45 * ms),
+        ("b15", "b16", 27 * ms), ("b17", "b18", 23 * ms),
+    ]
+    for a, b, latency in extra:
+        topo.add_link(a, b, latency)
+    return topo
+
+
+def stanford() -> Topology:
+    """A 16-router campus backbone shaped after the Stanford dataset (STFD):
+    two backbone routers, each connected to all fourteen zone routers, plus a
+    backbone interconnect.  10 µs links (LAN)."""
+    us = 1e-6
+    topo = Topology("STFD")
+    zones = [f"zone_{i}" for i in range(14)]
+    topo.add_link("bbra", "bbrb", 10 * us)
+    for zone in zones:
+        topo.add_link("bbra", zone, 10 * us)
+        topo.add_link("bbrb", zone, 10 * us)
+    return topo
+
+
+def rocketfuel_like(name: str, n: int, extra_edges: int, seed: int) -> Topology:
+    """A Rocketfuel-flavoured ISP backbone: preferential-attachment core with
+    latencies in the 1-40 ms band.  Deterministic per (n, seed)."""
+    rng = random.Random(seed)
+    topo = Topology(name)
+    names = [f"{name.lower()}_{i}" for i in range(n)]
+    degrees: Dict[str, int] = {}
+
+    def sampler() -> float:
+        return rng.uniform(0.001, 0.040)
+
+    # Preferential attachment tree.
+    topo.add_device(names[0])
+    degrees[names[0]] = 0
+    for i in range(1, n):
+        population = list(degrees)
+        weights = [degrees[d] + 1 for d in population]
+        target = rng.choices(population, weights=weights)[0]
+        topo.add_link(names[i], target, sampler())
+        degrees[names[i]] = degrees.get(names[i], 0) + 1
+        degrees[target] += 1
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 30:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if not topo.has_link(a, b):
+            topo.add_link(a, b, sampler())
+            added += 1
+    return topo
+
+
+# Builders for every WAN/LAN dataset name used by the registry; DC fabrics
+# come from repro.topology.generators.
+WAN_BUILDERS = {
+    "INet2": inet2,
+    "B4-13": b4_13,
+    "B4-18": b4_18,
+    "STFD": stanford,
+    "AT1-1": lambda: rocketfuel_like("AT1", 25, 20, seed=11),
+    "AT1-2": lambda: rocketfuel_like("AT1", 25, 20, seed=11),
+    "AT2-1": lambda: rocketfuel_like("AT2", 55, 45, seed=22),
+    "AT2-2": lambda: rocketfuel_like("AT2", 55, 45, seed=22),
+    "BTNA": lambda: rocketfuel_like("BTNA", 36, 30, seed=33),
+    "NTT": lambda: rocketfuel_like("NTT", 47, 50, seed=44),
+    "OTEG": lambda: rocketfuel_like("OTEG", 93, 70, seed=55),
+}

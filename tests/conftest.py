@@ -1,0 +1,115 @@
+"""Shared fixtures: the paper's running example and small helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.bdd.fields import ip_to_int
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.topology import Topology, fig2a_example
+
+
+@pytest.fixture
+def ctx() -> PacketSpaceContext:
+    return PacketSpaceContext()
+
+
+@pytest.fixture
+def dst_ctx() -> PacketSpaceContext:
+    """Compact destination-only layout (used by the large-scale paths)."""
+    return PacketSpaceContext(HeaderLayout.dst_only())
+
+
+@pytest.fixture
+def fig2a() -> Topology:
+    return fig2a_example()
+
+
+def build_fig2_planes(ctx: PacketSpaceContext) -> Dict[str, DevicePlane]:
+    """The §2 example data plane (Figure 2a), exactly as in the paper."""
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    p2 = ctx.ip_prefix("10.0.0.0/24")
+    p3 = ctx.ip_prefix("10.0.1.0/24") & ctx.value("dst_port", 80)
+    p4 = ctx.ip_prefix("10.0.1.0/24") - ctx.value("dst_port", 80)
+    planes = {name: DevicePlane(name, ctx) for name in "SABWD"}
+    planes["S"].install_many([Rule(p1, Action.forward_all(["A"]), 10)])
+    planes["A"].install_many(
+        [
+            Rule(p2, Action.forward_all(["B", "W"]), 20),
+            Rule(p3, Action.forward_any(["B", "W"]), 20),
+            Rule(p4, Action.forward_all(["W"]), 20),
+        ]
+    )
+    planes["B"].install_many([Rule(p3 | p4, Action.forward_all(["D"]), 10)])
+    planes["W"].install_many([Rule(p1, Action.forward_all(["D"]), 10)])
+    planes["D"].install_many([Rule(p1, Action.deliver(), 10)])
+    return planes
+
+
+@pytest.fixture
+def fig2_planes(ctx: PacketSpaceContext) -> Dict[str, DevicePlane]:
+    return build_fig2_planes(ctx)
+
+
+@pytest.fixture
+def fig2_spaces(ctx: PacketSpaceContext):
+    """P1..P4 from Figure 2c."""
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    p2 = ctx.ip_prefix("10.0.0.0/24")
+    p3 = ctx.ip_prefix("10.0.1.0/24") & ctx.value("dst_port", 80)
+    p4 = ctx.ip_prefix("10.0.1.0/24") - ctx.value("dst_port", 80)
+    return p1, p2, p3, p4
+
+
+def packet(dst_ip: str, dst_port: int = 0) -> Dict[str, int]:
+    """A concrete packet dict for the default layout."""
+    return {
+        "dst_ip": ip_to_int(dst_ip),
+        "dst_port": dst_port,
+        "src_ip": 0,
+        "src_port": 0,
+        "proto": 0,
+    }
+
+
+def random_dataplane(
+    topology: Topology,
+    ctx: PacketSpaceContext,
+    prefixes: List[str],
+    seed: int,
+    deliver_at: Dict[str, str] | None = None,
+    any_fraction: float = 0.3,
+    drop_fraction: float = 0.1,
+) -> Dict[str, DevicePlane]:
+    """A random (possibly buggy) data plane for property tests.
+
+    Each device gets one rule per prefix with a random action: forward to a
+    random neighbor subset (ALL or ANY), drop, or deliver when it owns the
+    prefix per ``deliver_at``.
+    """
+    rng = random.Random(seed)
+    planes = {name: DevicePlane(name, ctx) for name in topology.devices}
+    for prefix in prefixes:
+        match = ctx.ip_prefix(prefix)
+        owner = (deliver_at or {}).get(prefix)
+        for dev in topology.devices:
+            if dev == owner:
+                planes[dev].install_many([Rule(match, Action.deliver(), 10)])
+                continue
+            roll = rng.random()
+            neighbors = topology.neighbors(dev)
+            if roll < drop_fraction or not neighbors:
+                action = Action.drop()
+            else:
+                size = rng.randint(1, min(2, len(neighbors)))
+                group = rng.sample(neighbors, size)
+                if rng.random() < any_fraction and len(group) > 1:
+                    action = Action.forward_any(group)
+                else:
+                    action = Action.forward_all(group)
+            planes[dev].install_many([Rule(match, action, 10)])
+    return planes

@@ -1,0 +1,113 @@
+"""Actions, transforms and rules."""
+
+import pytest
+
+from repro.dataplane import EXTERNAL, Action, GroupType, Rule, Transform
+from repro.errors import DataPlaneError
+
+
+class TestActionConstruction:
+    def test_forward_all(self):
+        action = Action.forward_all(["B", "A"])
+        assert action.group == ("A", "B")  # sorted
+        assert action.group_type is GroupType.ALL
+        assert not action.is_drop
+
+    def test_forward_any(self):
+        action = Action.forward_any(["X"])
+        assert action.group_type is GroupType.ANY
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(DataPlaneError):
+            Action.forward([])
+
+    def test_duplicate_next_hops_rejected(self):
+        with pytest.raises(DataPlaneError):
+            Action(("A", "A"), GroupType.ALL)
+
+    def test_drop(self):
+        action = Action.drop()
+        assert action.is_drop
+        assert not action.delivers
+        assert action.internal_next_hops() == ()
+
+    def test_deliver(self):
+        action = Action.deliver()
+        assert action.delivers
+        assert action.internal_next_hops() == ()
+
+    def test_mixed_deliver_and_forward(self):
+        action = Action.forward_all(["B", EXTERNAL])
+        assert action.delivers
+        assert action.internal_next_hops() == ("B",)
+
+    def test_without_next_hop(self):
+        action = Action.forward_all(["A", "B"])
+        assert action.without_next_hop("A").group == ("B",)
+        assert action.without_next_hop("A").without_next_hop("B").is_drop
+
+    def test_hashable_for_lec_grouping(self):
+        a = Action.forward_all(["A", "B"])
+        b = Action.forward_all(["B", "A"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Action.forward_any(["A", "B"])
+
+    def test_str_forms(self):
+        assert str(Action.drop()) == "drop"
+        assert "ALL" in str(Action.forward_all(["A"]))
+        assert "ANY" in str(Action.forward_any(["A", "B"]))
+
+
+class TestTransform:
+    def test_apply_sets_field(self, ctx):
+        t = Transform.set_fields(dst_port=8080)
+        src = ctx.ip_prefix("10.0.0.0/24") & ctx.value("dst_port", 80)
+        image = t.apply(src)
+        assert image == ctx.ip_prefix("10.0.0.0/24") & ctx.value("dst_port", 8080)
+
+    def test_apply_erases_old_value(self, ctx):
+        t = Transform.set_fields(dst_port=8080)
+        src = ctx.value("dst_port", 80) | ctx.value("dst_port", 443)
+        image = t.apply(src)
+        assert image == ctx.value("dst_port", 8080)
+
+    def test_preimage_inverts_apply(self, ctx):
+        t = Transform.set_fields(dst_port=8080)
+        target = ctx.ip_prefix("10.0.0.0/24") & ctx.value("dst_port", 8080)
+        pre = t.preimage(target)
+        # Any dst_port maps in, as long as dst_ip matches.
+        assert pre == ctx.ip_prefix("10.0.0.0/24")
+
+    def test_preimage_of_disjoint_target_empty(self, ctx):
+        t = Transform.set_fields(dst_port=8080)
+        target = ctx.value("dst_port", 443)  # unreachable after rewrite
+        assert t.preimage(target).is_empty
+
+    def test_apply_then_preimage_superset(self, ctx):
+        t = Transform.set_fields(dst_ip=0x0A000001)
+        src = ctx.value("dst_port", 80)
+        assert t.preimage(t.apply(src)).covers(src)
+
+    def test_multi_field(self, ctx):
+        t = Transform.set_fields(dst_port=80, proto=6)
+        image = t.apply(ctx.universe)
+        assert image == ctx.value("dst_port", 80) & ctx.value("proto", 6)
+
+    def test_str(self):
+        assert "dst_port=80" in str(Transform.set_fields(dst_port=80))
+
+
+class TestRule:
+    def test_ids_unique(self, ctx):
+        a = Rule(ctx.universe, Action.drop())
+        b = Rule(ctx.universe, Action.drop())
+        assert a.rule_id != b.rule_id
+
+    def test_sort_key_priority_then_recency(self, ctx):
+        low = Rule(ctx.universe, Action.drop(), priority=1)
+        high = Rule(ctx.universe, Action.drop(), priority=9)
+        newer_high = Rule(ctx.universe, Action.drop(), priority=9)
+        ordered = sorted([low, newer_high, high], key=Rule.sort_key)
+        assert ordered[0] is newer_high  # ties break to newest
+        assert ordered[-1] is low

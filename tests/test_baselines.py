@@ -1,0 +1,158 @@
+"""Centralized baselines: each tool must agree with the trace-level ground
+truth (and hence with Tulkun) on correct and corrupted data planes."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    ApKeepVerifier,
+    ApVerifier,
+    CollectionModel,
+    DeltaNetVerifier,
+    FlashVerifier,
+    ReachabilityQuery,
+    VeriFlowVerifier,
+    compute_atomic_predicates,
+)
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.datasets import build_dataset
+from repro.topology import fig2a_example
+
+
+def fresh_planes(ds):
+    planes = {}
+    for dev, rules in ds.rules_by_device.items():
+        plane = DevicePlane(dev, ds.ctx)
+        plane.install_many(
+            [Rule(r.match, r.action, r.priority) for r in rules]
+        )
+        planes[dev] = plane
+    return planes
+
+
+@pytest.fixture(scope="module")
+def inet2():
+    return build_dataset("INet2", pair_limit=8, seed=3)
+
+
+class TestAtomicPredicates:
+    def test_atoms_partition_space(self, inet2):
+        planes = fresh_planes(inet2)
+        atoms = compute_atomic_predicates(inet2.ctx, planes)
+        union = inet2.ctx.union(atoms)
+        assert union.is_universe
+        for i, a in enumerate(atoms):
+            for b in atoms[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_atoms_respect_lec_boundaries(self, inet2):
+        """Every atom lies inside a single LEC on every device."""
+        planes = fresh_planes(inet2)
+        atoms = compute_atomic_predicates(inet2.ctx, planes)
+        for atom in atoms:
+            for plane in planes.values():
+                assert len(plane.fwd(atom)) == 1
+
+
+class TestCollectionModel:
+    def test_burst_collection_dominated_by_farthest(self, inet2):
+        planes = fresh_planes(inet2)
+        model = CollectionModel(inet2.topology, inet2.topology.devices[0])
+        t = model.burst_collection_time(planes)
+        latencies = inet2.topology.latency_distances_from(
+            inet2.topology.devices[0]
+        )
+        assert t >= max(latencies.values())
+
+    def test_update_latency_positive(self, inet2):
+        model = CollectionModel(inet2.topology, inet2.topology.devices[0])
+        for dev in inet2.topology.devices[1:]:
+            assert model.update_latency(dev) > 0
+
+
+@pytest.mark.parametrize("tool_cls", ALL_BASELINES, ids=lambda c: c.name)
+class TestAllTools:
+    def test_correct_plane_passes(self, inet2, tool_cls):
+        tool = tool_cls(inet2.topology, inet2.ctx, inet2.queries)
+        report = tool.burst_verify(fresh_planes(inet2))
+        assert report.holds, report.errors[:3]
+        assert report.verification_time > 0
+
+    def test_blackhole_detected(self, inet2, tool_cls):
+        planes = fresh_planes(inet2)
+        # Blackhole one transit rule on the path of the first query.
+        query = inet2.queries[0]
+        victim_dev = query.ingress
+        plane = planes[victim_dev]
+        target = inet2.ctx.ip_prefix(query.prefix)
+        for rule in plane.rules:
+            if rule.match == target:
+                plane.replace_rule(
+                    rule.rule_id, Rule(rule.match, Action.drop(), rule.priority)
+                )
+                break
+        tool = tool_cls(inet2.topology, inet2.ctx, inet2.queries)
+        report = tool.burst_verify(planes)
+        assert not report.holds
+
+    def test_incremental_error_then_fix(self, inet2, tool_cls):
+        """Break a rule incrementally, then restore it: the tool must flag
+        the break and accept the fix."""
+        planes = fresh_planes(inet2)
+        tool = tool_cls(inet2.topology, inet2.ctx, inet2.queries)
+        assert tool.burst_verify(planes).holds
+        query = inet2.queries[0]
+        plane = planes[query.ingress]
+        target = inet2.ctx.ip_prefix(query.prefix)
+        victim = next(r for r in plane.rules if r.match == target)
+        broken = Rule(victim.match, Action.drop(), victim.priority)
+        report = tool.incremental_verify(
+            query.ingress, install=broken, remove_rule_id=victim.rule_id
+        )
+        assert not report.holds
+        fixed = Rule(victim.match, victim.action, victim.priority)
+        report = tool.incremental_verify(
+            query.ingress, install=fixed, remove_rule_id=broken.rule_id
+        )
+        assert report.holds
+
+
+class TestToolCharacteristics:
+    def test_apkeep_incremental_faster_than_ap_full(self, inet2):
+        """APKeep's incremental path must do less compute than AP's full
+        recompute for a single-rule update."""
+        planes_a = fresh_planes(inet2)
+        planes_b = fresh_planes(inet2)
+        ap = ApVerifier(inet2.topology, inet2.ctx, inet2.queries)
+        apkeep = ApKeepVerifier(inet2.topology, inet2.ctx, inet2.queries)
+        ap.burst_verify(planes_a)
+        apkeep.burst_verify(planes_b)
+
+        def one_update(tool, planes):
+            dev = inet2.queries[0].ingress
+            victim = planes[dev].rules[0]
+            clone = Rule(victim.match, Action.drop(), victim.priority)
+            report = tool.incremental_verify(
+                dev, install=clone, remove_rule_id=victim.rule_id
+            )
+            return report.compute_time
+
+        assert one_update(apkeep, planes_b) < one_update(ap, planes_a)
+
+    def test_deltanet_interval_atoms(self, inet2):
+        tool = DeltaNetVerifier(inet2.topology, inet2.ctx, inet2.queries)
+        tool.burst_verify(fresh_planes(inet2))
+        # Boundaries are sorted and bracket the space.
+        assert tool._boundaries[0] == 0
+        assert tool._boundaries[-1] == 1 << 32
+        assert tool._boundaries == sorted(tool._boundaries)
+
+    def test_veriflow_trie_lookup(self, inet2):
+        tool = VeriFlowVerifier(inet2.topology, inet2.ctx, inet2.queries)
+        tool.burst_verify(fresh_planes(inet2))
+        from repro.bdd.fields import ip_to_int
+
+        prefix = inet2.queries[0].prefix
+        base, _, length = prefix.partition("/")
+        overlapping = tool._overlapping_rules(ip_to_int(base), int(length))
+        assert overlapping  # the query prefix has installed rules

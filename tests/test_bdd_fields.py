@@ -1,0 +1,157 @@
+"""Header layouts: field encodings, prefixes, ranges, decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.fields import HeaderLayout, int_to_ip, ip_to_int
+from repro.bdd.manager import TRUE
+
+
+class TestIpConversion:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.1.255", "255.255.255.255", "192.168.1.1"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.0") == 0x0A000000
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestLayout:
+    def test_default_layout_fields(self):
+        layout = HeaderLayout.default()
+        assert layout.field_names() == [
+            "dst_ip", "dst_port", "src_ip", "src_port", "proto",
+        ]
+        assert layout.num_vars == 32 + 16 + 32 + 16 + 8
+
+    def test_dst_only_layout(self):
+        layout = HeaderLayout.dst_only()
+        assert layout.num_vars == 32
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderLayout([("a", 4), ("a", 4)])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderLayout([("a", 0)])
+
+    def test_unknown_field(self):
+        layout = HeaderLayout.default()
+        with pytest.raises(KeyError):
+            layout.field("ttl")
+
+
+class TestPredicicateConstruction:
+    @pytest.fixture
+    def layout(self):
+        return HeaderLayout.default()
+
+    @pytest.fixture
+    def mgr(self, layout):
+        return layout.new_manager()
+
+    def test_prefix_nesting(self, layout, mgr):
+        p23 = layout.prefix(mgr, "dst_ip", "10.0.0.0", 23)
+        p24 = layout.prefix(mgr, "dst_ip", "10.0.0.0", 24)
+        p24b = layout.prefix(mgr, "dst_ip", "10.0.1.0", 24)
+        assert mgr.implies(p24, p23)
+        assert mgr.implies(p24b, p23)
+        assert mgr.apply_or(p24, p24b) == p23
+
+    def test_prefix_zero_length_is_universe(self, layout, mgr):
+        assert layout.prefix(mgr, "dst_ip", 0, 0) == TRUE
+
+    def test_value_count(self, layout, mgr):
+        node = layout.value(mgr, "dst_port", 80)
+        # Exactly one port value: count = 2^(num_vars - 16).
+        assert mgr.count(node) == 1 << (layout.num_vars - 16)
+
+    def test_value_out_of_range(self, layout, mgr):
+        with pytest.raises(ValueError):
+            layout.value(mgr, "proto", 256)
+
+    def test_range_matches_loop(self, layout, mgr):
+        node = layout.range_(mgr, "proto", 6, 17)
+        per_value = 1 << (layout.num_vars - 8)
+        assert mgr.count(node) == 12 * per_value
+
+    def test_range_full_field(self, layout, mgr):
+        assert layout.range_(mgr, "proto", 0, 255) == TRUE
+
+    def test_range_invalid(self, layout, mgr):
+        with pytest.raises(ValueError):
+            layout.range_(mgr, "proto", 17, 6)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_range_count_property(self, a, b):
+        layout = HeaderLayout([("f", 8)])
+        mgr = layout.new_manager()
+        lo, hi = min(a, b), max(a, b)
+        node = layout.range_(mgr, "f", lo, hi)
+        assert mgr.count(node) == hi - lo + 1
+
+    def test_not_value(self, layout, mgr):
+        node = layout.not_value(mgr, "dst_port", 80)
+        value = layout.value(mgr, "dst_port", 80)
+        assert mgr.apply_and(node, value) == 0
+        assert mgr.apply_or(node, value) == TRUE
+
+
+class TestDecoding:
+    def test_decode_roundtrip(self):
+        layout = HeaderLayout.default()
+        mgr = layout.new_manager()
+        node = layout.value(mgr, "dst_ip", ip_to_int("10.1.2.3"))
+        assignment = mgr.pick_one(node)
+        value, mask = layout.decode(assignment, "dst_ip")
+        assert value == ip_to_int("10.1.2.3")
+        assert mask == 0xFFFFFFFF
+
+    def test_decode_partial_mask(self):
+        layout = HeaderLayout.default()
+        mgr = layout.new_manager()
+        node = layout.prefix(mgr, "dst_ip", "10.0.0.0", 8)
+        assignment = mgr.pick_one(node)
+        _value, mask = layout.decode(assignment, "dst_ip")
+        assert mask == 0xFF000000
+
+    def test_concrete_packet(self):
+        layout = HeaderLayout.default()
+        mgr = layout.new_manager()
+        node = layout.value(mgr, "dst_port", 443)
+        pkt = layout.concrete_packet(mgr, node)
+        assert pkt["dst_port"] == 443
+
+    def test_concrete_packet_unsat(self):
+        layout = HeaderLayout.default()
+        mgr = layout.new_manager()
+        assert layout.concrete_packet(mgr, 0) is None
+
+    def test_packet_to_node_membership(self):
+        layout = HeaderLayout.default()
+        mgr = layout.new_manager()
+        prefix = layout.prefix(mgr, "dst_ip", "10.0.0.0", 24)
+        inside = layout.packet_to_node(
+            mgr, {"dst_ip": ip_to_int("10.0.0.7")}
+        )
+        outside = layout.packet_to_node(
+            mgr, {"dst_ip": ip_to_int("10.0.1.7")}
+        )
+        assert mgr.implies(inside, prefix)
+        assert not mgr.implies(outside, prefix)

@@ -1,0 +1,107 @@
+"""Predicate algebra and the partition-refinement helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+
+
+@pytest.fixture
+def small_ctx():
+    return PacketSpaceContext(HeaderLayout([("f", 6)]))
+
+
+class TestAlgebra:
+    def test_identities(self, ctx):
+        p = ctx.ip_prefix("10.0.0.0/24")
+        assert (p & ctx.universe) == p
+        assert (p | ctx.empty) == p
+        assert (p - p).is_empty
+        assert (p ^ p).is_empty
+        assert (p | ~p).is_universe
+
+    def test_cross_context_rejected(self, ctx):
+        other = PacketSpaceContext()
+        with pytest.raises(ValueError):
+            ctx.ip_prefix("10.0.0.0/24") & other.ip_prefix("10.0.0.0/24")
+
+    def test_covers_and_overlaps(self, ctx):
+        p23 = ctx.ip_prefix("10.0.0.0/23")
+        p24 = ctx.ip_prefix("10.0.0.0/24")
+        other = ctx.ip_prefix("192.168.0.0/16")
+        assert p23.covers(p24)
+        assert not p24.covers(p23)
+        assert p23.overlaps(p24)
+        assert not p23.overlaps(other)
+
+    def test_bool_and_eq(self, ctx):
+        assert not ctx.empty
+        assert ctx.universe
+        assert ctx.ip_prefix("1.0.0.0/8") == ctx.ip_prefix("1.0.0.0/8")
+        assert hash(ctx.ip_prefix("1.0.0.0/8")) == hash(ctx.ip_prefix("1.0.0.0/8"))
+
+    def test_ip_prefix_plain_address(self, ctx):
+        host = ctx.ip_prefix("10.0.0.1")
+        assert host.count() == 1 << (ctx.layout.num_vars - 32)
+
+    def test_union_intersection_helpers(self, ctx):
+        preds = [ctx.value("proto", v) for v in (6, 17)]
+        union = ctx.union(preds)
+        assert all(union.covers(p) for p in preds)
+        inter = ctx.intersection(preds)
+        assert inter.is_empty
+
+    def test_sample_is_member(self, ctx):
+        p = ctx.ip_prefix("10.0.0.0/24") & ctx.value("dst_port", 80)
+        pkt = p.sample()
+        assert ctx.packet(**pkt).node  # non-empty
+        assert p.covers(ctx.packet(**pkt))
+
+    def test_packet_constructor(self, ctx):
+        p = ctx.packet(dst_port=53, proto=17)
+        assert p.count() == 1 << (ctx.layout.num_vars - 24)
+
+
+class TestRefine:
+    def test_refine_stays_partition(self, small_ctx):
+        ctx = small_ctx
+        partition = [ctx.universe]
+        for value in (1, 5, 9):
+            partition = ctx.refine(partition, ctx.range_("f", 0, value))
+        union = ctx.union(partition)
+        assert union.is_universe
+        for i, a in enumerate(partition):
+            for b in partition[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_refine_empty_splitter_is_noop(self, small_ctx):
+        ctx = small_ctx
+        partition = [ctx.range_("f", 0, 31), ctx.range_("f", 32, 63)]
+        assert ctx.refine(partition, ctx.empty) == partition
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_refine_partition_property(self, ranges):
+        ctx = PacketSpaceContext(HeaderLayout([("f", 6)]))
+        partition = [ctx.universe]
+        for a, b in ranges:
+            lo, hi = min(a, b), max(a, b)
+            partition = ctx.refine(partition, ctx.range_("f", lo, hi))
+        # Disjoint and covering.
+        total = sum(p.count() for p in partition)
+        assert total == 64
+        assert ctx.union(partition).is_universe
+
+
+class TestStats:
+    def test_stats_keys(self, ctx):
+        ctx.ip_prefix("10.0.0.0/8")
+        stats = ctx.stats()
+        assert stats["num_vars"] == ctx.layout.num_vars
+        assert stats["nodes"] >= 2
+
+    def test_size_monotone_under_structure(self, ctx):
+        p = ctx.ip_prefix("10.0.0.0/24")
+        assert p.size() >= 1
+        assert ctx.universe.size() == 0  # terminal only

@@ -1,0 +1,170 @@
+"""CLI and file-format tests: the downstream-user entry points."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import TopologyError
+from repro.topology import fig2a_example
+from repro.topology.fileformat import format_topology_text, parse_topology_text
+
+TOPOLOGY = """
+# the Figure 2a network
+topology fig2a
+link S A 0.00001
+link A B 0.00001
+link A W 0.00001
+link B W 0.00001
+link B D 0.00001
+link W D 0.00001
+prefix D 10.0.0.0/23
+"""
+
+FIB = """
+# device S
+200 10.0.0.0/23 ALL A
+# device A
+200 10.0.0.0/23 ALL W
+# device B
+10 0.0.0.0/0 DROP
+# device W
+200 10.0.0.0/23 ALL D
+# device D
+200 10.0.0.0/23 ALL @ext
+"""
+
+SPEC = """
+invariant waypoint {
+    packet_space: dst_ip = 10.0.0.0/23;
+    ingress: S;
+    behavior: exist >= 1 on (S .* W .* D) with loop_free;
+}
+"""
+
+BAD_SPEC = """
+invariant unreachable {
+    packet_space: dst_ip = 10.0.0.0/23;
+    ingress: S;
+    behavior: exist >= 1 on (S .* B .* D) with loop_free;
+}
+"""
+
+
+@pytest.fixture
+def input_files(tmp_path):
+    topo = tmp_path / "net.topo"
+    fib = tmp_path / "net.fib"
+    spec = tmp_path / "invariants.tulkun"
+    topo.write_text(TOPOLOGY)
+    fib.write_text(FIB)
+    spec.write_text(SPEC)
+    return topo, fib, spec
+
+
+class TestTopologyFormat:
+    def test_parse(self):
+        topo = parse_topology_text(TOPOLOGY)
+        assert topo.name == "fig2a"
+        assert topo.num_devices == 5
+        assert topo.num_links == 6
+        assert topo.external_prefixes == {"D": ["10.0.0.0/23"]}
+
+    def test_roundtrip(self):
+        original = fig2a_example()
+        again = parse_topology_text(format_topology_text(original))
+        assert again.link_set() == original.link_set()
+        assert again.external_prefixes == original.external_prefixes
+
+    def test_isolated_device(self):
+        topo = parse_topology_text("device lonely\n")
+        assert topo.devices == ["lonely"]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["link A", "link A B xyz", "prefix A", "warp A B", "topology"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(TopologyError):
+            parse_topology_text(text)
+
+
+class TestCli:
+    def _args(self, command, topo, fib, spec, *extra):
+        return [
+            command,
+            "--topology", str(topo),
+            "--fib", str(fib),
+            "--spec", str(spec),
+            *extra,
+        ]
+
+    def test_verify_holds(self, input_files, capsys):
+        topo, fib, spec = input_files
+        code = main(self._args("verify", topo, fib, spec))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HOLDS" in out
+
+    def test_verify_violation_exit_code(self, input_files, tmp_path, capsys):
+        topo, fib, _spec = input_files
+        bad = tmp_path / "bad.tulkun"
+        bad.write_text(BAD_SPEC)
+        code = main(self._args("verify", topo, fib, bad))
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in out
+        assert "witness packet" in out or "counts=" in out
+
+    def test_simulate(self, input_files, capsys):
+        topo, fib, spec = input_files
+        code = main(self._args("simulate", topo, fib, spec))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verification time" in out
+        assert "DVM messages" in out
+        assert "HOLDS" in out
+
+    def test_dpvnet(self, input_files, capsys):
+        topo, fib, spec = input_files
+        code = main(self._args("dpvnet", topo, fib, spec, "--verbose"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nodes" in out
+        assert "tasks per device" in out
+        assert "D1 *" in out  # the accepting node marker
+
+    def test_datasets(self, capsys):
+        code = main(["datasets"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "INet2" in out
+        assert "NGDC" in out
+
+
+class TestCliViolationPaths:
+    def test_simulate_violation_exit_code(self, input_files, tmp_path, capsys):
+        topo, fib, _spec = input_files
+        bad = tmp_path / "bad.tulkun"
+        bad.write_text(BAD_SPEC)
+        code = main(
+            [
+                "simulate",
+                "--topology", str(topo),
+                "--fib", str(fib),
+                "--spec", str(bad),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in out
+
+    def test_verify_validate_flag(self, input_files, capsys):
+        topo, fib, spec = input_files
+        code = main(
+            [
+                "verify", "--validate",
+                "--topology", str(topo),
+                "--fib", str(fib),
+                "--spec", str(spec),
+            ]
+        )
+        assert code == 0

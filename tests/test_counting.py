@@ -1,0 +1,155 @@
+"""Count-set algebra and Proposition 1 minimal counting information."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import (
+    CountExp,
+    canonical,
+    cross_sum,
+    cross_sum_many,
+    minimal_info,
+    reduce_countset,
+    singleton,
+    union,
+    union_many,
+    unit_vec,
+    zero_vec,
+)
+
+counts = st.lists(st.integers(0, 5), min_size=1, max_size=4).map(
+    lambda xs: tuple(sorted({(x,) for x in xs}))
+)
+
+
+class TestAlgebra:
+    def test_cross_sum_scalar(self):
+        a = ((0,), (1,))
+        b = ((1,), (2,))
+        assert cross_sum(a, b) == ((1,), (2,), (3,))
+
+    def test_union_dedupes(self):
+        assert union(((1,),), ((1,), (0,))) == ((0,), (1,))
+
+    def test_zero_is_cross_sum_identity(self):
+        a = ((0,), (2,))
+        assert cross_sum(a, singleton(zero_vec(1))) == a
+
+    def test_vector_components_independent(self):
+        a = singleton((1, 0))
+        b = singleton((0, 2))
+        assert cross_sum(a, b) == ((1, 2),)
+
+    def test_cross_sum_many(self):
+        sets = [singleton((1,)), singleton((2,)), ((0,), (1,))]
+        assert cross_sum_many(sets, 1) == ((3,), (4,))
+
+    def test_union_many(self):
+        assert union_many([((1,),), ((2,),), ((1,),)]) == ((1,), (2,))
+
+    def test_unit_vec(self):
+        assert unit_vec(3, 1) == (0, 1, 0)
+
+    @given(counts, counts, counts)
+    @settings(max_examples=100, deadline=None)
+    def test_cross_sum_associative_commutative(self, a, b, c):
+        assert cross_sum(a, b) == cross_sum(b, a)
+        assert cross_sum(cross_sum(a, b), c) == cross_sum(a, cross_sum(b, c))
+
+    @given(counts, counts)
+    @settings(max_examples=100, deadline=None)
+    def test_union_commutative_idempotent(self, a, b):
+        assert union(a, b) == union(b, a)
+        assert union(a, a) == canonical(a)
+
+
+class TestCountExp:
+    @pytest.mark.parametrize(
+        "op,bound,value,expected",
+        [
+            ("==", 1, 1, True), ("==", 1, 0, False),
+            (">=", 1, 2, True), (">=", 1, 0, False),
+            (">", 0, 1, True), (">", 1, 1, False),
+            ("<=", 2, 2, True), ("<=", 2, 3, False),
+            ("<", 1, 0, True), ("<", 1, 1, False),
+        ],
+    )
+    def test_holds(self, op, bound, value, expected):
+        assert CountExp(op, bound).holds(value) is expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CountExp("!=", 1)
+        with pytest.raises(ValueError):
+            CountExp(">=", -1)
+
+
+class TestMinimalInfo:
+    def test_ge_keeps_min(self):
+        assert minimal_info([3, 1, 2], CountExp(">=", 1)) == (1,)
+
+    def test_le_keeps_max(self):
+        assert minimal_info([3, 1, 2], CountExp("<=", 2)) == (3,)
+
+    def test_eq_keeps_two_smallest(self):
+        assert minimal_info([3, 1, 2], CountExp("==", 1)) == (1, 2)
+        assert minimal_info([2], CountExp("==", 1)) == (2,)
+
+    def test_empty(self):
+        assert minimal_info([], CountExp(">=", 1)) == ()
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=6),
+        st.integers(0, 4),
+        st.lists(st.integers(0, 4), min_size=0, max_size=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_prop1_ge_soundness(self, downstream, bound, upstream_adds):
+        """Proposition 1, >= case: after any monotone upstream additions,
+        the reduced set's verdict equals the full set's verdict."""
+        exp = CountExp(">=", bound)
+        reduced = minimal_info(downstream, exp)
+        for add in upstream_adds + [0]:
+            full_counts = [c + add for c in downstream]
+            reduced_counts = [c + add for c in reduced]
+            assert (min(full_counts) >= bound) == (min(reduced_counts) >= bound)
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=6),
+        st.integers(0, 4),
+        st.lists(st.integers(0, 4), min_size=0, max_size=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_prop1_eq_soundness(self, downstream, bound, upstream_adds):
+        """== case: the two smallest elements preserve both 'violated because
+        multiple distinct counts' and the exact count when unique."""
+        exp = CountExp("==", bound)
+        reduced = minimal_info(downstream, exp)
+        distinct_full = len(set(downstream)) > 1
+        distinct_reduced = len(set(reduced)) > 1
+        assert distinct_full == distinct_reduced
+        if not distinct_full:
+            for add in upstream_adds + [0]:
+                assert exp.holds(downstream[0] + add) == exp.holds(reduced[0] + add)
+
+
+class TestReduceCountset:
+    def test_single_atom_reduction(self):
+        cs = ((0,), (1,), (2,))
+        assert reduce_countset(cs, [CountExp(">=", 1)]) == ((0,),)
+
+    def test_none_keeps_full(self):
+        cs = ((0,), (1,))
+        assert reduce_countset(cs, [None]) == cs
+
+    def test_empty_set(self):
+        assert reduce_countset((), [CountExp(">=", 1)]) == ()
+
+    def test_multi_atom_conservative(self):
+        cs = ((0, 1), (1, 0), (2, 2))
+        reduced = reduce_countset(cs, [CountExp(">=", 1), None])
+        # Every kept vector is from the original set.
+        assert set(reduced) <= set(cs)
+        # The >= 1 minimum in component 0 survives.
+        assert min(v[0] for v in reduced) == 0

@@ -1,0 +1,100 @@
+"""DevicePlane: installs, removals, deltas, forwarding queries."""
+
+import pytest
+
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.errors import DataPlaneError
+from tests.conftest import packet
+
+
+class TestInstallRemove:
+    def test_install_returns_delta(self, ctx):
+        plane = DevicePlane("X", ctx)
+        rule = Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24)
+        deltas = plane.install_rule(rule)
+        region = ctx.union(d.predicate for d in deltas)
+        assert region == ctx.ip_prefix("10.0.0.0/24")
+        assert deltas[0].old_action == Action.drop()
+        assert deltas[0].new_action == Action.forward_all(["A"])
+
+    def test_double_install_rejected(self, ctx):
+        plane = DevicePlane("X", ctx)
+        rule = Rule(ctx.universe, Action.drop(), 1)
+        plane.install_rule(rule)
+        with pytest.raises(DataPlaneError):
+            plane.install_rule(rule)
+
+    def test_remove_returns_inverse_delta(self, ctx):
+        plane = DevicePlane("X", ctx)
+        rule = Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24)
+        plane.install_rule(rule)
+        deltas = plane.remove_rule(rule.rule_id)
+        assert deltas[0].old_action == Action.forward_all(["A"])
+        assert deltas[0].new_action == Action.drop()
+
+    def test_remove_unknown_rejected(self, ctx):
+        plane = DevicePlane("X", ctx)
+        with pytest.raises(DataPlaneError):
+            plane.remove_rule(12345)
+
+    def test_replace_rule_single_delta_region(self, ctx):
+        plane = DevicePlane("X", ctx)
+        old = Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24)
+        plane.install_rule(old)
+        new = Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["B"]), 24)
+        deltas = plane.replace_rule(old.rule_id, new)
+        region = ctx.union(d.predicate for d in deltas)
+        assert region == ctx.ip_prefix("10.0.0.0/24")
+        assert plane.get_rule(old.rule_id) is None
+        assert plane.get_rule(new.rule_id) is new
+
+    def test_shadowed_install_no_delta(self, ctx):
+        plane = DevicePlane("X", ctx)
+        plane.install_rule(Rule(ctx.universe, Action.forward_all(["A"]), 100))
+        hidden = Rule(ctx.ip_prefix("10.0.0.0/8"), Action.drop(), 1)
+        assert plane.install_rule(hidden) == []
+
+    def test_install_many_skips_delta(self, ctx):
+        plane = DevicePlane("X", ctx)
+        rules = [
+            Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24),
+            Rule(ctx.ip_prefix("10.0.1.0/24"), Action.forward_all(["B"]), 24),
+        ]
+        plane.install_many(rules)
+        assert plane.num_rules == 2
+
+    def test_clear(self, ctx):
+        plane = DevicePlane("X", ctx)
+        plane.install_many([Rule(ctx.universe, Action.drop(), 1)])
+        plane.clear()
+        assert plane.num_rules == 0
+
+
+class TestForwarding:
+    def test_fwd_packet_longest_prefix(self, ctx):
+        plane = DevicePlane("X", ctx)
+        plane.install_many(
+            [
+                Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), 8),
+                Rule(ctx.ip_prefix("10.1.0.0/16"), Action.forward_all(["B"]), 16),
+            ]
+        )
+        assert plane.fwd_packet(packet("10.1.2.3")) == Action.forward_all(["B"])
+        assert plane.fwd_packet(packet("10.2.2.3")) == Action.forward_all(["A"])
+        assert plane.fwd_packet(packet("192.168.0.1")) == Action.drop()
+
+    def test_fwd_covers_query(self, ctx):
+        plane = DevicePlane("X", ctx)
+        plane.install_many(
+            [Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24)]
+        )
+        query = ctx.ip_prefix("10.0.0.0/16")
+        pieces = plane.fwd(query)
+        assert ctx.union(p for p, _a in pieces) == query
+
+    def test_lec_cache_invalidation(self, ctx):
+        plane = DevicePlane("X", ctx)
+        t1 = plane.lec_table()
+        assert plane.lec_table() is t1  # cached
+        plane.install_rule(Rule(ctx.universe, Action.forward_all(["A"]), 5))
+        assert plane.lec_table() is not t1

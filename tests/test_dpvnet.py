@@ -1,0 +1,168 @@
+"""DPVNet construction: Figure 2c structure, product/enumeration agreement,
+DAG invariants, suffix sharing."""
+
+import pytest
+
+from repro.automata import compile_regex, parse_regex
+from repro.core.dpvnet import build_enumeration_dpvnet, build_product_dpvnet
+from repro.core.counting import CountExp
+from repro.core.invariant import Atom, Invariant, MatchKind, PathExpr
+from repro.core.planner import Planner
+from repro.errors import PlannerError
+from repro.topology import fig2a_example, line, ring
+
+
+def accept_all(_atom, _ingress, _path):
+    return True
+
+
+class TestFig2cStructure:
+    def test_waypoint_dpvnet_matches_paper(self, ctx, fig2a):
+        """The DPVNet of S.*W.*D over Fig. 2a must contain two B nodes and
+        two W nodes (B1/B2, W1/W2 in Figure 2c) plus S1, A1, D1."""
+        inv = Invariant(
+            ctx.ip_prefix("10.0.0.0/23"),
+            ("S",),
+            Atom(PathExpr.parse("S .* W .* D", simple_only=True),
+                 MatchKind.EXIST, CountExp(">=", 1)),
+        )
+        net = Planner(fig2a, ctx).build_dpvnet(inv)
+        per_dev = {}
+        for node in net.nodes.values():
+            per_dev[node.dev] = per_dev.get(node.dev, 0) + 1
+        assert per_dev == {"S": 1, "A": 1, "B": 2, "W": 2, "D": 1}
+        # All valid paths (paper: [S,A,W,D], [S,A,B,W,D], [S,A,W,B,D]).
+        paths = sorted(net.enumerate_paths())
+        assert paths == [
+            ("S", "A", "B", "W", "D"),
+            ("S", "A", "W", "B", "D"),
+            ("S", "A", "W", "D"),
+        ]
+
+    def test_accepting_node_is_destination(self, ctx, fig2a):
+        inv = Invariant(
+            ctx.ip_prefix("10.0.0.0/23"),
+            ("S",),
+            Atom(PathExpr.parse("S .* W .* D", simple_only=True),
+                 MatchKind.EXIST, CountExp(">=", 1)),
+        )
+        net = Planner(fig2a, ctx).build_dpvnet(inv)
+        accepting = [n for n in net.nodes.values() if any(n.accept)]
+        assert len(accepting) == 1
+        assert accepting[0].dev == "D"
+        assert accepting[0].children == []
+
+
+class TestConstructionsAgree:
+    @pytest.mark.parametrize(
+        "regex", ["S .* D", "S .* W .* D", "S [^B]* D", "S (A|W)* D"]
+    )
+    def test_same_path_sets(self, fig2a, regex):
+        dfas = [compile_regex(parse_regex(regex), fig2a.devices)]
+        product = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=4)
+        enum = build_enumeration_dpvnet(
+            fig2a, dfas, ["S"], accept_all, max_hops=4, simple_only=False
+        )
+        assert sorted(product.enumerate_paths()) == sorted(enum.enumerate_paths())
+
+    def test_simple_only_restricts(self):
+        topo = ring(4)
+        dfas = [compile_regex(parse_regex("d0 .* d2"), topo.devices)]
+        loose = build_enumeration_dpvnet(
+            topo, dfas, ["d0"], accept_all, max_hops=5, simple_only=False
+        )
+        simple = build_enumeration_dpvnet(
+            topo, dfas, ["d0"], accept_all, max_hops=5, simple_only=True
+        )
+        loose_paths = set(loose.enumerate_paths())
+        simple_paths = set(simple.enumerate_paths())
+        assert simple_paths < loose_paths
+        assert all(len(set(p)) == len(p) for p in simple_paths)
+
+
+class TestDagInvariants:
+    def test_reverse_topological_order(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* D"), fig2a.devices)]
+        net = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=4)
+        order = net.reverse_topological_order()
+        position = {nid: i for i, nid in enumerate(order)}
+        for nid, node in net.nodes.items():
+            for child in node.children:
+                assert position[child] < position[nid]
+
+    def test_children_have_unique_devices(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* D"), fig2a.devices)]
+        net = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=5)
+        for nid, mapping in net.child_by_dev.items():
+            assert len(mapping) == len(net.nodes[nid].children)
+
+    def test_parents_consistent_with_children(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* W .* D"), fig2a.devices)]
+        net = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=5)
+        for nid, node in net.nodes.items():
+            for child in node.children:
+                assert nid in net.nodes[child].parents
+
+    def test_cycle_unrolled_to_bound(self):
+        """On a ring, S.*D has cycles; the unrolled DAG must stay acyclic and
+        only contain paths within the bound."""
+        topo = ring(4)
+        dfas = [compile_regex(parse_regex("d0 .* d2"), topo.devices)]
+        net = build_product_dpvnet(topo, dfas, ["d0"], max_hops=5)
+        net.reverse_topological_order()  # raises on a cycle
+        assert all(len(p) <= 6 for p in net.enumerate_paths())
+
+    def test_no_valid_path_source_is_none(self):
+        topo = line(3)
+        dfas = [compile_regex(parse_regex("d0 d2"), topo.devices)]  # impossible hop
+        net = build_product_dpvnet(topo, dfas, ["d0"])
+        assert net.sources["d0"] is None
+        assert net.num_nodes == 0
+
+    def test_unknown_ingress_rejected(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* D"), fig2a.devices)]
+        with pytest.raises(PlannerError):
+            build_product_dpvnet(fig2a, dfas, ["NOPE"])
+
+
+class TestSuffixSharing:
+    def test_line_topology_minimal(self):
+        """On a chain, d0.*d4 has exactly one path: 5 nodes after merging."""
+        topo = line(5)
+        dfas = [compile_regex(parse_regex("d0 .* d4"), topo.devices)]
+        net = build_product_dpvnet(topo, dfas, ["d0"], max_hops=4)
+        assert net.num_nodes == 5
+
+    def test_labels_unique(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* W .* D"), fig2a.devices)]
+        net = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=4)
+        labels = [n.label for n in net.nodes.values()]
+        assert len(labels) == len(set(labels))
+
+    def test_stats(self, fig2a):
+        dfas = [compile_regex(parse_regex("S .* D"), fig2a.devices)]
+        net = build_product_dpvnet(fig2a, dfas, ["S"], max_hops=4)
+        stats = net.stats()
+        assert stats["nodes"] == net.num_nodes
+        assert stats["edges"] == net.num_edges
+
+
+class TestMultiAtom:
+    def test_vector_acceptance(self, ctx, fig2a):
+        """Multicast S.*B and S.*D: acceptance flags are per atom."""
+        inv = Invariant(
+            ctx.ip_prefix("10.0.0.0/23"),
+            ("S",),
+            Atom(PathExpr.parse("S .* B", simple_only=True),
+                 MatchKind.EXIST, CountExp(">=", 1)),
+        )
+        from repro.core.library import multicast
+
+        inv = multicast(ctx.ip_prefix("10.0.0.0/23"), "S", ["B", "D"])
+        net = Planner(fig2a, ctx).build_dpvnet(inv)
+        assert net.arity == 2
+        b_accepts = [n for n in net.nodes.values() if n.dev == "B" and n.accept[0]]
+        d_accepts = [n for n in net.nodes.values() if n.dev == "D" and n.accept[1]]
+        assert b_accepts and d_accepts
+        # No node accepts the wrong atom's destination.
+        assert not any(n.accept[1] for n in net.nodes.values() if n.dev == "B")

@@ -1,0 +1,62 @@
+"""DVM protocol messages: the UPDATE principle, wire sizes."""
+
+import pytest
+
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.errors import ProtocolError
+
+
+class TestUpdatePrinciple:
+    def test_valid_message(self, ctx):
+        a = ctx.ip_prefix("10.0.0.0/24")
+        b = ctx.ip_prefix("10.0.1.0/24")
+        message = UpdateMessage(
+            intended_link=(1, 2),
+            withdrawn=a | b,
+            results=((a, ((1,),)), (b, ((0,),))),
+        )
+        assert message.intended_link == (1, 2)
+
+    def test_principle_violation_rejected(self, ctx):
+        """Withdrawn region larger than the announced results → protocol
+        error (§5.2 UPDATE message principle)."""
+        a = ctx.ip_prefix("10.0.0.0/24")
+        b = ctx.ip_prefix("10.0.1.0/24")
+        with pytest.raises(ProtocolError):
+            UpdateMessage(
+                intended_link=(1, 2),
+                withdrawn=a | b,
+                results=((a, ((1,),)),),
+            )
+
+    def test_results_exceeding_withdrawn_rejected(self, ctx):
+        a = ctx.ip_prefix("10.0.0.0/24")
+        b = ctx.ip_prefix("10.0.1.0/24")
+        with pytest.raises(ProtocolError):
+            UpdateMessage(
+                intended_link=(1, 2),
+                withdrawn=a,
+                results=((a, ((1,),)), (b, ((2,),))),
+            )
+
+    def test_empty_update_allowed(self, ctx):
+        message = UpdateMessage((0, 1), ctx.empty, ())
+        assert message.wire_size() > 0
+
+
+class TestWireSize:
+    def test_update_size_grows_with_payload(self, ctx):
+        a = ctx.ip_prefix("10.0.0.0/24")
+        small = UpdateMessage((0, 1), a, ((a, ((1,),)),))
+        big = UpdateMessage(
+            (0, 1), a, ((a, tuple((i,) for i in range(50))),)
+        )
+        assert big.wire_size() > small.wire_size()
+
+    def test_subscribe_size(self, ctx):
+        msg = SubscribeMessage(
+            (0, 1),
+            pred_from=ctx.value("dst_port", 80),
+            pred_to=ctx.value("dst_port", 8080),
+        )
+        assert msg.wire_size() > 16

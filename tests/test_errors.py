@@ -1,0 +1,53 @@
+"""Exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro.errors import (
+    DataPlaneError,
+    DatasetError,
+    PlannerError,
+    ProtocolError,
+    RegexSyntaxError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    SpecificationError,
+    TopologyError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        DataPlaneError,
+        DatasetError,
+        PlannerError,
+        ProtocolError,
+        RegexSyntaxError,
+        SerializationError,
+        SimulationError,
+        SpecificationError,
+        TopologyError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_regex_error_is_specification_error():
+    # The DSL surfaces regex problems as specification problems.
+    assert issubclass(RegexSyntaxError, SpecificationError)
+
+
+def test_catch_all_pattern():
+    """Downstream users can wrap any library call in one except clause."""
+    from repro.automata import parse_regex
+
+    try:
+        parse_regex("((((")
+    except ReproError as error:
+        assert "(" not in str(type(error))
+    else:  # pragma: no cover
+        pytest.fail("expected a ReproError")

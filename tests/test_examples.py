@@ -1,0 +1,58 @@
+"""Every example script must run cleanly and print its expected verdicts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "VIOLATED" in out            # the paper's violated example
+        assert "holds=True" in out          # ... fixed by the §2.2.3 update
+        assert "universes" in out
+
+    def test_wan_verification(self):
+        out = run_example("wan_verification.py")
+        assert "burst update" in out
+        assert "Tulkun" in out
+        assert "80% quantile" in out
+
+    def test_datacenter_rcdc(self):
+        out = run_example("datacenter_rcdc.py")
+        assert "HOLDS" in out
+        assert "0 DVM messages" in out      # equal → local contracts
+        assert "VIOLATED" in out            # after dropping an ECMP member
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py")
+        assert "scenes precomputed" in out
+        assert "holds=True" in out
+        assert "holds=False" in out
+
+    def test_service_chain(self):
+        out = run_example("service_chain.py")
+        assert "NAT service chain" in out
+        assert "SUBSCRIBEs sent by LB: 1" in out
+        assert "(0, 1), (1, 0)" in out      # anycast joint counts
+
+    def test_extensions(self):
+        out = run_example("extensions.py")
+        assert "gate devices" in out
+        assert "flat verification agrees: True" in out
+        assert "paths share interior devices" in out

@@ -1,0 +1,209 @@
+"""Fault tolerance (§6): scene enumeration, fault plans, online recounting."""
+
+import pytest
+
+from repro.core.counting import CountExp
+from repro.core.fault import FaultScene, compute_fault_plan, enumerate_scenes
+from repro.core.invariant import (
+    Atom,
+    FaultSpec,
+    Invariant,
+    LengthFilter,
+    MatchKind,
+    PathExpr,
+)
+from repro.core.library import reachability
+from repro.core.planner import Planner
+from repro.dataplane import Rule
+from repro.errors import PlannerError
+from repro.sim import TulkunRunner
+from repro.topology import Topology, fig2a_example, ring
+from tests.conftest import build_fig2_planes
+
+
+class TestSceneEnumeration:
+    def test_any_k(self, fig2a):
+        scenes = enumerate_scenes(fig2a, FaultSpec.up_to(1))
+        # empty scene + one per link.
+        assert len(scenes) == 1 + fig2a.num_links
+        assert scenes[0] == frozenset()
+
+    def test_any_2_ordering(self, fig2a):
+        scenes = enumerate_scenes(fig2a, FaultSpec.up_to(2))
+        sizes = [len(s) for s in scenes]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 2
+
+    def test_explicit_scenes(self, fig2a):
+        spec = FaultSpec.explicit([[("A", "B")], [("B", "W"), ("B", "D")]])
+        scenes = enumerate_scenes(fig2a, spec)
+        assert frozenset({("A", "B")}) in scenes
+        assert frozenset({("B", "D"), ("B", "W")}) in scenes
+
+    def test_max_scenes_cap(self, fig2a):
+        scenes = enumerate_scenes(fig2a, FaultSpec.up_to(3), max_scenes=10)
+        assert len(scenes) <= 11
+
+    def test_invalid_any_k(self):
+        with pytest.raises(Exception):
+            FaultSpec.up_to(0)
+
+
+class TestConcreteFilterPlan:
+    def test_plan_reuses_base_dpvnet(self, ctx, fig2a):
+        """No symbolic filters → the fault-tolerant DPVNet is the base one
+        (Proposition 2, first half)."""
+        space = ctx.ip_prefix("10.0.0.0/23")
+        inv = reachability(space, "S", "D", fault_spec=FaultSpec.up_to(1))
+        planner = Planner(fig2a, ctx)
+        plan = compute_fault_plan(planner, inv)
+        base = planner.build_dpvnet(inv)
+        assert sorted(plan.net.enumerate_paths()) == sorted(base.enumerate_paths())
+        assert plan.net.edge_scenes is None
+
+    def test_intolerable_scene_detected(self, ctx):
+        """On a chain, failing the only link makes reachability intolerable."""
+        topo = Topology("chain")
+        topo.add_link("S", "A")
+        topo.add_link("A", "D")
+        space = ctx.ip_prefix("10.0.0.0/24")
+        inv = reachability(space, "S", "D", fault_spec=FaultSpec.up_to(1))
+        plan = compute_fault_plan(Planner(topo, ctx), inv)
+        failed = {scene.failed_links for scene in plan.intolerable}
+        assert frozenset({("A", "D")}) in failed
+        assert frozenset({("A", "S")}) in failed
+
+    def test_no_fault_spec_rejected(self, ctx, fig2a):
+        inv = reachability(ctx.ip_prefix("10.0.0.0/23"), "S", "D")
+        with pytest.raises(PlannerError):
+            compute_fault_plan(Planner(fig2a, ctx), inv)
+
+    def test_scene_lookup(self, ctx, fig2a):
+        space = ctx.ip_prefix("10.0.0.0/23")
+        inv = reachability(space, "S", "D", fault_spec=FaultSpec.up_to(1))
+        plan = compute_fault_plan(Planner(fig2a, ctx), inv)
+        scene = plan.scene_for([("A", "B")])
+        assert scene is not None
+        assert scene.failed_links == frozenset({("A", "B")})
+        assert plan.scene_for([("A", "B"), ("B", "D")]) is None  # not any_1
+
+
+class TestSymbolicFilterPlan:
+    def _symbolic_invariant(self, ctx, space, k=2):
+        return Invariant(
+            space, ("S",),
+            Atom(
+                PathExpr.parse(
+                    "S .* D", (LengthFilter("<=", "shortest", 1),), True
+                ),
+                MatchKind.EXIST, CountExp(">=", 1),
+            ),
+            FaultSpec.up_to(k),
+            name="symbolic_reach",
+        )
+
+    def test_labeled_net_covers_every_scene(self, ctx, fig2a):
+        """Figure 8: the fault-tolerant DPVNet of (≤ shortest+1) reachability
+        under 2-link-failure holds each scene's valid paths under its own
+        labels."""
+        space = ctx.ip_prefix("10.0.0.0/23")
+        inv = self._symbolic_invariant(ctx, space)
+        planner = Planner(fig2a, ctx)
+        plan = compute_fault_plan(planner, inv)
+        assert plan.net.edge_scenes is not None
+        # Cross-check per scene: walking only scene-labeled edges yields the
+        # same paths a per-scene planner computes.
+        for scene in plan.scenes:
+            topo_f = fig2a.without_links(scene.failed_links)
+            expected = sorted(
+                Planner(topo_f, ctx).build_dpvnet(inv, topo_f).enumerate_paths()
+            )
+            got = sorted(self._scene_paths(plan.net, scene.scene_id))
+            assert got == expected, f"scene {scene.failed_links}"
+
+    @staticmethod
+    def _scene_paths(net, scene_id):
+        paths = []
+        accept_scenes = getattr(net, "accept_scenes", {})
+
+        def walk(nid, prefix):
+            node = net.node(nid)
+            here = prefix + (node.dev,)
+            for i, flag in enumerate(node.accept):
+                if not flag:
+                    continue
+                scenes = accept_scenes.get((nid, i))
+                if scenes is None or scene_id in scenes:
+                    paths.append(here)
+                    break
+            for child in node.children:
+                scenes = (net.edge_scenes or {}).get((nid, child))
+                if scenes is None or scene_id in scenes:
+                    walk(child, here)
+
+        for source in net.sources.values():
+            if source is not None:
+                walk(source, ())
+        return paths
+
+    def test_longer_paths_appear_under_failures(self, ctx):
+        """== shortest on a ring: failing a link doubles the shortest length,
+        so the fault scene's valid paths differ from the base scene's."""
+        topo = ring(4)
+        space = ctx.ip_prefix("10.0.0.0/24")
+        inv = Invariant(
+            space, ("d0",),
+            Atom(
+                PathExpr.parse("d0 .* d1", (LengthFilter("==", "shortest"),), True),
+                MatchKind.EXIST, CountExp(">=", 1),
+            ),
+            FaultSpec.explicit([[("d0", "d1")]]),
+            name="ring_shortest",
+        )
+        plan = compute_fault_plan(Planner(topo, ctx), inv)
+        base_paths = set(self._scene_paths(plan.net, 0))
+        scene_paths = set(self._scene_paths(plan.net, 1))
+        assert base_paths == {("d0", "d1")}
+        assert scene_paths == {("d0", "d3", "d2", "d1")}
+
+
+class TestOnlineRecounting:
+    def test_scene_activation_end_to_end(self, ctx, fig2a, fig2_spaces):
+        """Deploy with a fault-tolerant DPVNet, fail links, activate the
+        scene, verify recounting matches the per-scene ground truth."""
+        space = fig2_spaces[0]
+        inv = Invariant(
+            space, ("S",),
+            Atom(
+                PathExpr.parse("S .* D", (LengthFilter("<=", "shortest", 1),), True),
+                MatchKind.EXIST, CountExp(">=", 1),
+            ),
+            FaultSpec.up_to(1),
+            name="ft_reach",
+        )
+        planner = Planner(fig2a, ctx)
+        plan = compute_fault_plan(planner, inv)
+        runner = TulkunRunner(
+            fig2a, ctx, [inv], prebuilt_nets={inv.name: plan.net}
+        )
+        planes = build_fig2_planes(ctx)
+        runner.burst_update(
+            {dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+             for dev, plane in planes.items()}
+        )
+        network = runner.network
+        base_verdict = network.all_hold(inv.name)
+
+        scene = plan.scene_for([("W", "D")])
+        assert scene is not None
+        duration = runner.fail_links([("W", "D")], scene_id=scene.scene_id)
+        assert duration >= 0
+        # Ground truth on the failed topology.
+        topo_f = fig2a.without_links([("W", "D")])
+        offline = Planner(topo_f, ctx).verify(
+            inv, {d: network.devices[d].plane for d in fig2a.devices}
+        )
+        assert network.all_hold(inv.name) == offline.holds
+        # Recover and return to the base scene.
+        runner.recover_links([("W", "D")])
+        assert network.all_hold(inv.name) == base_verdict

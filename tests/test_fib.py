@@ -1,0 +1,62 @@
+"""FIB text format: parse, format, roundtrip, errors."""
+
+import pytest
+
+from repro.dataplane import Action, DevicePlane, Rule, format_fib_text, parse_fib_text
+from repro.errors import DataPlaneError
+from tests.conftest import packet
+
+SAMPLE = """
+# a comment line
+# device S
+200 10.0.0.0/24 ALL A,B
+100 10.0.0.0/23 ANY B
+10  0.0.0.0/0   DROP
+
+# device D
+200 10.0.0.0/23 ALL @ext
+"""
+
+
+class TestParse:
+    def test_basic(self, ctx):
+        planes = parse_fib_text(ctx, SAMPLE)
+        assert sorted(planes) == ["D", "S"]
+        assert planes["S"].num_rules == 3
+        assert planes["S"].fwd_packet(packet("10.0.0.5")) == Action.forward_all(["A", "B"])
+        assert planes["S"].fwd_packet(packet("10.0.1.5")) == Action.forward_any(["B"])
+        assert planes["S"].fwd_packet(packet("192.168.0.1")) == Action.drop()
+        assert planes["D"].fwd_packet(packet("10.0.0.5")).delivers
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "200 10.0.0.0/24 ALL A",              # rule before device header
+            "# device S\nxx 10.0.0.0/24 ALL A",   # bad priority
+            "# device S\n200 10.0.0.0/24 ALL",    # missing hops
+            "# device S\n200 10.0.0.0/24 BOTH A", # unknown type
+            "# device S\n200 10.0.0.0/24",        # too few fields
+        ],
+    )
+    def test_malformed(self, ctx, text):
+        with pytest.raises(DataPlaneError):
+            parse_fib_text(ctx, text)
+
+
+class TestRoundtrip:
+    def test_format_then_parse(self, ctx):
+        planes = parse_fib_text(ctx, SAMPLE)
+        text = format_fib_text(planes)
+        again = parse_fib_text(ctx, text)
+        for name, plane in planes.items():
+            for probe in ("10.0.0.5", "10.0.1.5", "8.8.8.8"):
+                assert plane.fwd_packet(packet(probe)) == again[name].fwd_packet(
+                    packet(probe)
+                )
+
+    def test_unrepresentable_match_commented(self, ctx):
+        plane = DevicePlane("X", ctx)
+        weird = ctx.value("dst_port", 80)  # not a dst_ip prefix
+        plane.install_many([Rule(weird, Action.forward_all(["A"]), 5)])
+        text = format_fib_text({"X": plane})
+        assert "unrepresentable" in text

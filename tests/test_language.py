@@ -1,0 +1,184 @@
+"""The textual invariant specification language."""
+
+import pytest
+
+from repro.core.counting import CountExp
+from repro.core.invariant import And, Atom, EndKind, LengthFilter, MatchKind, Not, Or
+from repro.core.language import parse_invariants, parse_packet_space
+from repro.core.planner import Planner
+from repro.errors import SpecificationError
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+
+WAYPOINT_SPEC = """
+invariant waypoint {
+    packet_space: dst_ip = 10.0.0.0/23;
+    ingress: S;
+    behavior: exist >= 1 on (S .* W .* D) with loop_free;
+}
+"""
+
+
+class TestPacketSpace:
+    def test_cidr(self, ctx):
+        pred = parse_packet_space(ctx, "dst_ip = 10.0.0.0/23")
+        assert pred == ctx.ip_prefix("10.0.0.0/23")
+
+    def test_conjunction_and_negation(self, ctx):
+        pred = parse_packet_space(
+            ctx, "dst_ip = 10.0.1.0/24 and dst_port != 80"
+        )
+        expected = ctx.ip_prefix("10.0.1.0/24") - ctx.value("dst_port", 80)
+        assert pred == expected
+
+    def test_disjunction_parens(self, ctx):
+        pred = parse_packet_space(
+            ctx, "(dst_port = 80 or dst_port = 443) and proto = 6"
+        )
+        expected = (ctx.value("dst_port", 80) | ctx.value("dst_port", 443)) & ctx.value("proto", 6)
+        assert pred == expected
+
+    def test_range(self, ctx):
+        pred = parse_packet_space(ctx, "dst_port in 1024..2047")
+        assert pred == ctx.range_("dst_port", 1024, 2047)
+
+    def test_any(self, ctx):
+        assert parse_packet_space(ctx, "any").is_universe
+
+    def test_exact_ip(self, ctx):
+        pred = parse_packet_space(ctx, "dst_ip = 10.1.2.3")
+        assert pred == ctx.ip_prefix("10.1.2.3/32")
+
+    def test_trailing_tokens_rejected(self, ctx):
+        with pytest.raises(SpecificationError):
+            parse_packet_space(ctx, "dst_port = 80 extra")
+
+
+class TestInvariantParsing:
+    def test_waypoint(self, ctx):
+        (inv,) = parse_invariants(ctx, WAYPOINT_SPEC)
+        assert inv.name == "waypoint"
+        assert inv.ingress_set == ("S",)
+        atom = inv.behavior
+        assert isinstance(atom, Atom)
+        assert atom.count_exp == CountExp(">=", 1)
+        assert atom.path.simple_only
+        assert str(atom.path.regex) == "S .* W .* D"
+
+    def test_parsed_invariant_verifies(self, ctx):
+        (inv,) = parse_invariants(ctx, WAYPOINT_SPEC)
+        planes = build_fig2_planes(ctx)
+        result = Planner(fig2a_example(), ctx).verify(inv, planes)
+        assert not result.holds  # the paper's violated example
+
+    def test_multiple_invariants(self, ctx):
+        text = WAYPOINT_SPEC + """
+        invariant iso {
+            packet_space: dst_port = 80;
+            ingress: S, B;
+            behavior: exist == 0 on (S .* E);
+        }
+        """
+        invs = parse_invariants(ctx, text)
+        assert [inv.name for inv in invs] == ["waypoint", "iso"]
+        assert invs[1].ingress_set == ("S", "B")
+
+    def test_compound_behavior(self, ctx):
+        text = """
+        invariant compound {
+            packet_space: any;
+            ingress: S;
+            behavior: (exist >= 1 on (S .* D) or exist >= 1 on (S .* E))
+                      and not exist >= 1 on (S .* X);
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        assert isinstance(inv.behavior, And)
+        left, right = inv.behavior.parts
+        assert isinstance(left, Or)
+        assert isinstance(right, Not)
+
+    def test_equal_operator(self, ctx):
+        text = """
+        invariant rcdc {
+            packet_space: dst_ip = 10.0.0.0/24;
+            ingress: S;
+            behavior: equal on (S .* D) with == shortest;
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        atom = inv.behavior
+        assert atom.kind is MatchKind.EQUAL
+        assert atom.path.length_filters == (LengthFilter("==", "shortest"),)
+
+    def test_length_filter_with_offset(self, ctx):
+        text = """
+        invariant bounded {
+            packet_space: any;
+            ingress: S;
+            behavior: exist >= 1 on (S .* D) with <= shortest + 2, loop_free;
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        atom = inv.behavior
+        assert atom.path.length_filters == (LengthFilter("<=", "shortest", 2),)
+        assert atom.path.simple_only
+
+    def test_dropped_end_modifier(self, ctx):
+        text = """
+        invariant no_drops {
+            packet_space: any;
+            ingress: S;
+            behavior: exist == 0 on (S .*) with dropped, <= 6;
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        assert inv.behavior.end_kind is EndKind.DROPPED
+
+    def test_fault_scenes_any_k(self, ctx):
+        text = """
+        invariant ft {
+            packet_space: any;
+            ingress: S;
+            behavior: exist >= 1 on (S .* D);
+            fault_scenes: any 2;
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        assert inv.fault_spec.any_k == 2
+
+    def test_fault_scenes_explicit(self, ctx):
+        text = """
+        invariant ft {
+            packet_space: any;
+            ingress: S;
+            behavior: exist >= 1 on (S .* D);
+            fault_scenes: {(A, B)}, {(B, W) (B, D)};
+        }
+        """
+        (inv,) = parse_invariants(ctx, text)
+        scenes = inv.fault_spec.scenes
+        assert frozenset({("A", "B")}) in scenes
+        assert frozenset({("B", "D"), ("B", "W")}) in scenes
+
+    def test_comments_allowed(self, ctx):
+        text = "# leading comment\n" + WAYPOINT_SPEC
+        assert len(parse_invariants(ctx, text)) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "invariant x { ingress: S; behavior: exist >= 1 on (S); }",  # no space
+            "invariant x { packet_space: any; behavior: exist >= 1 on (S); }",  # no ingress
+            "invariant x { packet_space: any; ingress: S; }",  # no behavior
+            "invariant x { packet_space: any; ingress: S; behavior: exist ~ 1 on (S); }",
+            "invariant x { packet_space: bogus = 1; ingress: S; behavior: exist >= 1 on (S); }",
+            "invariant x { packet_space: any; ingress: S; behavior: maybe on (S); }",
+            "invariant { packet_space: any; ingress: S; behavior: exist >= 1 on (S); }",
+        ],
+    )
+    def test_malformed_specs(self, ctx, text):
+        with pytest.raises((SpecificationError, KeyError)):
+            parse_invariants(ctx, text)

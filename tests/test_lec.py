@@ -1,0 +1,164 @@
+"""LEC computation: the minimal (packet space → action) partition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.dataplane import Action, Rule
+from repro.dataplane.lec import compute_lec_table, diff_lec_tables
+
+
+def small_ctx():
+    return PacketSpaceContext(HeaderLayout([("f", 6)]))
+
+
+class TestLecTable:
+    def test_empty_table_is_all_drop(self, ctx):
+        table = compute_lec_table(ctx, [])
+        entries = table.entries()
+        assert len(entries) == 1
+        pred, action = entries[0]
+        assert pred.is_universe
+        assert action.is_drop
+
+    def test_priority_order_respected(self, ctx):
+        specific = Rule(
+            ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), priority=24
+        )
+        general = Rule(
+            ctx.ip_prefix("10.0.0.0/16"), Action.forward_all(["B"]), priority=16
+        )
+        table = compute_lec_table(ctx, [general, specific])
+        a_pred = table.predicate_for(Action.forward_all(["A"]))
+        b_pred = table.predicate_for(Action.forward_all(["B"]))
+        assert a_pred == ctx.ip_prefix("10.0.0.0/24")
+        assert b_pred == ctx.ip_prefix("10.0.0.0/16") - ctx.ip_prefix("10.0.0.0/24")
+
+    def test_shadowed_rule_invisible(self, ctx):
+        top = Rule(ctx.universe, Action.drop(), priority=10)
+        hidden = Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), priority=1)
+        table = compute_lec_table(ctx, [top, hidden])
+        assert table.predicate_for(Action.forward_all(["A"])).is_empty
+
+    def test_same_action_rules_merge_into_one_lec(self, ctx):
+        r1 = Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24)
+        r2 = Rule(ctx.ip_prefix("10.0.1.0/24"), Action.forward_all(["A"]), 24)
+        table = compute_lec_table(ctx, [r1, r2])
+        merged = table.predicate_for(Action.forward_all(["A"]))
+        assert merged == ctx.ip_prefix("10.0.0.0/23")
+
+    def test_partition_properties(self, ctx):
+        rules = [
+            Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), 8),
+            Rule(ctx.ip_prefix("10.1.0.0/16"), Action.forward_any(["B", "C"]), 16),
+            Rule(ctx.value("dst_port", 80), Action.drop(), 40),
+        ]
+        table = compute_lec_table(ctx, rules)
+        entries = table.entries()
+        union = ctx.union(pred for pred, _action in entries)
+        assert union.is_universe
+        for i, (a, _) in enumerate(entries):
+            for b, _ in entries[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_action_of_splits_query(self, ctx):
+        rules = [
+            Rule(ctx.ip_prefix("10.0.0.0/24"), Action.forward_all(["A"]), 24),
+        ]
+        table = compute_lec_table(ctx, rules)
+        pieces = table.action_of(ctx.ip_prefix("10.0.0.0/23"))
+        actions = {action for _pred, action in pieces}
+        assert Action.forward_all(["A"]) in actions
+        assert Action.drop() in actions
+        total = ctx.union(pred for pred, _action in pieces)
+        assert total == ctx.ip_prefix("10.0.0.0/23")
+
+
+class TestDiff:
+    def test_no_change_no_delta(self, ctx):
+        rules = [Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), 8)]
+        t1 = compute_lec_table(ctx, rules)
+        t2 = compute_lec_table(ctx, list(rules))
+        assert diff_lec_tables(t1, t2) == []
+
+    def test_delta_captures_changed_region_exactly(self, ctx):
+        before = [Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), 8)]
+        after = before + [
+            Rule(ctx.ip_prefix("10.9.0.0/16"), Action.forward_all(["B"]), 16)
+        ]
+        t1 = compute_lec_table(ctx, before)
+        t2 = compute_lec_table(ctx, after)
+        deltas = diff_lec_tables(t1, t2)
+        region = ctx.union(d.predicate for d in deltas)
+        assert region == ctx.ip_prefix("10.9.0.0/16")
+        (delta,) = deltas
+        assert delta.old_action == Action.forward_all(["A"])
+        assert delta.new_action == Action.forward_all(["B"])
+
+    def test_deltas_disjoint(self, ctx):
+        before = [Rule(ctx.ip_prefix("10.0.0.0/8"), Action.forward_all(["A"]), 8)]
+        after = [
+            Rule(ctx.ip_prefix("10.0.0.0/9"), Action.forward_all(["B"]), 9),
+            Rule(ctx.ip_prefix("10.128.0.0/9"), Action.drop(), 9),
+        ]
+        deltas = diff_lec_tables(
+            compute_lec_table(ctx, before), compute_lec_table(ctx, after)
+        )
+        for i, a in enumerate(deltas):
+            for b in deltas[i + 1:]:
+                assert not a.predicate.overlaps(b.predicate)
+
+
+@st.composite
+def rule_set(draw):
+    """Random prioritized rules over a 6-bit field."""
+    n = draw(st.integers(0, 6))
+    rules = []
+    ctx = small_ctx()
+    for _ in range(n):
+        lo = draw(st.integers(0, 63))
+        hi = draw(st.integers(lo, 63))
+        action_kind = draw(st.integers(0, 2))
+        if action_kind == 0:
+            action = Action.drop()
+        elif action_kind == 1:
+            action = Action.forward_all([draw(st.sampled_from("ABC"))])
+        else:
+            action = Action.forward_any(["A", "B"])
+        priority = draw(st.integers(0, 10))
+        rules.append(Rule(ctx.range_("f", lo, hi), action, priority))
+    return ctx, rules
+
+
+class TestLecProperties:
+    @given(rule_set())
+    @settings(max_examples=80, deadline=None)
+    def test_lec_agrees_with_first_match(self, data):
+        """Every concrete packet's LEC action equals first-match semantics."""
+        ctx, rules = data
+        table = compute_lec_table(ctx, rules)
+        ordered = sorted(rules, key=Rule.sort_key)
+        rng = random.Random(0)
+        for _ in range(12):
+            value = rng.randrange(64)
+            pkt = ctx.value("f", value)
+            expected = Action.drop()
+            for rule in ordered:
+                if rule.match.covers(pkt):
+                    expected = rule.action
+                    break
+            pieces = table.action_of(pkt)
+            assert len(pieces) == 1
+            assert pieces[0][1] == expected
+
+    @given(rule_set())
+    @settings(max_examples=80, deadline=None)
+    def test_lec_partition_covers_and_disjoint(self, data):
+        ctx, rules = data
+        table = compute_lec_table(ctx, rules)
+        entries = table.entries()
+        assert ctx.union(p for p, _a in entries).is_universe
+        assert sum(p.count() for p, _a in entries) == 64

@@ -1,0 +1,278 @@
+"""Table 1: every invariant constructor verified on correct and erroneous
+data planes (the §9.1 functionality demonstrations)."""
+
+import pytest
+
+from repro.core.library import (
+    anycast,
+    blackhole_freeness,
+    bounded_length_reachability,
+    different_ingress_reachability,
+    isolation,
+    loop_freeness,
+    multicast,
+    non_redundant_reachability,
+    reachability,
+    subset_behavior,
+    waypoint_reachability,
+)
+from repro.core.invariant import PathExpr
+from repro.core.planner import Planner
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.topology import Topology, fig2a_example
+
+
+@pytest.fixture
+def space(ctx):
+    return ctx.ip_prefix("10.0.0.0/23")
+
+
+def make_planes(ctx, actions):
+    """Planes from a {device: action} map over one packet space."""
+    space = ctx.ip_prefix("10.0.0.0/23")
+    planes = {}
+    for dev, action in actions.items():
+        plane = DevicePlane(dev, ctx)
+        if action is not None:
+            plane.install_many([Rule(space, action, 10)])
+        planes[dev] = plane
+    return planes
+
+
+@pytest.fixture
+def good_planes(ctx):
+    """Fig. 2a topology, everything forwarded S→A→W→D and delivered."""
+    return make_planes(
+        ctx,
+        {
+            "S": Action.forward_all(["A"]),
+            "A": Action.forward_all(["W"]),
+            "B": Action.drop(),
+            "W": Action.forward_all(["D"]),
+            "D": Action.deliver(),
+        },
+    )
+
+
+class TestReachability:
+    def test_holds(self, ctx, fig2a, space, good_planes):
+        assert Planner(fig2a, ctx).verify(reachability(space, "S", "D"), good_planes)
+
+    def test_blackhole_violates(self, ctx, fig2a, space, good_planes):
+        good_planes["W"].clear()
+        result = Planner(fig2a, ctx).verify(reachability(space, "S", "D"), good_planes)
+        assert not result.holds
+
+    def test_bounded_variant(self, ctx, fig2a, space, good_planes):
+        assert Planner(fig2a, ctx).verify(
+            bounded_length_reachability(space, "S", "D", max_hops=3), good_planes
+        )
+        result = Planner(fig2a, ctx).verify(
+            bounded_length_reachability(space, "S", "D", max_hops=2), good_planes
+        )
+        assert not result.holds  # S→A→W→D is 3 hops
+
+    def test_max_extra_hops_filter(self, ctx, fig2a, space, good_planes):
+        inv = reachability(space, "S", "D", max_extra_hops=0)
+        # Shortest S→D is 3 hops (S,A,W,D or S,A,B,D): the path used is
+        # exactly shortest → holds.
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+
+class TestIsolation:
+    def test_holds_when_unreachable(self, ctx, fig2a, space, good_planes):
+        inv = isolation(space, "S", "B")
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_violated_when_reachable(self, ctx, fig2a, space, good_planes):
+        result = Planner(fig2a, ctx).verify(isolation(space, "S", "D"), good_planes)
+        assert not result.holds
+
+
+class TestLoopAndBlackholeFreeness:
+    def test_loop_freeness_holds(self, ctx, fig2a, space, good_planes):
+        inv = loop_freeness(space, "S", max_hops=4)
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_loop_detected(self, ctx, fig2a, space):
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["B"]),
+                "B": Action.forward_all(["W"]),
+                "W": Action.forward_all(["A"]),  # A→B→W→A loop
+                "D": Action.deliver(),
+            },
+        )
+        result = Planner(fig2a, ctx).verify(
+            loop_freeness(space, "S", max_hops=4), planes
+        )
+        assert not result.holds
+
+    def test_blackhole_freeness_holds(self, ctx, fig2a, space, good_planes):
+        inv = blackhole_freeness(space, "S", max_hops=4)
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_blackhole_found(self, ctx, fig2a, space, good_planes):
+        good_planes["W"].clear()  # W now drops everything
+        result = Planner(fig2a, ctx).verify(
+            blackhole_freeness(space, "S", max_hops=4), good_planes
+        )
+        assert not result.holds
+
+
+class TestWaypoint:
+    def test_holds(self, ctx, fig2a, space, good_planes):
+        inv = waypoint_reachability(space, "S", "W", "D")
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_bypass_violates(self, ctx, fig2a, space):
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["B"]),
+                "B": Action.forward_all(["D"]),
+                "W": Action.drop(),
+                "D": Action.deliver(),
+            },
+        )
+        result = Planner(fig2a, ctx).verify(
+            waypoint_reachability(space, "S", "W", "D"), planes
+        )
+        assert not result.holds
+
+
+class TestDifferentIngress:
+    def test_holds_for_both(self, ctx, fig2a, space, good_planes):
+        good_planes["B"].clear()
+        good_planes["B"].install_many(
+            [Rule(space, Action.forward_all(["D"]), 10)]
+        )
+        inv = different_ingress_reachability(space, ["S", "B"], "D")
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_one_ingress_failing_violates(self, ctx, fig2a, space, good_planes):
+        # B drops: ingress B cannot reach D.
+        inv = different_ingress_reachability(space, ["S", "B"], "D")
+        result = Planner(fig2a, ctx).verify(inv, good_planes)
+        assert not result.holds
+        assert any(v.ingress == "B" for v in result.violations)
+
+
+class TestNonRedundant:
+    def test_exactly_one_holds(self, ctx, fig2a, space, good_planes):
+        inv = non_redundant_reachability(space, "S", "D")
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_redundant_delivery_violates(self, ctx, fig2a, space):
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["B", "W"]),  # both deliver to D
+                "B": Action.forward_all(["D"]),
+                "W": Action.forward_all(["D"]),
+                "D": Action.deliver(),
+            },
+        )
+        inv = non_redundant_reachability(space, "S", "D")
+        result = Planner(fig2a, ctx).verify(inv, planes)
+        assert not result.holds
+        assert (2,) in result.violations[0].counts
+
+
+class TestMulticastAnycast:
+    def _mc_topo(self):
+        topo = Topology("mc")
+        topo.add_link("S", "A")
+        topo.add_link("A", "D")
+        topo.add_link("A", "E")
+        return topo
+
+    def test_multicast_holds(self, ctx):
+        topo = self._mc_topo()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["D", "E"]),
+                "D": Action.deliver(),
+                "E": Action.deliver(),
+            },
+        )
+        assert Planner(topo, ctx).verify(multicast(space, "S", ["D", "E"]), planes)
+
+    def test_multicast_partial_violates(self, ctx):
+        topo = self._mc_topo()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["D"]),  # E never reached
+                "D": Action.deliver(),
+                "E": Action.deliver(),
+            },
+        )
+        result = Planner(topo, ctx).verify(
+            multicast(space, "S", ["D", "E"]), planes
+        )
+        assert not result.holds
+
+    def test_anycast_holds_with_any_group(self, ctx):
+        topo = self._mc_topo()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_any(["D", "E"]),
+                "D": Action.deliver(),
+                "E": Action.deliver(),
+            },
+        )
+        assert Planner(topo, ctx).verify(anycast(space, "S", ["D", "E"]), planes)
+
+    def test_anycast_violated_by_all_group(self, ctx):
+        """ALL-type split delivers to both → anycast violated."""
+        topo = self._mc_topo()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        planes = make_planes(
+            ctx,
+            {
+                "S": Action.forward_all(["A"]),
+                "A": Action.forward_all(["D", "E"]),
+                "D": Action.deliver(),
+                "E": Action.deliver(),
+            },
+        )
+        result = Planner(topo, ctx).verify(anycast(space, "S", ["D", "E"]), planes)
+        assert not result.holds
+
+    def test_anycast_needs_two_destinations(self, ctx):
+        with pytest.raises(ValueError):
+            anycast(ctx.universe, "S", ["D"])
+
+
+class TestSubsetBehavior:
+    def test_holds(self, ctx, fig2a, space, good_planes):
+        path = PathExpr.parse("S .* W .* D", simple_only=True)
+        inv = subset_behavior(space, "S", path, max_hops=4)
+        assert Planner(fig2a, ctx).verify(inv, good_planes)
+
+    def test_off_pattern_drop_violates(self, ctx, fig2a, space, good_planes):
+        """A forwards to B (which drops): the universe has an off-pattern
+        trace end → subset behavior broken."""
+        plane = good_planes["A"]
+        rule = plane.rules[0]
+        plane.replace_rule(
+            rule.rule_id, Rule(space, Action.forward_all(["B", "W"]), 10)
+        )
+        path = PathExpr.parse("S .* W .* D", simple_only=True)
+        result = Planner(fig2a, ctx).verify(
+            subset_behavior(space, "S", path, max_hops=4), good_planes
+        )
+        assert not result.holds

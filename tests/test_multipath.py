@@ -1,0 +1,186 @@
+"""Multi-path invariants (§7): used-path collection, symmetry,
+disjointness."""
+
+import pytest
+
+from repro.core.invariant import PathExpr
+from repro.core.multipath import (
+    link_disjoint,
+    node_disjoint,
+    route_symmetric,
+    used_paths,
+    verify_disjointness,
+    verify_route_symmetry,
+)
+from repro.core.planner import Planner
+from repro.dataplane import Action, DevicePlane, Rule, Transform
+from repro.topology import Topology, fig2a_example
+
+
+@pytest.fixture
+def diamond(ctx):
+    """S - (A | B) - D diamond with two packet spaces routed differently."""
+    topo = Topology("diamond")
+    topo.add_link("S", "A")
+    topo.add_link("S", "B")
+    topo.add_link("A", "D")
+    topo.add_link("B", "D")
+    upper = ctx.ip_prefix("10.1.0.0/24")
+    lower = ctx.ip_prefix("10.2.0.0/24")
+    planes = {name: DevicePlane(name, ctx) for name in topo.devices}
+    planes["S"].install_many(
+        [
+            Rule(upper, Action.forward_all(["A"]), 10),
+            Rule(lower, Action.forward_all(["B"]), 10),
+        ]
+    )
+    planes["A"].install_many([Rule(upper | lower, Action.forward_all(["D"]), 10)])
+    planes["B"].install_many([Rule(upper | lower, Action.forward_all(["D"]), 10)])
+    planes["D"].install_many([Rule(upper | lower, Action.deliver(), 10)])
+    return topo, planes, upper, lower
+
+
+class TestUsedPaths:
+    def test_single_path(self, ctx, diamond):
+        topo, planes, upper, _lower = diamond
+        paths = used_paths(
+            Planner(topo, ctx), planes, upper, "S",
+            PathExpr.parse("S .* D", simple_only=True),
+        )
+        assert paths == frozenset({("S", "A", "D")})
+
+    def test_ecmp_uses_both(self, ctx, diamond):
+        topo, planes, upper, lower = diamond
+        rule = planes["S"].rules[0]
+        planes["S"].replace_rule(
+            rule.rule_id, Rule(upper, Action.forward_any(["A", "B"]), 10)
+        )
+        paths = used_paths(
+            Planner(topo, ctx), planes, upper, "S",
+            PathExpr.parse("S .* D", simple_only=True),
+        )
+        assert paths == frozenset({("S", "A", "D"), ("S", "B", "D")})
+
+    def test_empty_for_unrouted_space(self, ctx, diamond):
+        topo, planes, _upper, _lower = diamond
+        other = ctx.ip_prefix("99.0.0.0/8")
+        paths = used_paths(
+            Planner(topo, ctx), planes, other, "S",
+            PathExpr.parse("S .* D", simple_only=True),
+        )
+        assert paths == frozenset()
+
+    def test_transform_tracked(self, ctx):
+        topo = Topology("chain")
+        topo.add_link("S", "A")
+        topo.add_link("A", "D")
+        planes = {n: DevicePlane(n, ctx) for n in "SAD"}
+        p80 = ctx.value("dst_port", 80)
+        p8080 = ctx.value("dst_port", 8080)
+        planes["S"].install_many([Rule(p80, Action.forward_all(["A"]), 1)])
+        planes["A"].install_many(
+            [Rule(p80, Action.forward_all(["D"], transform=Transform.set_fields(dst_port=8080)), 1)]
+        )
+        planes["D"].install_many([Rule(p8080, Action.deliver(), 1)])
+        paths = used_paths(
+            Planner(topo, ctx), planes, p80, "S",
+            PathExpr.parse("S A D"),
+        )
+        assert paths == frozenset({("S", "A", "D")})
+
+
+class TestComparisonOperators:
+    def test_route_symmetric_ok(self):
+        fwd = frozenset({("A", "M", "B")})
+        bwd = frozenset({("B", "M", "A")})
+        assert route_symmetric(fwd, bwd) == []
+
+    def test_route_asymmetry_detected(self):
+        fwd = frozenset({("A", "M", "B")})
+        bwd = frozenset({("B", "N", "A")})
+        problems = route_symmetric(fwd, bwd)
+        assert len(problems) == 2
+
+    def test_node_disjoint(self):
+        first = frozenset({("S", "A", "D")})
+        second = frozenset({("S", "B", "D")})
+        assert node_disjoint(first, second) == []
+        shared = frozenset({("S", "A", "D")})
+        assert node_disjoint(first, shared)
+
+    def test_link_disjoint(self):
+        first = frozenset({("S", "A", "D")})
+        second = frozenset({("S", "B", "D")})
+        assert link_disjoint(first, second) == []
+        overlapping = frozenset({("S", "A", "B", "D")})
+        assert link_disjoint(first, overlapping)  # shares S-A
+
+
+class TestEndToEnd:
+    def test_disjointness_holds_on_diamond(self, ctx, diamond):
+        topo, planes, upper, lower = diamond
+        result = verify_disjointness(
+            Planner(topo, ctx), planes, upper, lower, "S", "D", mode="node"
+        )
+        assert result.holds
+
+    def test_disjointness_violated_when_shared(self, ctx, diamond):
+        topo, planes, upper, lower = diamond
+        # Route both spaces through A.
+        for rule in planes["S"].rules:
+            if rule.match == lower:
+                planes["S"].replace_rule(
+                    rule.rule_id, Rule(lower, Action.forward_all(["A"]), 10)
+                )
+        result = verify_disjointness(
+            Planner(topo, ctx), planes, upper, lower, "S", "D", mode="node"
+        )
+        assert not result.holds
+        assert "share" in result.violations[0].message
+
+    def test_route_symmetry_on_fig2a(self, ctx, fig2a):
+        space_fwd = ctx.ip_prefix("10.0.0.0/24")
+        space_bwd = ctx.ip_prefix("10.9.0.0/24")
+        planes = {n: DevicePlane(n, ctx) for n in fig2a.devices}
+        # Symmetric S↔D routing via W.
+        planes["S"].install_many(
+            [Rule(space_fwd, Action.forward_all(["A"]), 1),
+             Rule(space_bwd, Action.deliver(), 1)]
+        )
+        planes["A"].install_many(
+            [Rule(space_fwd, Action.forward_all(["W"]), 1),
+             Rule(space_bwd, Action.forward_all(["S"]), 1)]
+        )
+        planes["W"].install_many(
+            [Rule(space_fwd, Action.forward_all(["D"]), 1),
+             Rule(space_bwd, Action.forward_all(["A"]), 1)]
+        )
+        planes["D"].install_many(
+            [Rule(space_fwd, Action.deliver(), 1),
+             Rule(space_bwd, Action.forward_all(["W"]), 1)]
+        )
+        planes["B"].install_many([])
+        result = verify_route_symmetry(
+            Planner(fig2a, ctx), planes, space_fwd, space_bwd, "S", "D"
+        )
+        assert result.holds
+
+        # Break symmetry: the return path goes via B instead.
+        rule = next(r for r in planes["D"].rules if r.match == space_bwd)
+        planes["D"].replace_rule(
+            rule.rule_id, Rule(space_bwd, Action.forward_all(["B"]), 1)
+        )
+        planes["B"].install_many(
+            [Rule(space_bwd, Action.forward_all(["A"]), 1)]
+        )
+        result = verify_route_symmetry(
+            Planner(fig2a, ctx), planes, space_fwd, space_bwd, "S", "D"
+        )
+        assert not result.holds
+
+    def test_invalid_mode(self, ctx, diamond):
+        topo, planes, upper, lower = diamond
+        with pytest.raises(ValueError):
+            verify_disjointness(
+                Planner(topo, ctx), planes, upper, lower, "S", "D", mode="bogus"
+            )

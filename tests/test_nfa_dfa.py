@@ -1,0 +1,163 @@
+"""Automata: NFA simulation, subset construction, minimization, products.
+
+The key property test cross-checks the compiled DFA against Python's ``re``
+module on randomized paths: device names map to single characters, our regex
+syntax maps to the equivalent ``re`` pattern.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    build_nfa,
+    compile_regex,
+    dfa_product,
+    dfa_union,
+    parse_regex,
+)
+from repro.errors import RegexSyntaxError
+
+ALPHABET = ("A", "B", "C", "D", "S")
+
+
+def compile_(text):
+    return compile_regex(parse_regex(text), ALPHABET)
+
+
+class TestDfaBasics:
+    def test_waypoint(self):
+        dfa = compile_("S .* B .* D")
+        assert dfa.accepts(["S", "B", "D"])
+        assert dfa.accepts(["S", "A", "B", "C", "D"])
+        assert not dfa.accepts(["S", "A", "D"])
+        assert not dfa.accepts(["S", "B"])
+
+    def test_empty_path_never_accepted_by_symbol(self):
+        assert not compile_("S").accepts([])
+        assert compile_("S").accepts(["S"])
+
+    def test_class_and_negation(self):
+        dfa = compile_("S [^A] D")
+        assert dfa.accepts(["S", "B", "D"])
+        assert not dfa.accepts(["S", "A", "D"])
+
+    def test_dead_state_detected(self):
+        dfa = compile_("S A")
+        assert dfa.dead is not None
+        state = dfa.step(dfa.start, "B")
+        assert dfa.is_dead(state)
+
+    def test_unknown_symbol_raises(self):
+        dfa = compile_("S A")
+        with pytest.raises(RegexSyntaxError):
+            dfa.step(dfa.start, "Z")
+
+    def test_regex_mentioning_foreign_device_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_regex(parse_regex("S .* Z"), ALPHABET)
+
+    def test_live_states(self):
+        dfa = compile_("S A D")
+        alive = dfa.live_states()
+        assert dfa.start in alive
+        assert dfa.dead not in alive
+
+
+class TestMinimization:
+    def test_equivalent_expressions_same_size(self):
+        a = compile_("S A | S B")
+        b = compile_("S (A | B)")
+        assert a.num_states == b.num_states
+
+    def test_minimal_waypoint_size(self):
+        # S .* W .* D needs 4 live states + dead = 5 (cf. Figure 4).
+        dfa = compile_regex(parse_regex("S .* B .* D"), ALPHABET)
+        assert dfa.num_states == 5
+
+    def test_minimized_dfa_still_correct(self):
+        dfa = compile_("(A|B)* C")
+        assert dfa.accepts(["C"])
+        assert dfa.accepts(["A", "B", "A", "C"])
+        assert not dfa.accepts(["A", "C", "C"])
+
+
+class TestNfaSimulation:
+    def test_nfa_matches_dfa(self):
+        regex = parse_regex("S (A|B)+ D?")
+        nfa = build_nfa(regex)
+        dfa = compile_regex(regex, ALPHABET)
+        for path in (
+            ["S", "A", "D"], ["S"], ["S", "B"], ["S", "B", "A"],
+            ["S", "D"], ["A", "S"],
+        ):
+            assert nfa.matches(path) == dfa.accepts(path)
+
+
+class TestProducts:
+    def test_intersection(self):
+        waypoint_b = compile_("S .* B .* D")
+        short = compile_("S . . D")  # exactly 3 hops
+        both = dfa_product(waypoint_b, short)
+        # S,A,B,D passes through B and has exactly 3 hops → accepted.
+        assert both.accepts(["S", "A", "B", "D"])
+        assert both.accepts(["S", "B", "C", "D"])
+        assert not both.accepts(["S", "B", "D"])  # only 2 hops
+        assert not both.accepts(["S", "A", "C", "D"])  # no B
+
+    def test_union(self):
+        either = dfa_union(compile_("S A"), compile_("S B"))
+        assert either.accepts(["S", "A"])
+        assert either.accepts(["S", "B"])
+        assert not either.accepts(["S", "C"])
+
+    def test_alphabet_mismatch(self):
+        a = compile_("S A")
+        b = compile_regex(parse_regex("S"), ("S", "A"))
+        with pytest.raises(RegexSyntaxError):
+            dfa_product(a, b)
+
+
+# ----------------------------------------------------------------------
+# Property test: agreement with Python re.
+# ----------------------------------------------------------------------
+@st.composite
+def regex_and_re(draw, depth=3):
+    """Build a random path expression and the equivalent ``re`` pattern."""
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            sym = draw(st.sampled_from(ALPHABET))
+            return sym, re.escape(sym)
+        if choice == 1:
+            return ".", "."
+        members = draw(st.sets(st.sampled_from(ALPHABET), min_size=1, max_size=3))
+        inner = "".join(sorted(members))
+        negated = draw(st.booleans())
+        ours = ("[^" if negated else "[") + " ".join(sorted(members)) + "]"
+        theirs = ("[^" if negated else "[") + inner + "]"
+        return ours, theirs
+    op = draw(st.sampled_from(["cat", "alt", "star", "leaf"]))
+    if op == "leaf":
+        return draw(regex_and_re(depth=0))
+    if op == "star":
+        ours, theirs = draw(regex_and_re(depth=depth - 1))
+        return f"({ours})*", f"({theirs})*"
+    left = draw(regex_and_re(depth=depth - 1))
+    right = draw(regex_and_re(depth=depth - 1))
+    if op == "cat":
+        return f"{left[0]} {right[0]}", f"{left[1]}{right[1]}"
+    return f"({left[0]}|{right[0]})", f"({left[1]}|{right[1]})"
+
+
+class TestAgainstPythonRe:
+    @given(regex_and_re(), st.lists(st.sampled_from(ALPHABET), max_size=6))
+    @settings(max_examples=250, deadline=None)
+    def test_agreement(self, pair, path):
+        ours_text, re_text = pair
+        dfa = compile_regex(parse_regex(ours_text), ALPHABET)
+        pattern = re.compile(re_text + r"\Z")
+        expected = pattern.match("".join(path)) is not None
+        assert dfa.accepts(path) == expected

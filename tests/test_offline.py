@@ -1,0 +1,221 @@
+"""Algorithm 1 (offline counting) against the brute-force trace oracle.
+
+The central correctness property of the whole system: for any data plane,
+the count set Algorithm 1 computes at the DPVNet source equals the set of
+per-universe matching-trace counts obtained by exhaustively enumerating
+universes (§A.1's correctness claim, checked mechanically)."""
+
+import random
+
+import pytest
+
+from repro.automata import compile_regex, parse_regex
+from repro.core.counting import CountExp
+from repro.core.invariant import Atom, EndKind, Invariant, MatchKind, PathExpr
+from repro.core.offline import count_sources
+from repro.core.planner import Planner
+from repro.dataplane import (
+    Action,
+    DevicePlane,
+    Rule,
+    Transform,
+    count_matching_traces,
+    enumerate_universes,
+)
+from repro.topology import Topology, fig2a_example, grid, ring
+from tests.conftest import packet, random_dataplane
+
+
+def source_counts_for(ctx, topo, planes, regex, space, ingress="S", simple=True):
+    inv = Invariant(
+        space,
+        (ingress,),
+        Atom(PathExpr.parse(regex, simple_only=simple), MatchKind.EXIST, CountExp(">=", 1)),
+    )
+    planner = Planner(topo, ctx)
+    net = planner.build_dpvnet(inv)
+    atoms = inv.atoms()
+    return count_sources(net, planes, atoms, space)[ingress], net
+
+
+class TestFig2Reference:
+    def test_final_mapping_matches_paper(self, ctx, fig2a, fig2_planes, fig2_spaces):
+        p1, p2, p3, p4 = fig2_spaces
+        pieces, _net = source_counts_for(
+            ctx, fig2a, fig2_planes, "S .* W .* D", p1
+        )
+        by_region = {}
+        for region, cs in pieces:
+            if region == (p2 | p4):
+                by_region["P2∪P4"] = cs
+            elif region == p3:
+                by_region["P3"] = cs
+        assert by_region["P2∪P4"] == ((1,),)
+        assert by_region["P3"] == ((0,), (1,))
+
+    def test_after_b_update_invariant_holds(self, ctx, fig2a, fig2_planes, fig2_spaces):
+        """§2.2.3: B forwards P3∪P4 to W instead of D → count becomes 1."""
+        p1, _p2, p3, p4 = fig2_spaces
+        old = fig2_planes["B"].rules[0]
+        fig2_planes["B"].replace_rule(
+            old.rule_id, Rule(p3 | p4, Action.forward_all(["W"]), 10)
+        )
+        pieces, _net = source_counts_for(
+            ctx, fig2a, fig2_planes, "S .* W .* D", p1
+        )
+        assert pieces == [(p1, ((1,),))]
+
+
+class TestAgainstTraceOracle:
+    def _check_agreement(self, ctx, topo, planes, regex, concrete_packets, ingress):
+        dfa = compile_regex(parse_regex(regex), topo.devices)
+        for pkt in concrete_packets:
+            space = ctx.packet(**pkt)
+            pieces, _ = source_counts_for(
+                ctx, topo, planes, regex, space, ingress, simple=True
+            )
+            # A single concrete packet → exactly one piece.
+            assert len(pieces) == 1
+            algorithm_counts = sorted({vec[0] for vec in pieces[0][1]})
+            universes = enumerate_universes(planes, ingress, pkt, max_hops=8)
+
+            def simple_and_matches(path):
+                return len(set(path)) == len(path) and dfa.accepts(path)
+
+            oracle = count_matching_traces(universes, simple_and_matches)
+            assert algorithm_counts == oracle, (
+                f"mismatch for packet {pkt}: algorithm {algorithm_counts} vs "
+                f"oracle {oracle}"
+            )
+
+    def test_fig2a_randomized_planes(self, ctx):
+        topo = fig2a_example()
+        prefixes = ["10.0.0.0/24", "10.0.1.0/24"]
+        for seed in range(20):
+            planes = random_dataplane(
+                topo, ctx, prefixes, seed=seed, deliver_at={p: "D" for p in prefixes}
+            )
+            self._check_agreement(
+                ctx, topo, planes, "S .* D",
+                [packet("10.0.0.9"), packet("10.0.1.9")], "S",
+            )
+
+    def test_grid_randomized_planes(self, ctx):
+        topo = grid(2, 3)
+        prefixes = ["10.0.0.0/24"]
+        for seed in range(12):
+            planes = random_dataplane(
+                topo, ctx, prefixes, seed=100 + seed,
+                deliver_at={prefixes[0]: "g1_2"},
+            )
+            self._check_agreement(
+                ctx, topo, planes, "g0_0 .* g1_2", [packet("10.0.0.1")], "g0_0"
+            )
+
+    def test_waypoint_regex_on_random_planes(self, ctx):
+        topo = fig2a_example()
+        prefixes = ["10.0.0.0/24"]
+        for seed in range(12):
+            planes = random_dataplane(
+                topo, ctx, prefixes, seed=500 + seed,
+                deliver_at={prefixes[0]: "D"},
+            )
+            self._check_agreement(
+                ctx, topo, planes, "S .* W .* D", [packet("10.0.0.1")], "S"
+            )
+
+
+class TestDroppedEndCounting:
+    def test_blackhole_counted(self, ctx, fig2a, fig2_planes, fig2_spaces):
+        """Packets in P2 are dropped at B: the dropped-end count along S.*
+        must be 1 (the [S,A,B] trace)."""
+        p1, p2, _p3, _p4 = fig2_spaces
+        inv = Invariant(
+            p2,
+            ("S",),
+            Atom(
+                PathExpr.parse("S .*", simple_only=True),
+                MatchKind.EXIST,
+                CountExp("==", 0),
+                EndKind.DROPPED,
+            ),
+        )
+        planner = Planner(fig2a, ctx)
+        result = planner.verify(inv, fig2_planes)
+        assert not result.holds
+        (violation,) = result.violations
+        assert violation.counts == ((1,),)
+
+
+class TestTransformCounting:
+    def test_counting_through_rewrite(self, ctx):
+        """A rewrites port 80→8080 toward B; B only forwards 8080."""
+        topo = Topology("t")
+        topo.add_link("S", "A")
+        topo.add_link("A", "B")
+        planes = {n: DevicePlane(n, ctx) for n in "SAB"}
+        p80 = ctx.value("dst_port", 80)
+        p8080 = ctx.value("dst_port", 8080)
+        planes["S"].install_many([Rule(p80, Action.forward_all(["A"]), 1)])
+        planes["A"].install_many(
+            [Rule(p80, Action.forward_all(["B"], transform=Transform.set_fields(dst_port=8080)), 1)]
+        )
+        planes["B"].install_many([Rule(p8080, Action.deliver(), 1)])
+        pieces, _ = source_counts_for(ctx, topo, planes, "S A B", p80, "S")
+        assert pieces == [(p80, ((1,),))]
+
+    def test_without_rewrite_count_zero(self, ctx):
+        topo = Topology("t")
+        topo.add_link("S", "A")
+        topo.add_link("A", "B")
+        planes = {n: DevicePlane(n, ctx) for n in "SAB"}
+        p80 = ctx.value("dst_port", 80)
+        p8080 = ctx.value("dst_port", 8080)
+        planes["S"].install_many([Rule(p80, Action.forward_all(["A"]), 1)])
+        planes["A"].install_many([Rule(p80, Action.forward_all(["B"]), 1)])
+        planes["B"].install_many([Rule(p8080, Action.deliver(), 1)])
+        pieces, _ = source_counts_for(ctx, topo, planes, "S A B", p80, "S")
+        assert pieces == [(p80, ((0,),))]
+
+
+class TestMultiAtomCounting:
+    def test_multicast_joint_counts(self, ctx):
+        """ALL-split to two destinations: joint vector (1, 1)."""
+        from repro.core.library import multicast
+
+        topo = Topology("t")
+        topo.add_link("S", "A")
+        topo.add_link("A", "D")
+        topo.add_link("A", "E")
+        planes = {n: DevicePlane(n, ctx) for n in "SADE"}
+        space = ctx.ip_prefix("10.0.0.0/24")
+        planes["S"].install_many([Rule(space, Action.forward_all(["A"]), 1)])
+        planes["A"].install_many([Rule(space, Action.forward_all(["D", "E"]), 1)])
+        planes["D"].install_many([Rule(space, Action.deliver(), 1)])
+        planes["E"].install_many([Rule(space, Action.deliver(), 1)])
+        inv = multicast(space, "S", ["D", "E"])
+        planner = Planner(topo, ctx)
+        result = planner.verify(inv, planes)
+        assert result.holds
+        pieces = result.source_counts["S"]
+        assert pieces == [(space, ((1, 1),))]
+
+    def test_anycast_joint_counts_exclude_false_positive(self, ctx):
+        """The §4.3 anycast example: joint counting gives (1,0) and (0,1),
+        never the cross-product phantom (1,1)/(0,0)."""
+        from repro.core.library import anycast
+        from repro.topology import anycast_example
+
+        topo = anycast_example()
+        planes = {n: DevicePlane(n, ctx) for n in topo.devices}
+        space = ctx.ip_prefix("10.1.0.0/24")
+        planes["S"].install_many([Rule(space, Action.forward_all(["A"]), 1)])
+        planes["A"].install_many([Rule(space, Action.forward_any(["D", "E"]), 1)])
+        planes["D"].install_many([Rule(space, Action.deliver(), 1)])
+        planes["E"].install_many([Rule(space, Action.deliver(), 1)])
+        inv = anycast(space, "S", ["D", "E"])
+        planner = Planner(topo, ctx)
+        result = planner.verify(inv, planes)
+        assert result.holds
+        (region, cs) = result.source_counts["S"][0]
+        assert set(cs) == {(0, 1), (1, 0)}

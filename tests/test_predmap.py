@@ -1,0 +1,140 @@
+"""PredMap: the disjoint predicate→value partition behind all CIBs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.core.predmap import PredMap
+
+
+def small_ctx():
+    return PacketSpaceContext(HeaderLayout([("f", 5)]))
+
+
+@pytest.fixture
+def sctx():
+    return small_ctx()
+
+
+class TestAssignLookup:
+    def test_empty_map(self, sctx):
+        pm = PredMap(sctx)
+        assert pm.lookup(sctx.universe) == []
+        assert pm.domain().is_empty
+        assert len(pm) == 0
+
+    def test_assign_and_lookup(self, sctx):
+        pm = PredMap(sctx)
+        low = sctx.range_("f", 0, 15)
+        pm.assign([(low, "a")])
+        pieces = pm.lookup(sctx.universe)
+        assert len(pieces) == 1
+        assert pieces[0] == (low, "a")
+
+    def test_lookup_with_default_fills_gap(self, sctx):
+        pm = PredMap(sctx)
+        low = sctx.range_("f", 0, 15)
+        pm.assign([(low, "a")])
+        pieces = pm.lookup_with_default(sctx.universe, "zero")
+        values = {v for _p, v in pieces}
+        assert values == {"a", "zero"}
+        total = sctx.union(p for p, _v in pieces)
+        assert total.is_universe
+
+    def test_overwrite_carves_existing(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.universe, "old")])
+        mid = sctx.range_("f", 8, 23)
+        pm.assign([(mid, "new")])
+        assert pm.value_at(sctx.range_("f", 8, 23)) == "new"
+        assert pm.value_at(sctx.range_("f", 0, 7)) == "old"
+        assert pm.value_at(sctx.range_("f", 24, 31)) == "old"
+
+    def test_equal_values_merge(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.range_("f", 0, 7), "x")])
+        pm.assign([(sctx.range_("f", 8, 15), "x")])
+        assert len(pm) == 1
+        assert pm.value_at(sctx.range_("f", 0, 15)) == "x"
+
+    def test_assign_empty_piece_ignored(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.empty, "x")])
+        assert len(pm) == 0
+
+    def test_remove(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.universe, "x")])
+        pm.remove(sctx.range_("f", 0, 15))
+        assert pm.domain() == sctx.range_("f", 16, 31)
+
+    def test_value_at_none_for_straddling_region(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.range_("f", 0, 15), "a"), (sctx.range_("f", 16, 31), "b")])
+        assert pm.value_at(sctx.range_("f", 8, 23)) is None
+
+    def test_unhashable_values_supported(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.universe, ["list", "value"])])
+        assert pm.value_at(sctx.universe) == ["list", "value"]
+
+
+class TestChangedRegion:
+    def test_identical_maps(self, sctx):
+        a, b = PredMap(sctx), PredMap(sctx)
+        a.assign([(sctx.universe, 1)])
+        b.assign([(sctx.universe, 1)])
+        assert a.changed_region(b).is_empty
+
+    def test_value_difference(self, sctx):
+        a, b = PredMap(sctx), PredMap(sctx)
+        a.assign([(sctx.universe, 1)])
+        b.assign([(sctx.range_("f", 0, 15), 1), (sctx.range_("f", 16, 31), 2)])
+        assert a.changed_region(b) == sctx.range_("f", 16, 31)
+
+    def test_domain_difference(self, sctx):
+        a, b = PredMap(sctx), PredMap(sctx)
+        a.assign([(sctx.range_("f", 0, 15), 1)])
+        assert a.changed_region(b) == sctx.range_("f", 0, 15)
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 8))):
+        lo = draw(st.integers(0, 31))
+        hi = draw(st.integers(lo, 31))
+        value = draw(st.integers(0, 3))
+        ops.append((lo, hi, value))
+    return ops
+
+
+class TestProperties:
+    @given(operations())
+    @settings(max_examples=80, deadline=None)
+    def test_disjointness_invariant(self, ops):
+        ctx = small_ctx()
+        pm = PredMap(ctx)
+        for lo, hi, value in ops:
+            pm.assign([(ctx.range_("f", lo, hi), value)])
+        entries = pm.entries()
+        for i, (a, _va) in enumerate(entries):
+            for b, _vb in entries[i + 1:]:
+                assert not a.overlaps(b)
+
+    @given(operations())
+    @settings(max_examples=80, deadline=None)
+    def test_last_writer_wins(self, ops):
+        """Every point's value equals the last assign covering it."""
+        ctx = small_ctx()
+        pm = PredMap(ctx)
+        for lo, hi, value in ops:
+            pm.assign([(ctx.range_("f", lo, hi), value)])
+        for point in range(32):
+            expected = None
+            for lo, hi, value in ops:
+                if lo <= point <= hi:
+                    expected = value
+            got = pm.value_at(ctx.value("f", point))
+            assert got == expected

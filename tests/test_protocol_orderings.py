@@ -1,0 +1,98 @@
+"""Protocol-level order independence.
+
+Drives verifier objects directly (no simulator) and delivers their messages
+in adversarially shuffled orders; per-channel FIFO order is preserved (the
+TCP guarantee DVM assumes) but cross-channel interleaving is arbitrary.
+The fixpoint must always equal offline Algorithm 1.
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.core.library import reachability
+from repro.core.planner import Planner
+from repro.core.verifier import OnDeviceVerifier
+from repro.topology import fig2a_example, grid
+from tests.conftest import random_dataplane
+
+
+def run_to_fixpoint(tasks, planes, rng):
+    """Deliver messages with random cross-channel interleaving until quiet."""
+    verifiers = {
+        dev: OnDeviceVerifier(task, planes[dev])
+        for dev, task in tasks.tasks.items()
+    }
+    # Per directed channel FIFO queues.
+    channels = {}
+
+    def enqueue(src, outgoing):
+        for dest, message in outgoing:
+            channels.setdefault((src, dest), deque()).append(message)
+
+    for dev, verifier in verifiers.items():
+        enqueue(dev, verifier.initialize())
+
+    steps = 0
+    while True:
+        live = [key for key, queue in channels.items() if queue]
+        if not live:
+            break
+        steps += 1
+        if steps > 100_000:
+            raise AssertionError("protocol did not quiesce")
+        src, dest = rng.choice(live)
+        message = channels[(src, dest)].popleft()
+        verifier = verifiers[dest]
+        from repro.core.dvm import SubscribeMessage, UpdateMessage
+
+        if isinstance(message, UpdateMessage):
+            enqueue(dest, verifier.handle_update(message))
+        else:
+            enqueue(dest, verifier.handle_subscribe(message))
+    return verifiers
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fig2a_random_orders(self, ctx, seed):
+        rng = random.Random(seed)
+        topo = fig2a_example()
+        space = ctx.ip_prefix("10.0.0.0/24")
+        inv = reachability(space, "S", "D")
+        planes = random_dataplane(
+            topo, ctx, ["10.0.0.0/24"], seed=seed * 13,
+            deliver_at={"10.0.0.0/24": "D"},
+        )
+        planner = Planner(topo, ctx)
+        tasks = planner.decompose(inv)
+        verifiers = run_to_fixpoint(tasks, planes, rng)
+        offline = planner.verify(inv, planes)
+        source_dev = tasks.node_home[tasks.source_nodes["S"]]
+        ok, _violations = verifiers[source_dev].verdicts["S"]
+        assert ok == offline.holds, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_grid_random_orders_full_partition(self, ctx, seed):
+        """Not just the verdict: the full count partition at the source must
+        match offline, under shuffled delivery."""
+        rng = random.Random(1000 + seed)
+        topo = grid(2, 3)
+        space = ctx.ip_prefix("10.0.0.0/24")
+        inv = reachability(space, "g0_0", "g1_2")
+        planes = random_dataplane(
+            topo, ctx, ["10.0.0.0/24"], seed=seed * 7,
+            deliver_at={"10.0.0.0/24": "g1_2"},
+        )
+        planner = Planner(topo, ctx)
+        tasks = planner.decompose(inv)
+        verifiers = run_to_fixpoint(tasks, planes, rng)
+        offline = planner.verify(inv, planes)
+        source_dev = tasks.node_home[tasks.source_nodes["g0_0"]]
+        distributed = verifiers[source_dev].source_counts("g0_0")
+        for region, cs in offline.source_counts["g0_0"]:
+            for sub, dist_cs in distributed:
+                piece = sub & region
+                if not piece.is_empty:
+                    assert dist_cs == cs, f"seed={seed}"

@@ -1,0 +1,113 @@
+"""Path-expression parsing and combinators."""
+
+import pytest
+
+from repro.automata.regex import (
+    ANY,
+    EPSILON,
+    Alternate,
+    AnySymbol,
+    Concat,
+    Star,
+    Symbol,
+    SymbolClass,
+    alternate,
+    concat,
+    literal_path,
+    optional,
+    parse_regex,
+    plus,
+    repeat,
+    star,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestParser:
+    def test_single_device(self):
+        assert parse_regex("S") == Symbol("S")
+
+    def test_compact_waypoint_form(self):
+        node = parse_regex("S.*W.*D")
+        assert node == concat(
+            Symbol("S"), star(ANY), Symbol("W"), star(ANY), Symbol("D")
+        )
+
+    def test_spaced_form_equivalent(self):
+        assert parse_regex("S .* W .* D") == parse_regex("S.*W.*D")
+
+    def test_alternation(self):
+        node = parse_regex("S D | S . D")
+        assert isinstance(node, Alternate)
+        assert len(node.options) == 2
+
+    def test_multi_char_device_names(self):
+        node = parse_regex("edge_0_1 .* core-3")
+        assert node == concat(Symbol("edge_0_1"), star(ANY), Symbol("core-3"))
+
+    def test_class(self):
+        node = parse_regex("[A B]")
+        assert node == SymbolClass(frozenset({"A", "B"}), negated=False)
+
+    def test_negated_class(self):
+        node = parse_regex("[^A B]")
+        assert node == SymbolClass(frozenset({"A", "B"}), negated=True)
+
+    def test_plus_and_optional(self):
+        assert parse_regex("A+") == plus(Symbol("A"))
+        assert parse_regex("A?") == optional(Symbol("A"))
+
+    def test_repetition(self):
+        assert parse_regex("A{2,3}") == repeat(Symbol("A"), 2, 3)
+        assert parse_regex("A{2}") == repeat(Symbol("A"), 2, 2)
+
+    def test_nested_groups(self):
+        node = parse_regex("S (A | B)* D")
+        assert isinstance(node, Concat)
+
+    def test_devices_collection(self):
+        node = parse_regex("S .* [^W X] (A|B) D")
+        assert node.devices() == frozenset({"S", "W", "X", "A", "B", "D"})
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "(", "S)", "[A", "[ ]", "A{x}", "A{3,1}", "S $"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(text)
+
+
+class TestCombinators:
+    def test_concat_flattens_and_drops_epsilon(self):
+        node = concat(Symbol("A"), EPSILON, concat(Symbol("B"), Symbol("C")))
+        assert node == Concat((Symbol("A"), Symbol("B"), Symbol("C")))
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == EPSILON
+
+    def test_alternate_dedupes(self):
+        assert alternate(Symbol("A"), Symbol("A")) == Symbol("A")
+
+    def test_star_idempotent(self):
+        inner = star(Symbol("A"))
+        assert star(inner) == inner
+
+    def test_star_of_epsilon(self):
+        assert star(EPSILON) == EPSILON
+
+    def test_literal_path(self):
+        assert literal_path(["S", "A", "D"]) == concat(
+            Symbol("S"), Symbol("A"), Symbol("D")
+        )
+
+    def test_repeat_bounds_validation(self):
+        with pytest.raises(RegexSyntaxError):
+            repeat(Symbol("A"), 3, 1)
+
+    def test_str_roundtrips_through_parser(self):
+        for text in ("S .* W .* D", "S D|S . D", "[^A B] C+", "(A|B){1,2} D"):
+            node = parse_regex(text)
+            assert parse_regex(str(node)) == node

@@ -1,0 +1,158 @@
+"""Scenario runner + Tulkun-vs-baselines agreement on real datasets."""
+
+import pytest
+
+from repro.baselines import ALL_BASELINES
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.datasets import build_dataset, inject_errors
+from repro.sim import TulkunRunner, apply_intents, random_update_intents
+
+
+@pytest.fixture(scope="module")
+def inet2():
+    return build_dataset("INet2", pair_limit=6, seed=11)
+
+
+def fresh_rules(ds):
+    return {
+        dev: [Rule(r.match, r.action, r.priority) for r in rules]
+        for dev, rules in ds.rules_by_device.items()
+    }
+
+
+def fresh_planes(ds):
+    planes = {}
+    for dev, rules in fresh_rules(ds).items():
+        plane = DevicePlane(dev, ds.ctx)
+        plane.install_many(rules)
+        planes[dev] = plane
+    return planes
+
+
+class TestBurst:
+    def test_correct_dataset_all_hold(self, inet2):
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        result = runner.burst_update(fresh_rules(inet2))
+        assert all(result.holds.values())
+        assert result.verification_time > 0
+
+    def test_injected_errors_found(self, inet2):
+        """§9.3.1: "Tulkun successfully finds all the errors we injected"."""
+        corrupted = fresh_rules(inet2)
+        # Blackhole the first query's prefix at its ingress.
+        query = inet2.queries[0]
+        target = inet2.ctx.ip_prefix(query.prefix)
+        for rule in corrupted[query.ingress]:
+            if rule.match == target:
+                corrupted[query.ingress][
+                    corrupted[query.ingress].index(rule)
+                ] = Rule(rule.match, Action.drop(), rule.priority)
+                break
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        result = runner.burst_update(corrupted)
+        bad_name = f"reach_{query.ingress}_{query.dest}"
+        assert result.holds[bad_name] is False
+        others = [v for name, v in result.holds.items() if name != bad_name]
+        # The corruption may collaterally affect other pairs routed through
+        # the same prefix, but at least the targeted invariant must fail.
+        assert any(others) or len(others) == 0
+
+
+class TestIncremental:
+    def test_intents_apply_and_measure(self, inet2):
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        runner.burst_update(fresh_rules(inet2))
+        planes = {
+            d: runner.network.devices[d].plane for d in inet2.topology.devices
+        }
+        intents = random_update_intents(inet2.topology, planes, 5, seed=9)
+        result = apply_intents(runner, intents)
+        assert result.times
+        assert all(t >= 0 for t in result.times)
+        assert result.quantile(0.8) >= result.quantile(0.2)
+
+    def test_restore_returns_to_green(self, inet2):
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        runner.burst_update(fresh_rules(inet2))
+        planes = {
+            d: runner.network.devices[d].plane for d in inet2.topology.devices
+        }
+        intents = random_update_intents(
+            inet2.topology, planes, 4, seed=10, drop_fraction=1.0
+        )
+        apply_intents(runner, intents, restore=True)
+        # Every drop intent was restored → all invariants hold again.
+        assert all(
+            runner.network.all_hold(inv.name) for inv in inet2.invariants
+        )
+
+    def test_fraction_below(self, inet2):
+        from repro.sim import IncrementalResult
+
+        result = IncrementalResult(times=[0.001, 0.002, 0.1])
+        assert result.fraction_below(0.01) == pytest.approx(2 / 3)
+
+
+class TestAgreementWithBaselines:
+    @pytest.mark.parametrize("tool_cls", ALL_BASELINES, ids=lambda c: c.name)
+    def test_same_verdict_on_corrupted_dataset(self, inet2, tool_cls):
+        """Tulkun and each baseline must agree on whether the (corrupted)
+        data plane satisfies the all-pair requirements."""
+        corrupted = fresh_rules(inet2)
+        query = inet2.queries[1]
+        target = inet2.ctx.ip_prefix(query.prefix)
+        dev = query.ingress
+        for i, rule in enumerate(corrupted[dev]):
+            if rule.match == target:
+                corrupted[dev][i] = Rule(rule.match, Action.drop(), rule.priority)
+                break
+        # Tulkun.
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        tulkun_result = runner.burst_update(corrupted)
+        tulkun_holds = all(tulkun_result.holds.values())
+        # Baseline (fresh planes from the same corrupted rule set).
+        planes = {}
+        for d, rules in corrupted.items():
+            plane = DevicePlane(d, inet2.ctx)
+            plane.install_many(
+                [Rule(r.match, r.action, r.priority) for r in rules]
+            )
+            planes[d] = plane
+        tool = tool_cls(inet2.topology, inet2.ctx, inet2.queries)
+        report = tool.burst_verify(planes)
+        assert report.holds == tulkun_holds is False
+
+
+class TestDcDataset:
+    def test_ft4_shortest_path_reachability(self):
+        ds = build_dataset("FT-4", pair_limit=4, seed=2)
+        runner = TulkunRunner(ds.topology, ds.ctx, ds.invariants)
+        result = runner.burst_update(
+            {
+                dev: [Rule(r.match, r.action, r.priority) for r in rules]
+                for dev, rules in ds.rules_by_device.items()
+            }
+        )
+        assert all(result.holds.values())
+
+
+class TestDirectIncrementalApi:
+    def test_incremental_updates_tuples(self, inet2):
+        """The low-level (device, install, remove) update API."""
+        from repro.dataplane import Action
+
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        runner.burst_update(fresh_rules(inet2))
+        dev = inet2.queries[0].ingress
+        plane = runner.network.devices[dev].plane
+        victim = plane.rules[0]
+        changed = Rule(victim.match, Action.drop(), victim.priority)
+        restored = Rule(victim.match, victim.action, victim.priority)
+        result = runner.incremental_updates(
+            [
+                (dev, changed, victim.rule_id),
+                (dev, restored, changed.rule_id),
+            ]
+        )
+        assert len(result.times) == 2
+        assert all(t >= 0 for t in result.times)

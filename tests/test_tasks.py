@@ -1,0 +1,37 @@
+"""Task descriptors: scene-aware acceptance and decomposition metadata."""
+
+import pytest
+
+from repro.core.tasks import NodeTask, NeighborRef
+
+
+class TestAcceptInScene:
+    def test_no_labels_accepts_everywhere(self):
+        node = NodeTask(1, "A1", "A", accept=(True, False))
+        assert node.accept_in_scene(None) == (True, False)
+        assert node.accept_in_scene(3) == (True, False)
+
+    def test_labeled_component_restricted(self):
+        node = NodeTask(
+            1, "A1", "A", accept=(True, True),
+            accept_scenes={0: frozenset({0, 2})},
+        )
+        # Component 0 only accepts in scenes 0 and 2; component 1 always.
+        assert node.accept_in_scene(None) == (True, True)   # scene None → 0
+        assert node.accept_in_scene(0) == (True, True)
+        assert node.accept_in_scene(1) == (False, True)
+        assert node.accept_in_scene(2) == (True, True)
+
+    def test_false_flag_stays_false(self):
+        node = NodeTask(
+            1, "A1", "A", accept=(False,),
+            accept_scenes={0: frozenset({1})},
+        )
+        assert node.accept_in_scene(1) == (False,)
+
+    def test_downstream_devices(self):
+        node = NodeTask(
+            1, "A1", "A", accept=(True,),
+            downstream=[NeighborRef(2, "B"), NeighborRef(3, "C")],
+        )
+        assert node.downstream_devices() == ["B", "C"]

@@ -1,0 +1,147 @@
+"""Trace/universe reference semantics against the paper's §2.1 examples."""
+
+import pytest
+
+from repro.dataplane import (
+    Action,
+    DevicePlane,
+    Rule,
+    Trace,
+    TraceStatus,
+    Transform,
+    count_matching_traces,
+    enumerate_universes,
+)
+from repro.automata import compile_regex, parse_regex
+from repro.errors import DataPlaneError
+from tests.conftest import packet
+
+
+class TestPaperExamples:
+    def test_packet_p_single_universe_two_traces(self, fig2_planes):
+        """Fig. 2a: p (dst 10.0.0.0/24) has 1 universe of 2 traces."""
+        universes = enumerate_universes(fig2_planes, "S", packet("10.0.0.1"))
+        assert len(universes) == 1
+        (universe,) = universes
+        paths = sorted(tuple(t.path) for t in universe)
+        assert paths == [("S", "A", "B"), ("S", "A", "W", "D")]
+        by_path = {tuple(t.path): t.status for t in universe}
+        assert by_path[("S", "A", "B")] is TraceStatus.DROPPED
+        assert by_path[("S", "A", "W", "D")] is TraceStatus.DELIVERED
+
+    def test_packet_q_two_universes(self, fig2_planes):
+        """Fig. 2a: q (dst 10.0.1.0:80) has 2 universes of 1 trace each."""
+        universes = enumerate_universes(fig2_planes, "S", packet("10.0.1.1", 80))
+        assert len(universes) == 2
+        all_paths = sorted(
+            tuple(t.path) for uni in universes for t in uni
+        )
+        assert all_paths == [("S", "A", "B", "D"), ("S", "A", "W", "D")]
+
+    def test_unknown_ingress(self, fig2_planes):
+        with pytest.raises(DataPlaneError):
+            enumerate_universes(fig2_planes, "Z", packet("10.0.0.1"))
+
+
+class TestLoopsAndDrops:
+    def _looping_planes(self, ctx):
+        planes = {name: DevicePlane(name, ctx) for name in "AB"}
+        space = ctx.ip_prefix("10.0.0.0/8")
+        planes["A"].install_many([Rule(space, Action.forward_all(["B"]), 1)])
+        planes["B"].install_many([Rule(space, Action.forward_all(["A"]), 1)])
+        return planes
+
+    def test_loop_detected(self, ctx):
+        planes = self._looping_planes(ctx)
+        universes = enumerate_universes(planes, "A", packet("10.1.1.1"), max_hops=6)
+        (universe,) = universes
+        (trace,) = list(universe)
+        assert trace.status is TraceStatus.LOOPING
+        assert len(trace.path) == 7
+
+    def test_missing_device_is_drop(self, ctx):
+        planes = {"A": DevicePlane("A", ctx)}
+        planes["A"].install_many(
+            [Rule(ctx.universe, Action.forward_all(["GHOST"]), 1)]
+        )
+        universes = enumerate_universes(planes, "A", packet("10.0.0.1"))
+        (universe,) = universes
+        (trace,) = list(universe)
+        assert trace.status is TraceStatus.DROPPED
+        assert trace.path == ("A", "GHOST")
+
+
+class TestTransforms:
+    def test_transform_changes_downstream_matching(self, ctx):
+        """A rewrites dst_port 80→8080; B forwards 8080 only."""
+        planes = {name: DevicePlane(name, ctx) for name in "ABC"}
+        p80 = ctx.value("dst_port", 80)
+        p8080 = ctx.value("dst_port", 8080)
+        planes["A"].install_many(
+            [
+                Rule(
+                    p80,
+                    Action.forward_all(["B"], transform=Transform.set_fields(dst_port=8080)),
+                    10,
+                )
+            ]
+        )
+        planes["B"].install_many([Rule(p8080, Action.forward_all(["C"]), 10)])
+        planes["C"].install_many([Rule(p8080, Action.deliver(), 10)])
+        universes = enumerate_universes(planes, "A", packet("10.0.0.1", 80))
+        (universe,) = universes
+        (trace,) = list(universe)
+        assert trace.status is TraceStatus.DELIVERED
+        assert trace.path == ("A", "B", "C")
+
+    def test_without_transform_same_packet_drops(self, ctx):
+        planes = {name: DevicePlane(name, ctx) for name in "AB"}
+        planes["A"].install_many(
+            [Rule(ctx.value("dst_port", 80), Action.forward_all(["B"]), 10)]
+        )
+        planes["B"].install_many(
+            [Rule(ctx.value("dst_port", 8080), Action.deliver(), 10)]
+        )
+        universes = enumerate_universes(planes, "A", packet("10.0.0.1", 80))
+        (universe,) = universes
+        (trace,) = list(universe)
+        assert trace.status is TraceStatus.DROPPED
+
+
+class TestCountMatching:
+    def test_counts_match_fig2(self, fig2_planes, fig2a):
+        dfa = compile_regex(parse_regex("S .* W .* D"), fig2a.devices)
+        q_universes = enumerate_universes(fig2_planes, "S", packet("10.0.1.1", 80))
+        assert count_matching_traces(q_universes, dfa.accepts) == [0, 1]
+        p_universes = enumerate_universes(fig2_planes, "S", packet("10.0.0.1"))
+        assert count_matching_traces(p_universes, dfa.accepts) == [1]
+
+    def test_require_delivery_excludes_drops(self, fig2_planes, fig2a):
+        dfa = compile_regex(parse_regex("S .*"), fig2a.devices)
+        universes = enumerate_universes(fig2_planes, "S", packet("10.0.0.1"))
+        with_delivery = count_matching_traces(universes, dfa.accepts)
+        without = count_matching_traces(universes, dfa.accepts, require_delivery=False)
+        assert with_delivery == [1]
+        assert without == [2]
+
+
+class TestMulticastSemantics:
+    def test_all_type_forks_within_universe(self, ctx):
+        planes = {name: DevicePlane(name, ctx) for name in "SAB"}
+        space = ctx.ip_prefix("10.0.0.0/8")
+        planes["S"].install_many([Rule(space, Action.forward_all(["A", "B"]), 1)])
+        planes["A"].install_many([Rule(space, Action.deliver(), 1)])
+        planes["B"].install_many([Rule(space, Action.deliver(), 1)])
+        universes = enumerate_universes(planes, "S", packet("10.1.1.1"))
+        assert len(universes) == 1
+        assert len(universes[0]) == 2
+
+    def test_any_type_forks_universes(self, ctx):
+        planes = {name: DevicePlane(name, ctx) for name in "SAB"}
+        space = ctx.ip_prefix("10.0.0.0/8")
+        planes["S"].install_many([Rule(space, Action.forward_any(["A", "B"]), 1)])
+        planes["A"].install_many([Rule(space, Action.deliver(), 1)])
+        planes["B"].install_many([Rule(space, Action.deliver(), 1)])
+        universes = enumerate_universes(planes, "S", packet("10.1.1.1"))
+        assert len(universes) == 2
+        assert all(len(u) == 1 for u in universes)

@@ -1,0 +1,97 @@
+"""DVM byte codec: roundtrips, cross-context decoding, error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.core.wire import decode_message, encode_message
+from repro.errors import SerializationError
+
+
+class TestUpdateRoundtrip:
+    def test_basic(self, ctx):
+        a = ctx.ip_prefix("10.0.0.0/24")
+        b = ctx.ip_prefix("10.0.1.0/24")
+        message = UpdateMessage(
+            (7, 13), a | b, ((a, ((1,), (2,))), (b, ((0,),)))
+        )
+        back = decode_message(ctx, encode_message(message))
+        assert isinstance(back, UpdateMessage)
+        assert back.intended_link == (7, 13)
+        assert back.withdrawn == message.withdrawn
+        assert back.results == message.results
+
+    def test_cross_context(self):
+        sender = PacketSpaceContext()
+        receiver = PacketSpaceContext()
+        pred = sender.ip_prefix("172.16.0.0/12")
+        message = UpdateMessage((1, 2), pred, ((pred, ((3,),)),))
+        back = decode_message(receiver, encode_message(message))
+        assert back.results[0][1] == ((3,),)
+        assert back.withdrawn.count() == pred.count()
+
+    def test_empty_update(self, ctx):
+        message = UpdateMessage((0, 1), ctx.empty, ())
+        back = decode_message(ctx, encode_message(message))
+        assert back.results == ()
+        assert back.withdrawn.is_empty
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 255),
+                st.lists(
+                    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=3,
+                ),
+            ),
+            min_size=0, max_size=4, unique_by=lambda item: item[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, entries):
+        ctx = PacketSpaceContext(HeaderLayout.dst_only())
+        results = []
+        withdrawn = ctx.empty
+        for octet, vectors in entries:
+            pred = ctx.prefix("dst_ip", octet << 24, 8) - withdrawn
+            if pred.is_empty:
+                continue
+            withdrawn = withdrawn | pred
+            results.append((pred, tuple(sorted(set(vectors)))))
+        message = UpdateMessage((5, 6), withdrawn, tuple(results))
+        back = decode_message(ctx, encode_message(message))
+        assert back == message
+
+
+class TestSubscribeRoundtrip:
+    def test_basic(self, ctx):
+        message = SubscribeMessage(
+            (3, 4),
+            pred_from=ctx.value("dst_port", 80),
+            pred_to=ctx.value("dst_port", 8080),
+        )
+        back = decode_message(ctx, encode_message(message))
+        assert isinstance(back, SubscribeMessage)
+        assert back == message
+
+
+class TestErrors:
+    def test_empty_bytes(self, ctx):
+        with pytest.raises(SerializationError):
+            decode_message(ctx, b"")
+
+    def test_unknown_type(self, ctx):
+        with pytest.raises(SerializationError):
+            decode_message(ctx, b"\x09\x00\x00")
+
+    def test_trailing_garbage(self, ctx):
+        message = SubscribeMessage((0, 1), ctx.empty, ctx.empty)
+        with pytest.raises(SerializationError):
+            decode_message(ctx, encode_message(message) + b"\x00")
+
+    def test_unencodable_object(self):
+        with pytest.raises(SerializationError):
+            encode_message(object())
