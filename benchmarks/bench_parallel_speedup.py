@@ -1,0 +1,155 @@
+"""Parallel-backend speedup — serial simulator vs the process worker pool.
+
+Burst-verifies fattree(8) ("FT-8") both ways and reports wall-clock times,
+per-worker CPU times, and two speedup figures:
+
+* **measured** — serial wall / parallel wall, the number you get on *this*
+  machine.  Only meaningful as a parallelism claim when the host has at
+  least as many cores as workers.
+* **modelled** — serial wall / (max per-worker CPU + coordinator overhead),
+  the wall-clock the pool would deliver with one core per worker.  On a
+  single-core CI box the workers time-slice, so this is the honest
+  scalability figure there.
+
+Every run appends a record to ``BENCH_parallel_speedup.json`` in the repo
+root — a trajectory of results across commits, with the host's core count
+stored alongside so figures are never compared out of context.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks._common import SCALE, fresh_rules, print_header, print_row
+from repro.datasets import build_dataset
+from repro.sim import TulkunRunner
+
+WORKERS = 4
+SPEEDUP_FLOOR = 1.5
+
+# (pair_limit, rule_multiplier) for the FT-8 burst at each scale.
+SIZES = {"small": (24, 2), "large": (32, 4)}
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_parallel_speedup.json"
+
+
+def _append_trajectory(record):
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.benchmark(group="parallel_speedup")
+def test_parallel_speedup_ft8(benchmark):
+    pair_limit, multiplier = SIZES[SCALE]
+    cores = os.cpu_count() or 1
+
+    def measure():
+        ds = build_dataset(
+            "FT-8", pair_limit=pair_limit, seed=1, rule_multiplier=multiplier
+        )
+        serial = TulkunRunner(ds.topology, ds.ctx, ds.invariants)
+        start = time.perf_counter()
+        serial_result = serial.burst_update(fresh_rules(ds))
+        serial_wall = time.perf_counter() - start
+
+        ds2 = build_dataset(
+            "FT-8", pair_limit=pair_limit, seed=1, rule_multiplier=multiplier
+        )
+        parallel = TulkunRunner(
+            ds2.topology, ds2.ctx, ds2.invariants,
+            backend="process", workers=WORKERS,
+        )
+        try:
+            start = time.perf_counter()
+            parallel_result = parallel.burst_update(fresh_rules(ds2))
+            parallel_wall = time.perf_counter() - start
+            metrics = parallel.network.metrics
+            busy = [
+                metrics.workers[wid].busy_time
+                for wid in sorted(metrics.workers)
+            ]
+            stats = {
+                "serial_wall_s": serial_wall,
+                "parallel_wall_s": parallel_wall,
+                "worker_cpu_s": busy,
+                "coordinator_overhead_s": parallel_wall - sum(busy),
+                "routed_messages": metrics.routed_messages,
+                "routed_bytes": metrics.routed_bytes,
+                "cut_links": parallel.network.cut_links,
+                "verdict_parity": (
+                    parallel_result.holds == serial_result.holds
+                ),
+            }
+        finally:
+            parallel.close()
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert stats["verdict_parity"], "serial and process verdicts diverged"
+
+    serial_wall = stats["serial_wall_s"]
+    parallel_wall = stats["parallel_wall_s"]
+    busy = stats["worker_cpu_s"]
+    overhead = max(stats["coordinator_overhead_s"], 0.0)
+    measured = serial_wall / parallel_wall
+    # With one core per worker the pool's wall-clock is the slowest
+    # worker's CPU time plus whatever the coordinator adds on top.
+    modelled = serial_wall / (max(busy) + overhead)
+
+    print_header(
+        f"Parallel speedup [FT-8, {WORKERS} workers, {cores} core(s)]"
+    )
+    print_row("series", "time (ms)", "speedup")
+    print_row("serial", f"{serial_wall * 1e3:.1f}", "1.00x")
+    print_row("process", f"{parallel_wall * 1e3:.1f}", f"{measured:.2f}x")
+    print_row(
+        "modelled",
+        f"{(max(busy) + overhead) * 1e3:.1f}",
+        f"{modelled:.2f}x",
+    )
+    print_row(
+        "worker CPU (s)",
+        " ".join(f"{b:.3f}" for b in busy),
+        f"+{overhead * 1e3:.0f}ms coord",
+    )
+
+    record = {
+        "bench": "parallel_speedup",
+        "dataset": "FT-8",
+        "workers": WORKERS,
+        "cpu_count": cores,
+        "scale": SCALE,
+        "pair_limit": pair_limit,
+        "rule_multiplier": multiplier,
+        "measured_speedup": round(measured, 3),
+        "modelled_speedup": round(modelled, 3),
+        **{
+            k: (round(v, 4) if isinstance(v, float) else v)
+            for k, v in stats.items()
+            if k != "worker_cpu_s"
+        },
+        "worker_cpu_s": [round(b, 4) for b in busy],
+    }
+    _append_trajectory(record)
+    benchmark.extra_info.update(record)
+
+    # The ≥1.5x acceptance bar applies to the figure that is physically
+    # meaningful on this host: measured wall-clock when there is a core per
+    # worker, the modelled critical path otherwise.
+    effective = measured if cores >= WORKERS else modelled
+    assert effective >= SPEEDUP_FLOOR, (
+        f"parallel speedup {effective:.2f}x below {SPEEDUP_FLOOR}x "
+        f"(measured {measured:.2f}x, modelled {modelled:.2f}x, "
+        f"{cores} core(s))"
+    )

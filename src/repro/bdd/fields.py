@@ -116,6 +116,17 @@ class HeaderLayout:
     def field_names(self) -> List[str]:
         return list(self._fields)
 
+    def spec(self) -> List[Tuple[str, int]]:
+        """The ``(name, width)`` list this layout was built from.
+
+        ``HeaderLayout(layout.spec())`` reconstructs an identical layout —
+        the parallel backend ships this spec so worker processes can rebuild
+        the packet-space context (and hence decode shipped BDDs) without
+        pickling the layout object itself.
+        """
+        ordered = sorted(self._fields.values(), key=lambda f: f.offset)
+        return [(f.name, f.width) for f in ordered]
+
     def has_field(self, name: str) -> bool:
         return name in self._fields
 

@@ -23,7 +23,7 @@ physical devices exchange BDDs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.predicate import PacketSpaceContext, Predicate
@@ -34,8 +34,12 @@ __all__ = [
     "decode_varint",
     "serialize_node",
     "deserialize_node",
+    "serialize_nodes",
+    "deserialize_nodes",
     "serialize_predicate",
     "deserialize_predicate",
+    "serialize_predicates",
+    "deserialize_predicates",
 ]
 
 
@@ -126,13 +130,136 @@ def deserialize_node(mgr: BddManager, data: bytes) -> int:
     return ids[root_idx]
 
 
+def serialize_nodes(mgr: BddManager, roots: Sequence[int]) -> bytes:
+    """Serialize several sub-DAGs into one stream, sharing common nodes.
+
+    The multi-root variant of :func:`serialize_node`: the node table is
+    emitted once, then every root as an index into it.  Shipping a whole
+    device state (rule matches, task packet spaces) this way costs one copy
+    of the shared BDD structure instead of one per predicate — the batch
+    format the parallel backend uses to move device tasks to workers.
+
+    Layout::
+
+        varint  num_nodes
+        repeated node records (as in serialize_node)
+        varint  num_roots
+        repeated varint root (index into [FALSE, TRUE, rec 0, rec 1, ...])
+    """
+    order: List[int] = []
+    seen = {FALSE, TRUE}
+    for root in roots:
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in seen:
+                continue
+            if expanded:
+                seen.add(node)
+                order.append(node)
+            else:
+                stack.append((node, True))
+                stack.append((mgr.high(node), False))
+                stack.append((mgr.low(node), False))
+
+    index: Dict[int, int] = {FALSE: 0, TRUE: 1}
+    for i, node in enumerate(order):
+        index[node] = i + 2
+
+    out = bytearray()
+    encode_varint(len(order), out)
+    for node in order:
+        encode_varint(mgr.top_var(node), out)
+        encode_varint(index[mgr.low(node)], out)
+        encode_varint(index[mgr.high(node)], out)
+    encode_varint(len(roots), out)
+    for root in roots:
+        encode_varint(index[root], out)
+    return bytes(out)
+
+
+def deserialize_nodes(mgr: BddManager, data: bytes) -> List[int]:
+    """Reconstruct a multi-root stream inside ``mgr``; return the root ids
+    in their original order."""
+    num_nodes, pos = decode_varint(data, 0)
+    ids: List[int] = [FALSE, TRUE]
+    for _ in range(num_nodes):
+        var, pos = decode_varint(data, pos)
+        low_idx, pos = decode_varint(data, pos)
+        high_idx, pos = decode_varint(data, pos)
+        if low_idx >= len(ids) or high_idx >= len(ids):
+            raise SerializationError("forward reference in BDD stream")
+        if var >= mgr.num_vars:
+            raise SerializationError(
+                f"variable {var} outside manager with {mgr.num_vars} vars"
+            )
+        ids.append(mgr._mk(var, ids[low_idx], ids[high_idx]))  # noqa: SLF001
+    num_roots, pos = decode_varint(data, pos)
+    roots: List[int] = []
+    for _ in range(num_roots):
+        root_idx, pos = decode_varint(data, pos)
+        if root_idx >= len(ids):
+            raise SerializationError("root index out of range")
+        roots.append(ids[root_idx])
+    if pos != len(data):
+        raise SerializationError("trailing bytes after BDD stream")
+    return roots
+
+
+def _caches(mgr: BddManager) -> Tuple[Dict[int, bytes], Dict[bytes, int]]:
+    """Per-manager memo tables for the predicate codec.
+
+    Node ids are stable (the manager never garbage-collects) and the wire
+    bytes are canonical — one boolean function has exactly one encoding — so
+    both directions can be cached, and each direction can warm the other.
+    Verifiers announce the same regions to many neighbors across many rounds;
+    without the memo the codec dominates the parallel backend's CPU time.
+    """
+    ser = getattr(mgr, "_serialize_cache", None)
+    if ser is None:
+        ser = mgr._serialize_cache = {}  # type: ignore[attr-defined]
+        mgr._deserialize_cache = {}  # type: ignore[attr-defined]
+    return ser, mgr._deserialize_cache  # type: ignore[attr-defined]
+
+
 def serialize_predicate(pred: Predicate) -> bytes:
     """Serialize a predicate for transmission in a DVM message."""
-    return serialize_node(pred.ctx.mgr, pred.node)
+    mgr = pred.ctx.mgr
+    ser, deser = _caches(mgr)
+    data = ser.get(pred.node)
+    if data is None:
+        data = ser[pred.node] = serialize_node(mgr, pred.node)
+        deser.setdefault(data, pred.node)
+    return data
 
 
 def deserialize_predicate(ctx: PacketSpaceContext, data: bytes) -> Predicate:
     """Reconstruct a predicate previously produced by
     :func:`serialize_predicate` (possibly by another context with the same
     layout)."""
-    return ctx.wrap(deserialize_node(ctx.mgr, data))
+    mgr = ctx.mgr
+    ser, deser = _caches(mgr)
+    node = deser.get(data)
+    if node is None:
+        node = deser[data] = deserialize_node(mgr, data)
+        ser.setdefault(node, data)
+    return ctx.wrap(node)
+
+
+def serialize_predicates(preds: Sequence[Predicate]) -> bytes:
+    """Serialize several predicates of one context into a shared stream."""
+    if not preds:
+        return b"\x00\x00"  # num_nodes=0, num_roots=0
+    mgr = preds[0].ctx.mgr
+    for pred in preds:
+        if pred.ctx.mgr is not mgr:
+            raise SerializationError("predicates belong to different contexts")
+    return serialize_nodes(mgr, [pred.node for pred in preds])
+
+
+def deserialize_predicates(
+    ctx: PacketSpaceContext, data: bytes
+) -> List[Predicate]:
+    """Inverse of :func:`serialize_predicates` (into the receiver's
+    context)."""
+    return [ctx.wrap(node) for node in deserialize_nodes(ctx.mgr, data)]

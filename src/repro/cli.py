@@ -96,7 +96,14 @@ def cmd_simulate(args) -> int:
     from repro.sim import TulkunRunner
 
     ctx, topology, planes, invariants = _load_inputs(args)
-    runner = TulkunRunner(topology, ctx, invariants, cpu_scale=args.cpu_scale)
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=args.cpu_scale,
+        backend=args.backend,
+        workers=args.workers,
+    )
     rules = {dev: list(plane.rules) for dev, plane in planes.items()}
     # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
     from repro.dataplane.rule import Rule
@@ -105,18 +112,34 @@ def cmd_simulate(args) -> int:
         dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
         for dev, dev_rules in rules.items()
     }
-    result = runner.burst_update(rules)
-    print(f"verification time: {result.verification_time * 1e3:.3f} ms (simulated)")
-    print(f"events: {result.events}, DVM messages: {result.messages}, "
-          f"bytes: {result.bytes_sent}")
-    failures = 0
-    for name, holds in sorted(result.holds.items()):
-        print(f"  {name}: {'HOLDS' if holds else 'VIOLATED'}")
-        if not holds:
-            failures += 1
-            for violation in runner.network.violations(name)[: args.max_violations]:
-                print(f"    {violation}")
-    return 1 if failures else 0
+    try:
+        result = runner.burst_update(rules)
+        clock = "wall" if args.backend == "process" else "simulated"
+        print(
+            f"verification time: {result.verification_time * 1e3:.3f} ms "
+            f"({clock})"
+        )
+        print(f"events: {result.events}, DVM messages: {result.messages}, "
+              f"bytes: {result.bytes_sent}")
+        if args.backend == "process":
+            network = runner.network
+            print(
+                f"workers: {network.num_workers}, "
+                f"cut links: {network.cut_links}, "
+                f"cross-worker messages: {network.metrics.routed_messages}, "
+                f"effective parallelism: "
+                f"{network.metrics.effective_parallelism():.2f}"
+            )
+        failures = 0
+        for name, holds in sorted(result.holds.items()):
+            print(f"  {name}: {'HOLDS' if holds else 'VIOLATED'}")
+            if not holds:
+                failures += 1
+                for violation in runner.network.violations(name)[: args.max_violations]:
+                    print(f"    {violation}")
+        return 1 if failures else 0
+    finally:
+        runner.close()
 
 
 def cmd_dpvnet(args) -> int:
@@ -179,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="distributed verification (simulator)")
     add_io(p_sim)
     p_sim.add_argument("--cpu-scale", type=float, default=1.0)
+    p_sim.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+        help="serial = discrete-event simulator (modelled clock); "
+             "process = multiprocessing worker pool (wall clock)",
+    )
+    p_sim.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --backend process (default: cores, max 4)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_net = sub.add_parser("dpvnet", help="print planner output (DPVNet + tasks)")

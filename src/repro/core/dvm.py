@@ -55,12 +55,21 @@ class UpdateMessage:
             )
 
     def wire_size(self) -> int:
-        """Approximate encoded size in bytes (BDD bytes + 8 per count)."""
+        """Approximate encoded size in bytes (BDD bytes + 8 per count).
+
+        Serializing the BDDs dominates the cost, and every message is sized
+        at least twice (sender and receiver accounting), so the result is
+        memoized — messages are immutable.
+        """
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
         size = 16  # link ids + header
         size += len(serialize_predicate(self.withdrawn))
         for pred, cs in self.results:
             size += len(serialize_predicate(pred))
             size += 8 * sum(len(vec) for vec in cs) + 4
+        self.__dict__["_wire_size"] = size
         return size
 
 
@@ -78,11 +87,15 @@ class SubscribeMessage:
     pred_to: Predicate
 
     def wire_size(self) -> int:
-        return (
-            16
-            + len(serialize_predicate(self.pred_from))
-            + len(serialize_predicate(self.pred_to))
-        )
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = (
+                16
+                + len(serialize_predicate(self.pred_from))
+                + len(serialize_predicate(self.pred_to))
+            )
+            self.__dict__["_wire_size"] = cached
+        return cached
 
 
 DvmMessage = object  # UpdateMessage | SubscribeMessage

@@ -125,27 +125,50 @@ class OnDeviceVerifier:
         return outgoing
 
     def handle_update(self, message: UpdateMessage) -> List[Outgoing]:
-        """§5.2 UPDATE handling: steps 1-3."""
-        self.stats.updates_received += 1
-        self.stats.bytes_received += message.wire_size()
-        parent_id, child_id = message.intended_link
-        node = self.nodes.get(parent_id)
-        if node is None:
-            raise ProtocolError(
-                f"device {self.task.dev} received UPDATE for foreign node "
-                f"{parent_id}"
+        """§5.2 UPDATE handling: steps 1-3 (a batch of one)."""
+        return self.handle_batch([message])
+
+    def handle_batch(self, messages: Sequence[object]) -> List[Outgoing]:
+        """Process a batch of queued DVM messages with one recomputation per
+        affected node.
+
+        Step 1 (CIBIn maintenance) runs per message, then the affected
+        regions are unioned and steps 2+3 run once per node.  Because
+        recomputation rebuilds LocCIB from the CIBIn tables, the fixpoint is
+        identical to processing the messages one at a time — this is the
+        batched round primitive the parallel backend's workers execute.
+        """
+        outgoing: List[Outgoing] = []
+        regions: Dict[int, Predicate] = {}
+        for message in messages:
+            if isinstance(message, SubscribeMessage):
+                outgoing.extend(self.handle_subscribe(message))
+                continue
+            if not isinstance(message, UpdateMessage):
+                raise ProtocolError(f"unknown message type {type(message)}")
+            self.stats.updates_received += 1
+            self.stats.bytes_received += message.wire_size()
+            parent_id, child_id = message.intended_link
+            if parent_id not in self.nodes:
+                raise ProtocolError(
+                    f"device {self.task.dev} received UPDATE for foreign "
+                    f"node {parent_id}"
+                )
+            st = self.state[parent_id]
+            cib = st.cib_in.get(child_id)
+            if cib is None:
+                cib = PredMap(self.ctx)
+                st.cib_in[child_id] = cib
+            cib.remove(message.withdrawn)
+            cib.assign(list(message.results))
+            affected = self._preimage_region(
+                parent_id, child_id, message.withdrawn
             )
-        st = self.state[parent_id]
-        # Step 1: update CIBIn(v).
-        cib = st.cib_in.get(child_id)
-        if cib is None:
-            cib = PredMap(self.ctx)
-            st.cib_in[child_id] = cib
-        cib.remove(message.withdrawn)
-        cib.assign(list(message.results))
-        # Steps 2+3: recompute the affected LocCIB region and propagate.
-        affected = self._preimage_region(parent_id, child_id, message.withdrawn)
-        return self._recompute(parent_id, affected)
+            prev = regions.get(parent_id)
+            regions[parent_id] = affected if prev is None else prev | affected
+        for nid in sorted(regions):
+            outgoing.extend(self._recompute(nid, regions[nid]))
+        return outgoing
 
     def handle_subscribe(self, message: SubscribeMessage) -> List[Outgoing]:
         """A parent subscribed to transformed-predicate results (§5.2)."""

@@ -73,6 +73,18 @@ class DevicePlane:
         self._lec_cache = None
         return diff_lec_tables(old, self.lec_table())
 
+    def discard_rule(self, rule_id: int) -> None:
+        """Remove a rule without LEC delta computation.
+
+        Mirror-bookkeeping counterpart of :meth:`install_many`: the parallel
+        coordinator tracks rule tables without ever paying for LEC builds
+        (the workers compute the real deltas).
+        """
+        if rule_id not in self._rules:
+            raise DataPlaneError(f"rule {rule_id} not installed on {self.name}")
+        del self._rules[rule_id]
+        self._lec_cache = None
+
     def install_many(self, rules: Sequence[Rule]) -> None:
         """Bulk install without delta computation (burst-update fast path)."""
         for rule in rules:

@@ -1,0 +1,23 @@
+"""Process-parallel execution backend for the on-device verifiers.
+
+The serial simulator (:mod:`repro.sim`) measures Tulkun's behaviour under a
+modelled clock; this package actually *runs* the per-device verification in
+parallel: devices are partitioned across a pool of worker processes, verifier
+state ships as canonical BDD bytes (:mod:`repro.bdd.serialize`), and the
+coordinator routes cross-worker DVM messages in deterministic rounds.
+Select it with ``TulkunRunner(..., backend="process")`` or
+``python -m repro simulate --backend process``.
+"""
+
+from repro.parallel.coordinator import ParallelNetwork, default_worker_count
+from repro.parallel.parity import canonical_counts, canonical_source_counts
+from repro.parallel.partition import cut_edges, partition_devices
+
+__all__ = [
+    "ParallelNetwork",
+    "default_worker_count",
+    "canonical_counts",
+    "canonical_source_counts",
+    "cut_edges",
+    "partition_devices",
+]

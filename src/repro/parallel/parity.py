@@ -1,0 +1,58 @@
+"""Context-independent fingerprints of verification state.
+
+The parallel backend promises *byte-identical* results to the serial
+simulator, but its verifiers live in different processes with different BDD
+managers, so object identity is useless for comparison.  Canonical ROBDDs
+give the portable alternative: two predicates over the same
+:class:`HeaderLayout` denote the same packet set iff their serialized node
+streams are equal.  A source node's counting results are canonicalized by
+merging pieces with equal count sets (the split into disjoint pieces is an
+evaluation-order artifact; the union is not), serializing each merged
+predicate, and sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.bdd.serialize import serialize_predicate
+from repro.core.counting import CountSet
+
+__all__ = ["canonical_counts", "canonical_source_counts"]
+
+
+def canonical_counts(
+    pieces: Optional[Sequence[Tuple[Predicate, CountSet]]]
+) -> Optional[Tuple[Tuple[bytes, CountSet], ...]]:
+    """Merge-by-countset fingerprint of one ``(predicate, counts)`` list."""
+    if pieces is None:
+        return None
+    merged: Dict[CountSet, Predicate] = {}
+    for pred, countset in pieces:
+        prev = merged.get(countset)
+        merged[countset] = pred if prev is None else prev | pred
+    canon = [
+        (serialize_predicate(pred), countset)
+        for countset, pred in merged.items()
+    ]
+    canon.sort()
+    return tuple(canon)
+
+
+def canonical_source_counts(verifiers) -> Dict[Tuple[str, str, str], object]:
+    """Fingerprint every source node's counts across a verifier collection.
+
+    ``verifiers`` maps ``(dev, invariant_name) -> OnDeviceVerifier`` (the
+    shape both the serial :class:`SimNetwork` and the workers keep).  Keys of
+    the result are ``(invariant_name, dev, ingress)``.
+    """
+    counts: Dict[Tuple[str, str, str], object] = {}
+    for (dev, inv_name), verifier in verifiers.items():
+        for node in verifier.nodes.values():
+            if node.is_source_for is None:
+                continue
+            counts[(inv_name, dev, node.is_source_for)] = canonical_counts(
+                verifier.source_counts(node.is_source_for)
+            )
+    return counts

@@ -1,0 +1,305 @@
+"""Worker process: hosts a partition's verifiers and drains local messages.
+
+Each worker owns the devices of one partition block: their data planes, one
+:class:`OnDeviceVerifier` per (device, invariant), and a private BDD context
+rebuilt from the coordinator's header layout.  A worker executes *commands*
+(burst install, DVM round, link change, scene switch, rule update) and after
+each one drains its local message queue to quiescence — messages between
+co-located devices never leave the process.  Only messages whose destination
+lives on another worker are returned, already encoded with
+:mod:`repro.core.wire`, for the coordinator to route.
+
+Determinism: every message carries a ``(source device, per-device sequence)``
+key.  Batches are sorted by key and grouped by sorted ``(device, invariant)``
+before delivery, so a fixed partition always replays identically — and the
+DVM fixpoint itself is order-independent, which is what makes the result
+equal to the serial simulator's byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bdd.serialize import serialize_predicate
+from repro.core.verifier import OnDeviceVerifier
+from repro.core.wire import decode_message, encode_message
+from repro.dataplane.device import DevicePlane
+from repro.parallel import shipping
+from repro.parallel.parity import canonical_source_counts
+from repro.topology.graph import canonical_link
+
+__all__ = ["VerifierHost", "worker_main"]
+
+# (source device, per-source sequence number): a total, partition-independent
+# order over the messages any one device emits.
+MessageKey = Tuple[str, int]
+RemoteEntry = Tuple[MessageKey, str, str, bytes]  # key, dst dev, invariant, blob
+
+
+def _fresh_stats() -> Dict[str, int]:
+    return {
+        "events_processed": 0,
+        "messages_sent": 0,
+        "bytes_sent": 0,
+        "messages_received": 0,
+        "bytes_received": 0,
+    }
+
+
+class VerifierHost:
+    """The in-process state of one worker.
+
+    Constructed from live objects inherited across the coordinator's fork
+    (context, planes, tasks — no deserialization).  After the fork these are
+    private copies; every later state change arrives as an explicit command,
+    with rules and DVM messages crossing the pipe as BDD wire bytes.
+    """
+
+    def __init__(self, init: Dict[str, object]) -> None:
+        self.wid: int = init["wid"]  # type: ignore[assignment]
+        self.ctx = init["ctx"]
+        self.assignment: Dict[str, int] = dict(init["assignment"])  # type: ignore[arg-type]
+        self.planes: Dict[str, DevicePlane] = dict(init["planes"])  # type: ignore[arg-type]
+        self.verifiers: Dict[Tuple[str, str], OnDeviceVerifier] = {}
+        self._by_dev: Dict[str, List[Tuple[str, OnDeviceVerifier]]] = {
+            dev: [] for dev in self.planes
+        }
+        for task in init["tasks"]:  # type: ignore[union-attr]
+            verifier = OnDeviceVerifier(task, self.planes[task.dev])
+            self.verifiers[(task.dev, task.invariant_name)] = verifier
+            self._by_dev[task.dev].append((task.invariant_name, verifier))
+        for pairs in self._by_dev.values():
+            pairs.sort(key=lambda pair: pair[0])
+
+        self.failed: Set[Tuple[str, str]] = set()
+        self._queue: List[Tuple[MessageKey, str, str, object]] = []
+        self._seq: Dict[str, int] = {}
+        self.stats: Dict[str, Dict[str, int]] = {
+            dev: _fresh_stats() for dev in self.planes
+        }
+        self.busy = 0.0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        src: str,
+        invariant: str,
+        outgoing,
+        remote: List[RemoteEntry],
+    ) -> None:
+        stats = self.stats[src]
+        for dst, message in outgoing:
+            if canonical_link(src, dst) in self.failed:
+                continue  # the DVM channel is down; resync on recovery
+            seq = self._seq.get(src, 0)
+            self._seq[src] = seq + 1
+            key = (src, seq)
+            stats["messages_sent"] += 1
+            stats["bytes_sent"] += message.wire_size()
+            if self.assignment[dst] == self.wid:
+                self._queue.append((key, dst, invariant, message))
+            else:
+                remote.append((key, dst, invariant, encode_message(message)))
+
+    def _drain(self) -> List[RemoteEntry]:
+        """Deliver queued local messages in waves until none remain."""
+        remote: List[RemoteEntry] = []
+        while self._queue:
+            batch, self._queue = self._queue, []
+            batch.sort(key=lambda entry: entry[0])
+            groups: Dict[Tuple[str, str], List[object]] = {}
+            for _key, dst, invariant, message in batch:
+                groups.setdefault((dst, invariant), []).append(message)
+            for dst, invariant in sorted(groups):
+                messages = groups[(dst, invariant)]
+                stats = self.stats[dst]
+                stats["events_processed"] += 1
+                stats["messages_received"] += len(messages)
+                stats["bytes_received"] += sum(
+                    m.wire_size() for m in messages  # type: ignore[attr-defined]
+                )
+                verifier = self.verifiers.get((dst, invariant))
+                if verifier is None:
+                    continue
+                self._route(
+                    dst, invariant, verifier.handle_batch(messages), remote
+                )
+        return remote
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def burst(self, payload: Dict[str, object]) -> List[RemoteEntry]:
+        """Install rule bursts, then (re)initialize every local verifier."""
+        remote: List[RemoteEntry] = []
+        installs = shipping.unship_rule_sets(self.ctx, payload)
+        for dev in sorted(installs):
+            self.planes[dev].install_many(installs[dev])
+        for dev, invariant in sorted(self.verifiers):
+            self.stats[dev]["events_processed"] += 1
+            verifier = self.verifiers[(dev, invariant)]
+            self._route(dev, invariant, verifier.initialize(), remote)
+        remote.extend(self._drain())
+        return remote
+
+    def round(self, entries: List[RemoteEntry]) -> List[RemoteEntry]:
+        """Deliver one round of cross-worker messages, drain, reply."""
+        self.rounds += 1
+        for key, dst, invariant, blob in entries:
+            message = decode_message(self.ctx, blob)
+            self._queue.append((key, dst, invariant, message))
+        return self._drain()
+
+    def link(
+        self, changes: List[Tuple[str, str, bool]]
+    ) -> List[RemoteEntry]:
+        for a, b, is_up in changes:
+            key = canonical_link(a, b)
+            if is_up:
+                self.failed.discard(key)
+            else:
+                self.failed.add(key)
+        remote: List[RemoteEntry] = []
+        for a, b, is_up in changes:
+            for endpoint, other in ((a, b), (b, a)):
+                for invariant, verifier in self._by_dev.get(endpoint, ()):
+                    self.stats[endpoint]["events_processed"] += 1
+                    self._route(
+                        endpoint,
+                        invariant,
+                        verifier.handle_link_change(other, is_up),
+                        remote,
+                    )
+        remote.extend(self._drain())
+        return remote
+
+    def scene(self, scene_id: Optional[int]) -> List[RemoteEntry]:
+        remote: List[RemoteEntry] = []
+        for dev, invariant in sorted(self.verifiers):
+            self.stats[dev]["events_processed"] += 1
+            verifier = self.verifiers[(dev, invariant)]
+            self._route(dev, invariant, verifier.activate_scene(scene_id), remote)
+        remote.extend(self._drain())
+        return remote
+
+    def update(
+        self,
+        dev: str,
+        install_payload: Optional[Dict[str, object]],
+        remove_rule_id: Optional[int],
+    ) -> List[RemoteEntry]:
+        plane = self.planes[dev]
+        deltas = []
+        if remove_rule_id is not None:
+            deltas.extend(plane.remove_rule(remove_rule_id))
+        if install_payload is not None:
+            rule = shipping.unship_rules(self.ctx, install_payload)[0]
+            deltas.extend(plane.install_rule(rule))
+        remote: List[RemoteEntry] = []
+        for invariant, verifier in self._by_dev.get(dev, ()):
+            self.stats[dev]["events_processed"] += 1
+            self._route(
+                dev, invariant, verifier.handle_lec_deltas(deltas), remote
+            )
+        remote.extend(self._drain())
+        return remote
+
+    # ------------------------------------------------------------------
+    # State export
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict[str, object]:
+        """Verdicts, memory and transport stats, all context-free."""
+        verdicts: Dict[str, Dict[str, tuple]] = {}
+        for (dev, invariant), verifier in sorted(self.verifiers.items()):
+            for ingress, (ok, violations) in verifier.verdicts.items():
+                verdicts.setdefault(invariant, {})[ingress] = (
+                    ok,
+                    [
+                        {
+                            "ingress": v.ingress,
+                            "region": serialize_predicate(v.region),
+                            "counts": v.counts,
+                            "message": v.message,
+                        }
+                        for v in violations
+                    ],
+                )
+        memory = {
+            dev: sum(v.memory_proxy() for _inv, v in pairs)
+            for dev, pairs in self._by_dev.items()
+        }
+        return {
+            "verdicts": verdicts,
+            "memory": memory,
+            "stats": self.stats,
+            "worker": {
+                "wid": self.wid,
+                "busy": self.busy,
+                "rounds": self.rounds,
+                "devices": len(self.planes),
+            },
+        }
+
+    def fingerprints(self):
+        return canonical_source_counts(self.verifiers)
+
+
+def worker_main(conn, init: Dict[str, object]) -> None:
+    """Command loop: one request in, one reply out, forever until ``exit``."""
+    # The fork hands us the coordinator's entire heap.  Freeze it: the
+    # inherited objects are effectively immutable roots, and without the
+    # freeze every cyclic-GC pass scans them (and copy-on-write-faults
+    # their pages), which can multiply a worker's CPU time under a large
+    # parent process such as a test runner.
+    import gc
+
+    gc.freeze()
+    try:
+        start = time.process_time()
+        host = VerifierHost(init)
+        host.busy += time.process_time() - start
+        conn.send(("ready", host.wid))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            return
+        op = command[0]
+        if op == "exit":
+            conn.send(("bye",))
+            return
+        try:
+            # CPU time, not wall time: with more workers than cores the OS
+            # time-slices, and a wall clock would count sibling workers'
+            # slices as this worker's "busy" time.
+            start = time.process_time()
+            if op == "collect":
+                conn.send(("state", host.collect()))
+                continue
+            if op == "counts":
+                conn.send(("counts", host.fingerprints()))
+                continue
+            if op == "burst":
+                remote = host.burst(command[1])
+            elif op == "round":
+                remote = host.round(command[1])
+            elif op == "link":
+                remote = host.link(command[1])
+            elif op == "scene":
+                remote = host.scene(command[1])
+            elif op == "update":
+                remote = host.update(command[1], command[2], command[3])
+            else:
+                raise RuntimeError(f"unknown worker command {op!r}")
+            host.busy += time.process_time() - start
+            conn.send(("out", remote))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))

@@ -51,12 +51,15 @@ class SimKernel:
             time, _seq, action = self._queue[0]
             if until is not None and time > until:
                 break
+            # Budget check happens *before* taking the next event: a run of
+            # exactly ``max_events`` events completes, event max_events+1
+            # trips the livelock guard.
+            if self._events_processed >= max_events:
+                raise SimulationError("event budget exhausted (livelock?)")
             heapq.heappop(self._queue)
             self.now = time
             action()
             self._events_processed += 1
-            if self._events_processed > max_events:
-                raise SimulationError("event budget exhausted (livelock?)")
         if until is not None and self.now < until:
             self.now = until
         return self.now

@@ -14,7 +14,13 @@ from typing import Dict, List, Optional
 
 import math
 
-__all__ = ["DeviceMetrics", "MetricsCollector", "percentile", "cdf_points"]
+__all__ = [
+    "DeviceMetrics",
+    "WorkerMetrics",
+    "MetricsCollector",
+    "percentile",
+    "cdf_points",
+]
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -54,6 +60,9 @@ class DeviceMetrics:
     bytes_sent: int = 0
     bytes_received: int = 0
     memory_proxy_peak: int = 0
+    # (src, dst, message type, bytes) per sent message; only populated when
+    # the collector's ``collect_logs`` flag is on (determinism regression).
+    message_log: List[tuple] = field(default_factory=list)
 
     def cpu_load(self, wall: float) -> float:
         """CPU time over total time (single core), Fig. 14/15's metric."""
@@ -61,9 +70,24 @@ class DeviceMetrics:
 
 
 @dataclass
+class WorkerMetrics:
+    """Per-worker accounting for the process backend."""
+
+    worker_id: int
+    num_devices: int = 0
+    busy_time: float = 0.0            # wall seconds spent executing commands
+    rounds: int = 0                   # cross-worker message rounds received
+
+
+@dataclass
 class MetricsCollector:
     devices: Dict[str, DeviceMetrics] = field(default_factory=dict)
     verification_times: List[float] = field(default_factory=list)
+    collect_logs: bool = False        # record per-message logs (slow)
+    workers: Dict[int, WorkerMetrics] = field(default_factory=dict)
+    parallel_wall: float = 0.0        # coordinator wall-clock, process backend
+    routed_messages: int = 0          # cross-worker DVM messages
+    routed_bytes: int = 0
 
     def device(self, name: str) -> DeviceMetrics:
         metrics = self.devices.get(name)
@@ -71,6 +95,22 @@ class MetricsCollector:
             metrics = DeviceMetrics(name)
             self.devices[name] = metrics
         return metrics
+
+    def worker(self, worker_id: int) -> WorkerMetrics:
+        metrics = self.workers.get(worker_id)
+        if metrics is None:
+            metrics = WorkerMetrics(worker_id)
+            self.workers[worker_id] = metrics
+        return metrics
+
+    def worker_busy_times(self) -> List[float]:
+        return [m.busy_time for m in self.workers.values()]
+
+    def effective_parallelism(self) -> float:
+        """Aggregate worker CPU time over elapsed wall time — how many cores
+        the run actually kept busy (the speedup ceiling for this partition)."""
+        busy = sum(self.worker_busy_times())
+        return busy / self.parallel_wall if self.parallel_wall > 0 else 0.0
 
     def all_message_costs(self) -> List[float]:
         costs: List[float] = []

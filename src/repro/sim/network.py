@@ -182,6 +182,10 @@ class SimNetwork:
         metrics.messages_sent += 1
         size = message.wire_size() if hasattr(message, "wire_size") else 64
         metrics.bytes_sent += size
+        if self.metrics.collect_logs:
+            metrics.message_log.append(
+                (src, dst, type(message).__name__, size)
+            )
 
         def deliver() -> None:
             device = self.devices[dst]

@@ -62,10 +62,22 @@ class TulkunRunner:
         invariants: Sequence[Invariant],
         cpu_scale: float = 1.0,
         prebuilt_nets: Optional[Mapping[str, object]] = None,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        partition_strategy: str = "locality",
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
-        :func:`repro.core.fault.compute_fault_plan`)."""
+        :func:`repro.core.fault.compute_fault_plan`).
+
+        ``backend`` selects the execution engine: ``"serial"`` is the
+        discrete-event simulator with a modelled clock; ``"process"`` runs
+        the verifiers on a pool of ``workers`` OS processes (wall-clock
+        timing, :mod:`repro.parallel`).  Both produce byte-identical verdicts
+        and counting results.
+        """
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.topology = topology
         self.ctx = ctx
         self.invariants = list(invariants)
@@ -78,15 +90,44 @@ class TulkunRunner:
             for inv in self.invariants
         ]
         self.cpu_scale = cpu_scale
-        self.network: Optional[SimNetwork] = None
+        self.backend = backend
+        self.workers = workers
+        self.partition_strategy = partition_strategy
+        self.network = None  # SimNetwork | ParallelNetwork
 
     # ------------------------------------------------------------------
-    def deploy(self, planes: Mapping[str, DevicePlane]) -> SimNetwork:
-        """Create the simulated network with the given data planes."""
-        self.network = SimNetwork(
-            self.topology, self.ctx, planes, self.task_sets, self.cpu_scale
-        )
+    def deploy(self, planes: Mapping[str, DevicePlane]):
+        """Create the (serial or parallel) network with the given planes."""
+        self.close()
+        if self.backend == "process":
+            from repro.parallel.coordinator import ParallelNetwork
+
+            self.network = ParallelNetwork(
+                self.topology,
+                self.ctx,
+                planes,
+                self.task_sets,
+                cpu_scale=self.cpu_scale,
+                num_workers=self.workers,
+                partition_strategy=self.partition_strategy,
+            )
+        else:
+            self.network = SimNetwork(
+                self.topology, self.ctx, planes, self.task_sets, self.cpu_scale
+            )
         return self.network
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the serial backend)."""
+        network = self.network
+        if network is not None and hasattr(network, "close"):
+            network.close()
+
+    def __enter__(self) -> "TulkunRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def burst_update(
         self,

@@ -1,0 +1,155 @@
+"""Randomized algebraic properties of the BDD layer.
+
+Boolean-algebra laws (involution, De Morgan), Shannon/``ite`` consistency,
+model counting's inclusion–exclusion, and serialize→deserialize round-trips,
+all over a fixed-seed stream of random predicates — the canonical-form
+guarantees everything else in the system (PredMaps, the DVM wire format, the
+parallel backend's byte-level parity) silently relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.bdd.serialize import (
+    deserialize_predicate,
+    deserialize_predicates,
+    serialize_predicate,
+    serialize_predicates,
+)
+
+SEED = 20230817
+NUM_CASES = 40
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return PacketSpaceContext(HeaderLayout.dst_only())
+
+
+def random_predicate(ctx, rng, depth=3):
+    """A random predicate built from prefixes, values and connectives."""
+    if depth == 0 or rng.random() < 0.3:
+        kind = rng.randrange(4)
+        if kind == 0:
+            return ctx.ip_prefix(
+                f"{rng.randrange(256)}.{rng.randrange(256)}.0.0/"
+                f"{rng.randrange(1, 17)}"
+            )
+        if kind == 1:
+            return ctx.value("dst_ip", rng.randrange(1 << 32))
+        if kind == 2:
+            return ctx.empty
+        return ctx.universe
+    a = random_predicate(ctx, rng, depth - 1)
+    b = random_predicate(ctx, rng, depth - 1)
+    op = rng.randrange(4)
+    if op == 0:
+        return a & b
+    if op == 1:
+        return a | b
+    if op == 2:
+        return a - b
+    return ~a
+
+
+def cases(ctx, arity):
+    rng = random.Random(SEED)
+    out = []
+    for _ in range(NUM_CASES):
+        out.append(tuple(random_predicate(ctx, rng) for _ in range(arity)))
+    return out
+
+
+class TestBooleanLaws:
+    def test_negation_involution(self, ctx):
+        for (a,) in cases(ctx, 1):
+            assert ~~a == a
+
+    def test_de_morgan(self, ctx):
+        for a, b in cases(ctx, 2):
+            assert ~(a & b) == (~a | ~b)
+            assert ~(a | b) == (~a & ~b)
+
+    def test_difference_is_and_not(self, ctx):
+        for a, b in cases(ctx, 2):
+            assert (a - b) == (a & ~b)
+
+    def test_xor_definition(self, ctx):
+        for a, b in cases(ctx, 2):
+            assert (a ^ b) == ((a | b) - (a & b))
+
+    def test_absorption_and_complement(self, ctx):
+        for a, b in cases(ctx, 2):
+            assert (a & (a | b)) == a
+            assert (a | (a & b)) == a
+            assert (a | ~a).is_universe
+            assert (a & ~a).is_empty
+
+
+class TestIte:
+    def test_ite_shannon_consistency(self, ctx):
+        """ite(f, g, h) == (f & g) | (~f & h), for random triples."""
+        mgr = ctx.mgr
+        rng = random.Random(SEED + 1)
+        for _ in range(NUM_CASES):
+            f, g, h = (random_predicate(ctx, rng) for _ in range(3))
+            via_ite = ctx.wrap(mgr.ite(f.node, g.node, h.node))
+            composed = (f & g) | (~f & h)
+            assert via_ite == composed
+
+    def test_ite_projections(self, ctx):
+        mgr = ctx.mgr
+        rng = random.Random(SEED + 2)
+        for _ in range(NUM_CASES):
+            g, h = (random_predicate(ctx, rng) for _ in range(2))
+            assert ctx.wrap(mgr.ite(ctx.universe.node, g.node, h.node)) == g
+            assert ctx.wrap(mgr.ite(ctx.empty.node, g.node, h.node)) == h
+
+
+class TestModelCounting:
+    def test_inclusion_exclusion(self, ctx):
+        for a, b in cases(ctx, 2):
+            assert (a | b).count() == (
+                a.count() + b.count() - (a & b).count()
+            )
+
+    def test_complement_counts(self, ctx):
+        total = ctx.universe.count()
+        for (a,) in cases(ctx, 1):
+            assert a.count() + (~a).count() == total
+
+
+class TestSerializeRoundTrip:
+    def test_single_predicate_round_trip(self, ctx):
+        for (a,) in cases(ctx, 1):
+            data = serialize_predicate(a)
+            assert deserialize_predicate(ctx, data) == a
+
+    def test_round_trip_across_contexts_is_canonical(self, ctx):
+        """Same boolean function → same bytes, even via a fresh manager."""
+        other = PacketSpaceContext(HeaderLayout.dst_only())
+        for (a,) in cases(ctx, 1):
+            data = serialize_predicate(a)
+            moved = deserialize_predicate(other, data)
+            assert serialize_predicate(moved) == data
+
+    def test_batch_round_trip_preserves_order_and_values(self, ctx):
+        rng = random.Random(SEED + 3)
+        batch = [random_predicate(ctx, rng) for _ in range(17)]
+        data = serialize_predicates(batch)
+        rebuilt = deserialize_predicates(ctx, data)
+        assert rebuilt == batch
+
+    def test_batch_shares_nodes(self, ctx):
+        """The multi-root stream stores the shared DAG once: serializing a
+        predicate twice in one batch costs two root indices, not two DAGs."""
+        rng = random.Random(SEED + 4)
+        pred = random_predicate(ctx, rng)
+        once = len(serialize_predicates([pred]))
+        twice = len(serialize_predicates([pred, pred]))
+        assert twice - once <= 5  # one extra varint root index
+
+    def test_empty_batch(self, ctx):
+        assert deserialize_predicates(ctx, serialize_predicates([])) == []

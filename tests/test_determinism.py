@@ -1,0 +1,118 @@
+"""Simulator determinism regression + the event-budget boundary.
+
+With ``cpu_scale=0`` the simulated clock depends only on link latencies, so
+two identical runs must agree on *everything*: event counts, final clocks,
+and the exact per-device message logs.  This pins the reproducibility
+guarantee the parity and benchmark suites stand on.
+"""
+
+import pytest
+
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Rule
+from repro.errors import SimulationError
+from repro.sim import SimKernel, TulkunRunner
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+
+
+def _drive_scenario(ctx):
+    """One full burst + fail + recover run with message logging on."""
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    runner = TulkunRunner(topology, ctx, invariants, cpu_scale=0.0)
+    network = runner.deploy({})
+    network.metrics.collect_logs = True
+    planes = build_fig2_planes(ctx)
+    for dev in topology.devices:
+        plane = planes.get(dev)
+        rules = [
+            Rule(r.match, r.action, r.priority) for r in plane.rules
+        ] if plane else []
+        network.install_rules(dev, rules, at=0.0)
+    network.run()
+    runner.fail_links([("A", "W")])
+    runner.recover_links([("A", "W")])
+    return {
+        "events": network.kernel.events_processed,
+        "clock": network.kernel.now,
+        "last_activity": network.last_activity,
+        "logs": {
+            dev: tuple(metrics.message_log)
+            for dev, metrics in sorted(network.metrics.devices.items())
+        },
+        "verdicts": {
+            inv.name: network.all_hold(inv.name) for inv in invariants
+        },
+    }
+
+
+class TestDeterminism:
+    def test_identical_runs_are_identical(self, ctx):
+        first = _drive_scenario(ctx)
+        second = _drive_scenario(ctx)
+        assert first["events"] == second["events"]
+        assert first["clock"] == second["clock"]
+        assert first["last_activity"] == second["last_activity"]
+        assert first["verdicts"] == second["verdicts"]
+        assert first["logs"] == second["logs"]
+
+    def test_message_logs_populated_and_structured(self, ctx):
+        run = _drive_scenario(ctx)
+        entries = [e for log in run["logs"].values() for e in log]
+        assert entries, "collect_logs produced no message log"
+        for src, dst, kind, size in entries:
+            assert kind in ("UpdateMessage", "SubscribeMessage")
+            assert size > 0
+
+    def test_logs_off_by_default(self, ctx):
+        topology = fig2a_example()
+        p1 = ctx.ip_prefix("10.0.0.0/23")
+        runner = TulkunRunner(topology, ctx, [reachability(p1, "S", "D")])
+        planes = build_fig2_planes(ctx)
+        runner.burst_update(
+            {
+                dev: [Rule(r.match, r.action, r.priority) for r in p.rules]
+                for dev, p in planes.items()
+            }
+        )
+        assert all(
+            not m.message_log
+            for m in runner.network.metrics.devices.values()
+        )
+
+
+class TestKernelEventBudget:
+    def _loaded_kernel(self, count):
+        kernel = SimKernel()
+        for i in range(count):
+            kernel.schedule_at(float(i), lambda: None)
+        return kernel
+
+    def test_exactly_budget_events_complete(self):
+        kernel = self._loaded_kernel(5)
+        kernel.run(max_events=5)
+        assert kernel.events_processed == 5
+
+    def test_budget_plus_one_raises(self):
+        kernel = self._loaded_kernel(6)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=5)
+        # The five budgeted events did run; the sixth never executed.
+        assert kernel.events_processed == 5
+        assert kernel.pending == 1
+
+    def test_self_scheduling_livelock_is_caught(self):
+        kernel = SimKernel()
+
+        def reschedule():
+            kernel.schedule_in(1.0, reschedule)
+
+        kernel.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=100)
+        assert kernel.events_processed == 100
