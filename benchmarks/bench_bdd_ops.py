@@ -1,0 +1,271 @@
+"""BDD engine throughput — specialized apply kernels vs the legacy ite path.
+
+Runs an identical FIB-shaped boolean workload (LEC-style first-match loop
+over random prefix cubes, then pairwise and/or/diff mixing and a complement
+pass) on two engines:
+
+* **legacy** — the seed implementation's strategy: one recursive ``ite``
+  with a single ternary cache, every binary operation expressed through it
+  (``diff`` and ``xor`` first materialize a ``NOT`` operand).
+* **kernel** — the current engine: dedicated iterative apply kernels with
+  per-op commutativity-normalized caches and a linear complement memo.
+
+Both engines are constructed fresh (cold caches), run the same operation
+sequence, and are cross-checked by model counts, so the speedup is
+apples-to-apples.  Every run appends a record with both throughput baselines
+to ``BENCH_bdd_ops.json`` in the repo root.
+
+Scales: ``REPRO_BENCH_SCALE=smoke`` is the CI bitrot check (tiny workload,
+no speedup assertion — too small to time meaningfully); ``small`` (default)
+and ``large`` assert the ≥1.5× acceptance bar.
+"""
+
+import json
+import time
+from pathlib import Path
+from random import Random
+
+import pytest
+
+from benchmarks._common import SCALE, print_header, print_row
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+SPEEDUP_FLOOR = 1.5
+
+# (num_vars, num_rules, num_buckets, min_fixed_bits, max_fixed_bits)
+SIZES = {
+    "smoke": (16, 40, 4, 4, 10),
+    "small": (32, 400, 12, 8, 24),
+    "large": (32, 1600, 16, 8, 28),
+}
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_bdd_ops.json"
+
+
+def _append_trajectory(record):
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+class LegacyIteBddManager(BddManager):
+    """The pre-specialization engine, for before/after comparison.
+
+    Reproduces the seed implementation's hot path exactly: one recursive
+    ``ite`` with a ternary cache, and every ``apply_*`` routed through it.
+    It must carry its own ``ite`` copy — the inherited one now routes
+    terminal-operand calls back to the specialized kernels, which would
+    make the subclass benchmark the new engine against itself.
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        super().__init__(num_vars)
+        self._legacy_cache = {}
+
+    def _legacy_ite(self, f: int, g: int, h: int) -> int:
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._legacy_cache.get(key)
+        if cached is not None:
+            return cached
+        var = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self._legacy_ite(f0, g0, h0)
+        high = self._legacy_ite(f1, g1, h1)
+        result = self._mk(var, low, high)
+        self._legacy_cache[key] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self._legacy_ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self._legacy_ite(f, TRUE, g)
+
+    def apply_not(self, f: int) -> int:
+        return self._legacy_ite(f, FALSE, TRUE)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        return self._legacy_ite(f, self.apply_not(g), FALSE)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self._legacy_ite(f, self.apply_not(g), g)
+
+
+def make_rules(rng, num_vars, num_rules, min_bits, max_bits):
+    """FIB-shaped matches: random-length prefix cubes over the variable
+    order, like destination prefixes of varying length."""
+    rules = []
+    for _ in range(num_rules):
+        nbits = rng.randint(min_bits, max_bits)
+        rules.append({v: bool(rng.getrandbits(1)) for v in range(nbits)})
+    return rules
+
+
+def build_matches(mgr, rules):
+    """Instantiate the rule cubes inside ``mgr`` (untimed setup: node
+    construction is identical code in both engines)."""
+    return [mgr.cube(literals) for literals in rules]
+
+
+def run_workload(mgr, matches, num_buckets):
+    """The mixed and/or/diff workload; returns (ops executed, buckets)."""
+    ops = 0
+    # Phase 1: LEC-style first-match loop — intersect with the uncovered
+    # space, subtract, accumulate per-action buckets (exactly the
+    # compute_lec_table inner loop).
+    remaining = TRUE
+    buckets = [FALSE] * num_buckets
+    for i, match in enumerate(matches):
+        effective = mgr.apply_and(match, remaining)
+        ops += 1
+        if effective == FALSE:
+            continue
+        remaining = mgr.apply_diff(remaining, effective)
+        b = i % num_buckets
+        buckets[b] = mgr.apply_or(buckets[b], effective)
+        ops += 2
+    # Phase 2: pairwise region algebra — the CIB intersection / withdrawn-
+    # predicate pattern of the DVM handlers.  Commutative ops run in both
+    # operand orders, as they do in a shared engine when the two endpoints
+    # of a link each intersect the same pair of predicates from their own
+    # side; the normalized caches answer the second order in O(1).  The
+    # diffs subtract the freshly-built overlap piece (the withdrawn-
+    # predicate shape of ``action_of``/``handle_lec_deltas``): the
+    # subtrahend is new every pair, so an engine that reaches NOT-based
+    # ``ite`` rebuilds a complement each time while the dedicated diff
+    # kernel never materializes one.
+    unions = []
+    for i in range(num_buckets):
+        for j in range(i + 1, num_buckets):
+            piece = mgr.apply_and(buckets[i], buckets[j])
+            mgr.apply_and(buckets[j], buckets[i])
+            union = mgr.apply_or(buckets[i], buckets[j])
+            mgr.apply_or(buckets[j], buckets[i])
+            unions.append(union)
+            mgr.apply_diff(union, piece)
+            mgr.apply_diff(buckets[i], piece)
+            mgr.apply_diff(buckets[j], piece)
+            mgr.apply_xor(buckets[i], buckets[j])
+            mgr.apply_xor(buckets[j], buckets[i])
+            ops += 9
+    # Phase 3: complement round-trips (negated packet-space constructors
+    # that are later re-negated).  The involution memo answers the second
+    # complement in O(1); a NOT-via-ite engine walks the full DAG twice.
+    for union in unions:
+        negated = mgr.apply_not(union)
+        mgr.apply_not(negated)
+        ops += 2
+    return ops, buckets
+
+
+@pytest.mark.benchmark(group="bdd_ops")
+def test_bdd_ops_kernels_vs_legacy(benchmark):
+    num_vars, num_rules, num_buckets, min_bits, max_bits = SIZES[SCALE]
+    rules = make_rules(Random(7), num_vars, num_rules, min_bits, max_bits)
+
+    def once(engine_cls):
+        """One cold-cache run; returns (elapsed, ops, counts, mgr)."""
+        mgr = engine_cls(num_vars)
+        matches = build_matches(mgr, rules)
+        start = time.perf_counter()
+        ops, buckets = run_workload(mgr, matches, num_buckets)
+        elapsed = time.perf_counter() - start
+        # Cross-check outside the timed window (count() is identical code
+        # in both engines and would only dilute the kernel comparison).
+        counts = tuple(mgr.count(b) for b in buckets)
+        return elapsed, ops, counts, mgr
+
+    def measure(repeats=4):
+        # Best-of-N with a fresh manager per repeat: each run stays
+        # cold-cache, the minimum strips scheduler noise.  The engines
+        # alternate so slow machine drift penalizes both equally.
+        legacy_runs = []
+        kernel_runs = []
+        for _ in range(repeats):
+            legacy_runs.append(once(LegacyIteBddManager))
+            kernel_runs.append(once(BddManager))
+        legacy_time, legacy_ops, legacy_sum, legacy = min(
+            legacy_runs, key=lambda run: run[0]
+        )
+        kernel_time, kernel_ops, kernel_sum, kernel = min(
+            kernel_runs, key=lambda run: run[0]
+        )
+
+        return {
+            "legacy_time_s": legacy_time,
+            "kernel_time_s": kernel_time,
+            "legacy_ops": legacy_ops,
+            "kernel_ops": kernel_ops,
+            "checksums_equal": legacy_sum == kernel_sum,
+            "legacy_nodes": legacy.node_count(),
+            "kernel_nodes": kernel.node_count(),
+            "kernel_cache_hit_rate": kernel.stats.hit_rate(),
+        }
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert stats["checksums_equal"], "engines disagree on model counts"
+    assert stats["legacy_ops"] == stats["kernel_ops"]
+
+    legacy_tput = stats["legacy_ops"] / stats["legacy_time_s"]
+    kernel_tput = stats["kernel_ops"] / stats["kernel_time_s"]
+    speedup = kernel_tput / legacy_tput
+
+    print_header(
+        f"BDD op throughput [scale={SCALE}, {num_vars} vars, "
+        f"{num_rules} rules, {stats['kernel_ops']} ops]"
+    )
+    print_row("engine", "time (ms)", "ops/s", "nodes", "speedup")
+    print_row(
+        "legacy ite",
+        f"{stats['legacy_time_s'] * 1e3:.1f}",
+        f"{legacy_tput:,.0f}",
+        stats["legacy_nodes"],
+        "1.00x",
+    )
+    print_row(
+        "kernels",
+        f"{stats['kernel_time_s'] * 1e3:.1f}",
+        f"{kernel_tput:,.0f}",
+        stats["kernel_nodes"],
+        f"{speedup:.2f}x",
+    )
+
+    record = {
+        "bench": "bdd_ops",
+        "scale": SCALE,
+        "num_vars": num_vars,
+        "num_rules": num_rules,
+        "num_buckets": num_buckets,
+        "workload_ops": stats["kernel_ops"],
+        "legacy_ops_per_s": round(legacy_tput, 1),
+        "kernel_ops_per_s": round(kernel_tput, 1),
+        "legacy_time_s": round(stats["legacy_time_s"], 4),
+        "kernel_time_s": round(stats["kernel_time_s"], 4),
+        "speedup": round(speedup, 3),
+        "kernel_cache_hit_rate": round(stats["kernel_cache_hit_rate"], 4),
+    }
+    _append_trajectory(record)
+    benchmark.extra_info.update(record)
+
+    if SCALE != "smoke":
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"kernel speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x bar "
+            f"(legacy {legacy_tput:,.0f} ops/s, kernel {kernel_tput:,.0f} ops/s)"
+        )

@@ -23,13 +23,20 @@ __all__ = ["Predicate", "PacketSpaceContext"]
 
 
 class Predicate:
-    """An immutable packet set backed by a canonical BDD node."""
+    """An immutable packet set backed by a canonical BDD node.
 
-    __slots__ = ("ctx", "node")
+    Every predicate registers itself as a garbage-collection root with its
+    manager: ``BddManager.collect()`` keeps the nodes reachable from live
+    predicates and rewrites their ``node`` ids in place.  Raw node ids held
+    outside a Predicate are therefore only valid between collections.
+    """
+
+    __slots__ = ("ctx", "node", "__weakref__")
 
     def __init__(self, ctx: "PacketSpaceContext", node: int) -> None:
         self.ctx = ctx
         self.node = node
+        ctx.mgr.register_root(self)
 
     # ------------------------------------------------------------------
     # Algebra
@@ -206,4 +213,5 @@ class PacketSpaceContext:
         return {
             "num_vars": self.mgr.num_vars,
             "nodes": self.mgr.node_count(),
+            "live_nodes": self.mgr.live_node_count(),
         }

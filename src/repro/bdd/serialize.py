@@ -209,16 +209,28 @@ def deserialize_nodes(mgr: BddManager, data: bytes) -> List[int]:
 def _caches(mgr: BddManager) -> Tuple[Dict[int, bytes], Dict[bytes, int]]:
     """Per-manager memo tables for the predicate codec.
 
-    Node ids are stable (the manager never garbage-collects) and the wire
-    bytes are canonical — one boolean function has exactly one encoding — so
-    both directions can be cached, and each direction can warm the other.
-    Verifiers announce the same regions to many neighbors across many rounds;
-    without the memo the codec dominates the parallel backend's CPU time.
+    The wire bytes are canonical — one boolean function has exactly one
+    encoding — so both directions can be cached, and each direction can warm
+    the other.  Verifiers announce the same regions to many neighbors across
+    many rounds; without the memo the codec dominates the parallel backend's
+    CPU time.
+
+    Both tables are keyed by raw node id, which is only stable *between*
+    garbage collections, so the first use on a manager registers an
+    invalidation hook: ``BddManager.collect()`` calls it after every sweep
+    that remapped ids, dropping the memo instead of letting it silently map
+    old ids to the wrong bytes.
     """
     ser = getattr(mgr, "_serialize_cache", None)
     if ser is None:
         ser = mgr._serialize_cache = {}  # type: ignore[attr-defined]
         mgr._deserialize_cache = {}  # type: ignore[attr-defined]
+
+        def _drop() -> None:
+            mgr._serialize_cache.clear()  # type: ignore[attr-defined]
+            mgr._deserialize_cache.clear()  # type: ignore[attr-defined]
+
+        mgr.register_invalidation_hook(_drop)
     return ser, mgr._deserialize_cache  # type: ignore[attr-defined]
 
 

@@ -59,6 +59,37 @@ def _format_packet(packet: dict) -> str:
     return ", ".join(parts)
 
 
+_PROFILE_COLUMNS = (
+    "ops_and",
+    "ops_or",
+    "ops_diff",
+    "ops_not",
+    "ops_ite",
+    "cache_hits",
+    "cache_misses",
+    "peak_nodes",
+    "live_nodes",
+    "gc_runs",
+    "gc_reclaimed",
+)
+
+
+def _print_engine_table(engines: dict) -> None:
+    """Render BDD-engine profiles (one row per manager) for ``--profile``."""
+    if not engines:
+        print("engine profile: no engines recorded")
+        return
+    header = f"{'engine':<10}" + "".join(f"{c:>13}" for c in _PROFILE_COLUMNS)
+    print("engine profile:")
+    print(f"  {header}")
+    for name in sorted(engines):
+        snap = engines[name]
+        row = f"{name:<10}" + "".join(
+            f"{snap.get(c, 0):>13}" for c in _PROFILE_COLUMNS
+        )
+        print(f"  {row}")
+
+
 def _load_inputs(args):
     ctx = PacketSpaceContext()
     topology = parse_topology_text(_load(args.topology))
@@ -89,6 +120,8 @@ def cmd_verify(args) -> int:
                 print(f"    witness packet: {_format_packet(packet)}")
         if not result.holds:
             failures += 1
+    if args.profile:
+        _print_engine_table({"main": ctx.mgr.profile()})
     return 1 if failures else 0
 
 
@@ -103,6 +136,7 @@ def cmd_simulate(args) -> int:
         cpu_scale=args.cpu_scale,
         backend=args.backend,
         workers=args.workers,
+        gc_threshold=args.gc_threshold,
     )
     rules = {dev: list(plane.rules) for dev, plane in planes.items()}
     # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
@@ -137,6 +171,8 @@ def cmd_simulate(args) -> int:
                 failures += 1
                 for violation in runner.network.violations(name)[: args.max_violations]:
                     print(f"    {violation}")
+        if args.profile:
+            _print_engine_table(runner.network.metrics.engines)
         return 1 if failures else 0
     finally:
         runner.close()
@@ -197,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true",
         help="run the §3 packet-space/destination consistency check",
     )
+    p_verify.add_argument(
+        "--profile", action="store_true",
+        help="print BDD-engine statistics (op counts, cache hit rates, GC)",
+    )
     p_verify.set_defaults(func=cmd_verify)
 
     p_sim = sub.add_parser("simulate", help="distributed verification (simulator)")
@@ -210,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for --backend process (default: cores, max 4)",
+    )
+    p_sim.add_argument(
+        "--profile", action="store_true",
+        help="print per-engine BDD statistics after the run",
+    )
+    p_sim.add_argument(
+        "--gc-threshold", type=int, default=None,
+        help="BDD node-table size that triggers a garbage-collection sweep "
+             "(default: GC disabled)",
     )
     p_sim.set_defaults(func=cmd_simulate)
 

@@ -122,6 +122,7 @@ class OnDeviceVerifier:
         outgoing: List[Outgoing] = []
         for nid in self.nodes:
             outgoing.extend(self._recompute(nid, self.state[nid].interest))
+        self.ctx.mgr.maybe_collect()
         return outgoing
 
     def handle_update(self, message: UpdateMessage) -> List[Outgoing]:
@@ -168,6 +169,10 @@ class OnDeviceVerifier:
             regions[parent_id] = affected if prev is None else prev | affected
         for nid in sorted(regions):
             outgoing.extend(self._recompute(nid, regions[nid]))
+        # End-of-event safe point: every live packet set is back inside a
+        # Predicate (state tables or the outgoing messages), so the engine
+        # may compact its node table here.
+        self.ctx.mgr.maybe_collect()
         return outgoing
 
     def handle_subscribe(self, message: SubscribeMessage) -> List[Outgoing]:
@@ -205,6 +210,7 @@ class OnDeviceVerifier:
         for nid in self.nodes:
             region = changed & self.state[nid].interest
             outgoing.extend(self._recompute(nid, region))
+        self.ctx.mgr.maybe_collect()
         return outgoing
 
     def handle_link_change(self, neighbor: str, is_up: bool) -> List[Outgoing]:
@@ -232,6 +238,7 @@ class OnDeviceVerifier:
                             nid, self.state[nid].interest, force=True
                         )
                     )
+        self.ctx.mgr.maybe_collect()
         return outgoing
 
     def activate_scene(self, scene_id: Optional[int]) -> List[Outgoing]:
@@ -246,6 +253,7 @@ class OnDeviceVerifier:
         outgoing: List[Outgoing] = []
         for nid in self.nodes:
             outgoing.extend(self._recompute(nid, self.state[nid].interest))
+        self.ctx.mgr.maybe_collect()
         return outgoing
 
     # ------------------------------------------------------------------

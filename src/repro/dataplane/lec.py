@@ -62,7 +62,10 @@ class LecTable:
             piece = remaining & lec_pred
             if not piece.is_empty:
                 pieces.append((piece, action))
-                remaining = remaining - lec_pred
+                # Diff against the piece (remaining ∩ lec), not the whole
+                # LEC: same result, smaller operand, and when the LEC
+                # swallows everything left this hits the f == g shortcut.
+                remaining = remaining - piece
         if not remaining.is_empty:
             # Every packet is in some LEC (drop is explicit); reaching here
             # means the table was built incorrectly.
@@ -89,7 +92,9 @@ def compute_lec_table(
         effective = mgr.apply_and(rule.match.node, remaining)
         if effective == 0:
             continue
-        remaining = mgr.apply_diff(remaining, rule.match.node)
+        # remaining \ match == remaining \ (match ∩ remaining); the effective
+        # region is the smaller operand and shares structure with remaining.
+        remaining = mgr.apply_diff(remaining, effective)
         prior = entries.get(rule.action, 0)
         entries[rule.action] = mgr.apply_or(prior, effective)
     if remaining != 0:

@@ -75,11 +75,13 @@ class ParallelNetwork:
         cpu_scale: float = 1.0,
         num_workers: Optional[int] = None,
         partition_strategy: str = "locality",
+        gc_threshold: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.ctx = ctx
         self.task_sets = list(task_sets)
         self.cpu_scale = cpu_scale  # interface parity; wall time is real here
+        self.gc_threshold = gc_threshold  # per-worker BDD GC trigger
         self.kernel = _KernelShim()
         self.metrics = MetricsCollector()
         self.failed_links: Set[Tuple[str, str]] = set()
@@ -143,6 +145,7 @@ class ParallelNetwork:
                     for dev in mine
                     if dev in task_set.tasks
                 ],
+                "gc_threshold": self.gc_threshold,
             }
             parent_conn, child_conn = mp.Pipe()
             proc = mp.Process(
@@ -345,6 +348,9 @@ class ParallelNetwork:
             worker_metrics.busy_time = info["busy"]
             worker_metrics.rounds = info["rounds"]
             worker_metrics.num_devices = info["devices"]
+            engine = state.get("engine")
+            if engine is not None:
+                self.metrics.record_engine(f"worker{wid}", engine)
         self.kernel.events_processed = events
         self.metrics.parallel_wall = self.last_activity
 
@@ -383,6 +389,12 @@ class ParallelNetwork:
         for dev, total in self._memory.items():
             metrics = self.metrics.device(dev)
             metrics.memory_proxy_peak = max(metrics.memory_proxy_peak, total)
+
+    def snapshot_engines(self) -> None:
+        """Interface parity with ``SimNetwork``: worker engine profiles are
+        already pulled into the metrics on every ``_refresh``."""
+        if self._procs is not None:
+            self._refresh()
 
     def source_fingerprints(self) -> Dict[tuple, object]:
         """Canonical source-node counting results across all workers."""

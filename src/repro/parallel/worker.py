@@ -73,6 +73,13 @@ class VerifierHost:
         for pairs in self._by_dev.values():
             pairs.sort(key=lambda pair: pair[0])
 
+        # Arm the per-worker BDD engine's garbage collector if requested.
+        # Verifiers sweep at event boundaries; messages queued during a
+        # drain hold Predicates (GC roots), so mid-drain sweeps are safe.
+        gc_threshold = init.get("gc_threshold")
+        if gc_threshold is not None:
+            self.ctx.mgr.gc_threshold = gc_threshold  # type: ignore[attr-defined]
+
         self.failed: Set[Tuple[str, str]] = set()
         self._queue: List[Tuple[MessageKey, str, str, object]] = []
         self._seq: Dict[str, int] = {}
@@ -243,6 +250,7 @@ class VerifierHost:
                 "rounds": self.rounds,
                 "devices": len(self.planes),
             },
+            "engine": self.ctx.mgr.profile(),  # type: ignore[attr-defined]
         }
 
     def fingerprints(self):

@@ -88,6 +88,10 @@ class MetricsCollector:
     parallel_wall: float = 0.0        # coordinator wall-clock, process backend
     routed_messages: int = 0          # cross-worker DVM messages
     routed_bytes: int = 0
+    # BDD-engine profiles keyed by engine name ("serial" for the simulator's
+    # shared manager, "worker<N>" per process-backend worker); values are
+    # ``BddManager.profile()`` snapshots.
+    engines: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def device(self, name: str) -> DeviceMetrics:
         metrics = self.devices.get(name)
@@ -102,6 +106,10 @@ class MetricsCollector:
             metrics = WorkerMetrics(worker_id)
             self.workers[worker_id] = metrics
         return metrics
+
+    def record_engine(self, name: str, snapshot: Dict[str, int]) -> None:
+        """Store (replacing any previous) one engine's profile snapshot."""
+        self.engines[name] = dict(snapshot)
 
     def worker_busy_times(self) -> List[float]:
         return [m.busy_time for m in self.workers.values()]

@@ -99,6 +99,7 @@ class SimNetwork:
         cpu_scale: float = 1.0,
         serialize_messages: bool = False,
         proxies: Optional[Mapping[str, str]] = None,
+        gc_threshold: Optional[int] = None,
     ) -> None:
         """``serialize_messages`` round-trips every DVM message through the
         byte codec (exact wire accounting + end-to-end codec exercise).
@@ -108,6 +109,10 @@ class SimNetwork:
         verifier for devices without one (RCDC generalization).  Messages
         then travel proxy-to-proxy along lowest-latency paths, and local
         data plane events pay the device→proxy hop.
+
+        ``gc_threshold`` arms the BDD engine's node-table garbage collector:
+        verifiers sweep at event-handler boundaries once the shared table
+        crosses this many nodes (``None`` keeps GC off).
         """
         self.topology = topology
         self.ctx = ctx
@@ -123,6 +128,8 @@ class SimNetwork:
         self.last_activity: float = 0.0
         # Per directed (src, dst) channel: last delivery time (FIFO/TCP).
         self._last_delivery: Dict[Tuple[str, str], float] = {}
+        if gc_threshold is not None:
+            ctx.mgr.gc_threshold = gc_threshold
 
         for name in topology.devices:
             plane = planes.get(name)
@@ -358,3 +365,11 @@ class SimNetwork:
             total = sum(v.memory_proxy() for v in device.verifiers.values())
             metrics = self.metrics.device(name)
             metrics.memory_proxy_peak = max(metrics.memory_proxy_peak, total)
+
+    def snapshot_engines(self) -> None:
+        """Record the shared BDD engine's profile into the metrics.
+
+        The serial simulator runs every device on one shared manager, so
+        there is a single honest engine row (per-device attribution would
+        just split one cache arbitrarily)."""
+        self.metrics.record_engine("serial", self.ctx.mgr.profile())

@@ -65,6 +65,7 @@ class TulkunRunner:
         backend: str = "serial",
         workers: Optional[int] = None,
         partition_strategy: str = "locality",
+        gc_threshold: Optional[int] = None,
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -75,6 +76,10 @@ class TulkunRunner:
         the verifiers on a pool of ``workers`` OS processes (wall-clock
         timing, :mod:`repro.parallel`).  Both produce byte-identical verdicts
         and counting results.
+
+        ``gc_threshold`` arms BDD node-table garbage collection: each engine
+        (the shared serial manager, or every worker's private copy) sweeps
+        when its node table crosses this size.  ``None`` disables GC.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -93,6 +98,7 @@ class TulkunRunner:
         self.backend = backend
         self.workers = workers
         self.partition_strategy = partition_strategy
+        self.gc_threshold = gc_threshold
         self.network = None  # SimNetwork | ParallelNetwork
 
     # ------------------------------------------------------------------
@@ -110,10 +116,16 @@ class TulkunRunner:
                 cpu_scale=self.cpu_scale,
                 num_workers=self.workers,
                 partition_strategy=self.partition_strategy,
+                gc_threshold=self.gc_threshold,
             )
         else:
             self.network = SimNetwork(
-                self.topology, self.ctx, planes, self.task_sets, self.cpu_scale
+                self.topology,
+                self.ctx,
+                planes,
+                self.task_sets,
+                self.cpu_scale,
+                gc_threshold=self.gc_threshold,
             )
         return self.network
 
@@ -144,6 +156,7 @@ class TulkunRunner:
                 network.install_rules(dev, [], at=0.0)
         finish = network.run()
         network.snapshot_memory()
+        network.snapshot_engines()
         return BurstResult(
             verification_time=finish,
             holds={
@@ -175,6 +188,7 @@ class TulkunRunner:
             finish = network.run()
             result.times.append(max(0.0, finish - start))
         network.snapshot_memory()
+        network.snapshot_engines()
         return result
 
     def fail_links(

@@ -202,3 +202,117 @@ class TestPropertyBased:
         mgr = BddManager(5)
         node = _to_bdd(mgr, expr)
         assert mgr.apply_not(mgr.apply_not(node)) == node
+
+    @given(boolean_expr(), boolean_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_diff_truth_table(self, e1, e2):
+        mgr = BddManager(5)
+        a, b = _to_bdd(mgr, e1), _to_bdd(mgr, e2)
+        diff = mgr.apply_diff(a, b)
+        assert diff == mgr.apply_and(a, mgr.apply_not(b))
+        count = 0
+        for bits in range(32):
+            assignment = [(bits >> (4 - i)) & 1 == 1 for i in range(5)]
+            if _eval(e1, assignment) and not _eval(e2, assignment):
+                count += 1
+        assert mgr.count(diff) == count
+
+    @given(boolean_expr(), boolean_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_xor_truth_table(self, e1, e2):
+        mgr = BddManager(5)
+        a, b = _to_bdd(mgr, e1), _to_bdd(mgr, e2)
+        xor = mgr.apply_xor(a, b)
+        assert xor == mgr.apply_or(
+            mgr.apply_diff(a, b), mgr.apply_diff(b, a)
+        )
+        count = 0
+        for bits in range(32):
+            assignment = [(bits >> (4 - i)) & 1 == 1 for i in range(5)]
+            if _eval(e1, assignment) != _eval(e2, assignment):
+                count += 1
+        assert mgr.count(xor) == count
+
+    @given(boolean_expr(), boolean_expr())
+    @settings(max_examples=100, deadline=None)
+    def test_commutative_caches_normalize(self, e1, e2):
+        mgr = BddManager(5)
+        a, b = _to_bdd(mgr, e1), _to_bdd(mgr, e2)
+        assert mgr.apply_and(a, b) == mgr.apply_and(b, a)
+        assert mgr.apply_or(a, b) == mgr.apply_or(b, a)
+        assert mgr.apply_xor(a, b) == mgr.apply_xor(b, a)
+
+
+class TestEngineInternals:
+    def test_exists_memo_reused_across_calls(self, mgr):
+        f = mgr.apply_and(mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(2)))
+        variables = frozenset({1, 2})
+        first = mgr.exists(f, variables)
+        assert (f, variables) in mgr._exists_cache
+        misses_after_first = mgr.stats.cache_misses
+        assert mgr.exists(f, variables) == first
+        # Second call is answered from the manager-level memo: no new
+        # recursion steps at all.
+        assert mgr.stats.cache_misses == misses_after_first
+
+    def test_not_involution_memo_is_constant_time(self, mgr):
+        f = mgr.apply_or(
+            mgr.apply_and(mgr.var(0), mgr.var(1)),
+            mgr.apply_and(mgr.var(2), mgr.nvar(3)),
+        )
+        nf = mgr.apply_not(f)
+        misses_before = mgr.stats.cache_misses
+        # Both directions of the involution were memoized by the first walk.
+        assert mgr.apply_not(nf) == f
+        assert mgr.apply_not(f) == nf
+        assert mgr.stats.cache_misses == misses_before
+
+    def test_deep_bdds_do_not_recurse(self):
+        """Kernels must survive operand depth far beyond Python's recursion
+        limit (wide WAN header layouts build BDDs hundreds of levels deep)."""
+        import sys
+
+        num_vars = 600
+        mgr = BddManager(num_vars)
+        wide_a = mgr.cube({i: (i % 2 == 0) for i in range(num_vars)})
+        wide_b = mgr.cube({i: (i % 3 != 1) for i in range(num_vars)})
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(90)
+        try:
+            # The cubes conflict (e.g. bit 4: a wants 1, b wants 0).
+            assert mgr.apply_and(wide_a, wide_b) == FALSE
+            union = mgr.apply_or(wide_a, wide_b)
+            assert mgr.apply_diff(union, wide_b) != union
+            assert mgr.apply_xor(wide_a, wide_a) == FALSE
+            complement = mgr.apply_not(union)
+            assert mgr.apply_not(complement) == union
+            assert mgr.count(union) > 0
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def test_stats_count_ops_and_peak(self, mgr):
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        mgr.apply_or(mgr.var(1), mgr.var(2))
+        mgr.apply_not(mgr.var(0))
+        snap = mgr.profile()
+        assert snap["ops_and"] == 1
+        assert snap["ops_or"] == 1
+        assert snap["ops_not"] == 1
+        assert snap["peak_nodes"] >= mgr.node_count() - 0
+        assert snap["table_nodes"] == mgr.node_count()
+
+    def test_size_matches_reachable_set(self, mgr):
+        f = mgr.apply_or(
+            mgr.apply_and(mgr.var(0), mgr.var(1)),
+            mgr.apply_and(mgr.var(2), mgr.var(3)),
+        )
+        seen = set()
+        stack = [f]
+        while stack:
+            n = stack.pop()
+            if n in seen or n in (FALSE, TRUE):
+                continue
+            seen.add(n)
+            stack.append(mgr.low(n))
+            stack.append(mgr.high(n))
+        assert mgr.size(f) == len(seen)

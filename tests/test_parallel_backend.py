@@ -273,3 +273,33 @@ class TestBackendPlumbing:
             assert parallel.network.source_fingerprints() == (
                 serial_fingerprints(serial)
             )
+
+
+class TestGcParity:
+    """GC sweeps inside worker processes must be invisible on the wire:
+    verdicts and canonical counting fingerprints stay byte-identical to a
+    GC-free serial run."""
+
+    def test_gc_enabled_workers_byte_identical(self, ft4):
+        serial = TulkunRunner(ft4.topology, ft4.ctx, ft4.invariants)
+        serial_result = serial.burst_update(fresh_rules(ft4))
+
+        parallel = TulkunRunner(
+            ft4.topology, ft4.ctx, ft4.invariants,
+            backend="process", workers=2, gc_threshold=256,
+        )
+        try:
+            parallel_result = parallel.burst_update(fresh_rules(ft4))
+            assert parallel_result.holds == serial_result.holds
+            assert verdict_flags(parallel.network, ft4.invariants) == (
+                verdict_flags(serial.network, ft4.invariants)
+            )
+            assert parallel.network.source_fingerprints() == (
+                serial_fingerprints(serial)
+            )
+            # The threshold is low enough that the workers really swept.
+            engines = parallel.network.metrics.engines
+            assert engines, "worker engine profiles were not collected"
+            assert sum(e["gc_runs"] for e in engines.values()) > 0
+        finally:
+            parallel.close()
