@@ -1,0 +1,187 @@
+"""DVM incremental rule-churn throughput — atom index vs raw BDD algebra.
+
+The §9.3.3-shaped workload: deploy a dataset, converge a burst install,
+then apply a long stream of single-rule updates (half behaviour-preserving
+route refreshes, the rest re-points with occasional drops, each followed by
+a measured restore) and report sustained updates/sec.
+
+Two runs per backend, identical except for the verifiers' region algebra:
+
+* **bdd** — the seed representation: every CIB/LEC split is a linear scan
+  with one BDD conjunction per entry and per lower-priority rule.
+* **atoms** — the dynamic atomic-predicate index: the same splits collapse
+  to frozenset operations over atom ids; BDDs only run at refinement and
+  wire boundaries.
+
+Both runs must produce identical verdicts (asserted here; the byte-level
+parity is pinned by ``tests/test_predicate_index_parity.py``).  A warmup
+pass (change + restore returns the FIB to its initial state) precedes the
+timed pass so one-time costs — per-device atom bookkeeping builds, BDD
+operation caches — are excluded from the steady-state rate on both sides.
+
+Every run appends a record with all four baselines (serial/process ×
+bdd/atoms) to ``BENCH_dvm_churn.json`` in the repo root.
+
+Scales: ``REPRO_BENCH_SCALE=smoke`` is the CI bitrot check (tiny workload,
+no speedup assertion); ``small`` (default) and ``large`` assert the ≥3×
+serial-backend acceptance bar.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks._common import SCALE, print_header, print_row
+from repro.dataplane import Rule
+from repro.datasets import build_dataset
+from repro.sim import TulkunRunner, apply_intents, random_update_intents
+
+SPEEDUP_FLOOR = 3.0
+
+# (dataset, pair_limit, rule_multiplier, num_intents)
+SERIAL_WORKLOADS = {
+    "smoke": [("FT-4", 4, 2, 6)],
+    "small": [("FT-4", 16, 32, 60)],
+    "large": [("FT-4", 24, 32, 120), ("INet2", 12, 32, 120)],
+}
+# The process backend pays a pipe round trip per update round; a shorter
+# stream keeps the wall time sane and the rate is reported, not asserted
+# (IPC dominates, so the algebra speedup is structurally damped there).
+PROCESS_INTENTS = {"smoke": 4, "small": 12, "large": 24}
+PROCESS_WORKERS = 2
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_dvm_churn.json"
+
+
+def _append_trajectory(record):
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _fresh_rules(ds):
+    return {
+        dev: [Rule(r.match, r.action, r.priority) for r in rules]
+        for dev, rules in ds.rules_by_device.items()
+    }
+
+
+def _verdict_flags(runner, invariants):
+    return {
+        inv.name: {
+            ingress: ok
+            for ingress, (ok, _v) in runner.network.verdicts(inv.name).items()
+        }
+        for inv in invariants
+    }
+
+
+def _churn_rate(name, pair_limit, multiplier, intents_count,
+                predicate_index, backend):
+    """Sustained updates/sec for one (dataset, mode, backend) cell.
+
+    A fresh dataset per cell keeps the comparison fair: neither mode
+    inherits the other's warm BDD caches or atom boundaries."""
+    ds = build_dataset(
+        name, pair_limit=pair_limit, seed=3, rule_multiplier=multiplier
+    )
+    kwargs = {"predicate_index": predicate_index, "backend": backend}
+    if backend == "process":
+        kwargs["workers"] = PROCESS_WORKERS
+    runner = TulkunRunner(ds.topology, ds.ctx, ds.invariants, **kwargs)
+    try:
+        runner.burst_update(_fresh_rules(ds))
+        planes = {
+            dev: runner.network.devices[dev].plane
+            for dev in ds.topology.devices
+        }
+        intents = random_update_intents(
+            ds.topology, planes, intents_count, seed=5
+        )
+        apply_intents(runner, intents)  # warmup; restores the FIB
+        start = time.perf_counter()
+        outcome = apply_intents(runner, intents)
+        wall = time.perf_counter() - start
+        flags = _verdict_flags(runner, ds.invariants)
+        return len(outcome.times) / wall, flags
+    finally:
+        runner.close()
+
+
+@pytest.mark.benchmark(group="dvm_churn")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier,intents",
+    SERIAL_WORKLOADS[SCALE],
+    ids=[entry[0] for entry in SERIAL_WORKLOADS[SCALE]],
+)
+def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
+    results = {}
+
+    def measure():
+        for backend, count in (
+            ("serial", intents),
+            ("process", PROCESS_INTENTS[SCALE]),
+        ):
+            flags = {}
+            for mode in ("bdd", "atoms"):
+                rate, flags[mode] = _churn_rate(
+                    name, pair_limit, multiplier, count, mode, backend
+                )
+                results[(backend, mode)] = rate
+            # Same workload, same verdicts — the speedup is representation
+            # only.  (Byte-level parity is pinned in the test suite.)
+            assert flags["bdd"] == flags["atoms"], (
+                f"verdict mismatch between predicate-index modes ({backend})"
+            )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    speedups = {
+        backend: results[(backend, "atoms")] / results[(backend, "bdd")]
+        for backend in ("serial", "process")
+    }
+    print_header(
+        f"DVM incremental churn — {name} ×{multiplier} "
+        f"({intents} intents, scale={SCALE})"
+    )
+    print_row("backend", "bdd up/s", "atoms up/s", "speedup")
+    for backend in ("serial", "process"):
+        print_row(
+            backend,
+            f"{results[(backend, 'bdd')]:.1f}",
+            f"{results[(backend, 'atoms')]:.1f}",
+            f"{speedups[backend]:.2f}x",
+        )
+
+    _append_trajectory(
+        {
+            "scale": SCALE,
+            "dataset": name,
+            "pair_limit": pair_limit,
+            "rule_multiplier": multiplier,
+            "intents": intents,
+            "updates_per_sec": {
+                f"{backend}_{mode}": results[(backend, mode)]
+                for backend, mode in results
+            },
+            "speedup": {
+                backend: speedups[backend] for backend in speedups
+            },
+            "speedup_floor": SPEEDUP_FLOOR,
+        }
+    )
+
+    if SCALE != "smoke":
+        assert speedups["serial"] >= SPEEDUP_FLOOR, (
+            f"atoms predicate index {speedups['serial']:.2f}x over bdd on "
+            f"{name} (serial churn); acceptance floor {SPEEDUP_FLOOR}x"
+        )

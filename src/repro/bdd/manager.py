@@ -185,6 +185,7 @@ class BddManager:
         self._roots: Dict[int, "weakref.ref"] = {}
         self._pinned: Set[int] = set()
         self._invalidation_hooks: List[Callable[[], None]] = []
+        self._remap_hooks: List[Callable[[Dict[int, int]], None]] = []
         #: Optional high-water mark: when the node table reaches this many
         #: slots, :meth:`maybe_collect` triggers a sweep (``None`` = GC off).
         self.gc_threshold: Optional[int] = None
@@ -1109,6 +1110,16 @@ class BddManager:
         node↔bytes tables) must register here or they silently corrupt."""
         self._invalidation_hooks.append(hook)
 
+    def register_remap_hook(self, hook: Callable[[Dict[int, int]], None]) -> None:
+        """Run ``hook(remap)`` after every sweep, once holders are remapped.
+
+        Unlike an invalidation hook, a remap hook receives the old→new node
+        id mapping (dead nodes absent), so an external memo keyed by node id
+        can *rekey* its live entries instead of dropping them wholesale —
+        the difference between re-deriving every cached result after a GC
+        and paying one dict rebuild."""
+        self._remap_hooks.append(hook)
+
     def _root_holders(self) -> List[object]:
         holders: List[object] = []
         for ref in list(self._roots.values()):
@@ -1185,6 +1196,8 @@ class BddManager:
         for holder in holders:
             holder.node = remap[holder.node]
         self._pinned = {remap[n] for n in self._pinned}
+        for hook in self._remap_hooks:
+            hook(remap)
 
         stats.gc_reclaimed += reclaimed
         stats.gc_last_live = len(new_var)

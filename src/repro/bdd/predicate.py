@@ -129,6 +129,20 @@ class PacketSpaceContext:
         self.mgr: BddManager = self.layout.new_manager()
         self._false = Predicate(self, FALSE)
         self._true = Predicate(self, TRUE)
+        self._atom_index = None
+
+    def atom_index(self):
+        """The shared dynamic atom index over this packet space.
+
+        Created lazily (the BDD-only code paths never pay for it) and shared
+        by every verifier/LEC table on this context so atom ids are
+        comparable network-wide.
+        """
+        if self._atom_index is None:
+            from repro.core.atomindex import AtomIndex
+
+            self._atom_index = AtomIndex(self)
+        return self._atom_index
 
     # ------------------------------------------------------------------
     # Constructors

@@ -90,6 +90,32 @@ def _print_engine_table(engines: dict) -> None:
         print(f"  {row}")
 
 
+_ATOM_COLUMNS = (
+    "atoms",
+    "splits",
+    "merges",
+    "compactions",
+    "atomize_calls",
+    "atomize_hits",
+    "pred_cache",
+)
+
+
+def _print_atom_table(atom_indexes: dict) -> None:
+    """Render atom-index profiles (one row per index) for ``--profile``."""
+    if not atom_indexes:
+        return
+    header = f"{'index':<10}" + "".join(f"{c:>14}" for c in _ATOM_COLUMNS)
+    print("atom-index profile:")
+    print(f"  {header}")
+    for name in sorted(atom_indexes):
+        snap = atom_indexes[name]
+        row = f"{name:<10}" + "".join(
+            f"{snap.get(c, 0):>14}" for c in _ATOM_COLUMNS
+        )
+        print(f"  {row}")
+
+
 def _load_inputs(args):
     ctx = PacketSpaceContext()
     topology = parse_topology_text(_load(args.topology))
@@ -137,6 +163,7 @@ def cmd_simulate(args) -> int:
         backend=args.backend,
         workers=args.workers,
         gc_threshold=args.gc_threshold,
+        predicate_index=args.predicate_index,
     )
     rules = {dev: list(plane.rules) for dev, plane in planes.items()}
     # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
@@ -173,6 +200,7 @@ def cmd_simulate(args) -> int:
                     print(f"    {violation}")
         if args.profile:
             _print_engine_table(runner.network.metrics.engines)
+            _print_atom_table(runner.network.metrics.atom_indexes)
         return 1 if failures else 0
     finally:
         runner.close()
@@ -259,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc-threshold", type=int, default=None,
         help="BDD node-table size that triggers a garbage-collection sweep "
              "(default: GC disabled)",
+    )
+    p_sim.add_argument(
+        "--predicate-index", choices=("atoms", "bdd"), default="atoms",
+        help="verifier region algebra: 'atoms' = dynamic atomic-predicate "
+             "index (integer-set hot path), 'bdd' = raw BDD predicates; "
+             "verdicts are byte-identical either way",
     )
     p_sim.set_defaults(func=cmd_simulate)
 

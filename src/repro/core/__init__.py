@@ -1,6 +1,7 @@
 """Tulkun core: invariants, planner, DPVNet, counting, DVM, verifiers."""
 
 from repro.core.analysis import gate_devices, gate_nodes, path_count
+from repro.core.atomindex import AtomIndex, AtomSet
 from repro.core.counting import CountExp, CountSet, CountVec, cross_sum, union
 from repro.core.dpvnet import DpvNet, DpvNode, build_enumeration_dpvnet, build_product_dpvnet
 from repro.core.dvm import SubscribeMessage, UpdateMessage
@@ -37,6 +38,8 @@ from repro.core.wire import decode_message, encode_message
 
 __all__ = [
     "And",
+    "AtomIndex",
+    "AtomSet",
     "BigSwitchAbstraction",
     "Atom",
     "Behavior",

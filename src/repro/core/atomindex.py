@@ -1,0 +1,526 @@
+"""Dynamic atomic-predicate index: packet space as numbered disjoint atoms.
+
+Yang & Lam's *atomic predicates* observation, as dynamized by APKeep
+(NSDI'20): once packet space is partitioned into the coarsest classes no
+installed predicate distinguishes, every predicate of interest is a *set of
+atom ids* and all the algebra the DVM hot path performs — splitting CIB
+regions along LEC boundaries, diffing withdrawn regions, unioning changed
+regions — collapses from BDD apply-walks to integer-set operations.
+
+The index is *lazy and dynamic*: atoms are split only when a new predicate
+(a LEC class, a transform image, an incoming DVM region) actually crosses an
+existing atom boundary, and sibling atoms that no live :class:`AtomSet`
+distinguishes anymore are merged back on :meth:`compact` (wired to the BDD
+engine's GC sweeps — "merge on collect").
+
+BDDs remain the source of truth at the boundaries:
+
+* every atom's *extent* is a :class:`~repro.bdd.predicate.Predicate` (a GC
+  root, so engine sweeps remap it in place),
+* refinement (:meth:`AtomIndex.atomize`) and transform images/preimages are
+  computed in BDD land,
+* :meth:`AtomIndex.to_predicate` converts an :class:`AtomSet` back to the
+  *canonical* BDD of its denotation — because ROBDDs are canonical, a
+  counting result computed via atoms serializes to byte-identical DVM wire
+  bytes as one computed via raw predicates.
+
+Splitting never changes what an :class:`AtomSet` denotes: when atom ``a``
+splits into ``a₁`` and ``a₂`` the children partition the parent, so a set
+holding ``a`` still denotes the same packets and is renormalized to leaves
+lazily.  Hashes survive both splits and merges: every atom carries a 64-bit
+token with the invariant ``token(a) == token(a₁) ^ token(a₂)``, so the XOR
+of a set's member tokens is a denotation-stable O(1) hash.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.bdd.manager import FALSE
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+
+__all__ = ["AtomSet", "AtomIndex"]
+
+_ROOT = 0
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: a deterministic 64-bit token per atom id."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class AtomSet:
+    """An immutable packet set represented as a set of atom ids.
+
+    Supports the same algebra surface as :class:`Predicate` (``& | - ^``,
+    ``is_empty``, ``covers``, ``overlaps``, equality, hashing) but every
+    operation is a frozenset operation on small ints — O(k) with C-speed
+    constants and no BDD-node allocation.
+
+    The id set is maintained by the owning index: splits may rewrite
+    ``_ids`` to finer atoms (same denotation) and :meth:`AtomIndex.compact`
+    may rewrite it to coarser ones; neither changes equality or the cached
+    hash, which is the XOR of denotation-stable atom tokens.
+    """
+
+    __slots__ = ("index", "_ids", "_version", "_hash", "__weakref__")
+
+    def __init__(self, index: "AtomIndex", ids: FrozenSet[int], version: int) -> None:
+        self.index = index
+        self._ids = ids
+        self._version = version
+        self._hash: Optional[int] = None
+        index._track(self)
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def ids(self) -> FrozenSet[int]:
+        """Current *leaf* atom ids (renormalized lazily after splits)."""
+        index = self.index
+        if self._version != index.version:
+            self._ids = index._resolve(self._ids)
+            self._version = index.version
+        return self._ids
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "AtomSet") -> FrozenSet[int]:
+        if not isinstance(other, AtomSet):
+            raise TypeError(f"cannot combine AtomSet with {type(other).__name__}")
+        if other.index is not self.index:
+            raise ValueError("atom sets belong to different indexes")
+        return other.ids()
+
+    # Identity fast paths: hot-path maps intersect/diff mostly-nested
+    # regions, where the result IS one of the operands — returning it
+    # skips an AtomSet allocation (and its liveness-tracking weakref).
+    def __and__(self, other: "AtomSet") -> "AtomSet":
+        a, b = self.ids(), self._coerce(other)
+        if not a or not b:
+            return self.index._empty
+        if a <= b:
+            return self
+        if b <= a:
+            return other
+        return self.index._make(a & b)
+
+    def __or__(self, other: "AtomSet") -> "AtomSet":
+        a, b = self.ids(), self._coerce(other)
+        if not b or b <= a:
+            return self
+        if not a or a <= b:
+            return other
+        return self.index._make(a | b)
+
+    def __sub__(self, other: "AtomSet") -> "AtomSet":
+        a, b = self.ids(), self._coerce(other)
+        if not a or not b or a.isdisjoint(b):
+            return self
+        return self.index._make(a - b)
+
+    def __xor__(self, other: "AtomSet") -> "AtomSet":
+        return self.index._make(self.ids() ^ self._coerce(other))
+
+    # ------------------------------------------------------------------
+    # Tests
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._ids
+
+    @property
+    def is_universe(self) -> bool:
+        return self.ids() == self.index.universe().ids()
+
+    def overlaps(self, other: "AtomSet") -> bool:
+        return not self.ids().isdisjoint(self._coerce(other))
+
+    def covers(self, other: "AtomSet") -> bool:
+        """True iff ``other`` is a subset of this set."""
+        return self._coerce(other) <= self.ids()
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomSet):
+            return NotImplemented
+        if self.index is not other.index:
+            return False
+        if hash(self) != hash(other):
+            return False
+        return self.ids() == other.ids()
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            token = self.index._token
+            acc = 0
+            for aid in self._ids:
+                acc ^= token[aid]
+            # The XOR is invariant under split/merge, so it never needs
+            # recomputing even after renormalization.
+            h = self._hash = acc
+        return h
+
+    # ------------------------------------------------------------------
+    # Boundary conversion
+    # ------------------------------------------------------------------
+    def to_predicate(self) -> Predicate:
+        return self.index.to_predicate(self)
+
+    def size(self) -> int:
+        """BDD node count of the canonical predicate (metrics parity)."""
+        return self.to_predicate().size()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomSet({len(self._ids)} atoms)"
+
+
+class AtomIndex:
+    """A network-wide dynamic partition of packet space into atoms.
+
+    Atoms form a binary refinement forest rooted at the universe atom:
+    leaves are the current partition, internal atoms record past splits so
+    stale :class:`AtomSet` ids resolve to their leaf descendants.  One index
+    serves one :class:`PacketSpaceContext` (create via
+    :meth:`PacketSpaceContext.atom_index`), shared by every verifier, LEC
+    table and CIB on that context.
+    """
+
+    def __init__(self, ctx: PacketSpaceContext) -> None:
+        self.ctx = ctx
+        #: Bumped on every split; AtomSets renormalize when it moves.
+        self.version = 0
+        self._extent: Dict[int, Predicate] = {_ROOT: ctx.universe}
+        self._children: Dict[int, Tuple[int, int]] = {}
+        self._token: Dict[int, int] = {_ROOT: _mix(_ROOT)}
+        self._next_id = 1
+        self._leaf_count = 1
+        # node id -> atom ids whose extents union to that BDD function.
+        # Cached ids may since have split; _resolve makes them current.
+        # Raw node ids go stale on engine GC: the remap hook rekeys the
+        # live entries (and runs compact — "merge on collect").
+        self._atomize_cache: Dict[int, FrozenSet[int]] = {}
+        # sorted leaf ids -> canonical Predicate of their union.  Values are
+        # GC roots (remapped in place by sweeps); keys go stale only on
+        # compact, which clears the table.
+        self._pred_cache: Dict[Tuple[int, ...], Predicate] = {}
+        # Liveness registry for compact(): a plain list of weakrefs, pruned
+        # amortized-O(1) in _track (a WeakSet's per-add callback machinery
+        # is ~10x the cost of ref+append on this hot path).
+        self._live: List["weakref.ref[AtomSet]"] = []
+        self._prune_at = 4096
+        self._empty = AtomSet(self, frozenset(), 0)
+        # Stats (exported via profile()).
+        self.atomize_calls = 0
+        self.atomize_hits = 0
+        self.splits = 0
+        self.merges = 0
+        self.compactions = 0
+        # Splits counter at the last merge scan: compact() is a no-op
+        # unless the forest refined since, so steady-state churn (no new
+        # boundaries) pays nothing per engine sweep.
+        self._splits_at_compact = 0
+        ctx.mgr.register_remap_hook(self._on_engine_gc)
+
+    # ------------------------------------------------------------------
+    # AtomSet constructors
+    # ------------------------------------------------------------------
+    def _track(self, aset: AtomSet) -> None:
+        live = self._live
+        live.append(weakref.ref(aset))
+        if len(live) >= self._prune_at:
+            self._live = live = [ref for ref in live if ref() is not None]
+            self._prune_at = max(4096, 2 * len(live))
+
+    def _make(self, ids: FrozenSet[int]) -> AtomSet:
+        if not ids:
+            return self._empty
+        return AtomSet(self, ids, self.version)
+
+    @property
+    def empty(self) -> AtomSet:
+        return self._empty
+
+    def from_ids(self, ids: Iterable[int]) -> AtomSet:
+        """AtomSet over raw atom ids the caller read from live sets.
+
+        The ids must be current leaves (reads of tracked sets always are);
+        used by set-algebra loops that work on ``frozenset`` snapshots and
+        wrap only their final results."""
+        return self._make(frozenset(ids))
+
+    def universe(self) -> AtomSet:
+        return self._make(frozenset(self._leaves_of(_ROOT)))
+
+    def union(self, asets: Iterable[AtomSet]) -> AtomSet:
+        ids: FrozenSet[int] = frozenset()
+        for aset in asets:
+            ids = ids | aset.ids()
+        return self._make(ids)
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+    def _leaves_of(self, aid: int) -> List[int]:
+        out: List[int] = []
+        stack = [aid]
+        children = self._children
+        while stack:
+            a = stack.pop()
+            kids = children.get(a)
+            if kids is None:
+                out.append(a)
+            else:
+                stack.extend(kids)
+        return out
+
+    def _resolve(self, ids: FrozenSet[int]) -> FrozenSet[int]:
+        """Expand possibly-split atom ids to current leaves."""
+        children = self._children
+        if not any(aid in children for aid in ids):
+            return ids
+        out: List[int] = []
+        for aid in ids:
+            if aid in children:
+                out.extend(self._leaves_of(aid))
+            else:
+                out.append(aid)
+        return frozenset(out)
+
+    def _split(self, aid: int, inside_node: int) -> int:
+        """Split leaf ``aid`` along a BDD node; return the inside child."""
+        ctx = self.ctx
+        extent = self._extent[aid]
+        outside_node = ctx.mgr.apply_diff(extent.node, inside_node)
+        c1 = self._next_id
+        c2 = c1 + 1
+        self._next_id = c2 + 1
+        self._extent[c1] = ctx.wrap(inside_node)
+        self._extent[c2] = ctx.wrap(outside_node)
+        self._children[aid] = (c1, c2)
+        t1 = _mix(c1)
+        self._token[c1] = t1
+        # token(parent) == token(c1) ^ token(c2): XOR-hash stability.
+        self._token[c2] = self._token[aid] ^ t1
+        self._leaf_count += 1
+        self.splits += 1
+        self.version += 1
+        return c1
+
+    def atomize(self, pred: Predicate) -> AtomSet:
+        """The AtomSet denoting exactly ``pred``, refining atoms as needed.
+
+        Walks the refinement forest, pruning whole subtrees that are
+        disjoint from or contained in ``pred``, and splits only the leaves
+        that actually straddle the new boundary.
+        """
+        return self._make(self.atomize_ids(pred))
+
+    def atomize_ids(self, pred: Predicate) -> FrozenSet[int]:
+        """:meth:`atomize` without the AtomSet wrapper: the raw leaf-id set.
+
+        The cheap entry point for callers that only *test* a region
+        (overlap filters) and would otherwise allocate — and liveness-track
+        — a throwaway AtomSet per query.
+        """
+        self.atomize_calls += 1
+        node = pred.node
+        if node == FALSE:
+            return self._empty._ids
+        cached = self._atomize_cache.get(node)
+        if cached is not None:
+            self.atomize_hits += 1
+            resolved = self._resolve(cached)
+            if resolved is not cached:
+                self._atomize_cache[node] = resolved
+            return resolved
+        mgr = self.ctx.mgr
+        apply_and = mgr.apply_and
+        extent = self._extent
+        children = self._children
+        out: List[int] = []
+        stack = [_ROOT]
+        while stack:
+            aid = stack.pop()
+            ext_node = extent[aid].node
+            inter = apply_and(ext_node, node)
+            if inter == FALSE:
+                continue
+            if inter == ext_node:
+                # Entirely inside: take every leaf below without BDD work.
+                out.extend(self._leaves_of(aid))
+                continue
+            kids = children.get(aid)
+            if kids is not None:
+                stack.extend(kids)
+            else:
+                out.append(self._split(aid, inter))
+        ids = frozenset(out)
+        self._atomize_cache[node] = ids
+        return ids
+
+    # ------------------------------------------------------------------
+    # Boundary conversions
+    # ------------------------------------------------------------------
+    def to_predicate(self, aset: AtomSet) -> Predicate:
+        """Canonical BDD predicate of an AtomSet's denotation.
+
+        Memoized by leaf-id tuple; the reverse direction is seeded into the
+        atomize cache so a round trip (convert, ship, re-atomize) costs one
+        dict hit — which is what keeps serial DVM message handling cheap.
+        """
+        ids = aset.ids()
+        if not ids:
+            return self.ctx.empty
+        key = tuple(sorted(ids))
+        pred = self._pred_cache.get(key)
+        if pred is None:
+            mgr = self.ctx.mgr
+            extent = self._extent
+            node = FALSE
+            for aid in key:
+                node = mgr.apply_or(node, extent[aid].node)
+            pred = self.ctx.wrap(node)
+            self._pred_cache[key] = pred
+        # Seed the reverse direction (outside the miss branch: engine GC
+        # clears the atomize cache while this table survives, so round
+        # trips keep repairing it) — convert, ship, re-atomize is one hit.
+        self._atomize_cache.setdefault(pred.node, ids)
+        return pred
+
+    def transform_image(self, transform, aset: AtomSet) -> AtomSet:
+        """Image of an AtomSet under a header rewrite (BDD-land round trip).
+
+        The image may cross existing atom boundaries; atomize refines them.
+        """
+        return self.atomize(transform.apply(self.to_predicate(aset)))
+
+    def transform_preimage(self, transform, aset: AtomSet) -> AtomSet:
+        return self.atomize(transform.preimage(self.to_predicate(aset)))
+
+    # ------------------------------------------------------------------
+    # Merging ("collect")
+    # ------------------------------------------------------------------
+    def _on_engine_gc(self, remap: Dict[int, int]) -> None:
+        """Engine sweep hook: rekey the atomize cache, then merge atoms.
+
+        The hook runs after root holders are remapped, so the extent and
+        pred-cache Predicates already carry post-sweep ids; the atomize
+        cache is keyed by raw node id and is rekeyed through ``remap``
+        (entries for dead predicates drop out).  Keeping the cache alive
+        across sweeps is what makes GC nearly free in atoms mode — the
+        hot path never re-walks the refinement forest after a collection.
+        """
+        self._atomize_cache = {
+            remap[node]: ids
+            for node, ids in self._atomize_cache.items()
+            if node in remap
+        }
+        self.compact()
+
+    def compact(self) -> int:
+        """Merge sibling leaves no live AtomSet distinguishes; return the
+        number of merges performed.
+
+        Runs at engine GC safe points: every live AtomSet is renormalized to
+        leaves, undistinguished sibling pairs collapse into their parent
+        (rewriting the live sets in place — denotation and XOR hash are both
+        preserved by the token invariant), and the conversion caches are
+        dropped.  Merged-away extents are released so the *next* engine
+        sweep reclaims their BDD nodes.
+
+        Skipped entirely (no live-set scan) when no split happened since
+        the previous scan: merges only become possible once a boundary has
+        been introduced, so the forest is already as coarse as that scan
+        left it and steady-state churn pays nothing here.
+        """
+        if self.splits == self._splits_at_compact:
+            return 0
+        self._splits_at_compact = self.splits
+        alive = []
+        refs = []
+        for ref in self._live:
+            aset = ref()
+            if aset is None:
+                continue
+            refs.append(ref)
+            alive.append(aset)
+        self._live = refs  # prune dead refs while we're here
+        live = [aset for aset in alive if aset is not self._empty]
+        for aset in live:
+            aset.ids()  # renormalize against the current version
+        merged_total = 0
+        while True:
+            # leaf -> frozenset of live-set indices containing it.
+            membership: Dict[int, set] = {}
+            for i, aset in enumerate(live):
+                for aid in aset._ids:
+                    membership.setdefault(aid, set()).add(i)
+            merged: Dict[int, int] = {}  # child -> parent
+            for parent, (c1, c2) in list(self._children.items()):
+                if c1 in self._children or c2 in self._children:
+                    continue  # only merge leaf pairs
+                if membership.get(c1, set()) != membership.get(c2, set()):
+                    continue
+                merged[c1] = parent
+                merged[c2] = parent
+                del self._children[parent]
+                del self._extent[c1]
+                del self._extent[c2]
+                del self._token[c1]
+                del self._token[c2]
+                self._leaf_count -= 1
+                self.merges += 1
+                merged_total += 1
+            if not merged:
+                break
+            for aset in live:
+                ids = aset._ids
+                if any(aid in merged for aid in ids):
+                    aset._ids = frozenset(
+                        merged.get(aid, aid) for aid in ids
+                    )
+        if merged_total:
+            self._atomize_cache.clear()
+            self._pred_cache.clear()
+            self.version += 1
+            # The bumped version would send every set through _resolve;
+            # they are already at leaves, so pin their versions forward.
+            for aset in live:
+                aset._version = self.version
+            self._empty._version = self.version
+        self.compactions += 1
+        return merged_total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_atoms(self) -> int:
+        return self._leaf_count
+
+    def profile(self) -> Dict[str, int]:
+        return {
+            "atoms": self._leaf_count,
+            "splits": self.splits,
+            "merges": self.merges,
+            "compactions": self.compactions,
+            "atomize_calls": self.atomize_calls,
+            "atomize_hits": self.atomize_hits,
+            "pred_cache": len(self._pred_cache),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomIndex({self._leaf_count} atoms, v{self.version})"

@@ -26,11 +26,15 @@ class PredMap(Generic[V]):
     value" before sending (§5.2 step 3).
     """
 
-    def __init__(self, ctx: PacketSpaceContext) -> None:
+    def __init__(self, ctx) -> None:
+        # ``ctx`` is any *space*: a PacketSpaceContext for BDD-backed maps or
+        # an AtomIndex for atom-backed ones.  Only ``.empty`` and ``.union``
+        # are used, and keys are whichever region type the space produces.
         self.ctx = ctx
         # Keyed by value when hashable for cheap merging; we keep a list of
         # (pred, value) and merge on write.
         self._entries: List[Tuple[Predicate, V]] = []
+        self._domain: Optional[Predicate] = None
 
     # ------------------------------------------------------------------
     # Read side
@@ -39,8 +43,12 @@ class PredMap(Generic[V]):
         return list(self._entries)
 
     def domain(self) -> Predicate:
-        """Union of all keyed regions."""
-        return self.ctx.union(pred for pred, _value in self._entries)
+        """Union of all keyed regions (cached; writes invalidate)."""
+        if self._domain is None:
+            self._domain = self.ctx.union(
+                pred for pred, _value in self._entries
+            )
+        return self._domain
 
     def lookup(self, region: Predicate) -> List[Tuple[Predicate, V]]:
         """Split ``region`` along entry boundaries.
@@ -105,6 +113,7 @@ class PredMap(Generic[V]):
                 survivors.append((kept, value))
         survivors.extend(new_pieces)
         self._entries = self._merge(survivors)
+        self._domain = None
 
     def remove(self, region: Predicate) -> None:
         """Delete ``region`` from the map's domain."""
@@ -116,9 +125,11 @@ class PredMap(Generic[V]):
             if not kept.is_empty:
                 survivors.append((kept, value))
         self._entries = survivors
+        self._domain = None
 
     def clear(self) -> None:
         self._entries = []
+        self._domain = None
 
     def _merge(self, entries: List[Tuple[Predicate, V]]) -> List[Tuple[Predicate, V]]:
         merged: Dict[object, Predicate] = {}

@@ -18,6 +18,14 @@ State per DPVNet node (§5.1):
 * ``CIBOut`` — what upstream neighbors currently believe (after
   Proposition 1 minimal-information reduction); used to suppress no-op
   UPDATEs, so only changed results travel.
+
+Region representation (``predicate_index``): with ``"atoms"`` (the default)
+all CIB tables, interests and region bookkeeping hold :class:`AtomSet`s from
+the context's shared :class:`~repro.core.atomindex.AtomIndex`, so the hot
+path's splits/diffs/unions are integer-set operations.  With ``"bdd"`` they
+hold raw :class:`Predicate`s (the seed behaviour).  Either way the *wire* is
+identical: messages, verdicts and violations always carry canonical BDD
+predicates, converted at the handler boundaries.
 """
 
 from __future__ import annotations
@@ -57,11 +65,12 @@ Outgoing = Tuple[str, object]  # (destination device, DVM message)
 
 @dataclass
 class _NodeState:
+    # Regions below are AtomSets in "atoms" mode, Predicates in "bdd" mode.
     cib_in: Dict[int, PredMap] = field(default_factory=dict)
     loc_cib: Optional[PredMap] = None
     cib_out: Optional[PredMap] = None
-    interest: Optional[Predicate] = None
-    subscribed: Dict[int, Predicate] = field(default_factory=dict)
+    interest: Optional[object] = None
+    subscribed: Dict[int, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -78,12 +87,32 @@ class _Stats:
 class OnDeviceVerifier:
     """The verification agent of one device for one invariant."""
 
-    def __init__(self, task: DeviceTask, plane: DevicePlane) -> None:
+    def __init__(
+        self,
+        task: DeviceTask,
+        plane: DevicePlane,
+        predicate_index: str = "atoms",
+    ) -> None:
         self.task = task
         self.plane = plane
         self.ctx: PacketSpaceContext = task.packet_space.ctx
         self.arity = len(task.atoms)
         self.is_local_check = task.atoms[0].kind is MatchKind.EQUAL
+        if predicate_index not in ("atoms", "bdd"):
+            raise ValueError(
+                f"unknown predicate index {predicate_index!r} "
+                "(expected 'atoms' or 'bdd')"
+            )
+        # ``equal``-operator local contracts never touch region algebra, so
+        # they stay on the raw-BDD path and build no index.
+        if self.is_local_check:
+            predicate_index = "bdd"
+        self.predicate_index = predicate_index
+        self._use_atoms = predicate_index == "atoms"
+        self._index = self.ctx.atom_index() if self._use_atoms else None
+        # The *space* a PredMap partitions: AtomIndex or PacketSpaceContext
+        # (both expose ``.empty`` / ``.union`` over their region type).
+        self._space = self._index if self._use_atoms else self.ctx
 
         self.nodes: Dict[int, NodeTask] = {n.node_id: n for n in task.nodes}
         self._child_by_dev: Dict[int, Dict[str, int]] = {
@@ -97,10 +126,15 @@ class OnDeviceVerifier:
         self.state: Dict[int, _NodeState] = {}
         for nid in self.nodes:
             st = _NodeState()
-            st.loc_cib = PredMap(self.ctx)
-            st.cib_out = PredMap(self.ctx)
-            st.interest = task.packet_space
+            st.loc_cib = PredMap(self._space)
+            st.cib_out = PredMap(self._space)
+            st.interest = self._to_region(task.packet_space)
             self.state[nid] = st
+
+        # Per-node memo of the forwarding split of ``interest``, keyed on
+        # (FIB epoch, interest) so rule updates and subscribe-driven interest
+        # growth both invalidate it.
+        self._fwd_split_cache: Dict[int, Tuple[Tuple[int, object], list]] = {}
 
         self.dead_neighbors: Set[str] = set()
         self.active_scene: Optional[int] = None
@@ -108,6 +142,53 @@ class OnDeviceVerifier:
         self.verdicts: Dict[str, Tuple[bool, List[Violation]]] = {}
         self.local_violations: List[Violation] = []
         self.stats = _Stats()
+
+    # ------------------------------------------------------------------
+    # Region representation boundaries
+    # ------------------------------------------------------------------
+    def _to_region(self, pred: Predicate):
+        """Wire/boundary Predicate → internal region representation."""
+        if self._use_atoms:
+            return self._index.atomize(pred)
+        return pred
+
+    def _to_pred(self, region) -> Predicate:
+        """Internal region → canonical Predicate (for wire and verdicts)."""
+        if self._use_atoms:
+            return self._index.to_predicate(region)
+        return region
+
+    def _fwd(self, region):
+        """LEC split of a region, in the region's own representation."""
+        if self._use_atoms:
+            return self.plane.fwd_atoms(region)
+        return self.plane.fwd(region)
+
+    def _interest_fwd(self, node_id: int):
+        """Memoized LEC split of a node's interest.
+
+        ``_preimage_region`` and ``_region_toward`` re-split the (mostly
+        static) interest on every link/update event; the split only changes
+        when the FIB changes (plane epoch) or the interest itself grows.
+        """
+        st = self.state[node_id]
+        key = (self.plane.epoch, st.interest)
+        cached = self._fwd_split_cache.get(node_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        split = self._fwd(st.interest)
+        self._fwd_split_cache[node_id] = (key, split)
+        return split
+
+    def _transform_apply(self, transform, region):
+        if self._use_atoms:
+            return self._index.transform_image(transform, region)
+        return transform.apply(region)
+
+    def _transform_preimage(self, transform, region):
+        if self._use_atoms:
+            return self._index.transform_preimage(transform, region)
+        return transform.preimage(region)
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -140,7 +221,7 @@ class OnDeviceVerifier:
         batched round primitive the parallel backend's workers execute.
         """
         outgoing: List[Outgoing] = []
-        regions: Dict[int, Predicate] = {}
+        regions: Dict[int, object] = {}
         for message in messages:
             if isinstance(message, SubscribeMessage):
                 outgoing.extend(self.handle_subscribe(message))
@@ -158,20 +239,21 @@ class OnDeviceVerifier:
             st = self.state[parent_id]
             cib = st.cib_in.get(child_id)
             if cib is None:
-                cib = PredMap(self.ctx)
+                cib = PredMap(self._space)
                 st.cib_in[child_id] = cib
-            cib.remove(message.withdrawn)
-            cib.assign(list(message.results))
-            affected = self._preimage_region(
-                parent_id, child_id, message.withdrawn
+            withdrawn = self._to_region(message.withdrawn)
+            cib.remove(withdrawn)
+            cib.assign(
+                [(self._to_region(pred), cs) for pred, cs in message.results]
             )
+            affected = self._preimage_region(parent_id, child_id, withdrawn)
             prev = regions.get(parent_id)
             regions[parent_id] = affected if prev is None else prev | affected
         for nid in sorted(regions):
             outgoing.extend(self._recompute(nid, regions[nid]))
         # End-of-event safe point: every live packet set is back inside a
-        # Predicate (state tables or the outgoing messages), so the engine
-        # may compact its node table here.
+        # Predicate or an index-tracked AtomSet (state tables or the outgoing
+        # messages), so the engine may compact its node table here.
         self.ctx.mgr.maybe_collect()
         return outgoing
 
@@ -187,15 +269,14 @@ class OnDeviceVerifier:
             )
         st = self.state[child_id]
         outgoing: List[Outgoing] = []
-        new_region = message.pred_to - st.interest
+        pred_to = self._to_region(message.pred_to)
+        new_region = pred_to - st.interest
         if not new_region.is_empty:
-            st.interest = st.interest | message.pred_to
+            st.interest = st.interest | pred_to
             outgoing.extend(self._recompute(child_id, new_region))
         # Re-announce current results over the subscribed region so the
         # subscriber converges regardless of message ordering.
-        outgoing.extend(
-            self._announce_region(child_id, message.pred_to, force=True)
-        )
+        outgoing.extend(self._announce_region(child_id, pred_to, force=True))
         return outgoing
 
     def handle_lec_deltas(self, deltas: Sequence[LecDelta]) -> List[Outgoing]:
@@ -205,7 +286,12 @@ class OnDeviceVerifier:
         if self.is_local_check:
             self._run_local_checks()
             return []
-        changed = self.ctx.union(delta.predicate for delta in deltas)
+        # Union in region representation: in atoms mode the delta predicates
+        # were just atomized by the LEC update (seeded cache), so this is
+        # pure set algebra instead of a BDD OR-chain.
+        changed = self._to_region(deltas[0].predicate)
+        for delta in deltas[1:]:
+            changed = changed | self._to_region(delta.predicate)
         outgoing: List[Outgoing] = []
         for nid in self.nodes:
             region = changed & self.state[nid].interest
@@ -268,37 +354,36 @@ class OnDeviceVerifier:
             return sid in scenes
         return True
 
-    def _preimage_region(
-        self, node_id: int, child_id: int, downstream_region: Predicate
-    ) -> Predicate:
+    def _preimage_region(self, node_id: int, child_id: int, downstream_region):
         """Map a child's changed region back into this node's packet frame
         (identity without transforms, pre-image through them)."""
-        st = self.state[node_id]
         child_dev = self._child_dev[node_id].get(child_id)
         if child_dev is None:
-            return self.ctx.empty
-        region = self.ctx.empty
-        for piece, action in self.plane.fwd(st.interest):
+            return self._space.empty
+        region = self._space.empty
+        for piece, action in self._interest_fwd(node_id):
             if child_dev not in action.group:
                 continue
             if action.transform is None:
                 region = region | (piece & downstream_region)
             else:
                 region = region | (
-                    piece & action.transform.preimage(downstream_region)
+                    piece
+                    & self._transform_preimage(
+                        action.transform, downstream_region
+                    )
                 )
         return region
 
-    def _region_toward(self, node_id: int, neighbor: str) -> Predicate:
+    def _region_toward(self, node_id: int, neighbor: str):
         """Packet space this node's device forwards toward ``neighbor``."""
-        st = self.state[node_id]
-        region = self.ctx.empty
-        for piece, action in self.plane.fwd(st.interest):
+        region = self._space.empty
+        for piece, action in self._interest_fwd(node_id):
             if neighbor in action.group:
                 region = region | piece
         return region
 
-    def _recompute(self, node_id: int, region: Predicate) -> List[Outgoing]:
+    def _recompute(self, node_id: int, region) -> List[Outgoing]:
         """Steps 2 and 3 of UPDATE handling: rebuild LocCIB over ``region``
         from the LEC table and the CIBIn tables, then propagate changes."""
         st = self.state[node_id]
@@ -308,8 +393,8 @@ class OnDeviceVerifier:
         self.stats.recomputations += 1
         node = self.nodes[node_id]
         subscribes: List[Outgoing] = []
-        pieces: List[Tuple[Predicate, CountSet]] = []
-        for piece, action in self.plane.fwd(region):
+        pieces: List[Tuple[object, CountSet]] = []
+        for piece, action in self._fwd(region):
             pieces.extend(self._count_action(node, piece, action, subscribes))
         st.loc_cib.assign(pieces)
         if node.is_source_for is not None:
@@ -320,10 +405,10 @@ class OnDeviceVerifier:
     def _count_action(
         self,
         node: NodeTask,
-        piece: Predicate,
+        piece,
         action: Action,
         subscribes: List[Outgoing],
-    ) -> List[Tuple[Predicate, CountSet]]:
+    ) -> List[Tuple[object, CountSet]]:
         arity = self.arity
         atoms = self.task.atoms
         st = self.state[node.node_id]
@@ -337,15 +422,17 @@ class OnDeviceVerifier:
         transform = action.transform
         zero = singleton(zero_vec(arity))
 
-        def member_pieces(member: str, region: Predicate):
+        def member_pieces(member: str, region):
             if member == EXTERNAL:
                 return [(region, singleton(deliver_vec))]
             child_id = self._child_by_dev[node.node_id].get(member)
             if child_id is None or not self._edge_alive(node, child_id, member):
                 return [(region, zero)]
-            target = transform.apply(region) if transform else region
             if transform is not None:
+                target = self._transform_apply(transform, region)
                 self._maybe_subscribe(node, child_id, member, region, target, subscribes)
+            else:
+                target = region
             cib = st.cib_in.get(child_id)
             if cib is None:
                 parts = [(target, zero)]
@@ -355,15 +442,15 @@ class OnDeviceVerifier:
                 return parts
             mapped = []
             for sub, cs in parts:
-                back = transform.preimage(sub) & region
+                back = self._transform_preimage(transform, sub) & region
                 if not back.is_empty:
                     mapped.append((back, cs))
             return mapped
 
         if action.group_type is GroupType.ANY:
-            parts: List[Tuple[Predicate, CountSet]] = [(piece, ())]
+            parts: List[Tuple[object, CountSet]] = [(piece, ())]
             for member in action.group:
-                refined: List[Tuple[Predicate, CountSet]] = []
+                refined: List[Tuple[object, CountSet]] = []
                 for region, cs in parts:
                     for sub, cs_member in member_pieces(member, region):
                         refined.append((sub, union(cs, cs_member)))
@@ -384,12 +471,12 @@ class OnDeviceVerifier:
         node: NodeTask,
         child_id: int,
         child_dev: str,
-        region: Predicate,
-        target: Predicate,
+        region,
+        target,
         subscribes: List[Outgoing],
     ) -> None:
         st = self.state[node.node_id]
-        already = st.subscribed.get(child_id, self.ctx.empty)
+        already = st.subscribed.get(child_id, self._space.empty)
         if already.covers(target):
             return
         st.subscribed[child_id] = already | target
@@ -399,8 +486,8 @@ class OnDeviceVerifier:
                 child_dev,
                 SubscribeMessage(
                     intended_link=(node.node_id, child_id),
-                    pred_from=region,
-                    pred_to=target,
+                    pred_from=self._to_pred(region),
+                    pred_to=self._to_pred(target),
                 ),
             )
         )
@@ -411,8 +498,8 @@ class OnDeviceVerifier:
     def _announce_region(
         self,
         node_id: int,
-        region: Predicate,
-        precomputed: Optional[List[Tuple[Predicate, CountSet]]] = None,
+        region,
+        precomputed: Optional[List[Tuple[object, CountSet]]] = None,
         force: bool = False,
     ) -> List[Outgoing]:
         """Send UPDATEs upstream for the parts of ``region`` whose (reduced)
@@ -440,7 +527,7 @@ class OnDeviceVerifier:
             zero_cs = reduce_countset(
                 singleton(zero_vec(self.arity)), self.task.reduction_exps
             )
-            changed = self.ctx.empty
+            changed = self._space.empty
             for pred, cs in reduced:
                 for sub, old in st.cib_out.lookup_with_default(pred, None):
                     effective_old = old if old is not None else zero_cs
@@ -448,18 +535,23 @@ class OnDeviceVerifier:
                         changed = changed | sub
         if changed.is_empty:
             return []
-        payload: List[Tuple[Predicate, CountSet]] = []
+        payload: List[Tuple[object, CountSet]] = []
         for pred, cs in reduced:
             part = pred & changed
             if not part.is_empty:
                 payload.append((part, cs))
         st.cib_out.assign(payload)
+        # Boundary: the wire always carries canonical BDD predicates.
+        wire_withdrawn = self._to_pred(changed)
+        wire_results = tuple(
+            (self._to_pred(pred), cs) for pred, cs in payload
+        )
         outgoing: List[Outgoing] = []
         for parent in node.upstream:
             message = UpdateMessage(
                 intended_link=(parent.node_id, node_id),
-                withdrawn=changed,
-                results=tuple(payload),
+                withdrawn=wire_withdrawn,
+                results=wire_results,
             )
             self.stats.updates_sent += 1
             self.stats.bytes_sent += message.wire_size()
@@ -473,7 +565,8 @@ class OnDeviceVerifier:
         assert node.is_source_for is not None
         st = self.state[node.node_id]
         pieces = st.loc_cib.lookup_with_default(
-            self.task.packet_space, singleton(zero_vec(self.arity))
+            self._to_region(self.task.packet_space),
+            singleton(zero_vec(self.arity)),
         )
         violations: List[Violation] = []
         for region, cs in pieces:
@@ -483,7 +576,9 @@ class OnDeviceVerifier:
                 if not evaluate_behavior(self.task.behavior, self.task.atoms, vec)
             )
             if bad:
-                violations.append(Violation(node.is_source_for, region, bad))
+                violations.append(
+                    Violation(node.is_source_for, self._to_pred(region), bad)
+                )
         self.verdicts[node.is_source_for] = (not violations, violations)
 
     def _run_local_checks(self) -> None:
@@ -528,10 +623,17 @@ class OnDeviceVerifier:
         return total
 
     def source_counts(self, ingress: str):
-        """Counting results at this device's source node for ``ingress``."""
+        """Counting results at this device's source node for ``ingress``.
+
+        Pieces are returned as canonical Predicates regardless of the
+        internal representation, so parity fingerprints compare across
+        predicate-index modes and backends.
+        """
         for nid, node in self.nodes.items():
             if node.is_source_for == ingress:
-                return self.state[nid].loc_cib.lookup_with_default(
-                    self.task.packet_space, singleton(zero_vec(self.arity))
+                pieces = self.state[nid].loc_cib.lookup_with_default(
+                    self._to_region(self.task.packet_space),
+                    singleton(zero_vec(self.arity)),
                 )
+                return [(self._to_pred(pred), cs) for pred, cs in pieces]
         return None

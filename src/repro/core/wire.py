@@ -42,7 +42,12 @@ _UPDATE = 1
 _SUBSCRIBE = 2
 
 
-def _put_blob(pred: Predicate, out: bytearray) -> None:
+def _put_blob(pred, out: bytearray) -> None:
+    if not isinstance(pred, Predicate):
+        # AtomSet (or any region type with a canonical-Predicate view):
+        # converting here guarantees the wire carries canonical ROBDD bytes
+        # no matter which predicate-index mode produced the message.
+        pred = pred.to_predicate()
     data = serialize_predicate(pred)
     encode_varint(len(data), out)
     out.extend(data)

@@ -76,12 +76,14 @@ class ParallelNetwork:
         num_workers: Optional[int] = None,
         partition_strategy: str = "locality",
         gc_threshold: Optional[int] = None,
+        predicate_index: str = "atoms",
     ) -> None:
         self.topology = topology
         self.ctx = ctx
         self.task_sets = list(task_sets)
         self.cpu_scale = cpu_scale  # interface parity; wall time is real here
         self.gc_threshold = gc_threshold  # per-worker BDD GC trigger
+        self.predicate_index = predicate_index  # worker region representation
         self.kernel = _KernelShim()
         self.metrics = MetricsCollector()
         self.failed_links: Set[Tuple[str, str]] = set()
@@ -146,6 +148,7 @@ class ParallelNetwork:
                     if dev in task_set.tasks
                 ],
                 "gc_threshold": self.gc_threshold,
+                "predicate_index": self.predicate_index,
             }
             parent_conn, child_conn = mp.Pipe()
             proc = mp.Process(
@@ -351,6 +354,9 @@ class ParallelNetwork:
             engine = state.get("engine")
             if engine is not None:
                 self.metrics.record_engine(f"worker{wid}", engine)
+            atom_profile = state.get("atom_index")
+            if atom_profile is not None:
+                self.metrics.record_atom_index(f"worker{wid}", atom_profile)
         self.kernel.events_processed = events
         self.metrics.parallel_wall = self.last_activity
 

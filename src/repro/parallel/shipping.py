@@ -26,6 +26,7 @@ from repro.dataplane.rule import Rule
 __all__ = [
     "build_context",
     "ship_tasks",
+    "shipped_predicate_index",
     "unship_tasks",
     "ship_rules",
     "unship_rules",
@@ -39,8 +40,27 @@ def build_context(spec: Sequence[Tuple[str, int]]) -> PacketSpaceContext:
     return PacketSpaceContext(HeaderLayout(list(spec)))
 
 
-def ship_tasks(tasks: Sequence[DeviceTask]) -> Dict[str, object]:
-    """Pack device tasks for one worker into a single payload."""
+def _as_predicate(region):
+    """Boundary conversion: regions ship as canonical BDD predicates.
+
+    Atom ids are process-local (each worker's index refines independently),
+    so an AtomSet can never cross a pipe — its canonical-Predicate view can,
+    and re-atomizing on the far side reproduces the same packet set.
+    """
+    if hasattr(region, "to_predicate"):
+        return region.to_predicate()
+    return region
+
+
+def ship_tasks(
+    tasks: Sequence[DeviceTask], predicate_index: str = "atoms"
+) -> Dict[str, object]:
+    """Pack device tasks for one worker into a single payload.
+
+    ``predicate_index`` rides along so a worker rebuilt from shipped state
+    (rather than a fork) constructs its verifiers in the coordinator's
+    region-representation mode.
+    """
     meta = []
     for task in tasks:
         meta.append(
@@ -53,8 +73,10 @@ def ship_tasks(tasks: Sequence[DeviceTask]) -> Dict[str, object]:
                 "reduction_exps": task.reduction_exps,
             }
         )
-    blob = serialize_predicates([task.packet_space for task in tasks])
-    return {"meta": meta, "blob": blob}
+    blob = serialize_predicates(
+        [_as_predicate(task.packet_space) for task in tasks]
+    )
+    return {"meta": meta, "blob": blob, "predicate_index": predicate_index}
 
 
 def unship_tasks(
@@ -78,10 +100,15 @@ def unship_tasks(
     return tasks
 
 
+def shipped_predicate_index(payload: Dict[str, object]) -> str:
+    """The region-representation mode recorded in a task payload."""
+    return payload.get("predicate_index", "atoms")  # type: ignore[return-value]
+
+
 def ship_rules(rules: Sequence[Rule]) -> Dict[str, object]:
     """Pack forwarding rules (one device's burst install, or one update)."""
     meta = [(rule.action, rule.priority, rule.rule_id) for rule in rules]
-    blob = serialize_predicates([rule.match for rule in rules])
+    blob = serialize_predicates([_as_predicate(rule.match) for rule in rules])
     return {"meta": meta, "blob": blob}
 
 
@@ -114,7 +141,7 @@ def ship_rule_sets(
         meta.append(
             (dev, [(r.action, r.priority, r.rule_id) for r in rules])
         )
-        matches.extend(rule.match for rule in rules)
+        matches.extend(_as_predicate(rule.match) for rule in rules)
     return {"meta": meta, "blob": serialize_predicates(matches)}
 
 

@@ -66,8 +66,18 @@ class VerifierHost:
         self._by_dev: Dict[str, List[Tuple[str, OnDeviceVerifier]]] = {
             dev: [] for dev in self.planes
         }
+        self.predicate_index: str = init.get("predicate_index", "atoms")  # type: ignore[assignment]
+        if self.predicate_index == "atoms":
+            # Post-fork: these planes are this worker's private copies, and
+            # the index is private to this worker's context copy.
+            index = self.ctx.atom_index()  # type: ignore[attr-defined]
+            for plane in self.planes.values():
+                plane.enable_atom_algebra(index)
         for task in init["tasks"]:  # type: ignore[union-attr]
-            verifier = OnDeviceVerifier(task, self.planes[task.dev])
+            verifier = OnDeviceVerifier(
+                task, self.planes[task.dev],
+                predicate_index=self.predicate_index,
+            )
             self.verifiers[(task.dev, task.invariant_name)] = verifier
             self._by_dev[task.dev].append((task.invariant_name, verifier))
         for pairs in self._by_dev.values():
@@ -251,6 +261,11 @@ class VerifierHost:
                 "devices": len(self.planes),
             },
             "engine": self.ctx.mgr.profile(),  # type: ignore[attr-defined]
+            "atom_index": (
+                self.ctx.atom_index().profile()  # type: ignore[attr-defined]
+                if self.ctx._atom_index is not None  # type: ignore[attr-defined]
+                else None
+            ),
         }
 
     def fingerprints(self):

@@ -92,6 +92,9 @@ class MetricsCollector:
     # shared manager, "worker<N>" per process-backend worker); values are
     # ``BddManager.profile()`` snapshots.
     engines: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Atom-index profiles, same keying scheme; values are
+    # ``AtomIndex.profile()`` snapshots (only populated in "atoms" mode).
+    atom_indexes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def device(self, name: str) -> DeviceMetrics:
         metrics = self.devices.get(name)
@@ -110,6 +113,10 @@ class MetricsCollector:
     def record_engine(self, name: str, snapshot: Dict[str, int]) -> None:
         """Store (replacing any previous) one engine's profile snapshot."""
         self.engines[name] = dict(snapshot)
+
+    def record_atom_index(self, name: str, snapshot: Dict[str, int]) -> None:
+        """Store one atom index's profile snapshot (same keys as engines)."""
+        self.atom_indexes[name] = dict(snapshot)
 
     def worker_busy_times(self) -> List[float]:
         return [m.busy_time for m in self.workers.values()]

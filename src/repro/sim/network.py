@@ -49,7 +49,8 @@ class SimDevice:
         task = task_set.tasks.get(self.name)
         if task is not None:
             self.verifiers[task_set.invariant_name] = OnDeviceVerifier(
-                task, self.plane
+                task, self.plane,
+                predicate_index=self.network.predicate_index,
             )
 
     # ------------------------------------------------------------------
@@ -100,6 +101,7 @@ class SimNetwork:
         serialize_messages: bool = False,
         proxies: Optional[Mapping[str, str]] = None,
         gc_threshold: Optional[int] = None,
+        predicate_index: str = "atoms",
     ) -> None:
         """``serialize_messages`` round-trips every DVM message through the
         byte codec (exact wire accounting + end-to-end codec exercise).
@@ -113,9 +115,14 @@ class SimNetwork:
         ``gc_threshold`` arms the BDD engine's node-table garbage collector:
         verifiers sweep at event-handler boundaries once the shared table
         crosses this many nodes (``None`` keeps GC off).
+
+        ``predicate_index`` selects the verifiers' region representation:
+        ``"atoms"`` (default, shared dynamic atom index) or ``"bdd"`` (raw
+        predicates).  Verdicts and wire bytes are identical either way.
         """
         self.topology = topology
         self.ctx = ctx
+        self.predicate_index = predicate_index
         self.kernel = SimKernel()
         self.cpu_scale = cpu_scale
         self.serialize_messages = serialize_messages
@@ -135,6 +142,11 @@ class SimNetwork:
             plane = planes.get(name)
             if plane is None:
                 plane = DevicePlane(name, ctx)
+            if predicate_index == "atoms":
+                # Single-rule updates on this plane run on atom-set algebra
+                # over the same shared index the verifiers use (the LEC
+                # deltas they produce are byte-identical to the BDD path).
+                plane.enable_atom_algebra(ctx.atom_index())
             device = SimDevice(name, plane, self)
             for task_set in self.task_sets:
                 device.add_task(task_set)
@@ -373,3 +385,7 @@ class SimNetwork:
         there is a single honest engine row (per-device attribution would
         just split one cache arbitrarily)."""
         self.metrics.record_engine("serial", self.ctx.mgr.profile())
+        if self.predicate_index == "atoms" and self.ctx._atom_index is not None:
+            self.metrics.record_atom_index(
+                "serial", self.ctx.atom_index().profile()
+            )

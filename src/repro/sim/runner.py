@@ -66,6 +66,7 @@ class TulkunRunner:
         workers: Optional[int] = None,
         partition_strategy: str = "locality",
         gc_threshold: Optional[int] = None,
+        predicate_index: str = "atoms",
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -80,9 +81,16 @@ class TulkunRunner:
         ``gc_threshold`` arms BDD node-table garbage collection: each engine
         (the shared serial manager, or every worker's private copy) sweeps
         when its node table crosses this size.  ``None`` disables GC.
+
+        ``predicate_index`` selects the verifiers' internal region algebra:
+        ``"atoms"`` (default) keeps CIB/interest bookkeeping as integer atom
+        sets over a shared dynamic atom index; ``"bdd"`` uses raw predicates.
+        Verdicts and wire bytes are identical in both modes.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
+        if predicate_index not in ("atoms", "bdd"):
+            raise ValueError(f"unknown predicate index {predicate_index!r}")
         self.topology = topology
         self.ctx = ctx
         self.invariants = list(invariants)
@@ -99,6 +107,7 @@ class TulkunRunner:
         self.workers = workers
         self.partition_strategy = partition_strategy
         self.gc_threshold = gc_threshold
+        self.predicate_index = predicate_index
         self.network = None  # SimNetwork | ParallelNetwork
 
     # ------------------------------------------------------------------
@@ -117,6 +126,7 @@ class TulkunRunner:
                 num_workers=self.workers,
                 partition_strategy=self.partition_strategy,
                 gc_threshold=self.gc_threshold,
+                predicate_index=self.predicate_index,
             )
         else:
             self.network = SimNetwork(
@@ -126,6 +136,7 @@ class TulkunRunner:
                 self.task_sets,
                 self.cpu_scale,
                 gc_threshold=self.gc_threshold,
+                predicate_index=self.predicate_index,
             )
         return self.network
 

@@ -1,0 +1,245 @@
+"""Atom-refinement unit suite: the dynamic atomic-predicate index.
+
+The invariants that make atoms a sound stand-in for BDD predicates on the
+DVM hot path:
+
+* the leaf atoms always partition packet space (disjoint, covering);
+* ``atomize`` → ``to_predicate`` is the identity on denotations, and the
+  result is the *canonical* ROBDD (same node as the original predicate);
+* AtomSet algebra agrees with Predicate algebra operation for operation;
+* splits never change what an existing AtomSet denotes, and its O(1) hash
+  survives both splits and merges (the XOR-token invariant);
+* ``compact`` merges sibling atoms no live set distinguishes, and engine
+  GC sweeps keep the conversion caches consistent.
+"""
+
+import gc as pygc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.core.atomindex import AtomIndex, AtomSet
+
+
+def small_ctx():
+    return PacketSpaceContext(HeaderLayout([("f", 6)]))
+
+
+@pytest.fixture
+def sctx():
+    return small_ctx()
+
+
+@pytest.fixture
+def index(sctx):
+    return sctx.atom_index()
+
+
+def leaf_extents(index):
+    return [
+        index._extent[aid]
+        for aid in index._extent
+        if aid not in index._children
+    ]
+
+
+class TestPartitionInvariant:
+    def test_starts_as_one_universe_atom(self, index):
+        assert index.num_atoms == 1
+        assert index.universe().to_predicate().is_universe
+
+    def test_leaves_partition_packet_space(self, sctx, index):
+        for lo, hi in [(0, 15), (8, 40), (3, 3), (20, 63)]:
+            index.atomize(sctx.range_("f", lo, hi))
+        leaves = leaf_extents(index)
+        assert len(leaves) == index.num_atoms
+        union = sctx.union(leaves)
+        assert union.is_universe
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_atomize_is_lazy(self, sctx, index):
+        index.atomize(sctx.range_("f", 0, 31))
+        assert index.num_atoms == 2  # one boundary, one split
+        # A predicate along the same boundary refines nothing further.
+        index.atomize(sctx.range_("f", 32, 63))
+        assert index.num_atoms == 2
+
+    def test_empty_and_universe(self, sctx, index):
+        assert index.atomize(sctx.empty).is_empty
+        assert index.atomize(sctx.universe).is_universe
+
+
+class TestBoundaryConversion:
+    def test_round_trip_is_canonical(self, sctx, index):
+        # atomize → to_predicate must return the *same* ROBDD node, so wire
+        # bytes cannot depend on which mode produced a region.
+        for lo, hi in [(0, 15), (10, 50), (0, 63), (7, 7)]:
+            pred = sctx.range_("f", lo, hi)
+            aset = index.atomize(pred)
+            assert aset.to_predicate().node == pred.node
+
+    def test_round_trip_after_later_refinement(self, sctx, index):
+        pred = sctx.range_("f", 0, 31)
+        aset = index.atomize(pred)
+        # Refine across the region's interior, then convert.
+        index.atomize(sctx.range_("f", 16, 47))
+        assert aset.to_predicate().node == pred.node
+
+
+class TestAlgebraAgreement:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63)),
+            min_size=2, max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ops_match_bdd_ops(self, ranges):
+        ctx = small_ctx()
+        index = ctx.atom_index()
+        preds = [ctx.range_("f", min(a, b), max(a, b)) for a, b in ranges]
+        asets = [index.atomize(p) for p in preds]
+        for (pa, aa), (pb, ab) in zip(
+            zip(preds, asets), zip(preds[1:], asets[1:])
+        ):
+            assert (aa & ab).to_predicate() == (pa & pb)
+            assert (aa | ab).to_predicate() == (pa | pb)
+            assert (aa - ab).to_predicate() == (pa - pb)
+            assert (aa ^ ab).to_predicate() == (pa ^ pb)
+            assert aa.overlaps(ab) == pa.overlaps(pb)
+            assert aa.covers(ab) == pa.covers(pb)
+            assert (aa == ab) == (pa == pb)
+
+    def test_identity_fast_paths(self, sctx, index):
+        big = index.atomize(sctx.range_("f", 0, 47))
+        small = index.atomize(sctx.range_("f", 8, 15))
+        assert (big & small) is small
+        assert (big | small) is big
+        assert (small - big).is_empty
+
+    def test_mixing_indexes_rejected(self, sctx):
+        other = small_ctx()
+        a = sctx.atom_index().atomize(sctx.range_("f", 0, 7))
+        b = other.atom_index().atomize(other.range_("f", 0, 7))
+        with pytest.raises(ValueError):
+            a & b
+
+    def test_non_atomset_rejected(self, sctx, index):
+        aset = index.atomize(sctx.range_("f", 0, 7))
+        with pytest.raises(TypeError):
+            aset & sctx.range_("f", 0, 7)
+
+
+class TestSplitStability:
+    def test_denotation_survives_splits(self, sctx, index):
+        pred = sctx.range_("f", 0, 31)
+        aset = index.atomize(pred)
+        before = len(aset)
+        # Split the region's atoms from the outside.
+        index.atomize(sctx.range_("f", 8, 23))
+        index.atomize(sctx.range_("f", 28, 35))
+        assert len(aset) > before  # renormalized to finer leaves
+        assert aset.to_predicate() == pred
+
+    def test_hash_survives_splits(self, sctx, index):
+        aset = index.atomize(sctx.range_("f", 0, 31))
+        h = hash(aset)
+        index.atomize(sctx.range_("f", 16, 47))
+        aset.ids()  # force renormalization
+        assert hash(aset) == h
+
+    def test_equal_denotations_equal_hash_across_versions(self, sctx, index):
+        pred = sctx.range_("f", 0, 31)
+        early = index.atomize(pred)
+        index.atomize(sctx.range_("f", 16, 47))  # refine
+        late = index.atomize(pred)
+        assert early == late
+        assert hash(early) == hash(late)
+
+    def test_token_xor_invariant(self, sctx, index):
+        index.atomize(sctx.range_("f", 0, 31))
+        for parent, (c1, c2) in index._children.items():
+            if c1 in index._token and c2 in index._token:
+                assert index._token[parent] == (
+                    index._token[c1] ^ index._token[c2]
+                )
+
+
+class TestCompact:
+    def test_merges_undistinguished_atoms(self, sctx, index):
+        aset = index.atomize(sctx.range_("f", 0, 31))
+        index.atomize(sctx.range_("f", 8, 15))  # refines inside the region
+        refined = index.num_atoms
+        assert refined > 2
+        index.splits += 0  # no-op; compact gates on the splits counter
+        merged = index.compact()
+        # The inner boundary is distinguished by no live set once its
+        # AtomSet is gone (atomize caches hold plain ids, not live sets).
+        assert merged > 0
+        assert index.num_atoms < refined
+        # The surviving set still denotes the original region.
+        assert aset.to_predicate() == sctx.range_("f", 0, 31)
+
+    def test_live_sets_block_merging(self, sctx, index):
+        outer = index.atomize(sctx.range_("f", 0, 31))
+        inner = index.atomize(sctx.range_("f", 8, 15))
+        index.compact()
+        # ``inner`` is live, so its boundary must survive compaction.
+        assert inner.to_predicate() == sctx.range_("f", 8, 15)
+        assert outer.to_predicate() == sctx.range_("f", 0, 31)
+        assert not (outer - inner).overlaps(inner)
+
+    def test_steady_state_compact_is_free(self, sctx, index):
+        index.atomize(sctx.range_("f", 0, 31))
+        index.compact()
+        before = index.merges
+        assert index.compact() == 0  # no splits since: gated out
+        assert index.merges == before
+
+    def test_partition_invariant_after_compact(self, sctx, index):
+        keep = index.atomize(sctx.range_("f", 0, 15))
+        index.atomize(sctx.range_("f", 4, 7))
+        index.atomize(sctx.range_("f", 32, 47))
+        pygc.collect()
+        index.compact()
+        leaves = leaf_extents(index)
+        assert sctx.union(leaves).is_universe
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1:]:
+                assert not a.overlaps(b)
+        assert keep.to_predicate() == sctx.range_("f", 0, 15)
+
+
+class TestEngineGcIntegration:
+    def test_sweep_preserves_conversions(self, sctx, index):
+        preds = [sctx.range_("f", lo, lo + 7) for lo in range(0, 48, 8)]
+        asets = [index.atomize(p) for p in preds]
+        sctx.mgr.collect()
+        for pred, aset in zip(preds, asets):
+            assert aset.to_predicate() == pred
+            # Re-atomizing after the sweep agrees with the live set.
+            assert index.atomize(pred) == aset
+
+    def test_sweep_rekeys_atomize_cache(self, sctx, index):
+        pred = sctx.range_("f", 3, 40)
+        aset = index.atomize(pred)  # held live: blocks the post-GC merge
+        calls_before = index.atomize_calls
+        hits_before = index.atomize_hits
+        sctx.mgr.collect()
+        assert index.atomize(pred) == aset
+        assert index.atomize_calls == calls_before + 1
+        # The rekeyed cache entry survives the sweep: still a hit.
+        assert index.atomize_hits == hits_before + 1
+
+
+class TestProfile:
+    def test_profile_counters(self, sctx, index):
+        index.atomize(sctx.range_("f", 0, 31))
+        snap = index.profile()
+        assert snap["atoms"] == index.num_atoms
+        assert snap["splits"] >= 1
+        assert snap["atomize_calls"] >= 1

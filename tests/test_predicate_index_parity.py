@@ -1,0 +1,152 @@
+"""Predicate-index parity: ``atoms`` vs ``bdd`` must be byte-identical.
+
+The atom index is a pure representation change — all DVM wire messages,
+verdict flags, canonical source-node counting results and violation regions
+must match the raw-BDD path byte for byte, with engine GC armed, on both
+execution backends, through burst convergence, link churn and incremental
+rule updates.  This is the acceptance gate that lets ``atoms`` be the
+default without perturbing any seed behaviour.
+"""
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Action, Rule
+from repro.datasets import build_dataset
+from repro.sim import TulkunRunner, apply_intents, random_update_intents
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+from tests.test_parallel_backend import (
+    serial_fingerprints,
+    verdict_flags,
+    violation_fingerprints,
+)
+
+GC_THRESHOLD = 64
+
+
+def fig2_outcome(predicate_index, *, break_plane=False):
+    """Burst + link churn + one incremental update on the §2 example."""
+    ctx = PacketSpaceContext()
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    planes = build_fig2_planes(ctx)
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    if break_plane:
+        # Blackhole W's forwarding: waypointed traffic dies at the waypoint.
+        rules["W"] = [
+            Rule(r.match, Action.drop(), r.priority) for r in rules["W"]
+        ]
+    runner = TulkunRunner(
+        topology, ctx, invariants,
+        gc_threshold=GC_THRESHOLD, predicate_index=predicate_index,
+    )
+    result = runner.burst_update(rules)
+    runner.fail_links([("A", "W")])
+    runner.recover_links([("A", "W")])
+    # One single-rule update after convergence: re-point S, then restore.
+    plane = runner.network.devices["S"].plane
+    victim = plane.rules[0]
+    runner.incremental_updates(
+        [
+            ("S", Rule(victim.match, Action.forward_all(["B"]),
+                       victim.priority), victim.rule_id),
+        ]
+    )
+    return (
+        result.holds,
+        verdict_flags(runner.network, invariants),
+        violation_fingerprints(runner.network, invariants),
+        serial_fingerprints(runner),
+        ctx.mgr.stats.gc_runs,
+    )
+
+
+class TestFig2aParity:
+    def test_serial_byte_identical(self):
+        holds_a, flags_a, viol_a, prints_a, gc_a = fig2_outcome("atoms")
+        holds_b, flags_b, viol_b, prints_b, gc_b = fig2_outcome("bdd")
+        assert gc_a > 0 and gc_b > 0, "GC never armed: parity gate is void"
+        assert holds_a == holds_b
+        assert flags_a == flags_b
+        assert viol_a == viol_b
+        assert prints_a == prints_b
+
+    def test_broken_plane_same_violation_bytes(self):
+        holds_a, flags_a, viol_a, prints_a, _ = fig2_outcome(
+            "atoms", break_plane=True
+        )
+        holds_b, flags_b, viol_b, prints_b, _ = fig2_outcome(
+            "bdd", break_plane=True
+        )
+        assert not all(all(v.values()) for v in flags_a.values())
+        assert holds_a == holds_b
+        assert flags_a == flags_b
+        assert viol_a == viol_b
+        assert prints_a == prints_b
+
+
+def fattree_outcome(predicate_index, backend, workers=2):
+    ds = build_dataset("FT-4", pair_limit=6, seed=3)
+    kwargs = {
+        "gc_threshold": GC_THRESHOLD, "predicate_index": predicate_index,
+        "backend": backend,
+    }
+    if backend == "process":
+        kwargs["workers"] = workers
+    runner = TulkunRunner(ds.topology, ds.ctx, ds.invariants, **kwargs)
+    try:
+        rules = {
+            dev: [Rule(r.match, r.action, r.priority) for r in rules]
+            for dev, rules in ds.rules_by_device.items()
+        }
+        result = runner.burst_update(rules)
+        planes = {
+            dev: runner.network.devices[dev].plane
+            for dev in ds.topology.devices
+        }
+        intents = random_update_intents(ds.topology, planes, 6, seed=11)
+        apply_intents(runner, intents)
+        flags = verdict_flags(runner.network, ds.invariants)
+        viol = violation_fingerprints(runner.network, ds.invariants)
+        if backend == "process":
+            prints = runner.network.source_fingerprints()
+        else:
+            prints = serial_fingerprints(runner)
+        return result.holds, flags, viol, prints
+    finally:
+        runner.close()
+
+
+class TestFattreeParity:
+    def test_serial_byte_identical(self):
+        atoms = fattree_outcome("atoms", "serial")
+        bdd = fattree_outcome("bdd", "serial")
+        assert atoms == bdd
+
+    def test_process_byte_identical(self):
+        atoms = fattree_outcome("atoms", "process")
+        bdd = fattree_outcome("bdd", "process")
+        assert atoms == bdd
+
+    def test_backends_agree_in_atoms_mode(self):
+        serial = fattree_outcome("atoms", "serial")
+        process = fattree_outcome("atoms", "process")
+        assert serial == process
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        ds_ctx = PacketSpaceContext()
+        with pytest.raises(ValueError):
+            TulkunRunner(
+                fig2a_example(), ds_ctx, [], predicate_index="wat"
+            )

@@ -110,6 +110,20 @@ def operations(draw):
     return ops
 
 
+@st.composite
+def mixed_operations(draw):
+    """Random assign/remove sequences over [0, 31] ranges."""
+    ops = []
+    for _ in range(draw(st.integers(1, 10))):
+        lo = draw(st.integers(0, 31))
+        hi = draw(st.integers(lo, 31))
+        if draw(st.booleans()):
+            ops.append(("assign", lo, hi, draw(st.integers(0, 3))))
+        else:
+            ops.append(("remove", lo, hi, None))
+    return ops
+
+
 class TestProperties:
     @given(operations())
     @settings(max_examples=80, deadline=None)
@@ -138,3 +152,82 @@ class TestProperties:
                     expected = value
             got = pm.value_at(ctx.value("f", point))
             assert got == expected
+
+    @given(mixed_operations())
+    @settings(max_examples=80, deadline=None)
+    def test_domain_cache_tracks_writes(self, ops):
+        """The cached domain always equals the from-scratch union."""
+        ctx = small_ctx()
+        pm = PredMap(ctx)
+        for op, lo, hi, value in ops:
+            region = ctx.range_("f", lo, hi)
+            if op == "assign":
+                pm.assign([(region, value)])
+            else:
+                pm.remove(region)
+            assert pm.domain() == ctx.union(
+                pred for pred, _v in pm.entries()
+            )
+
+
+class TestAtomBackedAgreement:
+    """An atom-backed PredMap must agree with a BDD-backed one under any
+    assign/remove/lookup sequence — same disjointness and coverage, same
+    point values, same (merge-minimal) entry structure."""
+
+    @staticmethod
+    def run_pair(ops):
+        ctx = small_ctx()
+        index = ctx.atom_index()
+        bdd_pm, atom_pm = PredMap(ctx), PredMap(index)
+        for op, lo, hi, value in ops:
+            region = ctx.range_("f", lo, hi)
+            if op == "assign":
+                bdd_pm.assign([(region, value)])
+                atom_pm.assign([(index.atomize(region), value)])
+            else:
+                bdd_pm.remove(region)
+                atom_pm.remove(index.atomize(region))
+        return ctx, index, bdd_pm, atom_pm
+
+    @given(mixed_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_same_partition(self, ops):
+        ctx, _index, bdd_pm, atom_pm = self.run_pair(ops)
+        assert atom_pm.domain().to_predicate() == bdd_pm.domain()
+        bdd_entries = {pred.node: v for pred, v in bdd_pm.entries()}
+        atom_entries = {
+            aset.to_predicate().node: v for aset, v in atom_pm.entries()
+        }
+        # Identical region→value partitions, canonical-BDD keyed.
+        assert atom_entries == bdd_entries
+
+    @given(mixed_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_covering_and_merge_minimal(self, ops):
+        _ctx, _index, _bdd_pm, atom_pm = self.run_pair(ops)
+        entries = atom_pm.entries()
+        # Disjointness.
+        for i, (a, _va) in enumerate(entries):
+            for b, _vb in entries[i + 1:]:
+                assert not a.overlaps(b)
+        # Merge-minimality: one entry per (hashable) value.
+        values = [v for _a, v in entries]
+        assert len(values) == len(set(values))
+
+    @given(mixed_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_agreement(self, ops):
+        ctx, index, bdd_pm, atom_pm = self.run_pair(ops)
+        probe = ctx.range_("f", 4, 27)
+        bdd_pieces = {
+            pred.node: v
+            for pred, v in bdd_pm.lookup_with_default(probe, "gap")
+        }
+        atom_pieces = {
+            aset.to_predicate().node: v
+            for aset, v in atom_pm.lookup_with_default(
+                index.atomize(probe), "gap"
+            )
+        }
+        assert atom_pieces == bdd_pieces
