@@ -1,0 +1,168 @@
+"""Transport-layer overhead of chaos fault injection.
+
+Deploys a dataset burst plus a link-churn episode twice — once over the
+reliable seed transport, once over the seq/ack retransmission layer with a
+seeded :class:`FaultyChannel` — at several loss/dup/reorder regimes, and
+reports the convergence-time and event-count inflation the reliability
+machinery pays to mask each regime.  Verdicts must match the reliable run
+exactly (byte-level parity across fault schedules is pinned by
+``tests/test_chaos_convergence.py``; this benchmark sizes the cost).
+
+Runs use ``cpu_scale=0`` so the simulated clock isolates protocol latency:
+the overhead factor is pure transport behaviour (retransmission round
+trips, reorder stalls), not handler compute noise.
+
+Every run appends a record per fault regime to ``BENCH_chaos_overhead.json``
+in the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks._common import SCALE, fresh_rules, print_header, print_row
+from repro.datasets import build_dataset
+from repro.sim import ChaosConfig, TulkunRunner
+
+# (label, p_loss, p_dup, p_reorder)
+REGIMES = [
+    ("loss-10", 0.10, 0.00, 0.00),
+    ("dup-20", 0.00, 0.20, 0.00),
+    ("reorder-30", 0.00, 0.00, 0.30),
+    ("mixed", 0.15, 0.10, 0.15),
+    ("heavy", 0.40, 0.10, 0.20),
+]
+
+# (dataset, pair_limit, rule_multiplier, chaos seeds averaged per regime)
+WORKLOADS = {
+    "smoke": ("FT-4", 4, 1, 1),
+    "small": ("FT-4", 12, 4, 3),
+    "large": ("FT-4", 24, 8, 5),
+}
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_chaos_overhead.json"
+
+
+def _append_trajectory(record):
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    history.append(record)
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _scenario(ds, chaos=None):
+    """Burst install + one fail/recover episode; returns run observables."""
+    runner = TulkunRunner(
+        ds.topology, ds.ctx, ds.invariants, cpu_scale=0.0, chaos=chaos
+    )
+    wall = time.perf_counter()
+    runner.burst_update(fresh_rules(ds))
+    link = next(iter(ds.topology.links()))
+    runner.fail_links([(link.a, link.b)])
+    runner.recover_links([(link.a, link.b)])
+    wall = time.perf_counter() - wall
+    network = runner.network
+    flags = {
+        inv.name: {
+            ingress: ok
+            for ingress, (ok, _v) in network.verdicts(inv.name).items()
+        }
+        for inv in ds.invariants
+    }
+    observed = {
+        "sim_time": network.last_activity,
+        "events": network.kernel.events_processed,
+        "wall": wall,
+        "flags": flags,
+    }
+    if chaos is not None:
+        assert network.converged
+        observed["transport"] = network.transport_summary()
+    return observed
+
+
+@pytest.mark.benchmark(group="chaos_overhead")
+def test_chaos_overhead(benchmark):
+    name, pair_limit, multiplier, num_seeds = WORKLOADS[SCALE]
+    rows = []
+
+    def measure():
+        ds = build_dataset(
+            name, pair_limit=pair_limit, seed=3, rule_multiplier=multiplier
+        )
+        baseline = _scenario(ds)
+        for label, p_loss, p_dup, p_reorder in REGIMES:
+            samples = []
+            for seed in range(num_seeds):
+                chaos = ChaosConfig(
+                    seed=seed, p_loss=p_loss, p_dup=p_dup, p_reorder=p_reorder
+                )
+                observed = _scenario(ds, chaos=chaos)
+                assert observed["flags"] == baseline["flags"], (
+                    f"verdict drift under {label} seed={seed}"
+                )
+                samples.append(observed)
+            mean_time = sum(s["sim_time"] for s in samples) / len(samples)
+            mean_events = sum(s["events"] for s in samples) / len(samples)
+            rows.append(
+                {
+                    "regime": label,
+                    "p_loss": p_loss,
+                    "p_dup": p_dup,
+                    "p_reorder": p_reorder,
+                    "sim_time": mean_time,
+                    "time_overhead": mean_time / baseline["sim_time"],
+                    "events": mean_events,
+                    "event_overhead": mean_events / baseline["events"],
+                    "retransmits": sum(
+                        s["transport"]["retransmits"] for s in samples
+                    ) / len(samples),
+                }
+            )
+        rows.insert(
+            0,
+            {
+                "regime": "reliable",
+                "p_loss": 0.0, "p_dup": 0.0, "p_reorder": 0.0,
+                "sim_time": baseline["sim_time"],
+                "time_overhead": 1.0,
+                "events": baseline["events"],
+                "event_overhead": 1.0,
+                "retransmits": 0,
+            },
+        )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_header(
+        f"Chaos transport overhead — {name} ×{multiplier} "
+        f"({num_seeds} seeds/regime, scale={SCALE})"
+    )
+    print_row("regime", "sim time", "x reliable", "events", "retransmits")
+    for row in rows:
+        print_row(
+            row["regime"],
+            f"{row['sim_time'] * 1e3:.3f} ms",
+            f"{row['time_overhead']:.2f}x",
+            f"{row['events']:.0f}",
+            f"{row['retransmits']:.0f}",
+        )
+
+    _append_trajectory(
+        {
+            "scale": SCALE,
+            "dataset": name,
+            "pair_limit": pair_limit,
+            "rule_multiplier": multiplier,
+            "seeds_per_regime": num_seeds,
+            "regimes": rows,
+        }
+    )

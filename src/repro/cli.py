@@ -152,19 +152,31 @@ def cmd_verify(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    from repro.sim import TulkunRunner
+    from repro.sim import ChaosConfig, TulkunRunner
 
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosConfig.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     ctx, topology, planes, invariants = _load_inputs(args)
-    runner = TulkunRunner(
-        topology,
-        ctx,
-        invariants,
-        cpu_scale=args.cpu_scale,
-        backend=args.backend,
-        workers=args.workers,
-        gc_threshold=args.gc_threshold,
-        predicate_index=args.predicate_index,
-    )
+    try:
+        runner = TulkunRunner(
+            topology,
+            ctx,
+            invariants,
+            cpu_scale=args.cpu_scale,
+            backend=args.backend,
+            workers=args.workers,
+            gc_threshold=args.gc_threshold,
+            predicate_index=args.predicate_index,
+            chaos=chaos,
+        )
+    except ValueError as exc:  # e.g. --chaos with --backend process
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rules = {dev: list(plane.rules) for dev, plane in planes.items()}
     # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
     from repro.dataplane.rule import Rule
@@ -191,13 +203,27 @@ def cmd_simulate(args) -> int:
                 f"effective parallelism: "
                 f"{network.metrics.effective_parallelism():.2f}"
             )
+        if chaos is not None:
+            summary = runner.network.transport_summary()
+            print(
+                "chaos: "
+                f"retransmits={summary['retransmits']}, "
+                f"dup_drops={summary['dup_drops']}, "
+                f"reorder_buffered={summary['reorder_buffered']}, "
+                f"channel_dropped={summary.get('channel_dropped', 0)}, "
+                f"unreachable_flows={summary['unreachable_flows']}"
+            )
         failures = 0
         for name, holds in sorted(result.holds.items()):
-            print(f"  {name}: {'HOLDS' if holds else 'VIOLATED'}")
-            if not holds:
+            status = result.statuses.get(
+                name, "HOLDS" if holds else "VIOLATED"
+            )
+            print(f"  {name}: {status}")
+            if status != "HOLDS":
                 failures += 1
-                for violation in runner.network.violations(name)[: args.max_violations]:
-                    print(f"    {violation}")
+                if status == "VIOLATED":
+                    for violation in runner.network.violations(name)[: args.max_violations]:
+                        print(f"    {violation}")
         if args.profile:
             _print_engine_table(runner.network.metrics.engines)
             _print_atom_table(runner.network.metrics.atom_indexes)
@@ -287,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc-threshold", type=int, default=None,
         help="BDD node-table size that triggers a garbage-collection sweep "
              "(default: GC disabled)",
+    )
+    p_sim.add_argument(
+        "--chaos", default=None, metavar="SEED,P_LOSS[,P_DUP[,P_REORDER]]",
+        help="inject transport faults (serial backend): seeded per-link "
+             "drop/duplicate/reorder probabilities; DVM messages then ride "
+             "the seq/ack retransmission layer and converged verdicts stay "
+             "byte-identical to the reliable run",
     )
     p_sim.add_argument(
         "--predicate-index", choices=("atoms", "bdd"), default="atoms",

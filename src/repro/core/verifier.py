@@ -327,6 +327,21 @@ class OnDeviceVerifier:
         self.ctx.mgr.maybe_collect()
         return outgoing
 
+    def handle_neighbor_restart(self, neighbor: str) -> List[Outgoing]:
+        """A neighbor device crashed and came back with empty verifier state.
+
+        Unlike a plain link recovery, the neighbor's interest extensions are
+        gone: clear the subscription bookkeeping toward its nodes so the
+        recomputation below re-issues every SUBSCRIBE, then resync exactly
+        like a link-up event (recount through the neighbor and force-
+        re-announce the full CIB toward it)."""
+        for nid in self.nodes:
+            st = self.state[nid]
+            for child_id, dev in self._child_dev[nid].items():
+                if dev == neighbor:
+                    st.subscribed.pop(child_id, None)
+        return self.handle_link_change(neighbor, True)
+
     def activate_scene(self, scene_id: Optional[int]) -> List[Outgoing]:
         """Switch to a precomputed fault scene: recount along the DPVNet
         edges labeled for this scene (§6 "online recounting")."""

@@ -1,6 +1,7 @@
-"""Event-driven simulator: kernel, network, scenario runners, metrics."""
+"""Event-driven simulator: kernel, network, transport, scenario runners,
+metrics."""
 
-from repro.sim.kernel import SimKernel
+from repro.sim.kernel import SimKernel, Timer
 from repro.sim.metrics import DeviceMetrics, MetricsCollector, cdf_points, percentile
 from repro.sim.network import SimDevice, SimNetwork
 from repro.sim.runner import (
@@ -11,15 +12,32 @@ from repro.sim.runner import (
     apply_intents,
     random_update_intents,
 )
+from repro.sim.transport import (
+    ChaosConfig,
+    Channel,
+    DvmTransport,
+    FaultyChannel,
+    ReliableChannel,
+    Segment,
+    TransportConfig,
+)
 
 __all__ = [
     "BurstResult",
+    "ChaosConfig",
+    "Channel",
     "DeviceMetrics",
+    "DvmTransport",
+    "FaultyChannel",
     "IncrementalResult",
     "MetricsCollector",
+    "ReliableChannel",
+    "Segment",
     "SimDevice",
     "SimKernel",
     "SimNetwork",
+    "Timer",
+    "TransportConfig",
     "TulkunRunner",
     "UpdateIntent",
     "apply_intents",

@@ -2,7 +2,15 @@
 
 A minimal, deterministic event loop: events are (time, sequence, callback)
 triples popped from a heap.  Equal-time events run in scheduling order, which
-keeps runs reproducible.
+keeps runs reproducible — a timer and a message delivery scheduled for the
+same instant fire in the order they were scheduled, regardless of what kind
+of event they are.
+
+``schedule_at``/``schedule_in`` return a :class:`Timer` handle.  Cancelled
+timers stay in the heap but are discarded unexecuted when popped (lazy
+cancellation): they do not run, do not advance the clock, and do not count
+against the event budget.  The transport layer leans on this to disarm
+retransmission timers when an ACK arrives.
 """
 
 from __future__ import annotations
@@ -13,7 +21,24 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["SimKernel"]
+__all__ = ["SimKernel", "Timer"]
+
+
+class Timer:
+    """Handle for a scheduled event; ``cancel()`` disarms it in O(1)."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
 
 
 class SimKernel:
@@ -21,24 +46,29 @@ class SimKernel:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[
+            Tuple[float, int, Timer, Callable[[], None]]
+        ] = []
         self._seq = itertools.count()
         self._events_processed = 0
 
-    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Timer:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule into the past ({time} < {self.now})"
             )
-        heapq.heappush(self._queue, (time, next(self._seq), action))
+        timer = Timer(time)
+        heapq.heappush(self._queue, (time, next(self._seq), timer, action))
+        return timer
 
-    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> Timer:
         if delay < 0:
             raise SimulationError("negative delay")
-        self.schedule_at(self.now + delay, action)
+        return self.schedule_at(self.now + delay, action)
 
     @property
     def pending(self) -> int:
+        """Scheduled events not yet popped (cancelled ones included)."""
         return len(self._queue)
 
     @property
@@ -46,11 +76,21 @@ class SimKernel:
         return self._events_processed
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
-        """Run to quiescence (or ``until``); return the final clock value."""
+        """Run to quiescence (or ``until``); return the final clock value.
+
+        Events scheduled strictly after ``until`` are *not* discarded: they
+        stay queued and fire on the next ``run()`` call.  This is load-bearing
+        for the transport layer — a retransmission timer armed just before an
+        ``until`` horizon must survive into the next run so reliability is
+        unaffected by how the caller slices simulated time.
+        """
         while self._queue:
-            time, _seq, action = self._queue[0]
+            time, _seq, timer, action = self._queue[0]
             if until is not None and time > until:
                 break
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
             # Budget check happens *before* taking the next event: a run of
             # exactly ``max_events`` events completes, event max_events+1
             # trips the livelock guard.
@@ -58,6 +98,9 @@ class SimKernel:
                 raise SimulationError("event budget exhausted (livelock?)")
             heapq.heappop(self._queue)
             self.now = time
+            # A fired timer is no longer armed: ``active`` turns False so
+            # holders can distinguish "still pending" from "already ran".
+            timer.cancelled = True
             action()
             self._events_processed += 1
         if until is not None and self.now < until:

@@ -60,6 +60,16 @@ class DeviceMetrics:
     bytes_sent: int = 0
     bytes_received: int = 0
     memory_proxy_peak: int = 0
+    # Transport-layer counters (all zero when the reliable direct path is
+    # active).  ``messages_*`` above keep counting unique DVM payloads, so
+    # they stay comparable with reliable runs; the extra wire traffic the
+    # unreliable channel induces shows up here instead.
+    retransmits: int = 0              # sender: timeout-driven resends
+    dup_drops: int = 0                # receiver: already-delivered segment
+    reorder_buffered: int = 0         # receiver: arrived ahead of a gap
+    acks_sent: int = 0
+    dup_acks_ignored: int = 0         # sender: cumulative ack with no news
+    flows_given_up: int = 0           # sender: retries exhausted
     # (src, dst, message type, bytes) per sent message; only populated when
     # the collector's ``collect_logs`` flag is on (determinism regression).
     message_log: List[tuple] = field(default_factory=list)
@@ -138,3 +148,18 @@ class MetricsCollector:
 
     def total_bytes(self) -> int:
         return sum(m.bytes_sent for m in self.devices.values())
+
+    def transport_totals(self) -> Dict[str, int]:
+        """Summed transport counters across devices (chaos/retransmission)."""
+        fields_ = (
+            "retransmits",
+            "dup_drops",
+            "reorder_buffered",
+            "acks_sent",
+            "dup_acks_ignored",
+            "flows_given_up",
+        )
+        return {
+            name: sum(getattr(m, name) for m in self.devices.values())
+            for name in fields_
+        }

@@ -6,9 +6,17 @@ every handler (scaled to model the device CPU), so the dependency-chain
 parallelism that gives Tulkun its speedup shows up faithfully: independent
 devices overlap in simulated time, chained DVM hops serialize.
 
-Links are in-order channels with propagation latency (the TCP stand-in).
-Messages crossing a failed link are dropped; verifiers resynchronize on
-recovery.
+By default links are in-order reliable channels with propagation latency
+(the TCP stand-in).  Messages crossing a failed link are dropped; verifiers
+resynchronize on recovery.  With a ``chaos`` config (or an explicit
+``channel``) the network instead runs every DVM message through the
+:mod:`repro.sim.transport` reliability layer: a seeded
+:class:`~repro.sim.transport.FaultyChannel` drops/duplicates/delays physical
+copies, and per-flow seq/ack retransmission plus receive-side reorder
+buffering restore the exactly-once in-order semantics the verifiers assume —
+so the converged verdicts are byte-identical to the reliable run.  Devices
+can also crash and restart (:meth:`SimNetwork.crash_device` /
+:meth:`SimNetwork.restart_device`) with CIB resync via re-subscription.
 """
 
 from __future__ import annotations
@@ -25,6 +33,14 @@ from repro.dataplane.rule import Rule
 from repro.errors import SimulationError
 from repro.sim.kernel import SimKernel
 from repro.sim.metrics import MetricsCollector
+from repro.sim.transport import (
+    ChaosConfig,
+    Channel,
+    DvmTransport,
+    FaultyChannel,
+    Segment,
+    TransportConfig,
+)
 from repro.topology.graph import Topology, canonical_link
 
 __all__ = ["SimDevice", "SimNetwork"]
@@ -102,6 +118,9 @@ class SimNetwork:
         proxies: Optional[Mapping[str, str]] = None,
         gc_threshold: Optional[int] = None,
         predicate_index: str = "atoms",
+        chaos: Optional[ChaosConfig] = None,
+        channel: Optional[Channel] = None,
+        transport_config: Optional[TransportConfig] = None,
     ) -> None:
         """``serialize_messages`` round-trips every DVM message through the
         byte codec (exact wire accounting + end-to-end codec exercise).
@@ -119,6 +138,13 @@ class SimNetwork:
         ``predicate_index`` selects the verifiers' region representation:
         ``"atoms"`` (default, shared dynamic atom index) or ``"bdd"`` (raw
         predicates).  Verdicts and wire bytes are identical either way.
+
+        ``chaos`` (or an explicit ``channel``) switches DVM messaging onto
+        the seq/ack transport layer over an unreliable channel; see
+        :mod:`repro.sim.transport`.  ``transport_config`` tunes the
+        retransmission policy (defaults derive the RTO from the slowest
+        link).  Without either, the transport is bypassed entirely and the
+        network behaves exactly like the reliable seed simulator.
         """
         self.topology = topology
         self.ctx = ctx
@@ -132,11 +158,20 @@ class SimNetwork:
         self.devices: Dict[str, SimDevice] = {}
         self.task_sets = list(task_sets)
         self.failed_links: Set[Tuple[str, str]] = set()
+        self.devices_down: Set[str] = set()
         self.last_activity: float = 0.0
         # Per directed (src, dst) channel: last delivery time (FIFO/TCP).
         self._last_delivery: Dict[Tuple[str, str], float] = {}
         if gc_threshold is not None:
             ctx.mgr.gc_threshold = gc_threshold
+        if channel is None and chaos is not None:
+            channel = FaultyChannel(chaos)
+        self.channel = channel
+        self.transport: Optional[DvmTransport] = None
+        if channel is not None:
+            self.transport = DvmTransport(
+                self, channel, transport_config or TransportConfig()
+            )
 
         for name in topology.devices:
             plane = planes.get(name)
@@ -168,6 +203,18 @@ class SimNetwork:
             raise SimulationError(f"no path between proxies {a!r} and {b!r}")
         return latency
 
+    def path_latency(self, src: str, dst: str) -> float:
+        """Propagation latency for a DVM message ``src`` → ``dst``."""
+        if self.proxies:
+            # Proxy deployment: messages ride the management paths between
+            # the hosts running the verifiers.
+            src_host = self.proxies.get(src, src)
+            dst_host = self.proxies.get(dst, dst)
+            return self._latency_between(src_host, dst_host)
+        if not self.topology.has_link(src, dst):
+            raise SimulationError(f"no link {src!r}-{dst!r} for DVM message")
+        return self.topology.latency(src, dst)
+
     def send(
         self,
         src: str,
@@ -176,27 +223,14 @@ class SimNetwork:
         invariant: Optional[str],
         at: float,
     ) -> None:
-        src_host = self.proxies.get(src, src)
-        dst_host = self.proxies.get(dst, dst)
-        if self.proxies:
-            # Proxy deployment: messages ride the management paths between
-            # the hosts running the verifiers.
-            latency = self._latency_between(src_host, dst_host)
-        else:
+        if self.transport is None and not self.proxies:
             if canonical_link(src, dst) in self.failed_links:
                 return  # the TCP connection is down; resync on recovery
-            if not self.topology.has_link(src, dst):
-                raise SimulationError(
-                    f"no link {src!r}-{dst!r} for DVM message"
-                )
-            latency = self.topology.latency(src, dst)
+        latency = self.path_latency(src, dst)
         if self.serialize_messages:
             from repro.core.wire import decode_message, encode_message
 
             message = decode_message(self.ctx, encode_message(message))
-        key = (src, dst)
-        arrival = max(at + latency, self._last_delivery.get(key, 0.0))
-        self._last_delivery[key] = arrival
         metrics = self.metrics.device(src)
         metrics.messages_sent += 1
         size = message.wire_size() if hasattr(message, "wire_size") else 64
@@ -205,33 +239,65 @@ class SimNetwork:
             metrics.message_log.append(
                 (src, dst, type(message).__name__, size)
             )
+        if self.transport is not None:
+            self.transport.send(src, dst, invariant, message, at, latency)
+            return
+        key = (src, dst)
+        arrival = max(at + latency, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = arrival
+        self.kernel.schedule_at(
+            arrival, lambda: self.dispatch(src, dst, invariant, message)
+        )
+
+    def schedule_segment(self, segment: Segment, arrival: float) -> None:
+        """Schedule a transport segment's arrival (transport mode only).
+
+        Liveness is checked at *arrival* time: a segment in flight when its
+        link fails or its destination crashes is lost, and the sender's
+        retransmission timer is what recovers it.
+        """
 
         def deliver() -> None:
-            device = self.devices[dst]
-            recv = self.metrics.device(dst)
-            recv.messages_received += 1
-            recv.bytes_received += size
-            verifier = device.verifiers.get(invariant) if invariant else None
-            if verifier is None:
+            if segment.dst in self.devices_down:
                 return
-            from repro.core.dvm import SubscribeMessage, UpdateMessage
-
-            if isinstance(message, UpdateMessage):
-                device.process(
-                    lambda: verifier.handle_update(message),
-                    invariant,
-                    record_message_cost=True,
-                )
-            elif isinstance(message, SubscribeMessage):
-                device.process(
-                    lambda: verifier.handle_subscribe(message),
-                    invariant,
-                    record_message_cost=True,
-                )
-            else:
-                raise SimulationError(f"unknown message type {type(message)}")
+            if not self.proxies and (
+                canonical_link(segment.src, segment.dst) in self.failed_links
+            ):
+                return
+            self.transport.handle_segment(segment, segment.wire_size())
 
         self.kernel.schedule_at(arrival, deliver)
+
+    def dispatch(
+        self, src: str, dst: str, invariant: Optional[str], message
+    ) -> None:
+        """Hand one in-order DVM message to the destination verifier."""
+        if dst in self.devices_down:
+            return
+        device = self.devices[dst]
+        recv = self.metrics.device(dst)
+        recv.messages_received += 1
+        size = message.wire_size() if hasattr(message, "wire_size") else 64
+        recv.bytes_received += size
+        verifier = device.verifiers.get(invariant) if invariant else None
+        if verifier is None:
+            return
+        from repro.core.dvm import SubscribeMessage, UpdateMessage
+
+        if isinstance(message, UpdateMessage):
+            device.process(
+                lambda: verifier.handle_update(message),
+                invariant,
+                record_message_cost=True,
+            )
+        elif isinstance(message, SubscribeMessage):
+            device.process(
+                lambda: verifier.handle_subscribe(message),
+                invariant,
+                record_message_cost=True,
+            )
+        else:
+            raise SimulationError(f"unknown message type {type(message)}")
 
     def note_activity(self, at: float) -> None:
         if at > self.last_activity:
@@ -317,6 +383,8 @@ class SimNetwork:
         def run() -> None:
             if is_up:
                 self.failed_links.discard(link)
+                if self.transport is not None:
+                    self.transport.link_restored(a, b)
             else:
                 self.failed_links.add(link)
             for endpoint, other in ((a, b), (b, a)):
@@ -326,6 +394,79 @@ class SimNetwork:
                         def handler() -> List[Outgoing]:
                             return ver.handle_link_change(neigh, is_up)
                         return lambda: dev.process(handler, inv)
+                    make()()
+
+        self.kernel.schedule_at(at, run)
+
+    def crash_device(self, dev: str, at: float) -> None:
+        """Crash a device: verifier RAM is lost, adjacent links go down.
+
+        Neighbors observe the adjacency loss (their TCP sessions reset) and
+        zero the counts they attributed through the crashed device, exactly
+        as for a link failure.  The crashed device's transport state is
+        wiped — a dead device sends nothing, and whatever was in flight to
+        it is recovered by the senders' retransmission (or gives up into
+        ``UNKNOWN`` if the device never returns).
+        """
+        if dev not in self.devices:
+            raise SimulationError(f"unknown device {dev!r}")
+
+        def run() -> None:
+            self.devices_down.add(dev)
+            for neighbor in self.topology.neighbors(dev):
+                self.failed_links.add(canonical_link(dev, neighbor))
+            if self.transport is not None:
+                self.transport.device_crashed(dev)
+            for neighbor in self.topology.neighbors(dev):
+                device = self.devices[neighbor]
+                for inv_name, verifier in device.verifiers.items():
+                    def make(ndev=device, ver=verifier, inv=inv_name):
+                        def handler() -> List[Outgoing]:
+                            return ver.handle_link_change(dev, False)
+                        return lambda: ndev.process(handler, inv)
+                    make()()
+
+        self.kernel.schedule_at(at, run)
+
+    def restart_device(self, dev: str, at: float) -> None:
+        """Restart a crashed device and resynchronize its CIB state.
+
+        The data plane (FIB hardware) survives the crash; the verifiers are
+        rebuilt from scratch and re-run initialization, which re-announces
+        their counts and re-issues their subscriptions.  Each neighbor
+        clears its subscription bookkeeping toward the restarted device and
+        force-re-announces its full CIB (``handle_neighbor_restart``), so
+        the fresh verifiers recover every counting result they lost.
+        Transport flows touching the device restart with a fresh epoch;
+        stale in-flight segments from the previous incarnation are
+        discarded by the epoch guard.
+        """
+        if dev not in self.devices:
+            raise SimulationError(f"unknown device {dev!r}")
+
+        def run() -> None:
+            self.devices_down.discard(dev)
+            for neighbor in self.topology.neighbors(dev):
+                self.failed_links.discard(canonical_link(dev, neighbor))
+            if self.transport is not None:
+                self.transport.device_restarted(dev)
+            device = self.devices[dev]
+            device.verifiers.clear()
+            for task_set in self.task_sets:
+                device.add_task(task_set)
+            for inv_name, verifier in device.verifiers.items():
+                def make_init(rdev=device, ver=verifier, inv=inv_name):
+                    return lambda: rdev.process(
+                        ver.initialize, inv, record_init_cost=True
+                    )
+                make_init()()
+            for neighbor in self.topology.neighbors(dev):
+                ndev = self.devices[neighbor]
+                for inv_name, verifier in ndev.verifiers.items():
+                    def make(nd=ndev, ver=verifier, inv=inv_name):
+                        def handler() -> List[Outgoing]:
+                            return ver.handle_neighbor_restart(dev)
+                        return lambda: nd.process(handler, inv)
                     make()()
 
         self.kernel.schedule_at(at, run)
@@ -351,6 +492,41 @@ class SimNetwork:
         """Run to quiescence; returns the time of the last activity."""
         self.kernel.run(until=until)
         return self.last_activity
+
+    @property
+    def converged(self) -> bool:
+        """Quiescence: no queued events, no unacked transport segments, and
+        no flow that gave up (a partition prevented convergence)."""
+        if self.kernel.pending:
+            return False
+        if self.transport is None:
+            return True
+        return self.transport.quiescent() and not self.transport.unreachable
+
+    def invariant_status(self, invariant: str) -> str:
+        """``HOLDS`` / ``VIOLATED``, or ``UNKNOWN(unreachable_upstream)``
+        when a transport flow carrying this invariant's results gave up —
+        the surviving counts are stale, so no verdict is reported."""
+        if (
+            self.transport is not None
+            and invariant in self.transport.unreachable_invariants()
+        ):
+            return "UNKNOWN(unreachable_upstream)"
+        return "HOLDS" if self.all_hold(invariant) else "VIOLATED"
+
+    def transport_summary(self) -> Dict[str, int]:
+        """Aggregate transport/channel counters (zeros without transport)."""
+        totals = self.metrics.transport_totals()
+        if self.channel is not None:
+            for key, value in self.channel.stats().items():
+                totals[f"channel_{key}"] = value
+        totals["unreachable_flows"] = (
+            len(self.transport.unreachable) if self.transport else 0
+        )
+        totals["unacked_segments"] = (
+            self.transport.unacked_segments() if self.transport else 0
+        )
+        return totals
 
     def verdicts(self, invariant: str) -> Dict[str, Tuple[bool, list]]:
         """Per-ingress verdicts gathered from source-node devices."""

@@ -23,6 +23,7 @@ from repro.core.tasks import TaskSet
 from repro.dataplane.device import DevicePlane
 from repro.dataplane.rule import Rule
 from repro.sim.network import SimNetwork
+from repro.sim.transport import ChaosConfig, TransportConfig
 from repro.topology.graph import Topology
 
 __all__ = ["TulkunRunner", "BurstResult", "IncrementalResult"]
@@ -35,6 +36,10 @@ class BurstResult:
     events: int
     messages: int
     bytes_sent: int
+    # Per-invariant "HOLDS" / "VIOLATED" / "UNKNOWN(unreachable_upstream)".
+    # The last one means a transport flow gave up (partition): the counts
+    # that survive are stale, so no verdict is claimed for the invariant.
+    statuses: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -52,6 +57,16 @@ class IncrementalResult:
         return sum(1 for t in self.times if t < threshold) / len(self.times)
 
 
+def _schedule_start(network) -> float:
+    """Earliest time a new scenario event may be scheduled.
+
+    Normally that is the last verification activity, but with the transport
+    layer active the kernel clock can run past it (final ack deliveries and
+    disarmed retransmission timers are not "activity"), and the kernel
+    refuses to schedule into the past."""
+    return max(network.last_activity, network.kernel.now)
+
+
 class TulkunRunner:
     """Plan, deploy and drive Tulkun over a simulated network."""
 
@@ -67,6 +82,8 @@ class TulkunRunner:
         partition_strategy: str = "locality",
         gc_threshold: Optional[int] = None,
         predicate_index: str = "atoms",
+        chaos: Optional[ChaosConfig] = None,
+        transport_config: Optional[TransportConfig] = None,
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -86,11 +103,20 @@ class TulkunRunner:
         ``"atoms"`` (default) keeps CIB/interest bookkeeping as integer atom
         sets over a shared dynamic atom index; ``"bdd"`` uses raw predicates.
         Verdicts and wire bytes are identical in both modes.
+
+        ``chaos`` arms fault injection on the DVM transport (serial backend
+        only): messages ride a seeded unreliable channel with seq/ack
+        retransmission; converged verdicts stay byte-identical to the
+        reliable run.  ``transport_config`` tunes the retransmission policy.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
         if predicate_index not in ("atoms", "bdd"):
             raise ValueError(f"unknown predicate index {predicate_index!r}")
+        if chaos is not None and backend != "serial":
+            raise ValueError(
+                "chaos fault injection requires the serial backend"
+            )
         self.topology = topology
         self.ctx = ctx
         self.invariants = list(invariants)
@@ -108,6 +134,8 @@ class TulkunRunner:
         self.partition_strategy = partition_strategy
         self.gc_threshold = gc_threshold
         self.predicate_index = predicate_index
+        self.chaos = chaos
+        self.transport_config = transport_config
         self.network = None  # SimNetwork | ParallelNetwork
 
     # ------------------------------------------------------------------
@@ -137,6 +165,8 @@ class TulkunRunner:
                 self.cpu_scale,
                 gc_threshold=self.gc_threshold,
                 predicate_index=self.predicate_index,
+                chaos=self.chaos,
+                transport_config=self.transport_config,
             )
         return self.network
 
@@ -176,6 +206,7 @@ class TulkunRunner:
             events=network.kernel.events_processed,
             messages=network.metrics.total_messages(),
             bytes_sent=network.metrics.total_bytes(),
+            statuses=self.statuses(),
         )
 
     def incremental_updates(
@@ -192,7 +223,7 @@ class TulkunRunner:
             raise RuntimeError("deploy/burst_update the network first")
         result = IncrementalResult()
         for dev, install, remove_id in updates:
-            start = network.last_activity
+            start = _schedule_start(network)
             network.apply_rule_update(
                 dev, at=start, install=install, remove_rule_id=remove_id
             )
@@ -214,7 +245,7 @@ class TulkunRunner:
         network = self.network
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
-        start = network.last_activity
+        start = _schedule_start(network)
         for a, b in links:
             network.change_link(a, b, is_up=False, at=start)
         if scene_id is not None:
@@ -227,7 +258,7 @@ class TulkunRunner:
         network = self.network
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
-        start = network.last_activity
+        start = _schedule_start(network)
         for a, b in links:
             network.change_link(a, b, is_up=True, at=start)
         if any(
@@ -236,6 +267,51 @@ class TulkunRunner:
             network.activate_scene(None, at=start + self._flood_latency())
         finish = network.run()
         return max(0.0, finish - start)
+
+    def statuses(self) -> Dict[str, str]:
+        """Per-invariant verdict status, degrading to ``UNKNOWN`` honestly.
+
+        Backends without a transport layer (process pool) always converge
+        reliably, so their statuses are plain HOLDS/VIOLATED."""
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        status_of = getattr(network, "invariant_status", None)
+        out: Dict[str, str] = {}
+        for inv in self.invariants:
+            if status_of is not None:
+                out[inv.name] = status_of(inv.name)
+            else:
+                out[inv.name] = (
+                    "HOLDS" if network.all_hold(inv.name) else "VIOLATED"
+                )
+        return out
+
+    def crash_device(self, dev: str) -> float:
+        """Crash a device (serial backend); return the settle duration."""
+        network = self._sim_network()
+        start = _schedule_start(network)
+        network.crash_device(dev, at=start)
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def restart_device(self, dev: str) -> float:
+        """Restart a crashed device and resync; return the settle duration."""
+        network = self._sim_network()
+        start = _schedule_start(network)
+        network.restart_device(dev, at=start)
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def _sim_network(self) -> SimNetwork:
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        if not isinstance(network, SimNetwork):
+            raise RuntimeError(
+                "device crash/restart requires the serial backend"
+            )
+        return network
 
     def _flood_latency(self) -> float:
         """Approximate link-state flood completion: diameter × max latency."""
@@ -313,7 +389,7 @@ def apply_intents(
     result = IncrementalResult()
 
     def one_update(dev: str, install: Rule, remove_id: int) -> None:
-        start = network.last_activity
+        start = _schedule_start(network)
         network.apply_rule_update(dev, at=start, install=install, remove_rule_id=remove_id)
         finish = network.run()
         result.times.append(max(0.0, finish - start))

@@ -1,0 +1,476 @@
+"""Reliable DVM transport over unreliable simulated channels.
+
+The seed simulator modelled the DVM session as a perfect TCP stand-in:
+every message delivered exactly once, in order, over devices that never
+restart.  This module drops that assumption.  A :class:`Channel` decides the
+fate of each physical transmission (deliver / drop / duplicate / delay); the
+:class:`DvmTransport` state machine on top restores exactly-once in-order
+delivery per flow with sequence numbers, cumulative acks, timeout/backoff
+retransmission and a receive-side reorder buffer — so the verifiers above it
+still see the per-channel FIFO semantics the DVM protocol assumes, and the
+converged fixpoint is byte-identical to a run over a perfect network.
+
+Determinism: a :class:`FaultyChannel` seeds a private PRNG per *physical
+transmission* from ``(seed, src, dst, link_seq)`` where ``link_seq`` is a
+per-directed-link transmission counter.  Python seeds :class:`random.Random`
+from the SHA-512 of a string seed, so fates are stable across processes and
+platforms.  With ``cpu_scale=0`` the whole simulation is event-order
+deterministic, hence two runs with the same chaos config are identical
+event for event.
+
+Flows are keyed ``(sender, receiver, invariant)`` — the paper's per-task DVM
+session — and carry an *epoch* that is bumped whenever an endpoint restarts,
+so segments from a previous incarnation are recognised and discarded instead
+of corrupting a resynchronising CIB.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "ChaosConfig",
+    "Channel",
+    "ReliableChannel",
+    "FaultyChannel",
+    "Segment",
+    "TransportConfig",
+    "DvmTransport",
+]
+
+
+# ----------------------------------------------------------------------
+# Channels: per-transmission fate assignment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection knobs for a :class:`FaultyChannel`.
+
+    ``p_reorder`` is the probability a transmission is held back long enough
+    to land behind later traffic on the same link; ``jitter`` scales the
+    extra delay (in units of the link latency).
+    """
+
+    seed: int = 0
+    p_loss: float = 0.0
+    p_dup: float = 0.0
+    p_reorder: float = 0.0
+    jitter: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_loss", "p_dup", "p_reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.p_loss == 1.0:
+            raise ValueError("p_loss=1.0 can never converge")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse the CLI form ``seed,p_loss[,p_dup[,p_reorder]]``."""
+        parts = [part.strip() for part in spec.split(",")]
+        if not 2 <= len(parts) <= 4:
+            raise ValueError(
+                "chaos spec must be 'seed,p_loss[,p_dup[,p_reorder]]', "
+                f"got {spec!r}"
+            )
+        seed = int(parts[0])
+        probs = [float(part) for part in parts[1:]]
+        probs += [0.0] * (3 - len(probs))
+        return cls(seed, *probs)
+
+
+class Channel:
+    """Decides the fate of one physical transmission on a directed link.
+
+    ``transmit`` returns the list of arrival delays for the copies that make
+    it across (empty = lost, one entry = normal, several = duplicated).
+    """
+
+    def transmit(self, src: str, dst: str, latency: float) -> List[float]:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, int]:
+        return {}
+
+
+class ReliableChannel(Channel):
+    """Every transmission arrives exactly once after the link latency."""
+
+    def transmit(self, src: str, dst: str, latency: float) -> List[float]:
+        return [latency]
+
+
+class FaultyChannel(Channel):
+    """Seeded loss/duplication/reordering, deterministic per transmission."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._link_seq: Dict[Tuple[str, str], "itertools.count"] = {}
+        self.transmissions = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def _rng(self, src: str, dst: str) -> random.Random:
+        counter = self._link_seq.get((src, dst))
+        if counter is None:
+            counter = itertools.count()
+            self._link_seq[(src, dst)] = counter
+        link_seq = next(counter)
+        key = f"{self.config.seed}:{src}>{dst}:{link_seq}"
+        return random.Random(key)
+
+    def transmit(self, src: str, dst: str, latency: float) -> List[float]:
+        cfg = self.config
+        rng = self._rng(src, dst)
+        self.transmissions += 1
+        if rng.random() < cfg.p_loss:
+            self.dropped += 1
+            return []
+        delay = latency
+        if rng.random() < cfg.p_reorder:
+            # Hold this copy back past the link's natural spacing so later
+            # transmissions overtake it.
+            delay += latency * cfg.jitter * (0.5 + rng.random())
+            self.delayed += 1
+        delays = [delay]
+        if rng.random() < cfg.p_dup:
+            delays.append(delay + latency * rng.random())
+            self.duplicated += 1
+        return delays
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "transmissions": self.transmissions,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+
+# ----------------------------------------------------------------------
+# Wire segments
+# ----------------------------------------------------------------------
+_SEGMENT_HEADER_BYTES = 24  # flow id + epoch + seq + kind
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One transport-layer PDU: DATA carries a DVM message, ACK a cumulative
+    acknowledgement (highest in-order sequence delivered)."""
+
+    kind: str  # "data" | "ack"
+    src: str
+    dst: str
+    invariant: Optional[str]
+    epoch: int
+    seq: int
+    payload: object = None
+
+    def wire_size(self) -> int:
+        size = _SEGMENT_HEADER_BYTES
+        if self.payload is not None and hasattr(self.payload, "wire_size"):
+            size += self.payload.wire_size()
+        return size
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Retransmission policy.  ``None`` fields are derived from the topology
+    at deploy time (RTO = 4x the slowest link, capped backoff)."""
+
+    rto_initial: Optional[float] = None
+    rto_max: Optional[float] = None
+    max_retries: int = 12
+
+
+# ----------------------------------------------------------------------
+# Per-flow state machines
+# ----------------------------------------------------------------------
+@dataclass
+class _Pending:
+    payload: object
+    attempts: int = 0
+    timer: object = None  # kernel Timer
+
+
+@dataclass
+class _SenderFlow:
+    epoch: int
+    next_seq: int = 1
+    unacked: Dict[int, _Pending] = field(default_factory=dict)
+    dead: bool = False
+
+
+@dataclass
+class _ReceiverFlow:
+    epoch: int = 0
+    next_expected: int = 1
+    buffer: Dict[int, object] = field(default_factory=dict)
+
+
+FlowKey = Tuple[str, str, Optional[str]]  # (sender, receiver, invariant)
+
+
+class DvmTransport:
+    """Seq/ack reliability layer between :class:`SimNetwork` and a
+    :class:`Channel`.
+
+    The network hands every outgoing DVM message to :meth:`send`; the
+    transport sequences it, pushes physical copies through the channel, and
+    retransmits on timeout with exponential backoff.  Receive side, segments
+    are deduplicated and reorder-buffered per flow, then dispatched to the
+    verifier strictly in send order.  After ``max_retries`` timeouts a flow
+    is declared *dead* and recorded in :attr:`unreachable` — graceful
+    degradation instead of a livelock; link recovery or a device restart
+    revives it with a fresh epoch.
+    """
+
+    def __init__(self, network, channel: Channel, config: TransportConfig) -> None:
+        self.network = network
+        self.channel = channel
+        max_latency = max(
+            (link.latency for link in network.topology.links()), default=0.0
+        )
+        rto = config.rto_initial
+        if rto is None:
+            rto = max(4.0 * max_latency, 1e-9)
+        rto_max = config.rto_max
+        if rto_max is None:
+            rto_max = 64.0 * rto
+        self.rto_initial = rto
+        self.rto_max = rto_max
+        self.max_retries = config.max_retries
+        self._epochs = itertools.count(1)
+        self.senders: Dict[FlowKey, _SenderFlow] = {}
+        self.receivers: Dict[FlowKey, _ReceiverFlow] = {}
+        # Flows that exhausted their retries: (sender, receiver, invariant).
+        self.unreachable: Set[FlowKey] = set()
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def _sender(self, key: FlowKey) -> _SenderFlow:
+        flow = self.senders.get(key)
+        if flow is None:
+            flow = _SenderFlow(epoch=next(self._epochs))
+            self.senders[key] = flow
+        return flow
+
+    def rto(self, attempts: int) -> float:
+        """Backoff schedule: doubles per attempt, capped at ``rto_max``."""
+        return min(self.rto_initial * (2.0 ** attempts), self.rto_max)
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        invariant: Optional[str],
+        payload: object,
+        at: float,
+        latency: float,
+    ) -> None:
+        key: FlowKey = (src, dst, invariant)
+        flow = self._sender(key)
+        if flow.dead:
+            # The flow already gave up; the destination stays marked
+            # unreachable until a recovery event revives the flow.
+            self.unreachable.add(key)
+            return
+        seq = flow.next_seq
+        flow.next_seq += 1
+        pending = _Pending(payload)
+        flow.unacked[seq] = pending
+        self._transmit(key, flow, seq, pending, at, latency)
+
+    def _transmit(
+        self,
+        key: FlowKey,
+        flow: _SenderFlow,
+        seq: int,
+        pending: _Pending,
+        at: float,
+        latency: float,
+    ) -> None:
+        src, dst, invariant = key
+        segment = Segment("data", src, dst, invariant, flow.epoch, seq, pending.payload)
+        for delay in self.channel.transmit(src, dst, latency):
+            self.network.schedule_segment(segment, at + delay)
+        timeout = self.rto(pending.attempts)
+
+        def on_timeout() -> None:
+            self._on_timeout(key, seq)
+
+        pending.timer = self.network.kernel.schedule_at(at + timeout, on_timeout)
+
+    def _on_timeout(self, key: FlowKey, seq: int) -> None:
+        flow = self.senders.get(key)
+        if flow is None or flow.dead:
+            return
+        pending = flow.unacked.get(seq)
+        if pending is None:
+            return  # acked after the timer was armed (lazy cancel race)
+        pending.attempts += 1
+        src, _dst, _invariant = key
+        metrics = self.network.metrics.device(src)
+        if pending.attempts > self.max_retries:
+            self._give_up(key, flow)
+            return
+        metrics.retransmits += 1
+        latency = self.network.path_latency(*key[:2])
+        self._transmit(key, flow, seq, pending, self.network.kernel.now, latency)
+
+    def _give_up(self, key: FlowKey, flow: _SenderFlow) -> None:
+        flow.dead = True
+        for pending in flow.unacked.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        flow.unacked.clear()
+        self.unreachable.add(key)
+        self.network.metrics.device(key[0]).flows_given_up += 1
+
+    def _handle_ack(self, segment: Segment) -> None:
+        # An ACK travels data-receiver → data-sender, so the data flow it
+        # acknowledges is keyed (ack.dst, ack.src).  It carries the data
+        # flow's epoch and the highest in-order seq delivered (cumulative).
+        key: FlowKey = (segment.dst, segment.src, segment.invariant)
+        flow = self.senders.get(key)
+        metrics = self.network.metrics.device(segment.dst)
+        if flow is None or flow.dead or segment.epoch != flow.epoch:
+            return
+        acked = [seq for seq in flow.unacked if seq <= segment.seq]
+        if not acked:
+            metrics.dup_acks_ignored += 1
+            return
+        for seq in acked:
+            pending = flow.unacked.pop(seq)
+            if pending.timer is not None:
+                pending.timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _receiver(self, key: FlowKey) -> _ReceiverFlow:
+        flow = self.receivers.get(key)
+        if flow is None:
+            flow = _ReceiverFlow()
+            self.receivers[key] = flow
+        return flow
+
+    def handle_segment(self, segment: Segment, size: int) -> None:
+        """Process an arriving segment (called by the network at delivery
+        time; link/device liveness has already been checked)."""
+        if segment.kind == "ack":
+            self._handle_ack(segment)
+            return
+        key: FlowKey = (segment.src, segment.dst, segment.invariant)
+        flow = self._receiver(key)
+        metrics = self.network.metrics.device(segment.dst)
+        if segment.epoch < flow.epoch:
+            return  # stale incarnation: the sender restarted since
+        if segment.epoch > flow.epoch:
+            # New incarnation of the sender: its sequence space restarted.
+            flow.epoch = segment.epoch
+            flow.next_expected = 1
+            flow.buffer.clear()
+        if segment.seq < flow.next_expected or segment.seq in flow.buffer:
+            metrics.dup_drops += 1
+        elif segment.seq == flow.next_expected:
+            self._deliver_in_order(key, flow, segment.payload)
+        else:
+            metrics.reorder_buffered += 1
+            flow.buffer[segment.seq] = segment.payload
+        self._send_ack(key, flow)
+
+    def _deliver_in_order(self, key: FlowKey, flow: _ReceiverFlow, payload) -> None:
+        src, dst, invariant = key
+        self.network.dispatch(src, dst, invariant, payload)
+        flow.next_expected += 1
+        while flow.next_expected in flow.buffer:
+            queued = flow.buffer.pop(flow.next_expected)
+            self.network.dispatch(src, dst, invariant, queued)
+            flow.next_expected += 1
+
+    def _send_ack(self, key: FlowKey, flow: _ReceiverFlow) -> None:
+        src, dst, invariant = key
+        ack = Segment(
+            "ack", dst, src, invariant, flow.epoch, flow.next_expected - 1
+        )
+        self.network.metrics.device(dst).acks_sent += 1
+        latency = self.network.path_latency(dst, src)
+        at = self.network.kernel.now
+        for delay in self.channel.transmit(dst, src, latency):
+            self.network.schedule_segment(ack, at + delay)
+
+    # ------------------------------------------------------------------
+    # Recovery hooks
+    # ------------------------------------------------------------------
+    def _reset_flow(self, key: FlowKey) -> None:
+        sender = self.senders.pop(key, None)
+        if sender is not None:
+            for pending in sender.unacked.values():
+                if pending.timer is not None:
+                    pending.timer.cancel()
+        # Receiver state stays: its epoch guard discards stale segments, and
+        # a revived sender's higher epoch resets it on first contact.
+        self.unreachable.discard(key)
+
+    def link_restored(self, a: str, b: str) -> None:
+        """A failed link came back: revive the flows crossing it.
+
+        Unacked payloads of a dead flow are *not* replayed — the link-up
+        handlers force a full re-announcement of the CIB, which subsumes
+        anything lost while the flow was down.
+        """
+        for key in list(self.senders):
+            if {key[0], key[1]} == {a, b}:
+                self._reset_flow(key)
+        self.unreachable = {
+            key for key in self.unreachable if {key[0], key[1]} != {a, b}
+        }
+
+    def device_crashed(self, dev: str) -> None:
+        """A device lost its RAM: silence its sender flows (a dead device
+        transmits nothing) and wipe its receiver state.  Flows *toward* the
+        device keep retransmitting — their senders cannot observe the crash
+        and either reach the restarted incarnation or give up."""
+        for key in list(self.senders):
+            if key[0] == dev:
+                flow = self.senders.pop(key)
+                for pending in flow.unacked.values():
+                    if pending.timer is not None:
+                        pending.timer.cancel()
+        for key in list(self.receivers):
+            if key[1] == dev:
+                del self.receivers[key]
+
+    def device_restarted(self, dev: str) -> None:
+        """A device came back from a crash: reset every flow touching it."""
+        for key in list(self.senders):
+            if dev in (key[0], key[1]):
+                self._reset_flow(key)
+        for key in list(self.receivers):
+            if key[1] == dev:
+                # The restarted receiver lost its reorder state; a fresh
+                # record (epoch 0) accepts whatever epoch arrives next.
+                del self.receivers[key]
+        self.unreachable = {
+            key for key in self.unreachable if dev not in (key[0], key[1])
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """No unacked data anywhere (dead flows dropped theirs)."""
+        return all(not flow.unacked for flow in self.senders.values())
+
+    def unreachable_invariants(self) -> Set[str]:
+        return {inv for (_src, _dst, inv) in self.unreachable if inv}
+
+    def unacked_segments(self) -> int:
+        return sum(len(flow.unacked) for flow in self.senders.values())

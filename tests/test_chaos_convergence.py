@@ -1,0 +1,384 @@
+"""Chaos convergence: fault-injected DVM runs must converge byte-identically.
+
+Property-based harness over seeded fault schedules (message loss,
+duplication, reordering at mixed rates): for every schedule the converged
+verdict flags, canonical source-node counting results (merged ROBDD bytes)
+and violation regions must equal the reliable-transport baseline — which is
+itself pinned equal across the serial/process backends and the atoms/bdd
+predicate-index modes.  A partitioned topology must degrade to
+``UNKNOWN(unreachable_upstream)`` within the event budget instead of
+hanging or silently reporting stale counts.
+
+All chaos runs use ``cpu_scale=0`` so the simulation is event-order
+deterministic and each seed names one exact fault schedule.
+
+With ``REPRO_CHAOS_SUMMARY`` set to a path, the suite appends one row per
+schedule (seed, rates, events, retransmits, convergence time) and writes the
+JSON summary at session end — CI uploads it as an artifact.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Action, Rule
+from repro.datasets import build_dataset
+from repro.sim import ChaosConfig, TransportConfig, TulkunRunner
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+from tests.test_parallel_backend import (
+    serial_fingerprints,
+    verdict_flags,
+    violation_fingerprints,
+)
+
+pytestmark = pytest.mark.chaos
+
+# Mixed-rate schedule matrix: seed i runs rates ROW[i % len(ROWS)], so a
+# seed range sweeps loss-only, dup-only, reorder-only and mixed regimes.
+RATE_ROWS = [
+    (0.10, 0.00, 0.00),
+    (0.00, 0.20, 0.00),
+    (0.00, 0.00, 0.30),
+    (0.15, 0.10, 0.15),
+    (0.25, 0.05, 0.10),
+    (0.05, 0.25, 0.25),
+    (0.30, 0.15, 0.20),
+    (0.20, 0.20, 0.30),
+]
+
+
+def chaos_for(seed: int) -> ChaosConfig:
+    p_loss, p_dup, p_reorder = RATE_ROWS[seed % len(RATE_ROWS)]
+    return ChaosConfig(
+        seed=seed, p_loss=p_loss, p_dup=p_dup, p_reorder=p_reorder
+    )
+
+
+_SUMMARY_ROWS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_summary():
+    yield
+    path = os.environ.get("REPRO_CHAOS_SUMMARY")
+    if not path or not _SUMMARY_ROWS:
+        return
+    Path(path).write_text(
+        json.dumps({"schedules": _SUMMARY_ROWS}, indent=2), encoding="utf-8"
+    )
+
+
+def _record(topology, seed, config, runner, convergence_time):
+    summary = runner.network.transport_summary()
+    _SUMMARY_ROWS.append(
+        {
+            "topology": topology,
+            "seed": seed,
+            "p_loss": config.p_loss,
+            "p_dup": config.p_dup,
+            "p_reorder": config.p_reorder,
+            "events": runner.network.kernel.events_processed,
+            "retransmits": summary["retransmits"],
+            "dup_drops": summary["dup_drops"],
+            "reorder_buffered": summary["reorder_buffered"],
+            "convergence_time": convergence_time,
+        }
+    )
+
+
+def fingerprints(runner, invariants):
+    network = runner.network
+    if hasattr(network, "source_fingerprints"):  # process backend
+        sources = network.source_fingerprints()
+    else:
+        sources = serial_fingerprints(runner)
+    return (
+        verdict_flags(network, invariants),
+        sources,
+        violation_fingerprints(network, invariants),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig-2a: burst + link churn + incremental update
+# ----------------------------------------------------------------------
+def fig2a_scenario(
+    chaos=None,
+    predicate_index="atoms",
+    backend="serial",
+    break_plane=False,
+    transport_config=None,
+):
+    ctx = PacketSpaceContext()
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=0.0,
+        backend=backend,
+        workers=2 if backend == "process" else None,
+        predicate_index=predicate_index,
+        chaos=chaos,
+        transport_config=transport_config,
+    )
+    planes = build_fig2_planes(ctx)
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    if break_plane:
+        rules["W"] = [
+            Rule(r.match, Action.drop(), r.priority) for r in rules["W"]
+        ]
+    try:
+        runner.burst_update(rules)
+        runner.fail_links([("A", "W")])
+        runner.recover_links([("A", "W")])
+        victim = runner.network.devices["S"].plane.rules[0]
+        runner.incremental_updates(
+            [
+                (
+                    "S",
+                    Rule(victim.match, Action.forward_all(["B"]), victim.priority),
+                    victim.rule_id,
+                ),
+            ]
+        )
+        restored = runner.network.devices["S"].plane.rules[0]
+        runner.incremental_updates(
+            [
+                (
+                    "S",
+                    Rule(restored.match, Action.forward_all(["A"]), restored.priority),
+                    restored.rule_id,
+                ),
+            ]
+        )
+        return runner, fingerprints(runner, invariants), invariants
+    except Exception:
+        runner.close()
+        raise
+
+
+@pytest.fixture(scope="module")
+def fig2a_baseline():
+    runner, prints, _invs = fig2a_scenario()
+    return prints
+
+
+@pytest.fixture(scope="module")
+def fig2a_broken_baseline():
+    runner, prints, _invs = fig2a_scenario(break_plane=True)
+    return prints
+
+
+@pytest.fixture(scope="module")
+def ft4():
+    return build_dataset("FT-4", pair_limit=8, seed=3)
+
+
+class TestReliableBaselineAgreement:
+    """The reliable baseline itself is backend- and index-invariant."""
+
+    def test_serial_bdd_matches(self, fig2a_baseline):
+        _runner, prints, _invs = fig2a_scenario(predicate_index="bdd")
+        assert prints == fig2a_baseline
+
+    def test_process_backend_matches(self, fig2a_baseline):
+        runner, prints, _invs = fig2a_scenario(backend="process")
+        runner.close()
+        assert prints == fig2a_baseline
+
+
+class TestFig2aChaosParity:
+    @pytest.mark.parametrize("seed", range(16))
+    def test_verdict_and_region_parity(self, fig2a_baseline, seed):
+        # Alternate the predicate-index mode across the seed sweep so both
+        # region algebras face every fault regime.
+        mode = "atoms" if seed % 2 == 0 else "bdd"
+        config = chaos_for(seed)
+        runner, prints, _invs = fig2a_scenario(
+            chaos=config, predicate_index=mode
+        )
+        assert runner.network.converged
+        assert runner.statuses() == {
+            "reach_S_D": "HOLDS",
+            "waypoint_S_W_D": "VIOLATED",
+        }
+        _record("fig2a", seed, config, runner, runner.network.last_activity)
+        assert prints == fig2a_baseline, f"seed={seed} mode={mode}"
+
+    @pytest.mark.parametrize("seed", [2, 5, 11, 14])
+    def test_broken_plane_violation_regions(self, fig2a_broken_baseline, seed):
+        config = chaos_for(seed)
+        runner, prints, _invs = fig2a_scenario(
+            chaos=config, break_plane=True,
+            predicate_index="atoms" if seed % 2 else "bdd",
+        )
+        assert runner.network.converged
+        assert prints == fig2a_broken_baseline, f"seed={seed}"
+
+
+# ----------------------------------------------------------------------
+# Fattree: burst + link churn
+# ----------------------------------------------------------------------
+def ft4_scenario(ds, chaos=None, predicate_index="atoms", transport_config=None):
+    runner = TulkunRunner(
+        ds.topology,
+        ds.ctx,
+        ds.invariants,
+        cpu_scale=0.0,
+        predicate_index=predicate_index,
+        chaos=chaos,
+        transport_config=transport_config,
+    )
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+        for dev, dev_rules in ds.rules_by_device.items()
+    }
+    runner.burst_update(rules)
+    link = next(iter(ds.topology.links()))
+    runner.fail_links([(link.a, link.b)])
+    runner.recover_links([(link.a, link.b)])
+    return runner, fingerprints(runner, ds.invariants)
+
+
+@pytest.fixture(scope="module")
+def ft4_baseline(ft4):
+    _runner, prints = ft4_scenario(ft4)
+    return prints
+
+
+class TestFattreeChaosParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_burst_and_churn_parity(self, ft4, ft4_baseline, seed):
+        mode = "atoms" if seed % 2 == 0 else "bdd"
+        config = chaos_for(seed)
+        runner, prints = ft4_scenario(ft4, chaos=config, predicate_index=mode)
+        assert runner.network.converged
+        _record("FT-4", seed, config, runner, runner.network.last_activity)
+        assert prints == ft4_baseline, f"seed={seed} mode={mode}"
+
+
+# ----------------------------------------------------------------------
+# Crash/restart under chaos
+# ----------------------------------------------------------------------
+class TestCrashRestartConvergence:
+    @pytest.mark.parametrize("seed", [0, 3, 6])
+    def test_restart_resyncs_to_baseline(self, fig2a_baseline, seed):
+        config = chaos_for(seed)
+        runner, _prints, invariants = fig2a_scenario(chaos=config)
+        runner.crash_device("B")
+        runner.restart_device("B")
+        assert runner.network.converged
+        assert fingerprints(runner, invariants) == fig2a_baseline
+
+    def test_reliable_mode_crash_restart(self, fig2a_baseline):
+        runner, _prints, invariants = fig2a_scenario()
+        runner.crash_device("W")
+        runner.restart_device("W")
+        assert fingerprints(runner, invariants) == fig2a_baseline
+
+
+# ----------------------------------------------------------------------
+# Partition: graceful degradation, not a hang
+# ----------------------------------------------------------------------
+class TestPartitionDegradation:
+    def test_partition_reports_unknown_within_budget(self):
+        runner, _prints, _invs = fig2a_scenario(
+            chaos=ChaosConfig(seed=1, p_loss=0.1),
+            transport_config=TransportConfig(max_retries=4),
+        )
+        runner.fail_links([("S", "A")])
+        victim = runner.network.devices["A"].plane.rules[0]
+        runner.incremental_updates(
+            [
+                (
+                    "A",
+                    Rule(victim.match, Action.drop(), victim.priority),
+                    victim.rule_id,
+                ),
+            ]
+        )
+        statuses = runner.statuses()
+        assert statuses == {
+            "reach_S_D": "UNKNOWN(unreachable_upstream)",
+            "waypoint_S_W_D": "UNKNOWN(unreachable_upstream)",
+        }
+        assert not runner.network.converged
+        # Bounded: retransmission gave up instead of spinning the kernel.
+        assert runner.network.kernel.events_processed < 50_000
+        assert runner.network.transport.quiescent()
+
+    def test_recovery_after_partition_clears_unknown(self):
+        runner, _prints, _invs = fig2a_scenario(
+            chaos=ChaosConfig(seed=1, p_loss=0.1),
+            transport_config=TransportConfig(max_retries=4),
+        )
+        runner.fail_links([("S", "A")])
+        victim = runner.network.devices["A"].plane.rules[0]
+        runner.incremental_updates(
+            [
+                (
+                    "A",
+                    Rule(victim.match, Action.drop(), victim.priority),
+                    victim.rule_id,
+                ),
+            ]
+        )
+        assert "UNKNOWN(unreachable_upstream)" in runner.statuses().values()
+        runner.recover_links([("S", "A")])
+        restored = runner.network.devices["A"].plane.rules[0]
+        runner.incremental_updates(
+            [
+                (
+                    "A",
+                    Rule(restored.match, victim.action, restored.priority),
+                    restored.rule_id,
+                ),
+            ]
+        )
+        statuses = runner.statuses()
+        assert "UNKNOWN(unreachable_upstream)" not in statuses.values()
+        assert runner.network.converged
+
+
+# ----------------------------------------------------------------------
+# High-loss regime (slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestHighLoss:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fig2a_half_loss(self, fig2a_baseline, seed):
+        config = ChaosConfig(
+            seed=100 + seed, p_loss=0.5, p_dup=0.2, p_reorder=0.3
+        )
+        runner, prints, _invs = fig2a_scenario(
+            chaos=config,
+            predicate_index="atoms" if seed % 2 == 0 else "bdd",
+            transport_config=TransportConfig(max_retries=25),
+        )
+        assert runner.network.converged
+        _record("fig2a", 100 + seed, config, runner, runner.network.last_activity)
+        assert prints == fig2a_baseline, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_fattree_half_loss(self, ft4, ft4_baseline, seed):
+        config = ChaosConfig(seed=200 + seed, p_loss=0.5, p_dup=0.1, p_reorder=0.2)
+        runner, prints = ft4_scenario(
+            ft4, chaos=config,
+            transport_config=TransportConfig(max_retries=25),
+        )
+        assert runner.network.converged
+        assert prints == ft4_baseline, f"seed={seed}"

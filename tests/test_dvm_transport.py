@@ -1,0 +1,324 @@
+"""Unit tests for the DVM transport state machine (``sim/transport.py``).
+
+These drive :class:`DvmTransport` against a minimal fake network and a
+scripted channel so each mechanism — timeout retransmission, exponential
+backoff, ack/data deduplication, reorder buffering, give-up — is exercised
+in isolation with exact timing assertions.  The crash/restart tests at the
+bottom use the real fig2a simulator to check the end-to-end resubscription
+path replays the full CIB.
+"""
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Rule
+from repro.sim import (
+    ChaosConfig,
+    Channel,
+    DvmTransport,
+    FaultyChannel,
+    MetricsCollector,
+    SimKernel,
+    Segment,
+    TransportConfig,
+    TulkunRunner,
+)
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+from tests.test_parallel_backend import serial_fingerprints, verdict_flags
+
+
+class ScriptedChannel(Channel):
+    """Pops pre-scripted fates per directed link; defaults to clean delivery.
+
+    ``fates[(src, dst)]`` is a list consumed one entry per transmission:
+    ``None`` delivers after the link latency, ``[]`` drops, an explicit list
+    of delays overrides arrival times (several = duplication).
+    """
+
+    def __init__(self, fates=None):
+        self.fates = {k: list(v) for k, v in (fates or {}).items()}
+        self.log = []
+
+    def transmit(self, src, dst, latency):
+        self.log.append((src, dst))
+        queue = self.fates.get((src, dst))
+        if queue:
+            fate = queue.pop(0)
+            if fate is None:
+                return [latency]
+            return list(fate)
+        return [latency]
+
+
+class _FakeTopology:
+    def links(self):
+        return []
+
+
+class FakeNetwork:
+    """The minimal surface DvmTransport needs: a kernel, metrics, a latency
+    oracle, segment scheduling and in-order dispatch recording."""
+
+    def __init__(self, latency=0.25):
+        self.kernel = SimKernel()
+        self.metrics = MetricsCollector()
+        self.topology = _FakeTopology()
+        self.latency = latency
+        self.delivered = []  # (payload, kernel time at delivery)
+        self.transport = None
+
+    def path_latency(self, src, dst):
+        return self.latency
+
+    def schedule_segment(self, segment, arrival):
+        self.kernel.schedule_at(
+            arrival,
+            lambda: self.transport.handle_segment(segment, segment.wire_size()),
+        )
+
+    def dispatch(self, src, dst, invariant, payload):
+        self.delivered.append((payload, self.kernel.now))
+
+
+def make_transport(channel, latency=0.25, rto=1.0, rto_max=None, max_retries=12):
+    # latency < rto/2 so a clean ack round-trip always beats the timer,
+    # mirroring the deployed derivation (rto = 4x the slowest link).
+    network = FakeNetwork(latency=latency)
+    config = TransportConfig(
+        rto_initial=rto,
+        rto_max=rto_max if rto_max is not None else 64.0 * rto,
+        max_retries=max_retries,
+    )
+    transport = DvmTransport(network, channel, config)
+    network.transport = transport
+    return network, transport
+
+
+class TestRetransmission:
+    def test_clean_delivery_needs_no_retransmit(self):
+        network, transport = make_transport(ScriptedChannel())
+        transport.send("A", "B", "inv", "hello", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["hello"]
+        assert network.metrics.device("A").retransmits == 0
+        assert transport.quiescent()
+        assert transport.unacked_segments() == 0
+
+    def test_retransmit_after_timeout(self):
+        channel = ScriptedChannel({("A", "B"): [[]]})  # drop first copy
+        network, transport = make_transport(channel, rto=1.0)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        # Timer fires at t=1 (rto), retransmission lands at t=1.25.
+        assert network.delivered == [("msg", 1.25)]
+        assert network.metrics.device("A").retransmits == 1
+        assert transport.quiescent()
+
+    def test_exponential_backoff_schedule(self):
+        transport = make_transport(ScriptedChannel(), rto=1.0, rto_max=8.0)[1]
+        assert [transport.rto(n) for n in range(6)] == [
+            1.0, 2.0, 4.0, 8.0, 8.0, 8.0
+        ]
+
+    def test_backoff_cap_governs_retry_timing(self):
+        # Drop the first four copies: timeouts fire at 1, 1+2, 3+4 and
+        # 7+8 (capped); the fifth transmission at t=15 lands at t=15.25.
+        channel = ScriptedChannel({("A", "B"): [[], [], [], []]})
+        network, transport = make_transport(channel, rto=1.0, rto_max=8.0)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert network.delivered == [("msg", 15.25)]
+        assert network.metrics.device("A").retransmits == 4
+
+    def test_give_up_marks_flow_unreachable(self):
+        channel = ScriptedChannel({("A", "B"): [[]] * 10})
+        network, transport = make_transport(channel, rto=1.0, max_retries=2)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert network.delivered == []
+        assert ("A", "B", "inv") in transport.unreachable
+        assert transport.unreachable_invariants() == {"inv"}
+        assert network.metrics.device("A").flows_given_up == 1
+        assert transport.quiescent()  # dead flows dropped their unacked data
+        # Later sends on the dead flow are swallowed, not retried forever.
+        transport.send("A", "B", "inv", "more", at=network.kernel.now, latency=0.25)
+        network.kernel.run()
+        assert network.delivered == []
+
+
+class TestDeduplication:
+    def test_duplicated_ack_is_ignored(self):
+        # Deliver DATA once; the single ACK is duplicated on the wire.
+        channel = ScriptedChannel({("B", "A"): [[1.0, 1.5]]})
+        network, transport = make_transport(channel, rto=10.0)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["msg"]
+        # First ack copy cleared the pending entry; the second found nothing
+        # (the counter lives on the data sender, which observes the dup).
+        assert network.metrics.device("A").dup_acks_ignored == 1
+        assert transport.quiescent()
+
+    def test_duplicated_data_dispatches_once(self):
+        channel = ScriptedChannel({("A", "B"): [[1.0, 1.25]]})
+        network, transport = make_transport(channel, rto=10.0)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["msg"]
+        assert network.metrics.device("B").dup_drops == 1
+        # Both copies acked (cumulative), so the sender is clean.
+        assert transport.quiescent()
+
+    def test_retransmitted_copy_racing_original_is_dropped(self):
+        # Original is delayed past the RTO, so sender retransmits; both
+        # copies eventually arrive and exactly one is dispatched.
+        channel = ScriptedChannel({("A", "B"): [[3.0]]})
+        network, transport = make_transport(channel, rto=1.0)
+        transport.send("A", "B", "inv", "msg", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["msg"]
+        assert network.metrics.device("A").retransmits == 1
+        assert network.metrics.device("B").dup_drops == 1
+
+
+class TestReorderBuffer:
+    def test_flush_preserves_send_order(self):
+        # seq 1 held back to t=5; seqs 2 and 3 arrive first and must wait in
+        # the buffer, then flush in order behind seq 1.
+        channel = ScriptedChannel({("A", "B"): [[5.0], [1.0], [1.0]]})
+        network, transport = make_transport(channel, rto=10.0)
+        for i, payload in enumerate(["first", "second", "third"]):
+            transport.send("A", "B", "inv", payload, at=0.1 * i, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["first", "second", "third"]
+        assert network.metrics.device("B").reorder_buffered == 2
+        # All three delivered at the moment seq 1 finally arrived.
+        assert [t for _p, t in network.delivered] == [5.0, 5.0, 5.0]
+        assert transport.quiescent()
+
+    def test_flows_are_independent(self):
+        # Reordering on one invariant's flow must not delay another's.
+        channel = ScriptedChannel({("A", "B"): [[5.0]]})
+        network, transport = make_transport(channel, rto=10.0)
+        transport.send("A", "B", "inv1", "slow", at=0.0, latency=0.25)
+        transport.send("A", "B", "inv2", "fast", at=0.0, latency=0.25)
+        network.kernel.run()
+        assert [p for p, _t in network.delivered] == ["fast", "slow"]
+
+
+class TestFaultyChannelDeterminism:
+    def test_same_seed_same_fates(self):
+        config = ChaosConfig(seed=7, p_loss=0.3, p_dup=0.3, p_reorder=0.3)
+        a, b = FaultyChannel(config), FaultyChannel(config)
+        fates_a = [a.transmit("X", "Y", 1.0) for _ in range(50)]
+        fates_b = [b.transmit("X", "Y", 1.0) for _ in range(50)]
+        assert fates_a == fates_b
+        assert a.stats() == b.stats()
+
+    def test_links_draw_independently(self):
+        config = ChaosConfig(seed=7, p_loss=0.5)
+        channel = FaultyChannel(config)
+        xy = [channel.transmit("X", "Y", 1.0) for _ in range(30)]
+        yx = [channel.transmit("Y", "X", 1.0) for _ in range(30)]
+        assert xy != yx  # directed links have distinct fate streams
+
+    def test_parse_round_trip(self):
+        config = ChaosConfig.parse("42,0.1,0.2,0.3")
+        assert config == ChaosConfig(seed=42, p_loss=0.1, p_dup=0.2, p_reorder=0.3)
+        assert ChaosConfig.parse("5,0.25") == ChaosConfig(seed=5, p_loss=0.25)
+        with pytest.raises(ValueError):
+            ChaosConfig.parse("42")
+        with pytest.raises(ValueError):
+            ChaosConfig(p_loss=1.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(p_dup=1.5)
+
+
+class TestEpochGuard:
+    def test_stale_epoch_segment_discarded(self):
+        network, transport = make_transport(ScriptedChannel(), rto=10.0)
+        transport.send("A", "B", "inv", "current", at=0.0, latency=0.25)
+        network.kernel.run()
+        flow = transport.receivers[("A", "B", "inv")]
+        stale = Segment("data", "A", "B", "inv", flow.epoch - 1, 99, "ghost")
+        transport.handle_segment(stale, stale.wire_size())
+        assert [p for p, _t in network.delivered] == ["current"]
+
+    def test_new_epoch_resets_sequence_space(self):
+        network, transport = make_transport(ScriptedChannel(), rto=10.0)
+        transport.send("A", "B", "inv", "old", at=0.0, latency=0.25)
+        network.kernel.run()
+        old_flow = transport.receivers[("A", "B", "inv")]
+        fresh = Segment(
+            "data", "A", "B", "inv", old_flow.epoch + 1, 1, "reborn"
+        )
+        transport.handle_segment(fresh, fresh.wire_size())
+        assert [p for p, _t in network.delivered] == ["old", "reborn"]
+        assert old_flow.next_expected == 2
+
+
+# ----------------------------------------------------------------------
+# End-to-end crash/restart resubscription (real simulator)
+# ----------------------------------------------------------------------
+def _deployed_fig2a(**kwargs):
+    ctx = PacketSpaceContext()
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    runner = TulkunRunner(topology, ctx, invariants, cpu_scale=0.0, **kwargs)
+    planes = build_fig2_planes(ctx)
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    runner.burst_update(rules)
+    return runner, invariants
+
+
+class TestCrashRestartResync:
+    def test_restart_replays_full_cib(self):
+        runner, invariants = _deployed_fig2a()
+        baseline = (verdict_flags(runner.network, invariants),
+                    serial_fingerprints(runner))
+        runner.crash_device("B")
+        runner.restart_device("B")
+        after = (verdict_flags(runner.network, invariants),
+                 serial_fingerprints(runner))
+        assert after == baseline
+        # The restarted device's verifiers were rebuilt and their CIBIn
+        # repopulated from the neighbors' replayed announcements.
+        device = runner.network.devices["B"]
+        assert device.verifiers
+        assert any(
+            st.cib_in
+            for verifier in device.verifiers.values()
+            for st in verifier.state.values()
+        )
+
+    def test_neighbors_resubscribe_after_restart(self):
+        runner, _invariants = _deployed_fig2a()
+        sent_before = sum(
+            m.messages_sent for m in runner.network.metrics.devices.values()
+        )
+        runner.crash_device("B")
+        runner.restart_device("B")
+        sent_after = sum(
+            m.messages_sent for m in runner.network.metrics.devices.values()
+        )
+        # Resync traffic: neighbors re-subscribe and re-announce toward B.
+        assert sent_after > sent_before
+
+    def test_restart_under_chaos_resyncs(self):
+        runner, invariants = _deployed_fig2a(
+            chaos=ChaosConfig(seed=11, p_loss=0.2, p_dup=0.1, p_reorder=0.2)
+        )
+        baseline = verdict_flags(runner.network, invariants)
+        runner.crash_device("A")
+        runner.restart_device("A")
+        assert runner.network.converged
+        assert verdict_flags(runner.network, invariants) == baseline

@@ -58,6 +58,80 @@ class TestKernel:
         kernel.run()
         assert seen == ["outer", "inner"]
 
+    def test_events_beyond_until_survive_into_next_run(self):
+        # Load-bearing for retransmission timers: a bounded run() must not
+        # discard events past the horizon — the next run() executes them.
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_at(10.0, lambda: fired.append("late"))
+        kernel.schedule_at(3.0, lambda: fired.append("early"))
+        kernel.run(until=5.0)
+        assert fired == ["early"]
+        assert kernel.pending == 1
+        end = kernel.run()
+        assert fired == ["early", "late"]
+        assert end == 10.0
+        assert kernel.pending == 0
+
+    def test_equal_time_timer_vs_message_ordering(self):
+        # A message delivery and a timer scheduled for the same instant run
+        # in scheduling order: the earlier-armed event wins the tie.  The
+        # transport relies on this (a data arrival scheduled before its own
+        # RTO timer is processed first, so the ack can cancel the timer).
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule_at(1.0, lambda: seen.append("message"))
+        timer = kernel.schedule_at(1.0, lambda: seen.append("timer"))
+        kernel.run()
+        assert seen == ["message", "timer"]
+        assert timer.active is False
+
+        kernel = SimKernel()
+        seen = []
+        timer = kernel.schedule_at(1.0, lambda: seen.append("timer"))
+        kernel.schedule_at(1.0, lambda: seen.append("message"))
+        kernel.run()
+        assert seen == ["timer", "message"]
+
+    def test_cancelled_timer_does_not_fire_or_advance_clock(self):
+        kernel = SimKernel()
+        fired = []
+        timer = kernel.schedule_at(50.0, lambda: fired.append("t"))
+        kernel.schedule_at(1.0, lambda: fired.append("m"))
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        end = kernel.run()
+        assert fired == ["m"]
+        # The cancelled entry is skipped lazily: no clock advance to t=50.
+        assert end == 1.0
+
+    def test_cancel_from_handler_before_fire(self):
+        # Cancelling at the same timestamp but earlier scheduling order
+        # suppresses the later entry (the lazy-cancellation race the
+        # transport's ack path exercises).
+        kernel = SimKernel()
+        fired = []
+        timer = kernel.schedule_at(2.0, lambda: fired.append("t"))
+        kernel.schedule_at(1.0, timer.cancel)
+        kernel.run()
+        assert fired == []
+
+    def test_cancelled_events_not_counted_against_budget(self):
+        kernel = SimKernel()
+        fired = []
+        timers = [
+            kernel.schedule_at(1.0, lambda: fired.append("t"))
+            for _ in range(5)
+        ]
+        for timer in timers:
+            timer.cancel()
+        kernel.schedule_at(2.0, lambda: fired.append("m"))
+        before = kernel.events_processed
+        kernel.run()
+        assert fired == ["m"]
+        assert kernel.events_processed == before + 1
+
 
 class TestBurstScenario:
     def test_fig2_burst_detects_violation(self, ctx, fig2a, fig2_spaces):
