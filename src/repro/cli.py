@@ -14,6 +14,13 @@ Commands
     the discrete-event simulator), reporting verdicts, timing and message
     counts.
 
+``replay``
+    Re-execute a trace recorded with ``simulate --trace``: the run replays
+    the recorded message schedule (chaos fates included) byte-identically
+    and verifies verdicts, violation regions and transport summary against
+    the recording.  Also renders the trace's forensic reports
+    (``--provenance``, ``--timeline``, ``--perfetto``).
+
 ``dpvnet``
     Print the DPVNet the planner builds for each invariant (nodes, edges,
     per-device task counts) without verifying anything.
@@ -29,6 +36,8 @@ All file formats are the plain-text ones documented in
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -74,6 +83,14 @@ _PROFILE_COLUMNS = (
 )
 
 
+def _natural_key(name: str):
+    """Sort key splitting digit runs, so ``worker2`` < ``worker10``."""
+    return [
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", name)
+    ]
+
+
 def _print_engine_table(engines: dict) -> None:
     """Render BDD-engine profiles (one row per manager) for ``--profile``."""
     if not engines:
@@ -82,7 +99,7 @@ def _print_engine_table(engines: dict) -> None:
     header = f"{'engine':<10}" + "".join(f"{c:>13}" for c in _PROFILE_COLUMNS)
     print("engine profile:")
     print(f"  {header}")
-    for name in sorted(engines):
+    for name in sorted(engines, key=_natural_key):
         snap = engines[name]
         row = f"{name:<10}" + "".join(
             f"{snap.get(c, 0):>13}" for c in _PROFILE_COLUMNS
@@ -108,7 +125,7 @@ def _print_atom_table(atom_indexes: dict) -> None:
     header = f"{'index':<10}" + "".join(f"{c:>14}" for c in _ATOM_COLUMNS)
     print("atom-index profile:")
     print(f"  {header}")
-    for name in sorted(atom_indexes):
+    for name in sorted(atom_indexes, key=_natural_key):
         snap = atom_indexes[name]
         row = f"{name:<10}" + "".join(
             f"{snap.get(c, 0):>14}" for c in _ATOM_COLUMNS
@@ -161,6 +178,11 @@ def cmd_simulate(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    tracer = None
+    if args.trace or args.perfetto:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
     ctx, topology, planes, invariants = _load_inputs(args)
     try:
         runner = TulkunRunner(
@@ -173,6 +195,7 @@ def cmd_simulate(args) -> int:
             gc_threshold=args.gc_threshold,
             predicate_index=args.predicate_index,
             chaos=chaos,
+            tracer=tracer,
         )
     except ValueError as exc:  # e.g. --chaos with --backend process
         print(f"error: {exc}", file=sys.stderr)
@@ -227,7 +250,107 @@ def cmd_simulate(args) -> int:
         if args.profile:
             _print_engine_table(runner.network.metrics.engines)
             _print_atom_table(runner.network.metrics.atom_indexes)
+        if args.metrics_out:
+            metrics_doc = runner.network.metrics.to_dict()
+            summary = getattr(runner.network, "transport_summary", None)
+            metrics_doc["transport_summary"] = (
+                {k: int(v) for k, v in sorted(summary().items())}
+                if summary is not None
+                else {}
+            )
+            Path(args.metrics_out).write_text(
+                json.dumps(metrics_doc, indent=1) + "\n", encoding="utf-8"
+            )
+            print(f"metrics written to {args.metrics_out}")
+        if tracer is not None:
+            if args.trace:
+                from repro.telemetry import TraceFile
+
+                trace = TraceFile.from_run(
+                    runner,
+                    tracer,
+                    inputs={
+                        "topology": _load(args.topology),
+                        "fib": _load(args.fib),
+                        "spec": _load(args.spec),
+                    },
+                )
+                trace.save(args.trace)
+                print(f"trace written to {args.trace}")
+            if args.perfetto:
+                from repro.telemetry import write_chrome_trace
+
+                write_chrome_trace(
+                    args.perfetto,
+                    tracer.events,
+                    metadata={"predicate_index": args.predicate_index},
+                )
+                print(f"perfetto trace written to {args.perfetto}")
         return 1 if failures else 0
+    finally:
+        runner.close()
+
+
+def cmd_replay(args) -> int:
+    from repro.errors import ReplayError
+    from repro.telemetry import (
+        TraceFile,
+        convergence_timeline,
+        replay_trace,
+        violation_provenance,
+        write_chrome_trace,
+    )
+
+    try:
+        trace = TraceFile.load(args.trace)
+    except (OSError, ReplayError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Forensic reports render from the *recorded* event log — they describe
+    # the original run regardless of any predicate-index override below.
+    recorded_events = trace.trace_events()
+    if args.timeline:
+        Path(args.timeline).write_text(
+            convergence_timeline(recorded_events), encoding="utf-8"
+        )
+        print(f"convergence timeline written to {args.timeline}")
+    if args.provenance:
+        Path(args.provenance).write_text(
+            violation_provenance(recorded_events), encoding="utf-8"
+        )
+        print(f"violation provenance written to {args.provenance}")
+    if args.perfetto:
+        write_chrome_trace(
+            args.perfetto,
+            recorded_events,
+            metadata={"predicate_index": trace.predicate_index},
+        )
+        print(f"perfetto trace written to {args.perfetto}")
+
+    mode = args.predicate_index or trace.predicate_index
+    try:
+        runner = replay_trace(trace, predicate_index=args.predicate_index)
+    except ReplayError as exc:
+        print(f"replay FAILED: {exc}", file=sys.stderr)
+        return 1
+    try:
+        mismatches = trace.verify(runner)
+        for name, status in sorted(runner.statuses().items()):
+            print(f"  {name}: {status}")
+        if mismatches:
+            print(
+                f"replay DIVERGED ({len(mismatches)} mismatch(es), "
+                f"predicate_index={mode}):"
+            )
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print(
+            f"replay OK: outcomes byte-identical to the recording "
+            f"(predicate_index={mode})"
+        )
+        return 0
     finally:
         runner.close()
 
@@ -327,7 +450,49 @@ def build_parser() -> argparse.ArgumentParser:
              "index (integer-set hot path), 'bdd' = raw BDD predicates; "
              "verdicts are byte-identical either way",
     )
+    p_sim.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the run (causal event log + full message schedule, "
+             "chaos fates included) as a self-contained JSON trace that "
+             "'repro replay' re-executes byte-identically",
+    )
+    p_sim.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="export the run's event log as Chrome trace-event JSON "
+             "(loadable in Perfetto / chrome://tracing): one track per "
+             "device, DVM messages as flow arrows",
+    )
+    p_sim.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the full metrics-collector state (per-device counters, "
+             "engine/atom-index profiles, transport summary) as JSON",
+    )
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded trace and verify byte-identity",
+    )
+    p_replay.add_argument("trace", help="trace file from 'simulate --trace'")
+    p_replay.add_argument(
+        "--predicate-index", choices=("atoms", "bdd"), default=None,
+        help="override the recorded region-algebra mode; outcomes must be "
+             "byte-identical either way",
+    )
+    p_replay.add_argument(
+        "--provenance", default=None, metavar="PATH",
+        help="write the violation-provenance report (causal chain from each "
+             "violated verdict back through the CIB updates it depends on)",
+    )
+    p_replay.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="write the per-invariant convergence timeline (plain text)",
+    )
+    p_replay.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="export the recorded event log as Chrome trace-event JSON",
+    )
+    p_replay.set_defaults(func=cmd_replay)
 
     p_net = sub.add_parser("dpvnet", help="print planner output (DPVNet + tasks)")
     add_io(p_net)

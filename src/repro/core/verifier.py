@@ -92,9 +92,17 @@ class OnDeviceVerifier:
         task: DeviceTask,
         plane: DevicePlane,
         predicate_index: str = "atoms",
+        tracer=None,
+        invariant: Optional[str] = None,
     ) -> None:
         self.task = task
         self.plane = plane
+        # Optional telemetry sink (repro.telemetry.Tracer) and the invariant
+        # name used to attribute verdict events.  Both default off so the
+        # parallel workers (which construct verifiers directly) are
+        # unaffected.
+        self.tracer = tracer
+        self.invariant = invariant
         self.ctx: PacketSpaceContext = task.packet_space.ctx
         self.arity = len(task.atoms)
         self.is_local_check = task.atoms[0].kind is MatchKind.EQUAL
@@ -595,6 +603,15 @@ class OnDeviceVerifier:
                     Violation(node.is_source_for, self._to_pred(region), bad)
                 )
         self.verdicts[node.is_source_for] = (not violations, violations)
+        if self.tracer is not None:
+            self.tracer.verdict(
+                self.task.dev,
+                self.invariant,
+                node.is_source_for,
+                not violations,
+                len(violations),
+                self.tracer.now(),
+            )
 
     def _run_local_checks(self) -> None:
         """``equal``-operator local contracts (§4.2): no counting at all."""
@@ -622,6 +639,15 @@ class OnDeviceVerifier:
             not self.local_violations,
             list(self.local_violations),
         )
+        if self.tracer is not None:
+            self.tracer.verdict(
+                self.task.dev,
+                self.invariant,
+                self.task.dev,
+                not self.local_violations,
+                len(self.local_violations),
+                self.tracer.now(),
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -55,3 +55,13 @@ class DatasetError(ReproError):
 
 class SerializationError(ReproError):
     """A BDD or message could not be serialized or deserialized."""
+
+
+class ReplayError(ReproError):
+    """A recorded trace could not be replayed faithfully.
+
+    Raised when the replayed run diverges from the recorded message
+    schedule (e.g. a link transmits more segments than the trace recorded),
+    or when a trace file is malformed or lacks the embedded inputs needed
+    for self-contained re-execution.
+    """

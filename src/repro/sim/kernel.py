@@ -51,6 +51,10 @@ class SimKernel:
         ] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # Optional telemetry sink (repro.telemetry.Tracer): each run()
+        # window is recorded as a span on the kernel track.  None (the
+        # default) keeps the loop untouched.
+        self.tracer = None
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> Timer:
         if time < self.now:
@@ -84,6 +88,8 @@ class SimKernel:
         ``until`` horizon must survive into the next run so reliability is
         unaffected by how the caller slices simulated time.
         """
+        run_start = self.now
+        events_before = self._events_processed
         while self._queue:
             time, _seq, timer, action = self._queue[0]
             if until is not None and time > until:
@@ -105,4 +111,11 @@ class SimKernel:
             self._events_processed += 1
         if until is not None and self.now < until:
             self.now = until
+        if self.tracer is not None:
+            self.tracer.kernel_run(
+                run_start,
+                self.now,
+                self._events_processed - events_before,
+                self.pending,
+            )
         return self.now

@@ -163,3 +163,58 @@ class MetricsCollector:
             name: sum(getattr(m, name) for m in self.devices.values())
             for name in fields_
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full collector state as JSON-serializable plain data.
+
+        Per-device message-cost lists and message logs can be large, so they
+        are summarized (count + total) rather than dumped verbatim; every
+        counter, profile snapshot and aggregate is included exactly.
+        """
+        devices = {}
+        for name in sorted(self.devices):
+            m = self.devices[name]
+            devices[name] = {
+                "events_processed": m.events_processed,
+                "busy_time": m.busy_time,
+                "init_cost": m.init_cost,
+                "message_cost_count": len(m.message_costs),
+                "message_cost_total": sum(m.message_costs),
+                "messages_sent": m.messages_sent,
+                "messages_received": m.messages_received,
+                "bytes_sent": m.bytes_sent,
+                "bytes_received": m.bytes_received,
+                "memory_proxy_peak": m.memory_proxy_peak,
+                "retransmits": m.retransmits,
+                "dup_drops": m.dup_drops,
+                "reorder_buffered": m.reorder_buffered,
+                "acks_sent": m.acks_sent,
+                "dup_acks_ignored": m.dup_acks_ignored,
+                "flows_given_up": m.flows_given_up,
+            }
+        workers = {
+            str(wid): {
+                "worker_id": w.worker_id,
+                "num_devices": w.num_devices,
+                "busy_time": w.busy_time,
+                "rounds": w.rounds,
+            }
+            for wid, w in sorted(self.workers.items())
+        }
+        return {
+            "devices": devices,
+            "workers": workers,
+            "verification_times": list(self.verification_times),
+            "parallel_wall": self.parallel_wall,
+            "routed_messages": self.routed_messages,
+            "routed_bytes": self.routed_bytes,
+            "engines": {k: dict(v) for k, v in sorted(self.engines.items())},
+            "atom_indexes": {
+                k: dict(v) for k, v in sorted(self.atom_indexes.items())
+            },
+            "totals": {
+                "messages": self.total_messages(),
+                "bytes": self.total_bytes(),
+                "transport": self.transport_totals(),
+            },
+        }

@@ -67,6 +67,8 @@ class SimDevice:
             self.verifiers[task_set.invariant_name] = OnDeviceVerifier(
                 task, self.plane,
                 predicate_index=self.network.predicate_index,
+                tracer=self.network.tracer,
+                invariant=task_set.invariant_name,
             )
 
     # ------------------------------------------------------------------
@@ -76,6 +78,7 @@ class SimDevice:
         invariant: Optional[str] = None,
         record_message_cost: bool = False,
         record_init_cost: bool = False,
+        label: str = "task",
     ) -> None:
         """Run a handler now; advance device time; route outgoing messages.
 
@@ -99,6 +102,10 @@ class SimDevice:
         if record_init_cost:
             metrics.init_cost += cost
         self.network.note_activity(finish)
+        if self.network.tracer is not None:
+            self.network.tracer.task_span(
+                self.name, label, invariant, start, finish
+            )
 
         for dest, message in outgoing:
             self.network.send(self.name, dest, message, invariant, at=finish)
@@ -121,6 +128,7 @@ class SimNetwork:
         chaos: Optional[ChaosConfig] = None,
         channel: Optional[Channel] = None,
         transport_config: Optional[TransportConfig] = None,
+        tracer=None,
     ) -> None:
         """``serialize_messages`` round-trips every DVM message through the
         byte codec (exact wire accounting + end-to-end codec exercise).
@@ -145,11 +153,39 @@ class SimNetwork:
         retransmission policy (defaults derive the RTO from the slowest
         link).  Without either, the transport is bypassed entirely and the
         network behaves exactly like the reliable seed simulator.
+
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) arms the causal
+        event log: handler spans, DVM sends/deliveries (with Lamport
+        clocks), transport fates, GC sweeps and lifecycle events are
+        recorded, and any active channel is wrapped so its per-transmission
+        fate schedule becomes replayable.  ``None`` (the default) keeps
+        every hot path on a single pointer check.
         """
         self.topology = topology
         self.ctx = ctx
         self.predicate_index = predicate_index
         self.kernel = SimKernel()
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.kernel.now)
+            self.kernel.tracer = tracer
+            # GC sweeps invalidate external memos via this hook; piggyback
+            # on it to log each sweep with the engine's own counters.
+            mgr = ctx.mgr
+
+            def _trace_gc() -> None:
+                tracer.gc_event(
+                    "",
+                    self.kernel.now,
+                    engine="serial",
+                    gc_runs=mgr.stats.gc_runs,
+                    live_nodes=mgr.stats.gc_last_live,
+                    reclaimed_total=mgr.stats.gc_reclaimed,
+                )
+
+            mgr.register_invalidation_hook(_trace_gc)
         self.cpu_scale = cpu_scale
         self.serialize_messages = serialize_messages
         self.proxies: Dict[str, str] = dict(proxies or {})
@@ -166,6 +202,11 @@ class SimNetwork:
             ctx.mgr.gc_threshold = gc_threshold
         if channel is None and chaos is not None:
             channel = FaultyChannel(chaos)
+        if channel is not None and tracer is not None:
+            # Record the per-transmission fate schedule for replay.
+            from repro.telemetry.record import RecordingChannel
+
+            channel = RecordingChannel(channel, tracer)
         self.channel = channel
         self.transport: Optional[DvmTransport] = None
         if channel is not None:
@@ -239,6 +280,8 @@ class SimNetwork:
             metrics.message_log.append(
                 (src, dst, type(message).__name__, size)
             )
+        if self.tracer is not None:
+            self.tracer.dvm_send(src, dst, invariant, message, size, at)
         if self.transport is not None:
             self.transport.send(src, dst, invariant, message, at, latency)
             return
@@ -279,6 +322,10 @@ class SimNetwork:
         recv.messages_received += 1
         size = message.wire_size() if hasattr(message, "wire_size") else 64
         recv.bytes_received += size
+        if self.tracer is not None:
+            self.tracer.dvm_deliver(
+                src, dst, invariant, message, size, self.kernel.now
+            )
         verifier = device.verifiers.get(invariant) if invariant else None
         if verifier is None:
             return
@@ -289,12 +336,14 @@ class SimNetwork:
                 lambda: verifier.handle_update(message),
                 invariant,
                 record_message_cost=True,
+                label="update",
             )
         elif isinstance(message, SubscribeMessage):
             device.process(
                 lambda: verifier.handle_subscribe(message),
                 invariant,
                 record_message_cost=True,
+                label="subscribe",
             )
         else:
             raise SimulationError(f"unknown message type {type(message)}")
@@ -312,7 +361,10 @@ class SimNetwork:
             for inv_name, verifier in device.verifiers.items():
                 def make(dev=device, ver=verifier, inv=inv_name):
                     def run() -> None:
-                        dev.process(ver.initialize, inv, record_init_cost=True)
+                        dev.process(
+                            ver.initialize, inv,
+                            record_init_cost=True, label="init",
+                        )
                     return run
                 self.kernel.schedule_at(at, make())
 
@@ -336,6 +388,8 @@ class SimNetwork:
             metrics.busy_time += cost
             metrics.init_cost += cost
             self.note_activity(finish)
+            if self.tracer is not None:
+                self.tracer.task_span(dev, "install_rules", None, start, finish)
             for dest, msg, inv_name in all_out:
                 self.send(dev, dest, msg, inv_name, at=finish)
 
@@ -371,6 +425,8 @@ class SimNetwork:
             metrics.busy_time += cost
             metrics.message_costs.append(cost)
             self.note_activity(finish)
+            if self.tracer is not None:
+                self.tracer.task_span(dev, "rule_update", None, start, finish)
             for dest, msg, inv_name in all_out:
                 self.send(dev, dest, msg, inv_name, at=finish)
 
@@ -381,6 +437,8 @@ class SimNetwork:
         link = canonical_link(a, b)
 
         def run() -> None:
+            if self.tracer is not None:
+                self.tracer.link_event(a, b, is_up, self.kernel.now)
             if is_up:
                 self.failed_links.discard(link)
                 if self.transport is not None:
@@ -393,7 +451,7 @@ class SimNetwork:
                     def make(dev=device, ver=verifier, inv=inv_name, neigh=other):
                         def handler() -> List[Outgoing]:
                             return ver.handle_link_change(neigh, is_up)
-                        return lambda: dev.process(handler, inv)
+                        return lambda: dev.process(handler, inv, label="link_change")
                     make()()
 
         self.kernel.schedule_at(at, run)
@@ -412,6 +470,8 @@ class SimNetwork:
             raise SimulationError(f"unknown device {dev!r}")
 
         def run() -> None:
+            if self.tracer is not None:
+                self.tracer.crash(dev, self.kernel.now)
             self.devices_down.add(dev)
             for neighbor in self.topology.neighbors(dev):
                 self.failed_links.add(canonical_link(dev, neighbor))
@@ -423,7 +483,7 @@ class SimNetwork:
                     def make(ndev=device, ver=verifier, inv=inv_name):
                         def handler() -> List[Outgoing]:
                             return ver.handle_link_change(dev, False)
-                        return lambda: ndev.process(handler, inv)
+                        return lambda: ndev.process(handler, inv, label="neighbor_crash")
                     make()()
 
         self.kernel.schedule_at(at, run)
@@ -445,6 +505,8 @@ class SimNetwork:
             raise SimulationError(f"unknown device {dev!r}")
 
         def run() -> None:
+            if self.tracer is not None:
+                self.tracer.restart(dev, self.kernel.now)
             self.devices_down.discard(dev)
             for neighbor in self.topology.neighbors(dev):
                 self.failed_links.discard(canonical_link(dev, neighbor))
@@ -457,7 +519,8 @@ class SimNetwork:
             for inv_name, verifier in device.verifiers.items():
                 def make_init(rdev=device, ver=verifier, inv=inv_name):
                     return lambda: rdev.process(
-                        ver.initialize, inv, record_init_cost=True
+                        ver.initialize, inv, record_init_cost=True,
+                        label="init",
                     )
                 make_init()()
             for neighbor in self.topology.neighbors(dev):
@@ -466,7 +529,9 @@ class SimNetwork:
                     def make(nd=ndev, ver=verifier, inv=inv_name):
                         def handler() -> List[Outgoing]:
                             return ver.handle_neighbor_restart(dev)
-                        return lambda: nd.process(handler, inv)
+                        return lambda: nd.process(
+                            handler, inv, label="neighbor_restart"
+                        )
                     make()()
 
         self.kernel.schedule_at(at, run)
@@ -480,7 +545,7 @@ class SimNetwork:
                     def make(dev=device, ver=verifier, inv=inv_name):
                         def handler() -> List[Outgoing]:
                             return ver.activate_scene(scene_id)
-                        return lambda: dev.process(handler, inv)
+                        return lambda: dev.process(handler, inv, label="scene")
                     make()()
 
         self.kernel.schedule_at(at, run)

@@ -84,6 +84,8 @@ class TulkunRunner:
         predicate_index: str = "atoms",
         chaos: Optional[ChaosConfig] = None,
         transport_config: Optional[TransportConfig] = None,
+        tracer=None,
+        channel=None,
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -108,6 +110,11 @@ class TulkunRunner:
         only): messages ride a seeded unreliable channel with seq/ack
         retransmission; converged verdicts stay byte-identical to the
         reliable run.  ``transport_config`` tunes the retransmission policy.
+
+        ``tracer`` attaches a :class:`repro.telemetry.Tracer` to collect the
+        causally-ordered event log (serial backend only).  ``channel``
+        overrides the transport channel — used by replay to substitute a
+        :class:`repro.telemetry.ReplayChannel` carrying recorded fates.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -116,6 +123,12 @@ class TulkunRunner:
         if chaos is not None and backend != "serial":
             raise ValueError(
                 "chaos fault injection requires the serial backend"
+            )
+        if tracer is not None and backend != "serial":
+            raise ValueError("tracing requires the serial backend")
+        if channel is not None and backend != "serial":
+            raise ValueError(
+                "a channel override requires the serial backend"
             )
         self.topology = topology
         self.ctx = ctx
@@ -136,6 +149,8 @@ class TulkunRunner:
         self.predicate_index = predicate_index
         self.chaos = chaos
         self.transport_config = transport_config
+        self.tracer = tracer
+        self.channel = channel
         self.network = None  # SimNetwork | ParallelNetwork
 
     # ------------------------------------------------------------------
@@ -167,6 +182,8 @@ class TulkunRunner:
                 predicate_index=self.predicate_index,
                 chaos=self.chaos,
                 transport_config=self.transport_config,
+                tracer=self.tracer,
+                channel=self.channel,
             )
         return self.network
 

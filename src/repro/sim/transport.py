@@ -298,6 +298,14 @@ class DvmTransport:
     ) -> None:
         src, dst, invariant = key
         segment = Segment("data", src, dst, invariant, flow.epoch, seq, pending.payload)
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            kind = "transport_send" if pending.attempts == 0 else "transport_retransmit"
+            tracer.transport_event(
+                kind, src, at,
+                dst=dst, invariant=invariant, seq=seq,
+                epoch=flow.epoch, attempts=pending.attempts,
+            )
         for delay in self.channel.transmit(src, dst, latency):
             self.network.schedule_segment(segment, at + delay)
         timeout = self.rto(pending.attempts)
@@ -332,6 +340,12 @@ class DvmTransport:
         flow.unacked.clear()
         self.unreachable.add(key)
         self.network.metrics.device(key[0]).flows_given_up += 1
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.transport_event(
+                "transport_giveup", key[0], self.network.kernel.now,
+                dst=key[1], invariant=key[2], epoch=flow.epoch,
+            )
 
     def _handle_ack(self, segment: Segment) -> None:
         # An ACK travels data-receiver → data-sender, so the data flow it
@@ -350,6 +364,13 @@ class DvmTransport:
             pending = flow.unacked.pop(seq)
             if pending.timer is not None:
                 pending.timer.cancel()
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.transport_event(
+                "transport_ack", segment.dst, self.network.kernel.now,
+                src=segment.src, invariant=segment.invariant,
+                acked_through=segment.seq, newly_acked=len(acked),
+            )
 
     # ------------------------------------------------------------------
     # Receiver side
@@ -377,13 +398,28 @@ class DvmTransport:
             flow.epoch = segment.epoch
             flow.next_expected = 1
             flow.buffer.clear()
+        tracer = getattr(self.network, "tracer", None)
         if segment.seq < flow.next_expected or segment.seq in flow.buffer:
             metrics.dup_drops += 1
+            if tracer is not None:
+                tracer.transport_event(
+                    "transport_dup_drop", segment.dst,
+                    self.network.kernel.now,
+                    src=segment.src, invariant=segment.invariant,
+                    seq=segment.seq,
+                )
         elif segment.seq == flow.next_expected:
             self._deliver_in_order(key, flow, segment.payload)
         else:
             metrics.reorder_buffered += 1
             flow.buffer[segment.seq] = segment.payload
+            if tracer is not None:
+                tracer.transport_event(
+                    "transport_buffer", segment.dst,
+                    self.network.kernel.now,
+                    src=segment.src, invariant=segment.invariant,
+                    seq=segment.seq, expected=flow.next_expected,
+                )
         self._send_ack(key, flow)
 
     def _deliver_in_order(self, key: FlowKey, flow: _ReceiverFlow, payload) -> None:

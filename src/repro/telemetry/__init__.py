@@ -1,0 +1,35 @@
+"""Causal tracing, exporters and deterministic record/replay.
+
+The debugging substrate for distributed verification runs: a
+:class:`Tracer` collects a causally-ordered (Lamport-stamped) event log as
+the simulator executes, exporters render it as a Perfetto-loadable Chrome
+trace, a per-invariant convergence timeline or a violation-provenance
+report, and :class:`TraceFile` records the full message schedule (chaos
+fates included) so any run — flaky seed or not — replays byte-identically.
+"""
+
+from repro.telemetry.chrome import export_chrome_trace, write_chrome_trace
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.record import (
+    RecordingChannel,
+    ReplayChannel,
+    TraceFile,
+    outcome_snapshot,
+    replay_trace,
+)
+from repro.telemetry.timeline import convergence_timeline, violation_provenance
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "RecordingChannel",
+    "ReplayChannel",
+    "TraceEvent",
+    "TraceFile",
+    "Tracer",
+    "convergence_timeline",
+    "export_chrome_trace",
+    "outcome_snapshot",
+    "replay_trace",
+    "violation_provenance",
+    "write_chrome_trace",
+]

@@ -1,0 +1,169 @@
+"""Chrome trace-event (Perfetto) export.
+
+Renders a traced run as the JSON object format Perfetto and
+``chrome://tracing`` load directly: one thread track per device (plus a
+``kernel`` track for run windows), ``B``/``E`` span pairs for event-handler
+executions, instant events for transport/lifecycle records, and ``s``/``f``
+flow events tying each DVM send to its delivery across tracks.
+
+Timestamps are simulated seconds scaled to microseconds (the trace-event
+unit).  Per track, items are sorted by ``(ts, seq, B-before-E)``; device
+handler spans never overlap (devices process serially), so the emitted
+stream is monotone in ``ts`` per track and every ``B`` is closed by the
+next ``E`` with the same name — properties the golden-schema test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.events import (
+    DVM_DELIVER,
+    DVM_SEND,
+    SPAN_KINDS,
+    TraceEvent,
+)
+
+__all__ = ["export_chrome_trace", "write_chrome_trace"]
+
+_PID = 1
+_SCALE = 1e6  # simulated seconds -> trace-event microseconds
+
+_INSTANT_NAMES = {
+    "transport_send": "tx send",
+    "transport_retransmit": "tx retransmit",
+    "transport_ack": "tx ack",
+    "transport_giveup": "tx give-up",
+    "transport_dup_drop": "tx dup-drop",
+    "transport_buffer": "tx reorder-buffer",
+    "gc": "bdd gc",
+    "verdict": "verdict",
+    "link": "link",
+    "crash": "crash",
+    "restart": "restart",
+    DVM_SEND: "dvm send",
+    DVM_DELIVER: "dvm deliver",
+}
+
+
+def _track_name(device: str) -> str:
+    return device if device else "kernel"
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent], metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for an event log."""
+    events = list(events)
+    devices = sorted({e.device for e in events})
+    tids = {dev: i for i, dev in enumerate(devices)}
+
+    trace_events: List[Dict[str, Any]] = []
+    for dev in devices:
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[dev],
+                "ts": 0,
+                "args": {"name": _track_name(dev)},
+            }
+        )
+
+    # Per-track item lists; key (ts_us, seq, sub) keeps a span's B before
+    # its E at equal timestamps and interleaves instants causally.
+    per_track: Dict[int, List[tuple]] = {tid: [] for tid in tids.values()}
+
+    def emit(tid: int, ts: float, seq: int, sub: int, obj: Dict[str, Any]) -> None:
+        per_track[tid].append((ts * _SCALE, seq, sub, obj))
+
+    for event in events:
+        tid = tids[event.device]
+        args = {
+            k: v
+            for k, v in event.fields.items()
+            if k not in ("start", "finish")
+        }
+        args["lamport"] = event.lamport
+        if event.kind in SPAN_KINDS:
+            start = float(event.fields.get("start", event.ts))
+            finish = float(event.fields.get("finish", start))
+            name = str(event.fields.get("name", event.kind))
+            base = {"name": name, "cat": event.kind, "pid": _PID, "tid": tid}
+            emit(tid, start, event.seq, 0, {**base, "ph": "B", "args": args})
+            emit(tid, finish, event.seq, 1, {**base, "ph": "E"})
+            continue
+        name = _INSTANT_NAMES.get(event.kind, event.kind)
+        emit(
+            tid,
+            event.ts,
+            event.seq,
+            0,
+            {
+                "name": name,
+                "cat": event.kind,
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            },
+        )
+        # DVM messages additionally become flow arrows between tracks.
+        if event.kind == DVM_SEND:
+            emit(
+                tid,
+                event.ts,
+                event.seq,
+                1,
+                {
+                    "name": str(event.fields.get("msg", "dvm")),
+                    "cat": "dvm-flow",
+                    "ph": "s",
+                    "id": event.fields.get("msg_id", 0),
+                    "pid": _PID,
+                    "tid": tid,
+                },
+            )
+        elif event.kind == DVM_DELIVER and event.fields.get("msg_id"):
+            emit(
+                tid,
+                event.ts,
+                event.seq,
+                1,
+                {
+                    "name": str(event.fields.get("msg", "dvm")),
+                    "cat": "dvm-flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": event.fields.get("msg_id", 0),
+                    "pid": _PID,
+                    "tid": tid,
+                },
+            )
+
+    for tid in sorted(per_track):
+        items = sorted(per_track[tid], key=lambda item: item[:3])
+        for ts_us, _seq, _sub, obj in items:
+            obj["ts"] = ts_us
+            trace_events.append(obj)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "tulkun-telemetry-v1",
+            **(metadata or {}),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    events: Iterable[TraceEvent],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(export_chrome_trace(events, metadata), handle, indent=1)

@@ -1,0 +1,366 @@
+"""Deterministic record/replay of DVM simulation runs.
+
+A traced run records, alongside the event log, the *fate schedule* of its
+channel: for every physical transmission on every directed link, the list
+of arrival delays the channel produced plus the fault flags (drop /
+duplicate / delay) behind them.  Because the fault-injecting channel draws
+fates per ``(src, dst, link_seq)`` — independent of global event
+interleaving — replaying that schedule through a :class:`ReplayChannel`
+re-executes the exact same protocol run, byte for byte, in either
+predicate-index mode.
+
+A :class:`TraceFile` bundles the schedule with the run configuration, the
+expected outcomes (statuses, violation regions, transport summary) and the
+event log.  With the input files embedded (the CLI's ``--trace`` does
+this), ``python -m repro replay trace.json`` is fully self-contained: it
+rebuilds the scenario, swaps the recorded schedule in for the channel, and
+verifies the re-executed outcomes byte-identically — turning any flaky
+chaos seed into a deterministic repro artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReplayError
+from repro.sim.transport import Channel, ChaosConfig, TransportConfig
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "RecordingChannel",
+    "ReplayChannel",
+    "TraceFile",
+    "outcome_snapshot",
+    "replay_trace",
+]
+
+TRACE_FORMAT = "tulkun-trace-v1"
+
+# Fate flags (bitmask per transmission).
+_DROPPED = 1
+_DUPLICATED = 2
+_DELAYED = 4
+
+_FLAG_FIELDS = (("dropped", _DROPPED), ("duplicated", _DUPLICATED), ("delayed", _DELAYED))
+
+
+class RecordingChannel(Channel):
+    """Transparent wrapper that logs every transmission's fate.
+
+    Fault flags are recovered exactly by diffing the inner channel's
+    counters around each call, so the recorded schedule reproduces not just
+    behaviour but the channel's own statistics.
+    """
+
+    def __init__(self, inner: Channel, tracer: Tracer) -> None:
+        self.inner = inner
+        self._fates = tracer.channel_fates
+
+    def transmit(self, src: str, dst: str, latency: float) -> List[float]:
+        before = self.inner.stats()
+        delays = self.inner.transmit(src, dst, latency)
+        after = self.inner.stats()
+        flags = 0
+        for name, bit in _FLAG_FIELDS:
+            if after.get(name, 0) > before.get(name, 0):
+                flags |= bit
+        self._fates.setdefault((src, dst), []).append((list(delays), flags))
+        return delays
+
+    def stats(self) -> Dict[str, int]:
+        return self.inner.stats()
+
+
+class ReplayChannel(Channel):
+    """Replays a recorded fate schedule instead of drawing fresh fates."""
+
+    def __init__(
+        self,
+        fates: Dict[Tuple[str, str], List[Tuple[List[float], int]]],
+        stat_keys: Tuple[str, ...] = (),
+    ) -> None:
+        self._fates = {key: list(schedule) for key, schedule in fates.items()}
+        self._pos: Dict[Tuple[str, str], int] = {}
+        self._stat_keys = tuple(stat_keys)
+        self.transmissions = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def transmit(self, src: str, dst: str, latency: float) -> List[float]:
+        key = (src, dst)
+        index = self._pos.get(key, 0)
+        schedule = self._fates.get(key)
+        if schedule is None or index >= len(schedule):
+            raise ReplayError(
+                f"fate schedule exhausted for link {src}->{dst} at "
+                f"transmission {index}: the replayed run diverged from the "
+                "recording"
+            )
+        self._pos[key] = index + 1
+        delays, flags = schedule[index]
+        self.transmissions += 1
+        if flags & _DROPPED:
+            self.dropped += 1
+        if flags & _DUPLICATED:
+            self.duplicated += 1
+        if flags & _DELAYED:
+            self.delayed += 1
+        return list(delays)
+
+    def stats(self) -> Dict[str, int]:
+        return {key: getattr(self, key, 0) for key in self._stat_keys}
+
+
+def outcome_snapshot(runner) -> Dict[str, Any]:
+    """Canonical, JSON-able fingerprint of a run's converged outcomes.
+
+    Violation regions are serialized ROBDD bytes (hex), so equality between
+    snapshots is byte-identity of the verdict-relevant state — across
+    predicate-index modes and across record/replay.
+    """
+    from repro.bdd.serialize import serialize_predicate
+
+    network = runner.network
+    violations: Dict[str, List[Dict[str, Any]]] = {}
+    verdicts: Dict[str, Dict[str, bool]] = {}
+    for inv in runner.invariants:
+        rows = []
+        for violation in network.violations(inv.name):
+            rows.append(
+                {
+                    "ingress": violation.ingress,
+                    "region": serialize_predicate(violation.region).hex(),
+                    "counts": sorted(list(vec) for vec in violation.counts),
+                    "message": violation.message,
+                }
+            )
+        rows.sort(key=lambda row: (row["ingress"], row["region"], row["message"]))
+        violations[inv.name] = rows
+        verdicts[inv.name] = {
+            ingress: bool(ok)
+            for ingress, (ok, _v) in sorted(network.verdicts(inv.name).items())
+        }
+    return {
+        "statuses": dict(runner.statuses()),
+        "converged": bool(network.converged),
+        "transport_summary": {
+            key: int(value)
+            for key, value in sorted(network.transport_summary().items())
+        },
+        "verdicts": verdicts,
+        "violations": violations,
+    }
+
+
+def _diff(prefix: str, recorded: Any, replayed: Any, out: List[str]) -> None:
+    if isinstance(recorded, dict) and isinstance(replayed, dict):
+        for key in sorted(set(recorded) | set(replayed)):
+            _diff(
+                f"{prefix}.{key}" if prefix else str(key),
+                recorded.get(key),
+                replayed.get(key),
+                out,
+            )
+        return
+    if recorded != replayed:
+        out.append(f"{prefix}: recorded {recorded!r} != replayed {replayed!r}")
+
+
+@dataclass
+class TraceFile:
+    """The on-disk record of one traced run (JSON document)."""
+
+    predicate_index: str
+    cpu_scale: float = 0.0
+    chaos: Optional[Dict[str, Any]] = None
+    transport: Optional[Dict[str, Any]] = None
+    scenario: str = "burst"
+    # Embedded input texts ({"topology", "fib", "spec"}) for self-contained
+    # CLI replay; None for library-driven scenarios replayed in process.
+    inputs: Optional[Dict[str, str]] = None
+    fates: Dict[Tuple[str, str], List[Tuple[List[float], int]]] = field(
+        default_factory=dict
+    )
+    channel_stat_keys: Tuple[str, ...] = ()
+    expected: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        runner,
+        tracer: Tracer,
+        inputs: Optional[Dict[str, str]] = None,
+        scenario: str = "burst",
+    ) -> "TraceFile":
+        """Snapshot a finished traced run into a replayable trace."""
+        network = runner.network
+        channel = getattr(network, "channel", None)
+        stat_keys: Tuple[str, ...] = ()
+        if channel is not None:
+            stat_keys = tuple(sorted(channel.stats().keys()))
+        chaos = runner.chaos
+        transport_config = runner.transport_config
+        return cls(
+            predicate_index=runner.predicate_index,
+            cpu_scale=runner.cpu_scale,
+            chaos=asdict(chaos) if chaos is not None else None,
+            transport=(
+                asdict(transport_config) if transport_config is not None else None
+            ),
+            scenario=scenario,
+            inputs=dict(inputs) if inputs else None,
+            fates={
+                key: [(list(delays), flags) for delays, flags in schedule]
+                for key, schedule in tracer.channel_fates.items()
+            },
+            channel_stat_keys=stat_keys,
+            expected=outcome_snapshot(runner),
+            events=[event.to_dict() for event in tracer.events],
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        doc = {
+            "format": TRACE_FORMAT,
+            "predicate_index": self.predicate_index,
+            "cpu_scale": self.cpu_scale,
+            "chaos": self.chaos,
+            "transport": self.transport,
+            "scenario": self.scenario,
+            "inputs": self.inputs,
+            "fates": {
+                f"{src}>{dst}": [[delays, flags] for delays, flags in schedule]
+                for (src, dst), schedule in sorted(self.fates.items())
+            },
+            "channel_stat_keys": list(self.channel_stat_keys),
+            "expected": self.expected,
+            "events": self.events,
+        }
+        return json.dumps(doc, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceFile":
+        doc = json.loads(text)
+        if doc.get("format") != TRACE_FORMAT:
+            raise ReplayError(
+                f"unknown trace format {doc.get('format')!r} "
+                f"(expected {TRACE_FORMAT!r})"
+            )
+        fates: Dict[Tuple[str, str], List[Tuple[List[float], int]]] = {}
+        for link, schedule in doc.get("fates", {}).items():
+            src, _, dst = link.partition(">")
+            fates[(src, dst)] = [
+                ([float(d) for d in delays], int(flags))
+                for delays, flags in schedule
+            ]
+        return cls(
+            predicate_index=doc["predicate_index"],
+            cpu_scale=float(doc.get("cpu_scale", 0.0)),
+            chaos=doc.get("chaos"),
+            transport=doc.get("transport"),
+            scenario=doc.get("scenario", "burst"),
+            inputs=doc.get("inputs"),
+            fates=fates,
+            channel_stat_keys=tuple(doc.get("channel_stat_keys", [])),
+            expected=doc.get("expected", {}),
+            events=list(doc.get("events", [])),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "TraceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay_channel(self) -> Optional[ReplayChannel]:
+        """A channel replaying the recorded schedule (None if no channel
+        was active — the reliable direct path needs no replay)."""
+        if not self.fates and not self.chaos:
+            return None
+        return ReplayChannel(self.fates, self.channel_stat_keys)
+
+    def transport_config(self) -> Optional[TransportConfig]:
+        if self.transport is None:
+            return None
+        return TransportConfig(**self.transport)
+
+    def trace_events(self) -> List[TraceEvent]:
+        return [TraceEvent.from_dict(data) for data in self.events]
+
+    def verify(self, runner) -> List[str]:
+        """Compare a replayed run's outcomes to the recording; return the
+        list of mismatches (empty = byte-identical)."""
+        mismatches: List[str] = []
+        _diff("", self.expected, outcome_snapshot(runner), mismatches)
+        return mismatches
+
+
+def replay_trace(
+    trace: TraceFile,
+    predicate_index: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Re-execute a self-contained trace (embedded inputs, burst scenario).
+
+    Returns the finished runner; call :meth:`TraceFile.verify` on it to
+    check byte-identity.  ``predicate_index`` overrides the recorded mode —
+    the outcomes must be identical either way, which is exactly what the
+    cross-mode replay tests pin.
+    """
+    if trace.inputs is None:
+        raise ReplayError(
+            "trace has no embedded inputs; record it via the CLI's --trace "
+            "or replay it in-process against the original scenario"
+        )
+    if trace.scenario != "burst":
+        raise ReplayError(f"unknown recorded scenario {trace.scenario!r}")
+
+    from repro.bdd import PacketSpaceContext
+    from repro.core.language import parse_invariants
+    from repro.dataplane.device import DevicePlane
+    from repro.dataplane.fib import parse_fib_text
+    from repro.dataplane.rule import Rule
+    from repro.sim.runner import TulkunRunner
+    from repro.topology.fileformat import parse_topology_text
+
+    ctx = PacketSpaceContext()
+    topology = parse_topology_text(trace.inputs["topology"])
+    planes = parse_fib_text(ctx, trace.inputs["fib"])
+    invariants = parse_invariants(ctx, trace.inputs["spec"])
+    for dev in topology.devices:
+        planes.setdefault(dev, DevicePlane(dev, ctx))
+
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=trace.cpu_scale,
+        predicate_index=predicate_index or trace.predicate_index,
+        chaos=ChaosConfig(**trace.chaos) if trace.chaos else None,
+        transport_config=trace.transport_config(),
+        channel=trace.replay_channel(),
+        tracer=tracer,
+    )
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    runner.burst_update(rules)
+    return runner

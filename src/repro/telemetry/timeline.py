@@ -1,0 +1,234 @@
+"""Plain-text views over a trace: convergence timelines and provenance.
+
+Two forensic reports, both computed purely from the event log:
+
+* :func:`convergence_timeline` — per invariant, the chronological story of
+  a run: message milestones, verdict transitions, topology events and
+  transport give-ups, ending with the final verdict per ingress.
+
+* :func:`violation_provenance` — for each violated verdict, the *causal
+  cone*: the chain of CIB UPDATE/SUBSCRIBE deliveries that happened-before
+  the verdict under the traced Lamport order, walked transitively back
+  through each message's send event.  This is the distributed analogue of a
+  centralized verifier's explorable execution trace — it names exactly
+  which counting-result updates a verdict depended on, in causal order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.telemetry.events import (
+    CRASH,
+    DVM_DELIVER,
+    DVM_SEND,
+    LINK,
+    RESTART,
+    TRANSPORT_GIVEUP,
+    VERDICT,
+    TraceEvent,
+)
+
+__all__ = ["convergence_timeline", "violation_provenance"]
+
+
+def _fmt_ts(ts: float) -> str:
+    return f"t={ts * 1e3:.6f}ms"
+
+
+def convergence_timeline(
+    events: Iterable[TraceEvent],
+    invariant: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Per-invariant convergence timeline as plain text.
+
+    ``invariant`` restricts the report to one invariant; ``limit`` caps the
+    number of detail lines per invariant (the summary always prints).
+    """
+    events = sorted(events, key=lambda e: (e.ts, e.seq))
+    invariants: List[str] = []
+    for event in events:
+        inv = event.fields.get("invariant")
+        if inv and inv not in invariants:
+            invariants.append(inv)
+    if invariant is not None:
+        invariants = [inv for inv in invariants if inv == invariant]
+
+    global_lines: List[Tuple[float, int, str]] = []
+    for event in events:
+        if event.kind == LINK:
+            state = "up" if event.fields.get("up") else "DOWN"
+            global_lines.append(
+                (event.ts, event.seq,
+                 f"{_fmt_ts(event.ts)}  link {event.device}-"
+                 f"{event.fields.get('other')} {state}")
+            )
+        elif event.kind in (CRASH, RESTART):
+            global_lines.append(
+                (event.ts, event.seq,
+                 f"{_fmt_ts(event.ts)}  device {event.device} {event.kind}")
+            )
+
+    out: List[str] = []
+    for inv in invariants:
+        out.append(f"invariant {inv!r}")
+        lines: List[Tuple[float, int, str]] = list(global_lines)
+        sends = delivers = 0
+        final_verdicts: Dict[str, Tuple[bool, int]] = {}
+        for event in events:
+            if event.fields.get("invariant") != inv:
+                continue
+            if event.kind == DVM_SEND:
+                sends += 1
+            elif event.kind == DVM_DELIVER:
+                delivers += 1
+            elif event.kind == VERDICT:
+                ingress = event.fields.get("ingress", "?")
+                ok = bool(event.fields.get("ok"))
+                nviol = int(event.fields.get("violations", 0))
+                final_verdicts[ingress] = (ok, nviol)
+                status = "ok" if ok else f"VIOLATED ({nviol} region(s))"
+                lines.append(
+                    (event.ts, event.seq,
+                     f"{_fmt_ts(event.ts)}  verdict at {event.device} "
+                     f"[ingress {ingress}]: {status}")
+                )
+            elif event.kind == TRANSPORT_GIVEUP:
+                lines.append(
+                    (event.ts, event.seq,
+                     f"{_fmt_ts(event.ts)}  transport GIVE-UP "
+                     f"{event.device}->{event.fields.get('dst')} "
+                     f"(invariant now UNKNOWN)")
+                )
+        lines.sort(key=lambda item: item[:2])
+        shown = lines if limit is None else lines[:limit]
+        for _ts, _seq, text in shown:
+            out.append(f"  {text}")
+        if limit is not None and len(lines) > limit:
+            out.append(f"  ... {len(lines) - limit} more line(s)")
+        out.append(
+            f"  summary: {sends} update/subscribe send(s), "
+            f"{delivers} delivery(ies)"
+        )
+        if final_verdicts:
+            for ingress in sorted(final_verdicts):
+                ok, nviol = final_verdicts[ingress]
+                status = "HOLDS" if ok else f"VIOLATED ({nviol} region(s))"
+                out.append(f"  final [{ingress}]: {status}")
+        else:
+            out.append("  final: no verdict events recorded")
+        out.append("")
+    if not invariants:
+        out.append("no invariant-tagged events in trace")
+    return "\n".join(out).rstrip() + "\n"
+
+
+def _causal_cone(
+    events: List[TraceEvent], verdict: TraceEvent
+) -> List[TraceEvent]:
+    """Deliveries that happened-before ``verdict``, walked transitively.
+
+    Frontier entries are ``(device, lamport_bound)``: every delivery at
+    ``device`` with a Lamport stamp ≤ the bound happened-before the target,
+    and each such delivery extends the frontier to its sender at the send
+    event's stamp.  Message ids dedupe the walk; the DPVNet is a DAG so the
+    cone is finite even without the dedup.
+    """
+    inv = verdict.fields.get("invariant")
+    delivers_by_device: Dict[str, List[TraceEvent]] = {}
+    send_by_msg: Dict[int, TraceEvent] = {}
+    for event in events:
+        if event.fields.get("invariant") != inv:
+            continue
+        if event.kind == DVM_DELIVER:
+            delivers_by_device.setdefault(event.device, []).append(event)
+        elif event.kind == DVM_SEND:
+            send_by_msg[event.fields.get("msg_id", 0)] = event
+
+    cone: List[TraceEvent] = []
+    seen_msgs: Set[int] = set()
+    frontier: List[Tuple[str, int]] = [(verdict.device, verdict.lamport)]
+    visited_bounds: Dict[str, int] = {}
+    while frontier:
+        device, bound = frontier.pop()
+        if visited_bounds.get(device, -1) >= bound:
+            continue
+        visited_bounds[device] = bound
+        for deliver in delivers_by_device.get(device, []):
+            if deliver.lamport > bound:
+                continue
+            msg_id = deliver.fields.get("msg_id", 0)
+            if msg_id in seen_msgs:
+                continue
+            seen_msgs.add(msg_id)
+            cone.append(deliver)
+            send = send_by_msg.get(msg_id)
+            if send is not None:
+                frontier.append((send.device, send.lamport))
+    cone.sort(key=lambda e: (e.ts, e.seq))
+    return cone
+
+
+def violation_provenance(
+    events: Iterable[TraceEvent],
+    invariant: Optional[str] = None,
+) -> str:
+    """Walk each violated verdict back through the CIB updates it depends on.
+
+    For every ingress whose *latest* verdict is a violation, reports the
+    causal cone of DVM deliveries (UPDATE/SUBSCRIBE) under the Lamport
+    order, chronologically — the counting-result flow that produced the
+    violating count vectors.
+    """
+    events = sorted(events, key=lambda e: (e.ts, e.seq))
+    latest: Dict[Tuple[str, str], TraceEvent] = {}
+    for event in events:
+        if event.kind != VERDICT:
+            continue
+        inv = event.fields.get("invariant")
+        if invariant is not None and inv != invariant:
+            continue
+        latest[(inv, event.fields.get("ingress", "?"))] = event
+
+    out: List[str] = []
+    violated = [
+        (key, ev) for key, ev in sorted(latest.items())
+        if not ev.fields.get("ok")
+    ]
+    if not violated:
+        out.append("violation provenance: no violated verdicts in trace")
+        return "\n".join(out) + "\n"
+    for (inv, ingress), verdict in violated:
+        nviol = int(verdict.fields.get("violations", 0))
+        out.append(
+            f"violation provenance — invariant {inv!r}, ingress {ingress!r}"
+        )
+        out.append(
+            f"  verdict at {verdict.device} {_fmt_ts(verdict.ts)} "
+            f"(lamport {verdict.lamport}): VIOLATED, {nviol} region(s)"
+        )
+        cone = _causal_cone(events, verdict)
+        if not cone:
+            out.append(
+                "  no upstream CIB updates: the violation is decided by "
+                "local state alone (LEC + base vectors)"
+            )
+        else:
+            out.append(
+                f"  causal CIB updates ({len(cone)}, chronological):"
+            )
+            for deliver in cone:
+                link = deliver.fields.get("link")
+                link_txt = (
+                    f" link ({link[0]},{link[1]})" if link else ""
+                )
+                out.append(
+                    f"    {_fmt_ts(deliver.ts)}  "
+                    f"{deliver.fields.get('msg', '?')} "
+                    f"{deliver.fields.get('src')} -> {deliver.device}"
+                    f"{link_txt}, {deliver.fields.get('size', 0)}B "
+                    f"(lamport {deliver.lamport})"
+                )
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

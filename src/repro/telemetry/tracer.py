@@ -1,0 +1,224 @@
+"""The event collector threaded through kernel, network, transport, verifier.
+
+A :class:`Tracer` is the single mutable sink for a traced run: it stamps
+every record with simulated time (read from the kernel it is bound to) and a
+per-device Lamport clock, assigns message ids so a send and its delivery can
+be correlated across devices, and — when the run uses a fault-injecting
+channel — collects the per-link fate schedule the record/replay layer needs.
+
+Overhead discipline: the simulator's hot paths guard every call with
+``if tracer is not None``; a disabled tracer (``Tracer(enabled=False)``) is
+additionally inert so user code can pass one around unconditionally.  The
+bench acceptance bar (<3% on ``bench_dvm_churn``/``bench_chaos_overhead``
+with tracing off) holds because the disabled path is a single identity
+check per event-handler, never per BDD operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import (
+    CRASH,
+    DVM_DELIVER,
+    DVM_SEND,
+    GC,
+    KERNEL_RUN,
+    LINK,
+    RESTART,
+    TASK,
+    VERDICT,
+    TraceEvent,
+)
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Collects the causally-ordered event log of one simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self.clocks: Dict[str, int] = {}
+        # Per-link channel fate schedule, populated by a RecordingChannel:
+        # (src, dst) -> [(delays, flags), ...] in transmission order.
+        self.channel_fates: Dict[Tuple[str, str], List[Tuple[List[float], int]]] = {}
+        self._seq = 0
+        self._clock: Optional[Callable[[], float]] = None
+        # Message-identity bookkeeping: the sender stamps an id, the
+        # receiver looks it up.  References are kept so ``id()`` values are
+        # never recycled while the tracer is alive.
+        self._msg_ids: Dict[int, int] = {}
+        self._msg_refs: List[object] = []
+        self._msg_clock: Dict[int, int] = {}
+        self._next_msg_id = 1
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Set the simulated-time source (the kernel's ``now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Core record path
+    # ------------------------------------------------------------------
+    def _record(
+        self, kind: str, device: str, ts: float, fields: Dict[str, Any]
+    ) -> Optional[TraceEvent]:
+        if not self.enabled:
+            return None
+        lamport = self.clocks.get(device, 0) + 1
+        self.clocks[device] = lamport
+        event = TraceEvent(self._seq, kind, device, ts, lamport, fields)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Device / handler spans
+    # ------------------------------------------------------------------
+    def task_span(
+        self,
+        device: str,
+        name: str,
+        invariant: Optional[str],
+        start: float,
+        finish: float,
+    ) -> None:
+        """One event-handler execution on a device (a span in the export)."""
+        self._record(
+            TASK,
+            device,
+            start,
+            {"name": name, "invariant": invariant, "start": start, "finish": finish},
+        )
+
+    # ------------------------------------------------------------------
+    # DVM messaging
+    # ------------------------------------------------------------------
+    def dvm_send(
+        self,
+        src: str,
+        dst: str,
+        invariant: Optional[str],
+        message: object,
+        size: int,
+        at: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        self._msg_ids[id(message)] = msg_id
+        self._msg_refs.append(message)
+        link = getattr(message, "intended_link", None)
+        event = self._record(
+            DVM_SEND,
+            src,
+            at,
+            {
+                "dst": dst,
+                "invariant": invariant,
+                "msg": type(message).__name__,
+                "size": size,
+                "msg_id": msg_id,
+                "link": list(link) if link is not None else None,
+            },
+        )
+        # The message "carries" the sender's clock: delivery merges it.
+        self._msg_clock[msg_id] = event.lamport
+
+    def dvm_deliver(
+        self,
+        src: str,
+        dst: str,
+        invariant: Optional[str],
+        message: object,
+        size: int,
+        at: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        msg_id = self._msg_ids.get(id(message), 0)
+        send_clock = self._msg_clock.get(msg_id, 0)
+        # Lamport merge: receiver jumps past the sender's clock at send time.
+        if send_clock > self.clocks.get(dst, 0):
+            self.clocks[dst] = send_clock
+        link = getattr(message, "intended_link", None)
+        self._record(
+            DVM_DELIVER,
+            dst,
+            at,
+            {
+                "src": src,
+                "invariant": invariant,
+                "msg": type(message).__name__,
+                "size": size,
+                "msg_id": msg_id,
+                "send_lamport": send_clock,
+                "link": list(link) if link is not None else None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Transport, lifecycle, engine
+    # ------------------------------------------------------------------
+    def transport_event(
+        self, kind: str, device: str, at: float, **fields: Any
+    ) -> None:
+        self._record(kind, device, at, fields)
+
+    def gc_event(self, engine: str, at: float, **fields: Any) -> None:
+        self._record(GC, engine, at, fields)
+
+    def verdict(
+        self,
+        device: str,
+        invariant: Optional[str],
+        ingress: str,
+        ok: bool,
+        violations: int,
+        at: float,
+    ) -> None:
+        self._record(
+            VERDICT,
+            device,
+            at,
+            {
+                "invariant": invariant,
+                "ingress": ingress,
+                "ok": ok,
+                "violations": violations,
+            },
+        )
+
+    def link_event(self, a: str, b: str, is_up: bool, at: float) -> None:
+        self._record(LINK, a, at, {"other": b, "up": is_up})
+
+    def crash(self, device: str, at: float) -> None:
+        self._record(CRASH, device, at, {})
+
+    def restart(self, device: str, at: float) -> None:
+        self._record(RESTART, device, at, {})
+
+    def kernel_run(
+        self, start: float, finish: float, events: int, pending: int
+    ) -> None:
+        """One ``SimKernel.run`` window (a span on the kernel track)."""
+        self._record(
+            KERNEL_RUN,
+            "",
+            start,
+            {
+                "name": "run",
+                "start": start,
+                "finish": finish,
+                "events": events,
+                "pending": pending,
+            },
+        )

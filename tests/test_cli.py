@@ -168,3 +168,123 @@ class TestCliViolationPaths:
             ]
         )
         assert code == 0
+
+
+class TestCliTelemetry:
+    def _simulate(self, topo, fib, spec, *extra):
+        return main(
+            [
+                "simulate",
+                "--topology", str(topo),
+                "--fib", str(fib),
+                "--spec", str(spec),
+                "--cpu-scale", "0",
+                *extra,
+            ]
+        )
+
+    def test_metrics_out(self, input_files, tmp_path, capsys):
+        import json
+
+        topo, fib, spec = input_files
+        out_path = tmp_path / "metrics.json"
+        code = self._simulate(
+            topo, fib, spec, "--chaos", "3,0.1", "--metrics-out", str(out_path)
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert set(doc) >= {"devices", "engines", "totals", "transport_summary"}
+        assert set(doc["devices"]) == {"S", "A", "B", "W", "D"}
+        assert doc["totals"]["messages"] > 0
+        assert "retransmits" in doc["transport_summary"]
+
+    def test_trace_records_and_replays(self, input_files, tmp_path, capsys):
+        topo, fib, spec = input_files
+        trace = tmp_path / "run.json"
+        code = self._simulate(
+            topo, fib, spec, "--chaos", "7,0.2,0.1,0.1", "--trace", str(trace)
+        )
+        assert code == 0
+        assert trace.exists()
+        for mode_args in ([], ["--predicate-index", "bdd"]):
+            code = main(["replay", str(trace), *mode_args])
+            out = capsys.readouterr().out
+            assert code == 0, out
+            assert "replay OK" in out
+
+    def test_replay_writes_reports(self, input_files, tmp_path, capsys):
+        topo, fib, _spec = input_files
+        bad = tmp_path / "bad.tulkun"
+        bad.write_text(BAD_SPEC)
+        trace = tmp_path / "bad_run.json"
+        code = self._simulate(
+            topo, fib, bad, "--chaos", "3,0.15,0.1,0.1", "--trace", str(trace)
+        )
+        assert code == 1  # the invariant is violated; trace still recorded
+        timeline = tmp_path / "timeline.txt"
+        provenance = tmp_path / "provenance.txt"
+        perfetto = tmp_path / "perfetto.json"
+        code = main(
+            [
+                "replay", str(trace),
+                "--timeline", str(timeline),
+                "--provenance", str(provenance),
+                "--perfetto", str(perfetto),
+            ]
+        )
+        assert code == 0
+        assert "verdict at S" in timeline.read_text()
+        assert "violation provenance" in provenance.read_text()
+        import json
+
+        doc = json.loads(perfetto.read_text())
+        assert doc["traceEvents"]
+
+    def test_replay_detects_tampered_trace(self, input_files, tmp_path, capsys):
+        import json
+
+        topo, fib, spec = input_files
+        trace = tmp_path / "run.json"
+        assert self._simulate(
+            topo, fib, spec, "--chaos", "7,0.2", "--trace", str(trace)
+        ) == 0
+        doc = json.loads(trace.read_text())
+        doc["expected"]["statuses"]["waypoint"] = "VIOLATED"
+        trace.write_text(json.dumps(doc))
+        code = main(["replay", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+
+    def test_perfetto_export_from_simulate(self, input_files, tmp_path, capsys):
+        import json
+
+        topo, fib, spec = input_files
+        perfetto = tmp_path / "trace_perfetto.json"
+        code = self._simulate(topo, fib, spec, "--perfetto", str(perfetto))
+        assert code == 0
+        doc = json.loads(perfetto.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "B", "E"} <= phases
+
+
+class TestProfileTableOrdering:
+    def test_engine_rows_sorted_naturally(self, capsys):
+        from repro.cli import _print_engine_table
+
+        snap = {"ops_and": 1}
+        _print_engine_table(
+            {"worker10": snap, "worker2": snap, "serial": snap}
+        )
+        out = capsys.readouterr().out
+        rows = [line.split()[0] for line in out.splitlines()[2:]]
+        assert rows == ["serial", "worker2", "worker10"]
+
+    def test_atom_rows_sorted_naturally(self, capsys):
+        from repro.cli import _print_atom_table
+
+        snap = {"atoms": 1}
+        _print_atom_table({"worker12": snap, "worker3": snap})
+        out = capsys.readouterr().out
+        rows = [line.split()[0] for line in out.splitlines()[2:]]
+        assert rows == ["worker3", "worker12"]

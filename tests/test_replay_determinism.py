@@ -1,0 +1,193 @@
+"""Record/replay determinism: a traced chaos run is a repro artifact.
+
+A recorded fate schedule pins the exact protocol run: replaying it through a
+:class:`ReplayChannel` must reproduce the converged verdicts, violation
+regions and transport summary byte-identically — in the recorded
+predicate-index mode *and* the other one, because the DVM wire is identical
+across region algebras.  These tests cover the in-process path (multi-step
+fig2a and FT-4 scenarios) and the self-contained :class:`TraceFile` path the
+CLI uses (embedded inputs, burst scenario), plus divergence detection.
+"""
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane.rule import Rule
+from repro.datasets import build_dataset
+from repro.errors import ReplayError
+from repro.sim import ChaosConfig, TulkunRunner
+from repro.telemetry import (
+    ReplayChannel,
+    TraceFile,
+    Tracer,
+    outcome_snapshot,
+    replay_trace,
+)
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+from tests.test_telemetry import FIB, SPEC, TOPOLOGY, build_runner
+
+pytestmark = pytest.mark.chaos
+
+CHAOS = ChaosConfig(seed=11, p_loss=0.15, p_dup=0.1, p_reorder=0.15)
+
+_STAT_KEYS = ("transmissions", "dropped", "duplicated", "delayed")
+
+
+def fig2a_scenario(chaos=None, channel=None, predicate_index="atoms", tracer=None):
+    """Burst + link churn over Fig. 2a — a multi-step recorded scenario."""
+    ctx = PacketSpaceContext()
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=0.0,
+        predicate_index=predicate_index,
+        chaos=chaos,
+        channel=channel,
+        tracer=tracer,
+    )
+    planes = build_fig2_planes(ctx)
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    runner.burst_update(rules)
+    runner.fail_links([("A", "W")])
+    runner.recover_links([("A", "W")])
+    return runner
+
+
+def ft4_scenario(ds, chaos=None, channel=None, predicate_index="atoms", tracer=None):
+    runner = TulkunRunner(
+        ds.topology,
+        ds.ctx,
+        ds.invariants,
+        cpu_scale=0.0,
+        predicate_index=predicate_index,
+        chaos=chaos,
+        channel=channel,
+        tracer=tracer,
+    )
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+        for dev, dev_rules in ds.rules_by_device.items()
+    }
+    runner.burst_update(rules)
+    link = next(iter(ds.topology.links()))
+    runner.fail_links([(link.a, link.b)])
+    runner.recover_links([(link.a, link.b)])
+    return runner
+
+
+@pytest.fixture(scope="module")
+def fig2a_recording():
+    tracer = Tracer()
+    runner = fig2a_scenario(chaos=CHAOS, tracer=tracer)
+    assert runner.network.converged
+    return outcome_snapshot(runner), tracer.channel_fates
+
+
+@pytest.fixture(scope="module")
+def ft4():
+    return build_dataset("FT-4", pair_limit=8, seed=3)
+
+
+class TestFig2aReplay:
+    @pytest.mark.parametrize("mode", ["atoms", "bdd"])
+    def test_replay_is_byte_identical(self, fig2a_recording, mode):
+        expected, fates = fig2a_recording
+        channel = ReplayChannel(fates, _STAT_KEYS)
+        runner = fig2a_scenario(channel=channel, predicate_index=mode)
+        assert outcome_snapshot(runner) == expected, f"mode={mode}"
+
+    def test_rerecording_a_replay_reproduces_the_fates(self, fig2a_recording):
+        # Tracing a replayed run re-records the schedule; it must match the
+        # original transmission for transmission.
+        _expected, fates = fig2a_recording
+        tracer = Tracer()
+        fig2a_scenario(
+            channel=ReplayChannel(fates, _STAT_KEYS), tracer=tracer
+        )
+        assert tracer.channel_fates == fates
+
+    def test_truncated_schedule_raises(self, fig2a_recording):
+        _expected, fates = fig2a_recording
+        truncated = {
+            key: schedule[: len(schedule) // 2]
+            for key, schedule in fates.items()
+        }
+        with pytest.raises(ReplayError, match="exhausted"):
+            fig2a_scenario(channel=ReplayChannel(truncated, _STAT_KEYS))
+
+
+class TestFattreeReplay:
+    @pytest.mark.parametrize("mode", ["atoms", "bdd"])
+    def test_burst_and_churn_replay(self, ft4, mode):
+        tracer = Tracer()
+        recorded = ft4_scenario(
+            ft4, chaos=ChaosConfig(seed=4, p_loss=0.2, p_dup=0.1, p_reorder=0.1),
+            tracer=tracer,
+        )
+        assert recorded.network.converged
+        expected = outcome_snapshot(recorded)
+        channel = ReplayChannel(tracer.channel_fates, _STAT_KEYS)
+        replayed = ft4_scenario(ft4, channel=channel, predicate_index=mode)
+        assert outcome_snapshot(replayed) == expected, f"mode={mode}"
+
+
+class TestTraceFileRoundTrip:
+    """The self-contained trace the CLI records: embedded inputs, burst."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        tracer = Tracer()
+        runner = build_runner(chaos=CHAOS, tracer=tracer)
+        trace = TraceFile.from_run(
+            runner,
+            tracer,
+            inputs={"topology": TOPOLOGY, "fib": FIB, "spec": SPEC},
+        )
+        path = tmp_path_factory.mktemp("trace") / "run.json"
+        trace.save(str(path))
+        return TraceFile.load(str(path))
+
+    @pytest.mark.parametrize("mode", [None, "atoms", "bdd"])
+    def test_replay_verifies_clean(self, trace, mode):
+        runner = replay_trace(trace, predicate_index=mode)
+        assert trace.verify(runner) == []
+
+    def test_trace_carries_the_event_log(self, trace):
+        events = trace.trace_events()
+        assert events
+        kinds = {e.kind for e in events}
+        assert "dvm_send" in kinds and "verdict" in kinds
+
+    def test_tampered_expectation_is_detected(self, trace):
+        tampered = TraceFile.from_json(trace.to_json())
+        tampered.expected["statuses"]["waypoint"] = "HOLDS"
+        runner = replay_trace(tampered)
+        mismatches = tampered.verify(runner)
+        assert mismatches
+        assert any("waypoint" in line for line in mismatches)
+
+    def test_unknown_format_rejected(self, trace):
+        import json as _json
+
+        doc = _json.loads(trace.to_json())
+        doc["format"] = "something-else"
+        with pytest.raises(ReplayError, match="format"):
+            TraceFile.from_json(_json.dumps(doc))
+
+    def test_trace_without_inputs_refuses_cli_replay(self, trace):
+        bare = TraceFile.from_json(trace.to_json())
+        bare.inputs = None
+        with pytest.raises(ReplayError, match="embedded inputs"):
+            replay_trace(bare)

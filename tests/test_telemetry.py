@@ -1,0 +1,322 @@
+"""Telemetry subsystem: Lamport causality, exporters, provenance, metrics.
+
+The event log is the product here, so these tests pin its semantics: Lamport
+clocks are monotone per device and merge across sends, the Chrome trace
+export obeys the schema Perfetto requires (golden-schema test), the timeline
+and provenance reports name the right protocol actions, and — critically —
+attaching a tracer never perturbs the run it observes.
+"""
+
+import json
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.language import parse_invariants
+from repro.dataplane.device import DevicePlane
+from repro.dataplane.fib import parse_fib_text
+from repro.dataplane.rule import Rule
+from repro.sim import ChaosConfig, TulkunRunner
+from repro.telemetry import (
+    Tracer,
+    convergence_timeline,
+    export_chrome_trace,
+    outcome_snapshot,
+    violation_provenance,
+)
+from repro.telemetry.events import (
+    DVM_DELIVER,
+    DVM_SEND,
+    SPAN_KINDS,
+    VERDICT,
+)
+from repro.topology.fileformat import parse_topology_text
+
+# The paper's Figure 2a erroneous example: 'waypoint' is VIOLATED via a
+# causal chain of UPDATEs (D -> W -> A -> S), 'reach' HOLDS.
+TOPOLOGY = """
+topology fig2a
+link S A 0.00001
+link A B 0.00001
+link A W 0.00001
+link B W 0.00001
+link B D 0.00001
+link W D 0.00001
+prefix D 10.0.0.0/23
+"""
+
+FIB = """
+# device S
+200 10.0.0.0/23 ALL A
+# device A
+210 10.0.0.0/24 ALL B,W
+205 10.0.1.0/24 ANY B,W
+# device B
+200 10.0.1.0/24 ALL D
+# device W
+200 10.0.0.0/23 ALL D
+# device D
+200 10.0.0.0/23 ALL @ext
+"""
+
+SPEC = """
+invariant waypoint {
+    packet_space: dst_ip = 10.0.0.0/23;
+    ingress: S;
+    behavior: exist >= 1 on (S .* W .* D) with loop_free;
+}
+invariant reach {
+    packet_space: dst_ip = 10.0.0.0/23;
+    ingress: S;
+    behavior: exist >= 1 on (S .* D) with loop_free;
+}
+"""
+
+
+def build_runner(chaos=None, predicate_index="atoms", tracer=None):
+    ctx = PacketSpaceContext()
+    topology = parse_topology_text(TOPOLOGY)
+    planes = parse_fib_text(ctx, FIB)
+    invariants = parse_invariants(ctx, SPEC)
+    for dev in topology.devices:
+        planes.setdefault(dev, DevicePlane(dev, ctx))
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=0.0,
+        predicate_index=predicate_index,
+        chaos=chaos,
+        tracer=tracer,
+    )
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    runner.burst_update(rules)
+    return runner
+
+
+@pytest.fixture(scope="module")
+def traced_chaos_run():
+    tracer = Tracer()
+    runner = build_runner(
+        chaos=ChaosConfig(seed=11, p_loss=0.15, p_dup=0.1, p_reorder=0.1),
+        tracer=tracer,
+    )
+    return runner, tracer
+
+
+class TestLamportCausality:
+    def test_monotone_per_device(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        last = {}
+        for event in tracer.events:
+            assert event.lamport > last.get(event.device, 0), (
+                f"lamport regressed on {event.device!r} at seq {event.seq}"
+            )
+            last[event.device] = event.lamport
+
+    def test_deliver_happens_after_send(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        delivers = [e for e in tracer.events if e.kind == DVM_DELIVER]
+        assert delivers
+        for deliver in delivers:
+            assert deliver.lamport > deliver.fields["send_lamport"]
+
+    def test_every_delivery_has_a_send(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        send_ids = {
+            e.fields["msg_id"] for e in tracer.events if e.kind == DVM_SEND
+        }
+        for event in tracer.events:
+            if event.kind == DVM_DELIVER:
+                assert event.fields["msg_id"] in send_ids
+
+    def test_verdict_events_recorded(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        verdicts = [e for e in tracer.events if e.kind == VERDICT]
+        invariants = {e.fields["invariant"] for e in verdicts}
+        assert invariants == {"waypoint", "reach"}
+        final = {}
+        for event in verdicts:
+            final[event.fields["invariant"]] = event.fields["ok"]
+        assert final == {"waypoint": False, "reach": True}
+
+    def test_transport_events_match_metrics(self, traced_chaos_run):
+        runner, tracer = traced_chaos_run
+        summary = runner.network.transport_summary()
+        retransmits = sum(
+            1 for e in tracer.events if e.kind == "transport_retransmit"
+        )
+        dup_drops = sum(
+            1 for e in tracer.events if e.kind == "transport_dup_drop"
+        )
+        assert retransmits == summary["retransmits"]
+        assert dup_drops == summary["dup_drops"]
+        assert any(e.kind == "transport_send" for e in tracer.events)
+
+
+class TestTracerOverheadDiscipline:
+    def test_disabled_tracer_is_detached_and_empty(self):
+        tracer = Tracer(enabled=False)
+        runner = build_runner(tracer=tracer)
+        assert runner.network.tracer is None
+        assert tracer.events == []
+
+    def test_tracing_does_not_perturb_outcomes(self):
+        chaos = ChaosConfig(seed=5, p_loss=0.2, p_dup=0.1, p_reorder=0.1)
+        plain = outcome_snapshot(build_runner(chaos=chaos))
+        traced = outcome_snapshot(build_runner(chaos=chaos, tracer=Tracer()))
+        assert plain == traced
+
+
+class TestChromeExportGoldenSchema:
+    """Pin the trace-event JSON shape Perfetto/chrome://tracing loads."""
+
+    @pytest.fixture(scope="class")
+    def doc(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        return export_chrome_trace(tracer.events, metadata={"mode": "atoms"})
+
+    def test_required_top_level_keys(self, doc):
+        assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["format"] == "tulkun-telemetry-v1"
+        assert doc["otherData"]["mode"] == "atoms"
+        assert json.loads(json.dumps(doc)) == doc  # JSON-serializable
+
+    def test_event_required_keys(self, doc):
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid", "ts"} <= set(event)
+            assert event["ph"] in ("M", "B", "E", "i", "s", "f")
+
+    def test_one_named_track_per_device(self, doc, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        devices = {e.device for e in tracer.events}
+        expected = {dev if dev else "kernel" for dev in devices}
+        assert names == expected
+
+    def test_timestamps_monotone_per_track(self, doc):
+        last = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, 0.0)
+            last[key] = event["ts"]
+
+    def test_spans_balanced_and_stack_matched(self, doc):
+        stacks = {}
+        for event in doc["traceEvents"]:
+            key = (event["pid"], event["tid"])
+            if event["ph"] == "B":
+                stacks.setdefault(key, []).append(event["name"])
+            elif event["ph"] == "E":
+                stack = stacks.get(key)
+                assert stack, f"E without open B on track {key}"
+                assert stack.pop() == event["name"]
+        assert all(not stack for stack in stacks.values())
+
+    def test_flow_arrows_pair_send_to_deliver(self, doc):
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert starts and finishes
+        start_ids = {e["id"] for e in starts}
+        for finish in finishes:
+            assert finish["id"] in start_ids
+            assert finish["bp"] == "e"
+
+
+class TestTimelineAndProvenance:
+    def test_timeline_tells_the_story(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        text = convergence_timeline(tracer.events)
+        assert "invariant 'waypoint'" in text
+        assert "invariant 'reach'" in text
+        assert "verdict at S" in text
+        assert "final [S]: VIOLATED" in text
+        assert "final [S]: HOLDS" in text
+        assert "send(s)" in text
+
+    def test_timeline_single_invariant_filter(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        text = convergence_timeline(tracer.events, invariant="reach")
+        assert "invariant 'reach'" in text
+        assert "invariant 'waypoint'" not in text
+
+    def test_provenance_names_the_causal_updates(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        text = violation_provenance(tracer.events)
+        assert "invariant 'waypoint'" in text
+        assert "ingress 'S'" in text
+        assert "VIOLATED" in text
+        # The violating count flows D -> W -> A -> S; the cone must name the
+        # UPDATE deliveries that carried it.
+        assert "UpdateMessage" in text
+        assert "A -> S" in text
+        # The holding invariant contributes nothing.
+        assert "invariant 'reach'" not in text
+
+    def test_provenance_clean_trace(self):
+        tracer = Tracer()
+        runner = build_runner(tracer=tracer)
+        good = [
+            e
+            for e in tracer.events
+            if e.fields.get("invariant") != "waypoint"
+        ]
+        text = violation_provenance(good)
+        assert "no violated verdicts" in text
+        assert runner.network is not None
+
+
+class TestMetricsExport:
+    def test_to_dict_round_trips_as_json(self, traced_chaos_run):
+        runner, _tracer = traced_chaos_run
+        doc = runner.network.metrics.to_dict()
+        again = json.loads(json.dumps(doc))
+        assert again == doc
+        assert set(doc) >= {
+            "devices",
+            "workers",
+            "engines",
+            "atom_indexes",
+            "totals",
+        }
+        assert set(doc["devices"]) == {"S", "A", "B", "W", "D"}
+        totals = doc["totals"]
+        assert totals["messages"] == runner.network.metrics.total_messages()
+        assert totals["transport"]["retransmits"] >= 1
+
+    def test_per_device_counters_survive(self, traced_chaos_run):
+        runner, _tracer = traced_chaos_run
+        doc = runner.network.metrics.to_dict()
+        for name, metrics in runner.network.metrics.devices.items():
+            row = doc["devices"][name]
+            assert row["messages_sent"] == metrics.messages_sent
+            assert row["bytes_sent"] == metrics.bytes_sent
+            assert row["retransmits"] == metrics.retransmits
+
+
+class TestEventSerialization:
+    def test_round_trip(self, traced_chaos_run):
+        from repro.telemetry.events import TraceEvent
+
+        _runner, tracer = traced_chaos_run
+        for event in tracer.events[:50]:
+            again = TraceEvent.from_dict(
+                json.loads(json.dumps(event.to_dict()))
+            )
+            assert again == event
+
+    def test_span_kinds_carry_start_finish(self, traced_chaos_run):
+        _runner, tracer = traced_chaos_run
+        spans = [e for e in tracer.events if e.kind in SPAN_KINDS]
+        assert spans
+        for span in spans:
+            assert span.fields["finish"] >= span.fields["start"]
