@@ -59,8 +59,8 @@ INCREMENTAL_DATASETS = {
     ],
 }
 
-NUM_UPDATES = {"small": 8, "large": 40}
-NUM_SCENES = {"small": 6, "large": 50}
+NUM_UPDATES = {"smoke": 4, "small": 8, "large": 40}
+NUM_SCENES = {"smoke": 2, "small": 6, "large": 50}
 
 
 def fresh_rules(ds: BuiltDataset) -> Dict[str, List[Rule]]:

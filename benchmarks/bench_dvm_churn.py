@@ -38,7 +38,11 @@ from repro.dataplane import Rule
 from repro.datasets import build_dataset
 from repro.sim import TulkunRunner, apply_intents, random_update_intents
 
-SPEEDUP_FLOOR = 3.0
+# Serial-backend atoms/bdd acceptance floor, per scale.  Smoke is a bitrot
+# check on a workload too small to time meaningfully: no floor applies, and
+# its trajectory rows must not carry one (a 3.0x bar on a smoke row reads
+# as a standing failure in the history).
+SPEEDUP_FLOORS = {"smoke": None, "small": 3.0, "large": 3.0}
 
 # (dataset, pair_limit, rule_multiplier, num_intents)
 SERIAL_WORKLOADS = {
@@ -176,12 +180,13 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
             "speedup": {
                 backend: speedups[backend] for backend in speedups
             },
-            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_floor": SPEEDUP_FLOORS[SCALE],
         }
     )
 
-    if SCALE != "smoke":
-        assert speedups["serial"] >= SPEEDUP_FLOOR, (
+    floor = SPEEDUP_FLOORS[SCALE]
+    if floor is not None:
+        assert speedups["serial"] >= floor, (
             f"atoms predicate index {speedups['serial']:.2f}x over bdd on "
-            f"{name} (serial churn); acceptance floor {SPEEDUP_FLOOR}x"
+            f"{name} (serial churn); acceptance floor {floor}x"
         )

@@ -21,6 +21,19 @@ Commands
     the recording.  Also renders the trace's forensic reports
     (``--provenance``, ``--timeline``, ``--perfetto``).
 
+``explore``
+    Model-check a *family* of fault scenarios (link failures, device
+    crash/restart windows, maintenance drains, rolling upgrades):
+    systematically execute every interleaving, prune the ones the
+    commutativity results prove equivalent (partial-order reduction,
+    disable with ``--no-por``), and emit a minimized, replay-certified
+    ``tulkun-trace-v1`` counterexample for every distinct failure::
+
+        python -m repro explore --topology net.topo --fib net.fib \
+                                --spec invariants.tulkun \
+                                --fail-link S:A --fail-link B:D \
+                                --report explore.json --traces-dir cex/
+
 ``dpvnet``
     Print the DPVNet the planner builds for each invariant (nodes, edges,
     per-device task counts) without verifying anything.
@@ -355,6 +368,134 @@ def cmd_replay(args) -> int:
         runner.close()
 
 
+def cmd_explore(args) -> int:
+    from repro.dataplane.device import DevicePlane
+    from repro.dataplane.rule import Rule
+    from repro.explore import FaultElement, ScenarioFamily, explore_family
+    from repro.sim import ChaosConfig, ReliableChannel, TulkunRunner
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosConfig.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    elements: List[FaultElement] = []
+    for spec in args.fail_link:
+        ends = tuple(spec.split(":"))
+        if len(ends) != 2:
+            print(f"error: --fail-link wants A:B, got {spec!r}", file=sys.stderr)
+            return 2
+        elements.append(FaultElement("link", ends, recover=not args.no_recover))
+    for dev in args.crash_device:
+        elements.append(
+            FaultElement("device", (dev,), recover=not args.no_recover)
+        )
+    for dev in args.drain_device:
+        elements.append(
+            FaultElement("drain", (dev,), recover=not args.no_recover)
+        )
+    for dev in args.upgrade_device:
+        elements.append(FaultElement("upgrade", (dev,)))
+    if not elements:
+        print(
+            "error: give at least one fault element (--fail-link, "
+            "--crash-device, --drain-device, --upgrade-device)",
+            file=sys.stderr,
+        )
+        return 2
+
+    topo_text = _load(args.topology)
+    fib_text = _load(args.fib)
+    spec_text = _load(args.spec)
+
+    def harness(tracer=None, channel=None):
+        # A fresh context/deployment per scenario: outcomes are functions
+        # of the scenario alone, never of exploration order.
+        ctx = PacketSpaceContext()
+        topology = parse_topology_text(topo_text)
+        planes = parse_fib_text(ctx, fib_text)
+        invariants = parse_invariants(ctx, spec_text)
+        for dev in topology.devices:
+            planes.setdefault(dev, DevicePlane(dev, ctx))
+        if channel is None and chaos is None and args.transport == "reliable":
+            channel = ReliableChannel()
+        runner = TulkunRunner(
+            topology,
+            ctx,
+            invariants,
+            cpu_scale=args.cpu_scale,
+            gc_threshold=args.gc_threshold,
+            predicate_index=args.predicate_index,
+            chaos=None if channel is not None else chaos,
+            tracer=tracer,
+            channel=channel,
+        )
+        rules = {
+            dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+            for dev, plane in planes.items()
+        }
+        return runner, rules
+
+    family = ScenarioFamily(
+        elements=tuple(elements), max_faults=args.max_faults
+    )
+    try:
+        report = explore_family(
+            family,
+            harness,
+            por=not args.no_por,
+            budget=args.budget,
+            minimize=not args.no_minimize,
+            max_counterexamples=args.max_counterexamples,
+            trace_inputs={
+                "topology": topo_text,
+                "fib": fib_text,
+                "spec": spec_text,
+            },
+        )
+    except ValueError as exc:  # family too large, bad element, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"family: {family.describe()}")
+    print(
+        f"exhaustive: {report.exhaustive_scenarios} scenarios, "
+        f"explored: {report.explored}, pruned: {report.pruned} "
+        f"({report.prune_ratio:.1%}), skipped: {report.skipped}"
+    )
+    print(
+        f"violated: {report.violated}, "
+        f"distinct outcomes: {len(report.outcome_keys())}"
+    )
+    traces_dir = Path(args.traces_dir) if args.traces_dir else None
+    if traces_dir is not None:
+        traces_dir.mkdir(parents=True, exist_ok=True)
+    for index, cex in enumerate(report.counterexamples):
+        script = (
+            " ; ".join(step.describe() for step in cex.steps) or "<baseline>"
+        )
+        certified = "replay-certified" if cex.replay_ok else "REPLAY DIVERGED"
+        print(f"counterexample {index}: {script} ({certified})")
+        if traces_dir is not None:
+            path = traces_dir / f"cex-{index}.json"
+            cex.trace.save(str(path))
+            cex.path = str(path)
+            print(f"  trace written to {path}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_json(), indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.report}")
+    if any(not cex.replay_ok for cex in report.counterexamples):
+        print("error: a counterexample failed replay certification",
+              file=sys.stderr)
+        return 2
+    return 1 if report.violated else 0
+
+
 def cmd_dpvnet(args) -> int:
     ctx, topology, _planes, invariants = _load_inputs(args)
     planner = Planner(topology, ctx)
@@ -493,6 +634,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the recorded event log as Chrome trace-event JSON",
     )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_exp = sub.add_parser(
+        "explore",
+        help="model-check a fault-scenario family (POR + certified replay)",
+    )
+    add_io(p_exp)
+    p_exp.add_argument(
+        "--fail-link", action="append", default=[], metavar="A:B",
+        help="add a link-failure fault element (repeatable)",
+    )
+    p_exp.add_argument(
+        "--crash-device", action="append", default=[], metavar="DEV",
+        help="add a device crash/restart fault element (repeatable)",
+    )
+    p_exp.add_argument(
+        "--drain-device", action="append", default=[], metavar="DEV",
+        help="add a maintenance-drain fault element (repeatable)",
+    )
+    p_exp.add_argument(
+        "--upgrade-device", action="append", default=[], metavar="DEV",
+        help="add a rolling-upgrade window (drain-crash-restart-restore) "
+             "fault element (repeatable)",
+    )
+    p_exp.add_argument(
+        "--no-recover", action="store_true",
+        help="fault elements do not recover (no link_up/restart/restore "
+             "steps; upgrades always run their full window)",
+    )
+    p_exp.add_argument(
+        "--max-faults", type=int, default=2,
+        help="max concurrently active fault elements per scenario "
+             "(default 2)",
+    )
+    p_exp.add_argument(
+        "--no-por", action="store_true",
+        help="disable partial-order reduction (exhaustive enumeration)",
+    )
+    p_exp.add_argument(
+        "--budget", type=int, default=None,
+        help="cap on executed scenarios; the rest are counted as skipped",
+    )
+    p_exp.add_argument(
+        "--no-minimize", action="store_true",
+        help="emit failing scenarios as-is instead of greedily dropping "
+             "fault elements first",
+    )
+    p_exp.add_argument(
+        "--max-counterexamples", type=int, default=5,
+        help="certify at most this many counterexamples (one per distinct "
+             "failing outcome, default 5)",
+    )
+    p_exp.add_argument(
+        "--transport", choices=("bare", "reliable"), default="reliable",
+        help="'reliable' (default) arms the lossless seq/ack transport so "
+             "crash windows degrade to UNKNOWN honestly; 'bare' delivers "
+             "DVM messages directly",
+    )
+    p_exp.add_argument(
+        "--chaos", default=None, metavar="SEED,P_LOSS[,P_DUP[,P_REORDER]]",
+        help="explore under seeded transport faults (implies the "
+             "retransmitting transport)",
+    )
+    p_exp.add_argument(
+        "--cpu-scale", type=float, default=0.0,
+        help="per-operation CPU cost scale; 0 (default) makes exploration "
+             "purely event-ordered and fully deterministic",
+    )
+    p_exp.add_argument("--gc-threshold", type=int, default=None)
+    p_exp.add_argument(
+        "--predicate-index", choices=("atoms", "bdd"), default="atoms",
+    )
+    p_exp.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full exploration report (family, coverage, every "
+             "scenario's verdicts, counterexamples) as JSON",
+    )
+    p_exp.add_argument(
+        "--traces-dir", default=None, metavar="DIR",
+        help="write each counterexample as a replayable tulkun-trace-v1 "
+             "file (cex-N.json) into this directory",
+    )
+    p_exp.set_defaults(func=cmd_explore)
 
     p_net = sub.add_parser("dpvnet", help="print planner output (DPVNet + tasks)")
     add_io(p_net)

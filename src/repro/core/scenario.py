@@ -1,0 +1,292 @@
+"""Scenario families and the fault-event independence relation.
+
+The scenario explorer (:mod:`repro.explore`) model-checks *families* of
+fault scenarios instead of replaying one hand-picked schedule.  A family is
+a set of :class:`FaultElement`\\ s — a link that may fail (and recover), a
+device that may crash (and restart), a device that undergoes a maintenance
+drain or a full rolling upgrade — plus a cap on how many elements may be
+active in one scenario.  Each element contributes a totally ordered *chain*
+of :class:`ScenarioStep`\\ s (``link_down`` before ``link_up``, ``crash``
+before ``restart``, …); one concrete scenario is an interleaving of the
+chains of some subset of elements, exactly the per-channel-FIFO /
+cross-channel-arbitrary delivery model of §5.
+
+Partial-order reduction rests on an *independence relation* between steps:
+two steps commute when the (device, invariant) verification flows they
+touch are disjoint — the protocol-orderings commutativity results (DVM
+batch deliveries on disjoint flows reach the same fixpoint in any order)
+then prove the interleavings equivalent, so the explorer only needs one
+representative per equivalence class.  :class:`IndependenceRelation`
+computes the flow footprints from the topology and the planner's task sets;
+``tests/test_explore_differential.py`` is the correctness backstop that
+exhaustive and pruned exploration reach identical verdict-outcome sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultElement",
+    "IndependenceRelation",
+    "ScenarioFamily",
+    "ScenarioStep",
+    "STEP_OPS",
+    "interleavings",
+]
+
+# The scenario-step vocabulary; replayable via ``repro.sim.scenario``.
+STEP_OPS = (
+    "link_down",
+    "link_up",
+    "crash",
+    "restart",
+    "drain",
+    "restore",
+)
+
+
+@dataclass(frozen=True, order=True)
+class ScenarioStep:
+    """One atomic fault action, applied at a quiescence point."""
+
+    op: str
+    args: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in STEP_OPS:
+            raise ValueError(f"unknown scenario op {self.op!r}")
+
+    @property
+    def element_key(self) -> Tuple[str, Tuple[str, ...]]:
+        """The fault element this step belongs to: paired steps (a link's
+        down/up, a device's crash/restart, a drain's drain/restore) share a
+        key and therefore never commute with each other."""
+        if self.op in ("link_down", "link_up"):
+            return ("link", self.args)
+        if self.op in ("crash", "restart"):
+            return ("device", self.args)
+        return ("drain", self.args)
+
+    def to_json(self) -> List:
+        return [self.op, list(self.args)]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "ScenarioStep":
+        op, args = data
+        return cls(str(op), tuple(str(a) for a in args))
+
+    def describe(self) -> str:
+        return f"{self.op}({','.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class FaultElement:
+    """One independent source of faults in a family.
+
+    ``kind``:
+
+    * ``"link"`` — the link ``target=(a, b)`` fails; with ``recover`` it
+      comes back up later in the scenario.
+    * ``"device"`` — the device ``target=(dev,)`` crashes (verifier RAM
+      lost); with ``recover`` it restarts and resyncs.
+    * ``"drain"`` — maintenance drain: the device's FIB is withdrawn rule
+      by rule; with ``recover`` the rules are reinstalled.
+    * ``"upgrade"`` — a full rolling-upgrade window: drain → crash →
+      restart → restore (``recover`` is implied; the chain is the window).
+    """
+
+    kind: str
+    target: Tuple[str, ...]
+    recover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("link", "device", "drain", "upgrade"):
+            raise ValueError(f"unknown fault-element kind {self.kind!r}")
+        want = 2 if self.kind == "link" else 1
+        if len(self.target) != want:
+            raise ValueError(
+                f"{self.kind} element takes {want} target(s), "
+                f"got {self.target!r}"
+            )
+
+    def steps(self) -> Tuple[ScenarioStep, ...]:
+        """The element's totally ordered event chain."""
+        if self.kind == "link":
+            chain = [ScenarioStep("link_down", self.target)]
+            if self.recover:
+                chain.append(ScenarioStep("link_up", self.target))
+        elif self.kind == "device":
+            chain = [ScenarioStep("crash", self.target)]
+            if self.recover:
+                chain.append(ScenarioStep("restart", self.target))
+        elif self.kind == "drain":
+            chain = [ScenarioStep("drain", self.target)]
+            if self.recover:
+                chain.append(ScenarioStep("restore", self.target))
+        else:  # upgrade: the full maintenance window
+            chain = [
+                ScenarioStep("drain", self.target),
+                ScenarioStep("crash", self.target),
+                ScenarioStep("restart", self.target),
+                ScenarioStep("restore", self.target),
+            ]
+        return tuple(chain)
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "target": list(self.target),
+            "recover": self.recover,
+        }
+
+    def describe(self) -> str:
+        suffix = "" if self.recover or self.kind == "upgrade" else "!"
+        return f"{self.kind}:{'-'.join(self.target)}{suffix}"
+
+
+class IndependenceRelation:
+    """Commutativity of scenario steps, at (device, invariant) granularity.
+
+    A step's *footprint* is the set of verification flows it can disturb:
+    the devices whose handlers run synchronously when the step is applied
+    (link endpoints; a crashed/drained device plus, for crash/restart, its
+    reacting neighbors) crossed with the invariants that station a verifier
+    task on any of those devices.  Two steps of different elements are
+    independent iff their footprints are disjoint — everything downstream
+    of the local handlers travels as DVM batches, whose delivery order the
+    commutativity results prove irrelevant on disjoint flows.
+    """
+
+    def __init__(self, topology, task_sets: Sequence) -> None:
+        self._topology = topology
+        # invariant name -> devices hosting one of its verifier tasks.
+        self._inv_devices: Dict[str, FrozenSet[str]] = {
+            ts.invariant_name: frozenset(ts.tasks.keys()) for ts in task_sets
+        }
+        self._footprints: Dict[ScenarioStep, FrozenSet[Tuple[str, str]]] = {}
+
+    def touched_devices(self, step: ScenarioStep) -> FrozenSet[str]:
+        """Devices whose local handlers the step triggers."""
+        if step.op in ("link_down", "link_up"):
+            return frozenset(step.args)
+        dev = step.args[0]
+        if step.op in ("crash", "restart"):
+            # Neighbors observe the adjacency change and resync.
+            return frozenset((dev, *self._topology.neighbors(dev)))
+        return frozenset((dev,))  # drain/restore: a local FIB rewrite
+
+    def footprint(self, step: ScenarioStep) -> FrozenSet[Tuple[str, str]]:
+        """The (device, invariant) flows the step touches."""
+        cached = self._footprints.get(step)
+        if cached is None:
+            devices = self.touched_devices(step)
+            cached = frozenset(
+                (dev, inv)
+                for dev in devices
+                for inv, homes in self._inv_devices.items()
+                if dev in homes
+            )
+            self._footprints[step] = cached
+        return cached
+
+    def independent(self, a: ScenarioStep, b: ScenarioStep) -> bool:
+        if a.element_key == b.element_key:
+            return False  # chain order is semantic (down before up, …)
+        return not (self.footprint(a) & self.footprint(b))
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A whole space of fault scenarios to model-check.
+
+    Scenarios are drawn by (1) choosing a subset of at most ``max_faults``
+    elements (the empty subset — the fault-free baseline — is always
+    included) and (2) interleaving the chains of the chosen elements in
+    every cross-chain order (per-chain order fixed).
+    """
+
+    elements: Tuple[FaultElement, ...]
+    max_faults: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1")
+        if len(set(self.elements)) != len(self.elements):
+            raise ValueError("duplicate fault elements in family")
+
+    def subsets(self) -> Iterator[Tuple[FaultElement, ...]]:
+        """All element subsets up to ``max_faults``, smallest first; the
+        element order inside a subset fixes the POR canonical order."""
+        limit = min(self.max_faults, len(self.elements))
+        for size in range(0, limit + 1):
+            yield from itertools.combinations(self.elements, size)
+
+    def exhaustive_scenarios(self) -> int:
+        """|family| without any pruning: Σ_subsets multinomial(chains)."""
+        total = 0
+        for subset in self.subsets():
+            lengths = [len(element.steps()) for element in subset]
+            count = math.factorial(sum(lengths))
+            for n in lengths:
+                count //= math.factorial(n)
+            total += count
+        return total
+
+    def to_json(self) -> Dict:
+        return {
+            "elements": [element.to_json() for element in self.elements],
+            "max_faults": self.max_faults,
+        }
+
+    def describe(self) -> str:
+        parts = ", ".join(element.describe() for element in self.elements)
+        return f"{{{parts}}} ≤{self.max_faults} concurrent"
+
+
+def interleavings(
+    chains: Sequence[Sequence[ScenarioStep]],
+    relation: Optional[IndependenceRelation] = None,
+) -> Iterator[Tuple[ScenarioStep, ...]]:
+    """All interleavings of the chains; with ``relation``, only canonical
+    representatives (partial-order reduction).
+
+    The canonical form: a sequence is emitted only if no adjacent pair
+    (f, e) has f and e independent with e's chain index below f's — any
+    such pair could be swapped without changing the outcome, so exactly
+    the swap-sorted representative of each Mazurkiewicz trace class (its
+    lexicographically least member always qualifies) survives.  Without a
+    relation this degenerates to plain exhaustive enumeration.
+    """
+
+    def extend(
+        positions: List[int], prefix: List[ScenarioStep], last_chain: int
+    ) -> Iterator[Tuple[ScenarioStep, ...]]:
+        if all(pos == len(chain) for pos, chain in zip(positions, chains)):
+            yield tuple(prefix)
+            return
+        for index, chain in enumerate(chains):
+            pos = positions[index]
+            if pos >= len(chain):
+                continue
+            step = chain[pos]
+            if (
+                relation is not None
+                and prefix
+                and index < last_chain
+                and relation.independent(prefix[-1], step)
+            ):
+                # Non-canonical: the previous step commutes with this one
+                # and comes from a later chain — the swapped ordering is
+                # (or leads to) an equivalent, already-explored scenario.
+                continue
+            positions[index] = pos + 1
+            prefix.append(step)
+            yield from extend(positions, prefix, index)
+            prefix.pop()
+            positions[index] = pos
+
+    yield from extend([0] * len(chains), [], -1)

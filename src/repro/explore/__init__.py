@@ -1,0 +1,39 @@
+"""Scenario explorer: model-check fault families, certified by replay.
+
+Built on the PR 4–5 substrate (seeded chaos channels, crash/restart
+drivers, deterministic record/replay, causal provenance), this package
+turns "replay one hand-picked schedule" into "certify a scenario family":
+enumerate every execution of a fault family, prune interleavings the
+protocol-orderings commutativity results prove equivalent (partial-order
+reduction over disjoint (device, invariant) flows), check all invariants
+plus convergence on each, and emit minimized, replay-certified
+counterexample traces for whatever fails.
+"""
+
+from repro.core.scenario import (
+    FaultElement,
+    IndependenceRelation,
+    ScenarioFamily,
+    ScenarioStep,
+    interleavings,
+)
+from repro.explore.explorer import (
+    Counterexample,
+    ExploreReport,
+    ScenarioResult,
+    explore_family,
+    outcome_key,
+)
+
+__all__ = [
+    "Counterexample",
+    "ExploreReport",
+    "FaultElement",
+    "IndependenceRelation",
+    "ScenarioFamily",
+    "ScenarioResult",
+    "ScenarioStep",
+    "explore_family",
+    "interleavings",
+    "outcome_key",
+]

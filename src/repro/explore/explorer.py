@@ -1,0 +1,333 @@
+"""The scenario model checker: enumerate a fault family, POR-pruned.
+
+:func:`explore_family` systematically executes every scenario of a
+:class:`~repro.core.scenario.ScenarioFamily` — each is a fresh deployment
+driven through :func:`repro.sim.scenario.run_script` — and classifies the
+final converged outcome.  Interleavings whose adjacent steps the
+:class:`~repro.core.scenario.IndependenceRelation` proves commutative are
+pruned before execution (one canonical representative per Mazurkiewicz
+trace class); the report counts explored / pruned / budget-skipped
+scenarios so nothing is dropped silently.
+
+On a failing scenario (a VIOLATED or UNKNOWN invariant, or
+non-convergence) the explorer greedily minimizes the script — dropping
+whole fault elements while the failure persists — re-executes the minimal
+script under a tracer, and emits a ``tulkun-trace-v1`` counterexample that
+``python -m repro replay`` re-verifies byte-identically.  When the
+harness's input texts are available the certification round-trips through
+the full self-contained replay path, exactly what CI does with the
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.scenario import (
+    IndependenceRelation,
+    ScenarioFamily,
+    ScenarioStep,
+    interleavings,
+)
+from repro.sim.scenario import StepOutcome, run_script
+from repro.telemetry import TraceFile, Tracer, replay_trace
+
+__all__ = [
+    "Counterexample",
+    "ExploreReport",
+    "ScenarioResult",
+    "explore_family",
+    "outcome_key",
+]
+
+# A harness builds one fresh deployment per scenario execution:
+# harness(tracer, channel) -> (runner, rules_by_device).  Fresh state per
+# run is what makes outcomes functions of the scenario alone.
+Harness = Callable[..., Tuple[object, Dict[str, Sequence]]]
+
+# Hard ceiling on scripts enumerated per family — a guard against
+# accidentally exponential families, far above anything explorable.
+MAX_ENUMERATED = 100_000
+
+
+def outcome_key(runner) -> Tuple:
+    """Canonical verdict-outcome fingerprint of a converged run.
+
+    Statuses, convergence and the violation evidence (serialized ROBDD
+    region bytes, counts, messages) — equality is byte-identity of
+    everything verdict-relevant, so it is stable across predicate-index
+    modes, record/replay and equivalent interleavings.  Timing and
+    transport counters are deliberately excluded: they are schedule
+    artifacts, not verdicts.
+    """
+    from repro.bdd.serialize import serialize_predicate
+
+    network = runner.network
+    violations = []
+    for inv in runner.invariants:
+        for violation in network.violations(inv.name):
+            violations.append(
+                (
+                    inv.name,
+                    violation.ingress,
+                    serialize_predicate(violation.region).hex(),
+                    tuple(sorted(tuple(vec) for vec in violation.counts)),
+                    violation.message or "",
+                )
+            )
+    return (
+        tuple(sorted(runner.statuses().items())),
+        bool(network.converged),
+        tuple(sorted(violations)),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One explored scenario and its verdict outcome."""
+
+    steps: Tuple[ScenarioStep, ...]
+    outcome: Tuple
+    statuses: Dict[str, str]
+    converged: bool
+    trajectory: Tuple[StepOutcome, ...]
+
+    @property
+    def failing(self) -> bool:
+        """Any non-HOLDS invariant at the final quiescence point, or a
+        network that never converged."""
+        return not self.converged or any(
+            status != "HOLDS" for status in self.statuses.values()
+        )
+
+    def to_json(self) -> Dict:
+        return {
+            "steps": [step.to_json() for step in self.steps],
+            "statuses": dict(self.statuses),
+            "converged": self.converged,
+            "failing": self.failing,
+            "trajectory": [
+                {
+                    "step": out.step.to_json() if out.step else "burst",
+                    "statuses": dict(out.statuses),
+                    "converged": out.converged,
+                }
+                for out in self.trajectory
+            ],
+        }
+
+
+@dataclass
+class Counterexample:
+    """A minimized failing scenario, certified by replay."""
+
+    steps: Tuple[ScenarioStep, ...]
+    minimized_from: int
+    trace: TraceFile
+    replay_ok: Optional[bool] = None
+    path: Optional[str] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "steps": [step.to_json() for step in self.steps],
+            "minimized_from": self.minimized_from,
+            "replay_ok": self.replay_ok,
+            "path": self.path,
+        }
+
+
+@dataclass
+class ExploreReport:
+    """What a family exploration covered and what it found."""
+
+    family: ScenarioFamily
+    por: bool
+    exhaustive_scenarios: int
+    explored: int = 0
+    pruned: int = 0
+    skipped: int = 0
+    results: List[ScenarioResult] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def violated(self) -> int:
+        return sum(1 for result in self.results if result.failing)
+
+    @property
+    def prune_ratio(self) -> float:
+        if not self.exhaustive_scenarios:
+            return 0.0
+        return self.pruned / self.exhaustive_scenarios
+
+    def outcome_keys(self) -> Set[Tuple]:
+        """The distinct verdict outcomes reached — the object the
+        exhaustive-vs-POR differential test compares."""
+        return {result.outcome for result in self.results}
+
+    def to_json(self) -> Dict:
+        return {
+            "family": self.family.to_json(),
+            "por": self.por,
+            "exhaustive_scenarios": self.exhaustive_scenarios,
+            "explored": self.explored,
+            "pruned": self.pruned,
+            "skipped": self.skipped,
+            "violated": self.violated,
+            "distinct_outcomes": len(self.outcome_keys()),
+            "prune_ratio": round(self.prune_ratio, 6),
+            "scenarios": [result.to_json() for result in self.results],
+            "counterexamples": [
+                cex.to_json() for cex in self.counterexamples
+            ],
+        }
+
+
+def _execute(
+    harness: Harness, steps: Sequence[ScenarioStep], tracer=None, channel=None
+):
+    """Run one scenario on a fresh deployment; return (runner, result)."""
+    runner, rules = harness(tracer=tracer, channel=channel)
+    trajectory = tuple(run_script(runner, rules, steps))
+    final = trajectory[-1]
+    result = ScenarioResult(
+        steps=tuple(steps),
+        outcome=outcome_key(runner),
+        statuses=dict(final.statuses),
+        converged=final.converged,
+        trajectory=trajectory,
+    )
+    return runner, result
+
+
+def _elements_of(steps: Sequence[ScenarioStep]) -> List[Tuple]:
+    """Distinct element keys, in first-appearance order."""
+    seen: List[Tuple] = []
+    for step in steps:
+        key = step.element_key
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def _minimize(
+    harness: Harness, steps: Tuple[ScenarioStep, ...]
+) -> Tuple[ScenarioStep, ...]:
+    """Greedy 1-minimal reduction: drop whole fault elements (keeping the
+    surviving interleaving order) while the scenario still fails."""
+    current = steps
+    progress = True
+    while progress:
+        progress = False
+        for key in _elements_of(current):
+            candidate = tuple(
+                step for step in current if step.element_key != key
+            )
+            runner, result = _execute(harness, candidate)
+            runner.close()
+            if result.failing:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _certify(
+    harness: Harness,
+    steps: Tuple[ScenarioStep, ...],
+    trace_inputs: Optional[Dict[str, str]],
+) -> Counterexample:
+    """Re-execute a failing script under a tracer, snapshot it as a
+    replayable trace, and immediately verify the replay is byte-identical.
+
+    With ``trace_inputs`` (topology/fib/spec texts) the certification runs
+    the full self-contained path — fresh parse, fresh context — exactly as
+    ``python -m repro replay`` would on the emitted file.  Without texts
+    the harness itself re-runs the script on the recorded fate schedule.
+    """
+    tracer = Tracer()
+    runner, _result = _execute(harness, steps, tracer=tracer)
+    trace = TraceFile.from_run(
+        runner,
+        tracer,
+        inputs=trace_inputs,
+        scenario="script",
+        script=list(steps),
+    )
+    runner.close()
+    if trace_inputs is not None:
+        replayed = replay_trace(trace)
+    else:
+        replayed, _r = _execute(
+            harness, steps, channel=trace.replay_channel()
+        )
+    mismatches = trace.verify(replayed)
+    replayed.close()
+    return Counterexample(
+        steps=steps,
+        minimized_from=0,  # caller fills in
+        trace=trace,
+        replay_ok=not mismatches,
+    )
+
+
+def explore_family(
+    family: ScenarioFamily,
+    harness: Harness,
+    *,
+    por: bool = True,
+    budget: Optional[int] = None,
+    minimize: bool = True,
+    max_counterexamples: int = 5,
+    trace_inputs: Optional[Dict[str, str]] = None,
+) -> ExploreReport:
+    """Model-check a scenario family; return the coverage/verdict report.
+
+    ``budget`` caps *executed* scenarios (enumeration is cheap and always
+    completes, so skipped work is counted, never silent).  One
+    counterexample is certified per distinct failing outcome, up to
+    ``max_counterexamples``.
+    """
+    probe, _rules = harness(tracer=None, channel=None)
+    relation = IndependenceRelation(probe.topology, probe.task_sets)
+    probe.close()
+
+    report = ExploreReport(
+        family=family,
+        por=por,
+        exhaustive_scenarios=family.exhaustive_scenarios(),
+    )
+
+    scripts: List[Tuple[ScenarioStep, ...]] = []
+    for subset in family.subsets():
+        chains = [element.steps() for element in subset]
+        for script in interleavings(chains, relation if por else None):
+            scripts.append(script)
+            if len(scripts) > MAX_ENUMERATED:
+                raise ValueError(
+                    f"family enumerates more than {MAX_ENUMERATED} "
+                    "scenarios; tighten max_faults or the element set"
+                )
+    report.pruned = report.exhaustive_scenarios - len(scripts)
+
+    failing_outcomes: Set[Tuple] = set()
+    for index, script in enumerate(scripts):
+        if budget is not None and report.explored >= budget:
+            report.skipped = len(scripts) - index
+            break
+        runner, result = _execute(harness, script)
+        runner.close()
+        report.explored += 1
+        report.results.append(result)
+        if not result.failing:
+            continue
+        if result.outcome in failing_outcomes:
+            continue
+        failing_outcomes.add(result.outcome)
+        if len(report.counterexamples) >= max_counterexamples:
+            continue
+        minimal = _minimize(harness, script) if minimize else script
+        cex = _certify(harness, minimal, trace_inputs)
+        cex.minimized_from = len(script)
+        report.counterexamples.append(cex)
+    return report

@@ -12,6 +12,12 @@ from repro.sim.runner import (
     apply_intents,
     random_update_intents,
 )
+from repro.sim.scenario import (
+    StepOutcome,
+    apply_step,
+    rolling_upgrade_steps,
+    run_script,
+)
 from repro.sim.transport import (
     ChaosConfig,
     Channel,
@@ -36,12 +42,16 @@ __all__ = [
     "SimDevice",
     "SimKernel",
     "SimNetwork",
+    "StepOutcome",
     "Timer",
     "TransportConfig",
     "TulkunRunner",
     "UpdateIntent",
     "apply_intents",
+    "apply_step",
     "cdf_points",
     "percentile",
     "random_update_intents",
+    "rolling_upgrade_steps",
+    "run_script",
 ]

@@ -395,24 +395,18 @@ class SimNetwork:
 
         self.kernel.schedule_at(at, run)
 
-    def apply_rule_update(
-        self,
-        dev: str,
-        at: float,
-        install: Optional[Rule] = None,
-        remove_rule_id: Optional[int] = None,
+    def _schedule_fib_rewrite(
+        self, dev: str, at: float, label: str, mutate
     ) -> None:
-        """Incremental rule update: compute LEC deltas, drive verifiers."""
+        """Schedule a FIB mutation on one device: ``mutate(plane)`` returns
+        the LEC deltas, which every local verifier processes in the same
+        handler before the outgoing DVM messages are routed."""
         device = self.devices[dev]
 
         def run() -> None:
             start = max(self.kernel.now, device.busy_until)
             t0 = _time.perf_counter()
-            deltas = []
-            if remove_rule_id is not None:
-                deltas.extend(device.plane.remove_rule(remove_rule_id))
-            if install is not None:
-                deltas.extend(device.plane.install_rule(install))
+            deltas = mutate(device.plane)
             all_out: List[Tuple[str, object, str]] = []
             for inv_name, verifier in device.verifiers.items():
                 for dest, msg in verifier.handle_lec_deltas(deltas):
@@ -426,11 +420,65 @@ class SimNetwork:
             metrics.message_costs.append(cost)
             self.note_activity(finish)
             if self.tracer is not None:
-                self.tracer.task_span(dev, "rule_update", None, start, finish)
+                self.tracer.task_span(dev, label, None, start, finish)
             for dest, msg, inv_name in all_out:
                 self.send(dev, dest, msg, inv_name, at=finish)
 
         self.kernel.schedule_at(at, run)
+
+    def apply_rule_update(
+        self,
+        dev: str,
+        at: float,
+        install: Optional[Rule] = None,
+        remove_rule_id: Optional[int] = None,
+    ) -> None:
+        """Incremental rule update: compute LEC deltas, drive verifiers."""
+
+        def mutate(plane) -> list:
+            deltas = []
+            if remove_rule_id is not None:
+                deltas.extend(plane.remove_rule(remove_rule_id))
+            if install is not None:
+                deltas.extend(plane.install_rule(install))
+            return deltas
+
+        self._schedule_fib_rewrite(dev, at, "rule_update", mutate)
+
+    def drain_device(self, dev: str, at: float) -> None:
+        """Maintenance drain: withdraw every rule from a device's FIB.
+
+        The device and its verifiers stay up — this is the rolling-upgrade
+        precondition where traffic is steered away before the box is
+        touched.  All removals run in one handler (one LEC recomputation),
+        and the resulting deltas propagate through the verifiers exactly
+        like any other rule update, so invariants are re-verified *under
+        the drained FIB*.
+        """
+        if dev not in self.devices:
+            raise SimulationError(f"unknown device {dev!r}")
+
+        def mutate(plane) -> list:
+            deltas = []
+            for rule in list(plane.rules):
+                deltas.extend(plane.remove_rule(rule.rule_id))
+            return deltas
+
+        self._schedule_fib_rewrite(dev, at, "drain", mutate)
+
+    def restore_rules(self, dev: str, rules: Sequence[Rule], at: float) -> None:
+        """Reinstall a drained device's FIB (the rolling-upgrade epilogue):
+        one handler installs every rule and propagates the LEC deltas."""
+        if dev not in self.devices:
+            raise SimulationError(f"unknown device {dev!r}")
+
+        def mutate(plane) -> list:
+            deltas = []
+            for rule in rules:
+                deltas.extend(plane.install_rule(rule))
+            return deltas
+
+        self._schedule_fib_rewrite(dev, at, "restore", mutate)
 
     def change_link(self, a: str, b: str, is_up: bool, at: float) -> None:
         """Fail or recover a link; both endpoints react locally."""

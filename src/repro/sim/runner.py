@@ -22,6 +22,7 @@ from repro.core.planner import Planner
 from repro.core.tasks import TaskSet
 from repro.dataplane.device import DevicePlane
 from repro.dataplane.rule import Rule
+from repro.errors import SimulationError
 from repro.sim.network import SimNetwork
 from repro.sim.transport import ChaosConfig, TransportConfig
 from repro.topology.graph import Topology
@@ -152,11 +153,15 @@ class TulkunRunner:
         self.tracer = tracer
         self.channel = channel
         self.network = None  # SimNetwork | ParallelNetwork
+        # Rules withdrawn by drain_device, keyed by device, awaiting
+        # restore_drained (rolling-upgrade bookkeeping).
+        self._drained: Dict[str, List[Rule]] = {}
 
     # ------------------------------------------------------------------
     def deploy(self, planes: Mapping[str, DevicePlane]):
         """Create the (serial or parallel) network with the given planes."""
         self.close()
+        self._drained.clear()
         if self.backend == "process":
             from repro.parallel.coordinator import ParallelNetwork
 
@@ -317,6 +322,40 @@ class TulkunRunner:
         network = self._sim_network()
         start = _schedule_start(network)
         network.restart_device(dev, at=start)
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def drain_device(self, dev: str) -> float:
+        """Maintenance drain (serial backend): withdraw the device's whole
+        FIB and re-verify under the drained state; return settle duration.
+
+        The withdrawn rules are kept so :meth:`restore_drained` can
+        reinstall them — a crash/restart of the device in between (the
+        rolling-upgrade window) does not lose them, matching real
+        maintenance where the intended FIB lives in the controller.
+        """
+        network = self._sim_network()
+        if dev in self._drained:
+            raise SimulationError(f"device {dev!r} is already drained")
+        saved = [
+            Rule(r.match, r.action, r.priority)
+            for r in network.devices[dev].plane.rules
+        ]
+        self._drained[dev] = saved
+        start = _schedule_start(network)
+        network.drain_device(dev, at=start)
+        finish = network.run()
+        return max(0.0, finish - start)
+
+    def restore_drained(self, dev: str) -> float:
+        """Reinstall a drained device's FIB; return the settle duration."""
+        network = self._sim_network()
+        saved = self._drained.pop(dev, None)
+        if saved is None:
+            raise SimulationError(f"device {dev!r} is not drained")
+        rules = [Rule(r.match, r.action, r.priority) for r in saved]
+        start = _schedule_start(network)
+        network.restore_rules(dev, rules, at=start)
         finish = network.run()
         return max(0.0, finish - start)
 

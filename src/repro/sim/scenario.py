@@ -1,0 +1,111 @@
+"""Scheduled scenario driver: execute fault scripts against a runner.
+
+A *script* is a sequence of :class:`~repro.core.scenario.ScenarioStep`\\ s.
+:func:`run_script` deploys the data plane (burst install), then applies the
+steps one by one, running the network to quiescence after each and
+recording the per-invariant statuses — the execution engine shared by the
+scenario explorer (:mod:`repro.explore`) and by trace replay
+(``scenario: "script"`` in :mod:`repro.telemetry.record`), so an explored
+counterexample re-executes byte-identically from its trace file.
+
+The module also defines the rolling-upgrade maintenance workload
+(drain → crash → restart → restore) as a first-class script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scenario import ScenarioStep
+from repro.dataplane.rule import Rule
+from repro.errors import SimulationError
+
+__all__ = [
+    "StepOutcome",
+    "apply_step",
+    "rolling_upgrade_steps",
+    "run_script",
+]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Observed state at the quiescence point after one step.
+
+    ``step`` is ``None`` for the initial burst-install phase.
+    """
+
+    step: Optional[ScenarioStep]
+    statuses: Dict[str, str]
+    converged: bool
+    duration: float
+
+    @property
+    def clean(self) -> bool:
+        """Every invariant HOLDS and the network converged."""
+        return self.converged and all(
+            status == "HOLDS" for status in self.statuses.values()
+        )
+
+
+def apply_step(runner, step: ScenarioStep) -> float:
+    """Apply one scenario step through the runner; return settle duration."""
+    if step.op == "link_down":
+        return runner.fail_links([tuple(step.args)])
+    if step.op == "link_up":
+        return runner.recover_links([tuple(step.args)])
+    if step.op == "crash":
+        return runner.crash_device(step.args[0])
+    if step.op == "restart":
+        return runner.restart_device(step.args[0])
+    if step.op == "drain":
+        return runner.drain_device(step.args[0])
+    if step.op == "restore":
+        return runner.restore_drained(step.args[0])
+    raise SimulationError(f"unknown scenario op {step.op!r}")
+
+
+def run_script(
+    runner,
+    rules_by_device: Mapping[str, Sequence[Rule]],
+    steps: Sequence[ScenarioStep],
+) -> List[StepOutcome]:
+    """Burst-install the data plane, then apply ``steps`` at quiescence
+    points; return one :class:`StepOutcome` per phase (burst first)."""
+    burst = runner.burst_update(
+        {
+            dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+            for dev, dev_rules in rules_by_device.items()
+        }
+    )
+    outcomes = [
+        StepOutcome(
+            step=None,
+            statuses=dict(burst.statuses),
+            converged=runner.network.converged,
+            duration=burst.verification_time,
+        )
+    ]
+    for step in steps:
+        duration = apply_step(runner, step)
+        outcomes.append(
+            StepOutcome(
+                step=step,
+                statuses=runner.statuses(),
+                converged=runner.network.converged,
+                duration=duration,
+            )
+        )
+    return outcomes
+
+
+def rolling_upgrade_steps(dev: str) -> Tuple[ScenarioStep, ...]:
+    """The maintenance-window script for one device: withdraw its FIB,
+    take it down for the upgrade, bring it back, reinstall the FIB."""
+    return (
+        ScenarioStep("drain", (dev,)),
+        ScenarioStep("crash", (dev,)),
+        ScenarioStep("restart", (dev,)),
+        ScenarioStep("restore", (dev,)),
+    )

@@ -179,6 +179,10 @@ class TraceFile:
     chaos: Optional[Dict[str, Any]] = None
     transport: Optional[Dict[str, Any]] = None
     scenario: str = "burst"
+    # For scenario "script": the fault steps applied after the burst, as
+    # JSON pairs ([op, [args...]]) decodable by ScenarioStep.from_json —
+    # the scenario explorer's counterexample format.
+    script: List[List] = field(default_factory=list)
     # Embedded input texts ({"topology", "fib", "spec"}) for self-contained
     # CLI replay; None for library-driven scenarios replayed in process.
     inputs: Optional[Dict[str, str]] = None
@@ -199,8 +203,14 @@ class TraceFile:
         tracer: Tracer,
         inputs: Optional[Dict[str, str]] = None,
         scenario: str = "burst",
+        script: Optional[List] = None,
     ) -> "TraceFile":
-        """Snapshot a finished traced run into a replayable trace."""
+        """Snapshot a finished traced run into a replayable trace.
+
+        ``script`` (for ``scenario="script"``) is the sequence of
+        :class:`~repro.core.scenario.ScenarioStep` fault steps the run
+        applied after its burst install.
+        """
         network = runner.network
         channel = getattr(network, "channel", None)
         stat_keys: Tuple[str, ...] = ()
@@ -216,6 +226,10 @@ class TraceFile:
                 asdict(transport_config) if transport_config is not None else None
             ),
             scenario=scenario,
+            script=[
+                step.to_json() if hasattr(step, "to_json") else list(step)
+                for step in (script or [])
+            ],
             inputs=dict(inputs) if inputs else None,
             fates={
                 key: [(list(delays), flags) for delays, flags in schedule]
@@ -237,6 +251,7 @@ class TraceFile:
             "chaos": self.chaos,
             "transport": self.transport,
             "scenario": self.scenario,
+            "script": self.script,
             "inputs": self.inputs,
             "fates": {
                 f"{src}>{dst}": [[delays, flags] for delays, flags in schedule]
@@ -269,6 +284,7 @@ class TraceFile:
             chaos=doc.get("chaos"),
             transport=doc.get("transport"),
             scenario=doc.get("scenario", "burst"),
+            script=list(doc.get("script", [])),
             inputs=doc.get("inputs"),
             fates=fates,
             channel_stat_keys=tuple(doc.get("channel_stat_keys", [])),
@@ -317,8 +333,11 @@ def replay_trace(
     predicate_index: Optional[str] = None,
     tracer: Optional[Tracer] = None,
 ):
-    """Re-execute a self-contained trace (embedded inputs, burst scenario).
+    """Re-execute a self-contained trace (embedded inputs).
 
+    Supports the ``"burst"`` scenario (install everything at t=0, run to
+    quiescence) and the ``"script"`` scenario (burst followed by the
+    recorded fault steps — the scenario explorer's counterexamples).
     Returns the finished runner; call :meth:`TraceFile.verify` on it to
     check byte-identity.  ``predicate_index`` overrides the recorded mode —
     the outcomes must be identical either way, which is exactly what the
@@ -329,7 +348,7 @@ def replay_trace(
             "trace has no embedded inputs; record it via the CLI's --trace "
             "or replay it in-process against the original scenario"
         )
-    if trace.scenario != "burst":
+    if trace.scenario not in ("burst", "script"):
         raise ReplayError(f"unknown recorded scenario {trace.scenario!r}")
 
     from repro.bdd import PacketSpaceContext
@@ -362,5 +381,15 @@ def replay_trace(
         dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
         for dev, plane in planes.items()
     }
-    runner.burst_update(rules)
+    if trace.scenario == "script":
+        from repro.core.scenario import ScenarioStep
+        from repro.sim.scenario import run_script
+
+        run_script(
+            runner,
+            rules,
+            [ScenarioStep.from_json(step) for step in trace.script],
+        )
+    else:
+        runner.burst_update(rules)
     return runner

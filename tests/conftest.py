@@ -50,6 +50,21 @@ def build_fig2_planes(ctx: PacketSpaceContext) -> Dict[str, DevicePlane]:
     return planes
 
 
+def build_linear_fig2_planes(ctx: PacketSpaceContext) -> Dict[str, DevicePlane]:
+    """A *correct* plane on the fig2a topology: S -> A -> W -> D, deliver.
+
+    Both example invariants (reach S~D, waypoint S~W~D) HOLD, making this
+    the baseline for fault-scenario tests that need a healthy network.
+    """
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    planes = {name: DevicePlane(name, ctx) for name in "SABWD"}
+    planes["S"].install_many([Rule(p1, Action.forward_all(["A"]), 10)])
+    planes["A"].install_many([Rule(p1, Action.forward_all(["W"]), 10)])
+    planes["W"].install_many([Rule(p1, Action.forward_all(["D"]), 10)])
+    planes["D"].install_many([Rule(p1, Action.deliver(), 10)])
+    return planes
+
+
 @pytest.fixture
 def fig2_planes(ctx: PacketSpaceContext) -> Dict[str, DevicePlane]:
     return build_fig2_planes(ctx)

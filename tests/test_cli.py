@@ -1,5 +1,7 @@
 """CLI and file-format tests: the downstream-user entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -288,3 +290,102 @@ class TestProfileTableOrdering:
         out = capsys.readouterr().out
         rows = [line.split()[0] for line in out.splitlines()[2:]]
         assert rows == ["worker3", "worker12"]
+
+
+@pytest.mark.scenario
+class TestCliExplore:
+    def _args(self, topo, fib, spec, *extra):
+        return [
+            "explore",
+            "--topology", str(topo),
+            "--fib", str(fib),
+            "--spec", str(spec),
+            *extra,
+        ]
+
+    def test_clean_family_exits_zero(self, input_files, capsys):
+        topo, fib, spec = input_files
+        code = main(self._args(topo, fib, spec, "--fail-link", "B:W"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "explored:" in out
+        assert "violated: 0" in out
+
+    def test_violating_family_certifies_counterexample(
+        self, input_files, tmp_path, capsys
+    ):
+        topo, fib, spec = input_files
+        report = tmp_path / "explore.json"
+        traces = tmp_path / "cex"
+        code = main(
+            self._args(
+                topo, fib, spec,
+                "--fail-link", "A:W", "--no-recover",
+                "--report", str(report), "--traces-dir", str(traces),
+            )
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "replay-certified" in out
+        assert "link_down(A,W)" in out  # minimized to the single cut
+
+        doc = json.loads(report.read_text())
+        assert doc["explored"] >= 1
+        assert doc["violated"] >= 1
+        assert doc["explored"] + doc["pruned"] + doc["skipped"] == (
+            doc["exhaustive_scenarios"]
+        )
+        assert doc["counterexamples"][0]["replay_ok"] is True
+
+        # The emitted trace is a first-class replay artifact: byte-identical
+        # re-execution through the public replay command, exit 0.
+        trace_path = traces / "cex-0.json"
+        assert trace_path.exists()
+        code = main(["replay", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+
+    def test_no_por_explores_more(self, input_files, tmp_path):
+        topo, fib, spec = input_files
+        reports = {}
+        for flag, name in ((None, "por"), ("--no-por", "full")):
+            path = tmp_path / f"{name}.json"
+            extra = ["--fail-link", "S:A", "--fail-link", "B:D",
+                     "--report", str(path)]
+            if flag:
+                extra.append(flag)
+            main(self._args(topo, fib, spec, *extra))
+            reports[name] = json.loads(path.read_text())
+        assert reports["full"]["pruned"] == 0
+        assert reports["por"]["pruned"] > 0
+        assert reports["por"]["explored"] < reports["full"]["explored"]
+        assert (
+            reports["por"]["distinct_outcomes"]
+            == reports["full"]["distinct_outcomes"]
+        )
+
+    def test_budget_counts_skipped(self, input_files, tmp_path):
+        topo, fib, spec = input_files
+        path = tmp_path / "budget.json"
+        code = main(
+            self._args(
+                topo, fib, spec,
+                "--fail-link", "S:A", "--fail-link", "B:D",
+                "--budget", "2", "--report", str(path),
+            )
+        )
+        doc = json.loads(path.read_text())
+        assert doc["explored"] == 2
+        assert doc["skipped"] > 0
+        assert code in (0, 1)
+
+    def test_usage_errors(self, input_files, capsys):
+        topo, fib, spec = input_files
+        assert main(self._args(topo, fib, spec)) == 2  # no elements
+        assert main(
+            self._args(topo, fib, spec, "--fail-link", "nocolon")
+        ) == 2
+        err = capsys.readouterr().err
+        assert "fault element" in err
+        assert "A:B" in err

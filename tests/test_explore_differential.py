@@ -1,0 +1,179 @@
+"""Exhaustive-vs-POR differential: pruning must not change verdicts.
+
+The partial-order reduction in :func:`repro.explore.explore_family` claims
+that the interleavings it skips are equivalent to an explored
+representative (disjoint (device, invariant) footprints commute, per the
+protocol-orderings results).  These tests are the correctness backstop:
+on the fig2a running example and on a tiny FT-4 slice, the POR run must
+explore *strictly fewer* scenarios than the exhaustive run while reaching
+the *identical* set of verdict outcomes — statuses, convergence flags and
+byte-serialized violation regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Rule
+from repro.datasets import build_dataset
+from repro.explore import FaultElement, ScenarioFamily, explore_family
+from repro.sim import ReliableChannel, TulkunRunner
+from repro.topology import fig2a_example
+from tests.conftest import build_fig2_planes
+
+pytestmark = pytest.mark.scenario
+
+
+def fig2a_harness(predicate_index="atoms", transport=True):
+    """Harness factory: a fresh fig2a deployment per scenario execution."""
+
+    def harness(tracer=None, channel=None):
+        ctx = PacketSpaceContext()
+        topology = fig2a_example()
+        p1 = ctx.ip_prefix("10.0.0.0/23")
+        invariants = [
+            reachability(p1, "S", "D"),
+            waypoint_reachability(p1, "S", "W", "D"),
+        ]
+        if channel is None and transport:
+            channel = ReliableChannel()
+        runner = TulkunRunner(
+            topology,
+            ctx,
+            invariants,
+            cpu_scale=0.0,
+            predicate_index=predicate_index,
+            tracer=tracer,
+            channel=channel,
+        )
+        planes = build_fig2_planes(ctx)
+        rules = {
+            dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+            for dev, plane in planes.items()
+        }
+        return runner, rules
+
+    return harness
+
+
+def ft4_harness():
+    """A tiny FT-4 slice: 2 sampled pairs, no rule multiplication."""
+
+    def harness(tracer=None, channel=None):
+        ds = build_dataset("FT-4", pair_limit=2, seed=3, rule_multiplier=1)
+        runner = TulkunRunner(
+            ds.topology,
+            ds.ctx,
+            ds.invariants,
+            cpu_scale=0.0,
+            tracer=tracer,
+            channel=channel,
+        )
+        rules = {
+            dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+            for dev, dev_rules in ds.rules_by_device.items()
+        }
+        return runner, rules
+
+    return harness
+
+
+def differential(family, harness):
+    """Run POR and exhaustive exploration; return both reports."""
+    por = explore_family(family, harness, por=True, minimize=False,
+                         max_counterexamples=0)
+    full = explore_family(family, harness, por=False, minimize=False,
+                          max_counterexamples=0)
+    return por, full
+
+
+class TestFig2aDifferential:
+    def test_disjoint_links_prune_and_match(self):
+        # S-A and B-D have disjoint endpoint footprints, so their
+        # down/up chains commute and most interleavings collapse.
+        family = ScenarioFamily(
+            elements=(
+                FaultElement("link", ("S", "A")),
+                FaultElement("link", ("B", "D")),
+            ),
+            max_faults=2,
+        )
+        por, full = differential(family, fig2a_harness())
+        assert full.explored == family.exhaustive_scenarios()
+        assert full.pruned == 0
+        assert por.explored < full.explored
+        assert por.pruned > 0
+        assert por.explored + por.pruned == full.explored
+        assert por.outcome_keys() == full.outcome_keys()
+
+    def test_three_fault_family_matches(self):
+        # Three elements, mixed kinds, up to 2 concurrent: the POR canon
+        # must still cover every reachable verdict outcome.
+        family = ScenarioFamily(
+            elements=(
+                FaultElement("link", ("S", "A")),
+                FaultElement("link", ("B", "D"), recover=False),
+                FaultElement("drain", ("W",)),
+            ),
+            max_faults=2,
+        )
+        por, full = differential(family, fig2a_harness())
+        assert por.explored < full.explored
+        assert por.outcome_keys() == full.outcome_keys()
+
+    def test_dependent_elements_are_not_pruned(self):
+        # A-W and the drain of W share device W in their footprints:
+        # nothing commutes, so POR degenerates to exhaustive exploration.
+        family = ScenarioFamily(
+            elements=(
+                FaultElement("link", ("A", "W")),
+                FaultElement("drain", ("W",)),
+            ),
+            max_faults=2,
+        )
+        por, full = differential(family, fig2a_harness())
+        assert por.pruned == 0
+        assert por.explored == full.explored
+        assert por.outcome_keys() == full.outcome_keys()
+
+    def test_failing_outcomes_match_too(self):
+        # The verdict-outcome comparison must hold for the failing subset
+        # specifically (these drive counterexample emission).
+        family = ScenarioFamily(
+            elements=(
+                FaultElement("link", ("A", "W"), recover=False),
+                FaultElement("link", ("S", "A")),
+            ),
+            max_faults=2,
+        )
+        por, full = differential(family, fig2a_harness())
+        por_failing = {r.outcome for r in por.results if r.failing}
+        full_failing = {r.outcome for r in full.results if r.failing}
+        assert por_failing == full_failing
+        assert por_failing  # the non-recovered A-W cut breaks reachability
+
+
+class TestFt4Differential:
+    def test_ft4_slice_differential(self):
+        harness = ft4_harness()
+        probe, _rules = harness()
+        links = sorted(
+            (link.a, link.b) for link in probe.topology.links()
+        )
+        probe.close()
+        # Three single-step link cuts spread across the link list — the
+        # slice's task placement decides what actually commutes.
+        picks = [links[0], links[len(links) // 2], links[-1]]
+        family = ScenarioFamily(
+            elements=tuple(
+                FaultElement("link", pick, recover=False) for pick in picks
+            ),
+            max_faults=3,
+        )
+        por, full = differential(family, harness)
+        assert full.explored == family.exhaustive_scenarios() == 16
+        assert por.explored <= full.explored
+        assert por.explored + por.pruned == full.explored
+        assert por.outcome_keys() == full.outcome_keys()

@@ -1,0 +1,207 @@
+"""Rolling-upgrade regression suite: drain -> verify -> restore.
+
+The maintenance workflow of §9 as a first-class workload on the serial
+backend: withdrawing a device's FIB re-verifies under the drained state,
+crashing it inside the window degrades *honestly* (a transient
+``UNKNOWN(unreachable_upstream)`` while neighbors churn, never a stale
+verdict), restart resynchronizes, and restoring the saved rules returns
+the network byte-identically to the healthy baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.core.scenario import ScenarioStep
+from repro.dataplane import Rule
+from repro.errors import SimulationError
+from repro.explore import (
+    FaultElement,
+    ScenarioFamily,
+    explore_family,
+    outcome_key,
+)
+from repro.sim import (
+    ReliableChannel,
+    TransportConfig,
+    TulkunRunner,
+    rolling_upgrade_steps,
+    run_script,
+)
+from repro.topology import fig2a_example
+from tests.conftest import build_linear_fig2_planes
+
+pytestmark = pytest.mark.scenario
+
+UNKNOWN = "UNKNOWN(unreachable_upstream)"
+
+
+def healthy_runner(transport_config=None, channel="reliable"):
+    ctx = PacketSpaceContext()
+    topology = fig2a_example()
+    p1 = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        reachability(p1, "S", "D"),
+        waypoint_reachability(p1, "S", "W", "D"),
+    ]
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        cpu_scale=0.0,
+        channel=ReliableChannel() if channel == "reliable" else None,
+        transport_config=transport_config,
+    )
+    planes = build_linear_fig2_planes(ctx)
+    rules = {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+    return runner, rules
+
+
+class TestDrainRestore:
+    def test_drain_verifies_under_drained_fib(self):
+        runner, rules = healthy_runner()
+        try:
+            outcomes = run_script(
+                runner, rules, [ScenarioStep("drain", ("W",))]
+            )
+            burst, drained = outcomes
+            assert all(s == "HOLDS" for s in burst.statuses.values())
+            # The drained FIB is a *verified* state, not a blind spot: W
+            # forwards nothing, so both invariants are VIOLATED — and the
+            # network still converges to that verdict.
+            assert drained.converged
+            assert all(s == "VIOLATED" for s in drained.statuses.values())
+        finally:
+            runner.close()
+
+    def test_restore_returns_to_baseline_outcome(self):
+        runner, rules = healthy_runner()
+        try:
+            baseline_runner, baseline_rules = healthy_runner()
+            run_script(baseline_runner, baseline_rules, [])
+            baseline = outcome_key(baseline_runner)
+            baseline_runner.close()
+            steps = [
+                ScenarioStep("drain", ("W",)),
+                ScenarioStep("restore", ("W",)),
+            ]
+            final = run_script(runner, rules, steps)[-1]
+            assert final.converged
+            assert all(s == "HOLDS" for s in final.statuses.values())
+            assert outcome_key(runner) == baseline
+        finally:
+            runner.close()
+
+    def test_double_drain_and_stray_restore_are_errors(self):
+        runner, rules = healthy_runner()
+        try:
+            run_script(runner, rules, [ScenarioStep("drain", ("W",))])
+            with pytest.raises(SimulationError):
+                runner.drain_device("W")
+            with pytest.raises(SimulationError):
+                runner.restore_drained("A")  # never drained
+        finally:
+            runner.close()
+
+    def test_drained_rules_survive_crash_restart(self):
+        # The intended FIB lives with the controller: a crash inside the
+        # drain window must not lose the rules queued for restore.
+        runner, rules = healthy_runner()
+        try:
+            final = run_script(runner, rules, rolling_upgrade_steps("W"))[-1]
+            assert final.converged
+            assert all(s == "HOLDS" for s in final.statuses.values())
+        finally:
+            runner.close()
+
+
+class TestUpgradeWindow:
+    def test_full_window_trajectory(self):
+        """drain -> crash -> restart -> restore, phase by phase."""
+        runner, rules = healthy_runner()
+        try:
+            outcomes = run_script(runner, rules, rolling_upgrade_steps("W"))
+            burst, drain, crash, restart, restore = outcomes
+            assert all(s == "HOLDS" for s in burst.statuses.values())
+            assert drain.converged
+            assert all(s == "VIOLATED" for s in drain.statuses.values())
+            # At quiescence the crash itself strands nothing: the drained
+            # verdicts stand (no stale HOLDS) until neighbors churn.
+            assert all(s == "VIOLATED" for s in crash.statuses.values())
+            assert restart.converged
+            assert restore.converged
+            assert all(s == "HOLDS" for s in restore.statuses.values())
+        finally:
+            runner.close()
+
+    def test_unknown_window_under_concurrent_churn(self):
+        """A FIB change elsewhere while the device is down opens the
+        honest-degradation window: flows into the crashed device give up,
+        the affected invariants report UNKNOWN instead of a stale verdict,
+        and the restart/restore tail clears it and reconverges."""
+        runner, rules = healthy_runner(
+            transport_config=TransportConfig(max_retries=4)
+        )
+        try:
+            steps = [
+                ScenarioStep("drain", ("W",)),
+                ScenarioStep("crash", ("W",)),
+                ScenarioStep("drain", ("D",)),  # D announces to dead W
+                ScenarioStep("restart", ("W",)),
+                ScenarioStep("restore", ("D",)),
+                ScenarioStep("restore", ("W",)),
+            ]
+            outcomes = run_script(runner, rules, steps)
+            window = outcomes[3]  # after drain(D), W still down
+            assert not window.converged
+            assert all(s == UNKNOWN for s in window.statuses.values())
+            after_restart = outcomes[4]
+            assert after_restart.converged
+            assert UNKNOWN not in after_restart.statuses.values()
+            final = outcomes[-1]
+            assert final.converged
+            assert all(s == "HOLDS" for s in final.statuses.values())
+        finally:
+            runner.close()
+
+
+class TestUpgradeFamily:
+    def test_upgrade_element_explores_clean_on_healthy_plane(self):
+        # The full maintenance window, model-checked: every interleaving
+        # of one upgrade against an off-path drain ends healthy.
+        def harness(tracer=None, channel=None):
+            ctx = PacketSpaceContext()
+            topology = fig2a_example()
+            p1 = ctx.ip_prefix("10.0.0.0/23")
+            invariants = [
+                reachability(p1, "S", "D"),
+                waypoint_reachability(p1, "S", "W", "D"),
+            ]
+            runner = TulkunRunner(
+                topology, ctx, invariants, cpu_scale=0.0,
+                channel=channel if channel is not None else ReliableChannel(),
+                tracer=tracer,
+            )
+            planes = build_linear_fig2_planes(ctx)
+            rules = {
+                dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+                for dev, plane in planes.items()
+            }
+            return runner, rules
+
+        family = ScenarioFamily(
+            elements=(
+                FaultElement("upgrade", ("W",)),
+                FaultElement("drain", ("B",)),
+            ),
+            max_faults=2,
+        )
+        report = explore_family(family, harness, minimize=False)
+        assert report.violated == 0
+        assert report.counterexamples == []
+        assert report.explored + report.pruned == report.exhaustive_scenarios
