@@ -12,7 +12,9 @@ Scaling: set ``REPRO_BENCH_SCALE=large`` for bigger datasets / more samples
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import ALL_BASELINES
@@ -21,6 +23,41 @@ from repro.datasets import BuiltDataset, build_dataset
 from repro.sim import TulkunRunner
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def host_cores() -> Dict[str, int]:
+    """Both core figures a speedup claim needs: the machine's core count
+    and the (possibly smaller) set this process may actually run on —
+    containers and CI runners routinely pin affinity below ``cpu_count``."""
+    cpu_count = os.cpu_count() or 1
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        affinity = cpu_count
+    return {"cpu_count": cpu_count, "affinity_cores": affinity}
+
+
+def record_trajectory(path: Path, record: dict, key_fields: Sequence[str]) -> None:
+    """Append ``record`` to the JSON trajectory at ``path``, replacing any
+    existing entry with the same key in place.
+
+    Keying on the workload parameters (scale, dataset, sizes) keeps the
+    trajectory one-row-per-configuration: re-running a benchmark updates
+    its row instead of stacking near-identical entries."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            history = []
+    key = tuple(record.get(field) for field in key_fields)
+    for i, entry in enumerate(history):
+        if tuple(entry.get(field) for field in key_fields) == key:
+            history[i] = record
+            break
+    else:
+        history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
 
 # Datasets exercised per figure at each scale: (name, pair_limit, multiplier)
 BURST_DATASETS = {

@@ -19,21 +19,21 @@ pass (change + restore returns the FIB to its initial state) precedes the
 timed pass so one-time costs — per-device atom bookkeeping builds, BDD
 operation caches — are excluded from the steady-state rate on both sides.
 
-Every run appends a record with all four baselines (serial/process ×
-bdd/atoms) to ``BENCH_dvm_churn.json`` in the repo root.
+Every run updates its row (keyed on the workload parameters — re-runs
+replace, not stack) with all four baselines (serial/process × bdd/atoms)
+in ``BENCH_dvm_churn.json`` in the repo root.
 
 Scales: ``REPRO_BENCH_SCALE=smoke`` is the CI bitrot check (tiny workload,
 no speedup assertion); ``small`` (default) and ``large`` assert the ≥3×
 serial-backend acceptance bar.
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
-from benchmarks._common import SCALE, print_header, print_row
+from benchmarks._common import SCALE, print_header, print_row, record_trajectory
 from repro.dataplane import Rule
 from repro.datasets import build_dataset
 from repro.sim import TulkunRunner, apply_intents, random_update_intents
@@ -57,19 +57,7 @@ PROCESS_INTENTS = {"smoke": 4, "small": 12, "large": 24}
 PROCESS_WORKERS = 2
 
 TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_dvm_churn.json"
-
-
-def _append_trajectory(record):
-    history = []
-    if TRAJECTORY.exists():
-        try:
-            history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            history = []
-    history.append(record)
-    TRAJECTORY.write_text(
-        json.dumps(history, indent=2) + "\n", encoding="utf-8"
-    )
+TRAJECTORY_KEY = ("scale", "dataset", "pair_limit", "rule_multiplier", "intents")
 
 
 def _fresh_rules(ds):
@@ -166,7 +154,8 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
             f"{speedups[backend]:.2f}x",
         )
 
-    _append_trajectory(
+    record_trajectory(
+        TRAJECTORY,
         {
             "scale": SCALE,
             "dataset": name,
@@ -181,7 +170,8 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
                 backend: speedups[backend] for backend in speedups
             },
             "speedup_floor": SPEEDUP_FLOORS[SCALE],
-        }
+        },
+        TRAJECTORY_KEY,
     )
 
     floor = SPEEDUP_FLOORS[SCALE]

@@ -192,6 +192,13 @@ def cmd_simulate(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     tracer = None
+    if args.trace and args.backend != "serial":
+        # Record/replay needs the full message schedule, which only the
+        # serial channel captures; --perfetto works on both backends.
+        print(
+            "error: --trace requires --backend serial", file=sys.stderr
+        )
+        return 2
     if args.trace or args.perfetto:
         from repro.telemetry import Tracer
 
@@ -209,6 +216,7 @@ def cmd_simulate(args) -> int:
             predicate_index=args.predicate_index,
             chaos=chaos,
             tracer=tracer,
+            use_shm=not args.no_shm,
         )
     except ValueError as exc:  # e.g. --chaos with --backend process
         print(f"error: {exc}", file=sys.stderr)
@@ -568,6 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for --backend process (default: cores, max 4)",
+    )
+    p_sim.add_argument(
+        "--no-shm", action="store_true",
+        help="--backend process: ship cross-worker DVM frames inline over "
+             "the command pipes instead of shared-memory rings (the "
+             "fallback lane; bytes and verdicts are identical)",
     )
     p_sim.add_argument(
         "--profile", action="store_true",

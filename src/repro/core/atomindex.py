@@ -511,6 +511,16 @@ class AtomIndex:
     def num_atoms(self) -> int:
         return self._leaf_count
 
+    def extent(self, aid: int) -> Predicate:
+        """The packets atom ``aid`` denotes.
+
+        Stable for the id's lifetime: splits mint fresh ids instead of
+        mutating extents, and a merge revives the parent id with its
+        original extent — which is what lets the parallel backend define an
+        atom to a peer once and reference it by id forever after.
+        """
+        return self._extent[aid]
+
     def profile(self) -> Dict[str, int]:
         return {
             "atoms": self._leaf_count,

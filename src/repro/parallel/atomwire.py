@@ -1,0 +1,446 @@
+"""Packed DVM wire frames: cross-worker messages as atom-id runs.
+
+The BSP backend shipped every cross-worker DVM message as an individually
+pickled ``(key, dst, invariant, bdd-bytes)`` tuple, re-serializing the full
+ROBDD of every region on every hop.  But since the atom index made AtomSets
+the region representation, a region *is* a set of small integers — the BDD
+bytes are pure redundancy once the peer knows what each atom id denotes.
+
+This codec ships that knowledge exactly once.  Each (sender worker →
+receiver worker) channel maintains an **atom dictionary**:
+
+* the sender tracks which of its atom ids the receiver has seen; the first
+  frame that references a new id carries the id's *extent* (canonical BDD
+  bytes) as a one-time definition;
+* the receiver atomizes each definition into its own index once and caches
+  ``sender id -> local AtomSet``; every later reference is a dict hit.
+
+Soundness rests on three :class:`~repro.core.atomindex.AtomIndex`
+invariants: atom ids are never reused, an id's extent never changes while
+it is a leaf (splits mint fresh ids; a merge revives the parent id with its
+original extent), and splitting preserves denotation — so a definition
+shipped once stays valid for the lifetime of the channel, across worker
+resets and engine GC sweeps alike.
+
+Regions then travel as *runs*: the sorted leaf-id set encoded as
+``(start, length)`` pairs packed into a little-endian ``u32`` array (atom
+ids are dense — consecutive splits mint consecutive ids — so runs compress
+hard).  Decoding unions the cached local AtomSets and converts through
+:meth:`AtomIndex.to_predicate`, whose canonical-ROBDD output makes the
+decoded message byte-identical to one decoded from full BDD bytes — the
+property the parity suites pin.
+
+Frame layout (integers are LEB128 varints unless sized)::
+
+    header  "<4sBBHIII": magic b"TKW1", version, flags, sender wid,
+                          frame seq (per channel), entry count, def count
+    strtab  varint n, repeated [varint len, utf-8 bytes]
+    entries repeated:
+        varint src_idx, varint msg_seq, varint dst_idx, varint inv_idx
+        message:
+            u8 type (1=UPDATE, 2=SUBSCRIBE)
+            varint parent, varint child
+            UPDATE:    region withdrawn, varint n, repeated [region, counts]
+            SUBSCRIBE: region pred_from, region pred_to
+
+    region := u8 kind
+        kind 0 (BDD bytes):  varint len, canonical ROBDD stream
+        kind 1 (atom runs):  varint ndefs,
+                             repeated [varint atom_id, varint len, extent],
+                             varint nbytes, packed u32 (start, length) pairs
+
+Frames are sequenced per channel and must be decoded in order (definitions
+reference earlier ones); the pipe/ring transport is FIFO, and the decoder
+enforces the sequence.  A pure-Python ``struct`` packer mirrors the
+``array``-based fast path bit for bit (:func:`set_fallback_codec` flips the
+module to it; the parity tests diff both).
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.predicate import PacketSpaceContext, Predicate
+from repro.bdd.serialize import (
+    decode_varint,
+    deserialize_predicate,
+    encode_varint,
+    serialize_predicate,
+)
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.errors import SerializationError
+
+__all__ = [
+    "FrameEncoder",
+    "FrameDecoder",
+    "pack_id_runs",
+    "unpack_id_runs",
+    "pack_id_runs_py",
+    "unpack_id_runs_py",
+    "set_fallback_codec",
+    "ids_to_runs",
+    "runs_to_ids",
+]
+
+_MAGIC = b"TKW1"
+_VERSION = 1
+_HEADER = struct.Struct("<4sBBHIII")
+
+_UPDATE = 1
+_SUBSCRIBE = 2
+
+_KIND_BDD = 0
+_KIND_RUNS = 1
+
+_U32_MAX = (1 << 32) - 1
+
+
+# ----------------------------------------------------------------------
+# Run-length packing of sorted atom-id sets
+# ----------------------------------------------------------------------
+def ids_to_runs(ids_sorted: Sequence[int]) -> List[int]:
+    """Flatten a sorted id sequence into ``[start, length, ...]`` pairs."""
+    runs: List[int] = []
+    i = 0
+    n = len(ids_sorted)
+    while i < n:
+        start = ids_sorted[i]
+        j = i + 1
+        while j < n and ids_sorted[j] == ids_sorted[j - 1] + 1:
+            j += 1
+        runs.append(start)
+        runs.append(j - i)
+        i = j
+    return runs
+
+
+def runs_to_ids(runs: Sequence[int]) -> List[int]:
+    """Inverse of :func:`ids_to_runs`."""
+    out: List[int] = []
+    for i in range(0, len(runs), 2):
+        start, length = runs[i], runs[i + 1]
+        out.extend(range(start, start + length))
+    return out
+
+
+def pack_id_runs(ids_sorted: Sequence[int]) -> bytes:
+    """Pack sorted atom ids as little-endian u32 ``(start, length)`` pairs."""
+    arr = array("I", ids_to_runs(ids_sorted))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def unpack_id_runs(data: bytes) -> List[int]:
+    """Inverse of :func:`pack_id_runs`."""
+    if len(data) % 8:
+        raise SerializationError("atom-run payload is not (start,len) pairs")
+    arr = array("I")
+    arr.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr.byteswap()
+    return runs_to_ids(arr)
+
+
+def pack_id_runs_py(ids_sorted: Sequence[int]) -> bytes:
+    """Pure-``struct`` packer, bit-compatible with :func:`pack_id_runs`."""
+    runs = ids_to_runs(ids_sorted)
+    return struct.pack("<%dI" % len(runs), *runs)
+
+
+def unpack_id_runs_py(data: bytes) -> List[int]:
+    """Pure-``struct`` unpacker, bit-compatible with :func:`unpack_id_runs`."""
+    if len(data) % 8:
+        raise SerializationError("atom-run payload is not (start,len) pairs")
+    return runs_to_ids(struct.unpack("<%dI" % (len(data) // 4), data))
+
+
+# The active packer pair; set_fallback_codec swaps in the pure-Python one so
+# the parity tests can prove both produce (and accept) identical bytes.
+_pack = pack_id_runs
+_unpack = unpack_id_runs
+
+
+def set_fallback_codec(enabled: bool) -> None:
+    """Switch the module to the pure-Python packer (for parity testing)."""
+    global _pack, _unpack
+    if enabled:
+        _pack, _unpack = pack_id_runs_py, unpack_id_runs_py
+    else:
+        _pack, _unpack = pack_id_runs, unpack_id_runs
+
+
+# ----------------------------------------------------------------------
+# Encoder
+# ----------------------------------------------------------------------
+class FrameEncoder:
+    """Per-sender frame encoder with one atom dictionary per destination."""
+
+    def __init__(self, wid: int, index=None) -> None:
+        self.wid = wid
+        self.index = index  # AtomIndex, or None in bdd mode
+        self._sent: Dict[int, set] = {}  # dst wid -> atom ids defined there
+        self._seq: Dict[int, int] = {}  # dst wid -> next frame seq
+        self.stats = {
+            "frames": 0,
+            "entries": 0,
+            "defs_shipped": 0,
+            "bytes": 0,
+            "bdd_regions": 0,
+            "run_regions": 0,
+        }
+
+    def _encode_region(self, region, sent: set, out: bytearray) -> None:
+        pred = (
+            region.to_predicate() if hasattr(region, "to_predicate") else region
+        )
+        index = self.index
+        if index is not None:
+            ids = sorted(index.atomize_ids(pred))
+            if not ids or ids[-1] <= _U32_MAX:
+                out.append(_KIND_RUNS)
+                new = [aid for aid in ids if aid not in sent]
+                encode_varint(len(new), out)
+                for aid in new:
+                    encode_varint(aid, out)
+                    blob = serialize_predicate(index.extent(aid))
+                    encode_varint(len(blob), out)
+                    out.extend(blob)
+                    sent.add(aid)
+                self.stats["defs_shipped"] += len(new)
+                runs = _pack(ids)
+                encode_varint(len(runs), out)
+                out.extend(runs)
+                self.stats["run_regions"] += 1
+                return
+        # bdd mode (or an id overflowing u32): full canonical ROBDD bytes.
+        out.append(_KIND_BDD)
+        blob = serialize_predicate(pred)
+        encode_varint(len(blob), out)
+        out.extend(blob)
+        self.stats["bdd_regions"] += 1
+
+    def _encode_message(self, message, sent: set, out: bytearray) -> None:
+        if isinstance(message, UpdateMessage):
+            out.append(_UPDATE)
+            encode_varint(message.intended_link[0], out)
+            encode_varint(message.intended_link[1], out)
+            self._encode_region(message.withdrawn, sent, out)
+            encode_varint(len(message.results), out)
+            for pred, countset in message.results:
+                self._encode_region(pred, sent, out)
+                encode_varint(len(countset), out)
+                for vec in countset:
+                    encode_varint(len(vec), out)
+                    for component in vec:
+                        encode_varint(component, out)
+            return
+        if isinstance(message, SubscribeMessage):
+            out.append(_SUBSCRIBE)
+            encode_varint(message.intended_link[0], out)
+            encode_varint(message.intended_link[1], out)
+            self._encode_region(message.pred_from, sent, out)
+            self._encode_region(message.pred_to, sent, out)
+            return
+        raise SerializationError(
+            f"cannot encode message of type {type(message)!r}"
+        )
+
+    def encode(self, dst_wid: int, entries: Sequence[tuple]) -> bytes:
+        """Encode one batch of ``((src, seq), dst, invariant, message)``
+        entries bound for worker ``dst_wid`` into a frame."""
+        sent = self._sent.setdefault(dst_wid, set())
+        strings: List[str] = []
+        str_idx: Dict[str, int] = {}
+
+        def intern(s: str) -> int:
+            idx = str_idx.get(s)
+            if idx is None:
+                idx = str_idx[s] = len(strings)
+                strings.append(s)
+            return idx
+
+        defs_before = self.stats["defs_shipped"]
+        body = bytearray()
+        for (src, msg_seq), dst, invariant, message in entries:
+            encode_varint(intern(src), body)
+            encode_varint(msg_seq, body)
+            encode_varint(intern(dst), body)
+            encode_varint(intern(invariant), body)
+            self._encode_message(message, sent, body)
+
+        strtab = bytearray()
+        encode_varint(len(strings), strtab)
+        for s in strings:
+            raw = s.encode("utf-8")
+            encode_varint(len(raw), strtab)
+            strtab.extend(raw)
+
+        seq = self._seq.get(dst_wid, 0)
+        self._seq[dst_wid] = seq + 1
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            0,
+            self.wid,
+            seq,
+            len(entries),
+            self.stats["defs_shipped"] - defs_before,
+        )
+        frame = header + bytes(strtab) + bytes(body)
+        self.stats["frames"] += 1
+        self.stats["entries"] += len(entries)
+        self.stats["bytes"] += len(frame)
+        return frame
+
+
+# ----------------------------------------------------------------------
+# Decoder
+# ----------------------------------------------------------------------
+class _PeerState:
+    """Receiver-side view of one sender's atom dictionary."""
+
+    __slots__ = ("atoms", "region_cache", "next_seq")
+
+    def __init__(self) -> None:
+        self.atoms: Dict[int, object] = {}  # sender atom id -> local AtomSet
+        self.region_cache: Dict[bytes, Predicate] = {}
+        self.next_seq = 0
+
+
+class FrameDecoder:
+    """Per-receiver frame decoder holding one :class:`_PeerState` per
+    sender; survives worker resets (the dictionaries outlive any one
+    deployment, exactly like the sender's)."""
+
+    def __init__(self, ctx: PacketSpaceContext, index=None) -> None:
+        self.ctx = ctx
+        self.index = index
+        self._peers: Dict[int, _PeerState] = {}
+        self.stats = {"frames": 0, "entries": 0, "defs_seen": 0, "bytes": 0}
+
+    def _decode_region(
+        self, peer: _PeerState, data: bytes, pos: int
+    ) -> Tuple[Predicate, int]:
+        kind = data[pos]
+        pos += 1
+        if kind == _KIND_BDD:
+            length, pos = decode_varint(data, pos)
+            pred = deserialize_predicate(self.ctx, data[pos : pos + length])
+            return pred, pos + length
+        if kind != _KIND_RUNS:
+            raise SerializationError(f"unknown region kind byte {kind}")
+        index = self.index
+        if index is None:
+            raise SerializationError(
+                "atom-run region received in bdd predicate-index mode"
+            )
+        ndefs, pos = decode_varint(data, pos)
+        for _ in range(ndefs):
+            aid, pos = decode_varint(data, pos)
+            length, pos = decode_varint(data, pos)
+            extent = deserialize_predicate(self.ctx, data[pos : pos + length])
+            pos += length
+            peer.atoms[aid] = index.atomize(extent)
+            self.stats["defs_seen"] += 1
+        nbytes, pos = decode_varint(data, pos)
+        runs = data[pos : pos + nbytes]
+        pos += nbytes
+        pred = peer.region_cache.get(runs)
+        if pred is None:
+            atoms = peer.atoms
+            try:
+                parts = [atoms[aid] for aid in _unpack(runs)]
+            except KeyError as exc:
+                raise SerializationError(
+                    f"atom id {exc.args[0]} referenced before definition"
+                ) from exc
+            pred = index.to_predicate(index.union(parts))
+            peer.region_cache[runs] = pred
+        return pred, pos
+
+    def _decode_message(self, peer: _PeerState, data: bytes, pos: int):
+        mtype = data[pos]
+        pos += 1
+        parent, pos = decode_varint(data, pos)
+        child, pos = decode_varint(data, pos)
+        if mtype == _UPDATE:
+            withdrawn, pos = self._decode_region(peer, data, pos)
+            num_results, pos = decode_varint(data, pos)
+            results = []
+            for _ in range(num_results):
+                pred, pos = self._decode_region(peer, data, pos)
+                num_vectors, pos = decode_varint(data, pos)
+                vectors = []
+                for _ in range(num_vectors):
+                    arity, pos = decode_varint(data, pos)
+                    vec = []
+                    for _ in range(arity):
+                        component, pos = decode_varint(data, pos)
+                        vec.append(component)
+                    vectors.append(tuple(vec))
+                # Same normalization as repro.core.wire.decode_message —
+                # countsets must compare equal whichever codec carried them.
+                results.append((pred, tuple(sorted(set(vectors)))))
+            return UpdateMessage((parent, child), withdrawn, tuple(results)), pos
+        if mtype == _SUBSCRIBE:
+            pred_from, pos = self._decode_region(peer, data, pos)
+            pred_to, pos = self._decode_region(peer, data, pos)
+            return SubscribeMessage((parent, child), pred_from, pred_to), pos
+        raise SerializationError(f"unknown message type byte {mtype}")
+
+    def decode(self, data: bytes) -> Tuple[int, List[tuple]]:
+        """Decode one frame; return ``(sender_wid, entries)`` with entries
+        shaped like the worker queue expects:
+        ``((src, seq), dst, invariant, message)``."""
+        if len(data) < _HEADER.size:
+            raise SerializationError("truncated frame header")
+        magic, version, _flags, sender, seq, count, _ndefs = _HEADER.unpack_from(
+            data, 0
+        )
+        if magic != _MAGIC:
+            raise SerializationError("bad frame magic")
+        if version != _VERSION:
+            raise SerializationError(f"unsupported frame version {version}")
+        peer = self._peers.get(sender)
+        if peer is None:
+            peer = self._peers[sender] = _PeerState()
+        if seq != peer.next_seq:
+            raise SerializationError(
+                f"frame from worker {sender} out of order: "
+                f"got seq {seq}, expected {peer.next_seq}"
+            )
+        peer.next_seq = seq + 1
+
+        pos = _HEADER.size
+        nstrings, pos = decode_varint(data, pos)
+        strings: List[str] = []
+        for _ in range(nstrings):
+            length, pos = decode_varint(data, pos)
+            strings.append(data[pos : pos + length].decode("utf-8"))
+            pos += length
+
+        entries: List[tuple] = []
+        for _ in range(count):
+            src_idx, pos = decode_varint(data, pos)
+            msg_seq, pos = decode_varint(data, pos)
+            dst_idx, pos = decode_varint(data, pos)
+            inv_idx, pos = decode_varint(data, pos)
+            message, pos = self._decode_message(peer, data, pos)
+            entries.append(
+                (
+                    (strings[src_idx], msg_seq),
+                    strings[dst_idx],
+                    strings[inv_idx],
+                    message,
+                )
+            )
+        if pos != len(data):
+            raise SerializationError("trailing bytes after frame")
+        self.stats["frames"] += 1
+        self.stats["entries"] += count
+        self.stats["bytes"] += len(data)
+        return sender, entries

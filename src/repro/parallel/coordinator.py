@@ -4,24 +4,36 @@
 simulator does (``install_rules`` / ``apply_rule_update`` / ``change_link`` /
 ``activate_scene`` / ``run`` / ``verdicts`` ...), so :class:`TulkunRunner`
 drives either interchangeably.  Underneath, devices are partitioned over a
-pool of worker processes (:mod:`repro.parallel.worker`); scenario calls are
-buffered and executed on :meth:`run` as command batches, then cross-worker
-DVM messages are routed in bulk-synchronous rounds until the network is
-quiescent.
+pool of worker processes (:mod:`repro.parallel.worker`) that is *persistent*
+(:mod:`repro.parallel.pool`): the first deployment forks it with live
+copy-on-write state, later deployments reset the existing workers onto new
+planes while their BDD contexts stay warm.
+
+Cross-worker DVM traffic is routed **without barriers**: every command sent
+to a worker produces exactly one reply carrying that worker's outbound
+frames (packed atom-id runs, :mod:`repro.parallel.atomwire`, riding a
+shared-memory ring).  The coordinator forwards each frame to its destination
+worker as soon as that worker is idle — a fast worker keeps receiving while
+a slow one is still computing.  Quiescence is credit-counted: the network is
+quiet exactly when no command is outstanding and no frame is pending.
+
+Results are pulled **lazily**: ``run`` only marks state dirty; the first
+verdict/metric accessor triggers a delta collect in which workers ship just
+the verifiers and devices touched since the last collect.
 
 Two semantic differences from the serial simulator, both deliberate:
 
 * **Time is real.**  ``run`` returns accumulated wall-clock seconds, not a
   simulated clock — the backend exists to measure (and deliver) actual
   parallel speedup, so ``cpu_scale`` is accepted but ignored.
-* **Delivery order is round-based**, not latency-ordered.  The DVM fixpoint
-  is order-independent, so verdicts and counting results are byte-identical
-  to the serial backend's (``tests/test_parallel_backend.py`` pins this).
+* **Delivery order is arrival order**, not latency-ordered.  The DVM
+  fixpoint is order-independent, so verdicts and counting results are
+  byte-identical to the serial backend's (``tests/test_parallel_backend.py``
+  pins this).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -35,6 +47,7 @@ from repro.dataplane.rule import Rule
 from repro.errors import SimulationError
 from repro.parallel import shipping
 from repro.parallel.partition import cut_edges, partition_devices
+from repro.parallel.pool import WorkerPool
 from repro.parallel.worker import worker_main
 from repro.sim.metrics import MetricsCollector
 from repro.topology.graph import Topology, canonical_link
@@ -48,11 +61,19 @@ def default_worker_count() -> int:
 
 
 class _KernelShim:
-    """Quacks like ``SimKernel`` for the counters the drivers read."""
+    """Quacks like ``SimKernel`` for the counters the drivers read.
 
-    def __init__(self) -> None:
+    ``events_processed`` is a property so that reading it forces the lazy
+    refresh — drivers that only look at counters still see current state."""
+
+    def __init__(self, network: "ParallelNetwork") -> None:
         self.now = 0.0
-        self.events_processed = 0
+        self._network = network
+
+    @property
+    def events_processed(self) -> int:
+        self._network._refresh_if_needed()
+        return self._network._events
 
 
 class _MirrorDevice:
@@ -77,17 +98,29 @@ class ParallelNetwork:
         partition_strategy: str = "locality",
         gc_threshold: Optional[int] = None,
         predicate_index: str = "atoms",
+        pool: Optional[WorkerPool] = None,
+        use_shm: bool = True,
+        tracer=None,
     ) -> None:
+        """``pool`` attaches an existing (possibly already spawned)
+        :class:`WorkerPool` — the persistent-worker path.  Without one the
+        network creates and owns a private pool, closed with the network.
+
+        ``tracer`` optionally collects coordinator/worker IPC spans
+        (``flush`` / ``drain`` / ``idle`` / ``quiescence-probe``) for
+        per-worker occupancy timelines."""
         self.topology = topology
         self.ctx = ctx
         self.task_sets = list(task_sets)
         self.cpu_scale = cpu_scale  # interface parity; wall time is real here
         self.gc_threshold = gc_threshold  # per-worker BDD GC trigger
         self.predicate_index = predicate_index  # worker region representation
-        self.kernel = _KernelShim()
+        self.use_shm = use_shm
+        self.kernel = _KernelShim(self)
         self.metrics = MetricsCollector()
         self.failed_links: Set[Tuple[str, str]] = set()
         self.last_activity: float = 0.0
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
 
         devices = sorted(topology.devices)
         workers = num_workers if num_workers else default_worker_count()
@@ -104,97 +137,225 @@ class ParallelNetwork:
                 plane = DevicePlane(dev, ctx)
             self.devices[dev] = _MirrorDevice(dev, plane)
 
+        self.pool = pool
+        self._owns_pool = pool is None
+        self._spawned = False  # this *network* attached to the pool yet?
+        self._idle_since: Dict[int, float] = {}
+
+        # Update-shipping dictionary: churn overwhelmingly reinstalls match
+        # predicates already on the wire (route refreshes, re-points and
+        # restores reuse the installed match), so each distinct match is
+        # serialized once, shipped to a given worker once, and referenced
+        # by id thereafter — neither side touches the BDD codec again.
+        self._match_ids: Dict[object, int] = {}
+        self._match_payloads: List[bytes] = []
+        self._matches_shipped: Set[Tuple[int, int]] = set()
         # Buffered scenario ops: (at, kind, *payload); run() executes them.
-        # Workers are forked lazily, on the first run(): by then the mirror
-        # planes hold every buffered install, and a fork ships that state to
-        # the workers for free (copy-on-write), BDD caches warm.
+        # Workers attach lazily, on the first run(): by then the mirror
+        # planes hold every buffered install, and (on a fresh pool) a fork
+        # ships that state to the workers for free, BDD caches warm.
         self._pending: List[tuple] = []
-        self._verdicts: Dict[str, Dict[str, tuple]] = {}
+        # Lazily-merged worker state: invariant -> dev -> {ingress: entry}.
+        self._verdict_parts: Dict[str, Dict[str, dict]] = {}
+        self._dev_stats: Dict[str, Dict[str, int]] = {}
         self._memory: Dict[str, int] = {}
+        self._events = 0
+        self._dirty = False
         self._closed = False
-        self._procs: Optional[List] = None
-        self._conns: List = []
 
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
-    def _spawn(self) -> None:
-        """Fork the worker pool, inheriting the coordinator's state.
+    def _worker_devices(self, wid: int) -> List[str]:
+        return sorted(dev for dev, w in self.assignment.items() if w == wid)
 
-        With the ``fork`` start method ``Process`` args cross into the child
-        without pickling: each worker receives its partition's planes, its
-        :class:`DeviceTask` objects and the (already warm) BDD context as
-        live objects.  Everything *after* the fork crosses process
-        boundaries as bytes — rule payloads via :mod:`.shipping`, DVM
-        messages via :mod:`repro.core.wire`.
-        """
-        mp = multiprocessing.get_context("fork")
-        self._conns = []
-        self._procs = []
-        for wid in range(self.num_workers):
-            mine = sorted(
-                dev for dev, w in self.assignment.items() if w == wid
+    def _worker_tasks(self, mine: Sequence[str]) -> list:
+        return [
+            task_set.tasks[dev]
+            for task_set in self.task_sets
+            for dev in mine
+            if dev in task_set.tasks
+        ]
+
+    def _ensure_workers(self) -> bool:
+        """Attach this deployment to the pool; spawn or reset as needed.
+
+        Returns True when the workers inherited the mirror planes via fork
+        (so buffered installs are already in place and the matching commands
+        only need to re-initialize)."""
+        if self._spawned:
+            return False
+        pool = self.pool
+        if pool is None:
+            pool = self.pool = WorkerPool(self.num_workers, use_shm=self.use_shm)
+        if pool.broken or pool.closed:
+            raise SimulationError(
+                "cannot deploy onto a broken or closed worker pool"
             )
-            init = {
-                "wid": wid,
-                "ctx": self.ctx,
-                "assignment": self.assignment,
-                "devices": mine,
-                "planes": {dev: self.devices[dev].plane for dev in mine},
-                "tasks": [
-                    task_set.tasks[dev]
-                    for task_set in self.task_sets
-                    for dev in mine
-                    if dev in task_set.tasks
-                ],
-                "gc_threshold": self.gc_threshold,
-                "predicate_index": self.predicate_index,
-            }
-            parent_conn, child_conn = mp.Pipe()
-            proc = mp.Process(
-                target=worker_main, args=(child_conn, init), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
-            self.metrics.worker(wid).num_devices = len(mine)
-        for wid, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] != "ready":
-                raise SimulationError(
-                    f"worker {wid} failed to initialize:\n{reply[1]}"
+        if not pool.spawned:
+            # Fresh pool: fork with the coordinator's live state.  With the
+            # ``fork`` start method Process args cross into the child without
+            # pickling — each worker receives its partition's planes, tasks
+            # and the (already warm) BDD context as live objects.  Everything
+            # *after* the fork crosses as bytes: rules via :mod:`.shipping`,
+            # DVM messages via :mod:`.atomwire`.
+            inits = []
+            for wid in range(self.num_workers):
+                mine = self._worker_devices(wid)
+                inits.append(
+                    {
+                        "wid": wid,
+                        "ctx": self.ctx,
+                        "assignment": self.assignment,
+                        "planes": {
+                            dev: self.devices[dev].plane for dev in mine
+                        },
+                        "tasks": self._worker_tasks(mine),
+                        "gc_threshold": self.gc_threshold,
+                        "predicate_index": self.predicate_index,
+                    }
                 )
+            pool.spawn(inits, worker_main, self.assignment)
+            inherited = True
+        else:
+            # Warm pool: the processes (and their BDD contexts) survive;
+            # a reset re-points each worker at this deployment's planes and
+            # tasks.  Rules arrive later as explicit install bursts.
+            if pool.num_workers != self.num_workers:
+                raise SimulationError(
+                    f"persistent pool has {pool.num_workers} workers, "
+                    f"deployment needs {self.num_workers}"
+                )
+            if pool.assignment != self.assignment:
+                raise SimulationError(
+                    "persistent pool partition does not match this deployment"
+                )
+            pool.generations += 1
+            for wid in range(self.num_workers):
+                mine = self._worker_devices(wid)
+                pool.send(
+                    wid,
+                    (
+                        "reset",
+                        {
+                            "devices": mine,
+                            "tasks": shipping.ship_tasks(
+                                self._worker_tasks(mine),
+                                predicate_index=self.predicate_index,
+                            ),
+                        },
+                    ),
+                )
+            for wid in range(self.num_workers):
+                reply, _payloads = pool.recv(wid)
+                if reply[0] == "error":
+                    raise SimulationError(
+                        f"worker {wid} failed to reset:\n{reply[1]}"
+                    )
+            inherited = False
+        for wid in range(self.num_workers):
+            self.metrics.worker(wid).num_devices = len(
+                self._worker_devices(wid)
+            )
+        self._spawned = True
+        return inherited
 
-    def _dispatch(self, commands: Dict[int, tuple]) -> List[tuple]:
-        """Send one command per worker (all before any recv) and merge the
-        returned cross-worker messages."""
+    # ------------------------------------------------------------------
+    # Non-barrier command execution
+    # ------------------------------------------------------------------
+    def _span(self, track: str, name: str, start: float, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.ipc_span(
+                track, name, start, self.tracer.ipc_clock(), **fields
+            )
+
+    def _execute(
+        self,
+        commands: Dict[int, tuple],
+        payloads: Optional[Dict[int, Sequence[bytes]]] = None,
+    ) -> None:
+        """Run one batch of commands and route the resulting cross-worker
+        frames until the network is quiescent — without barriers.
+
+        Invariants that make this correct and deadlock-free:
+
+        * at most one command is outstanding per worker, and every command
+          yields exactly one reply (so pipe writes never mutually block);
+        * a reply carries all frames the command produced, each of which
+          becomes a pending inbox delivery — credit counting: quiescence is
+          exactly (no outstanding commands) ∧ (no pending frames);
+        * frames queue per destination and are dispatched the moment the
+          destination goes idle, so routing never waits for a round.
+        """
+        pool = self.pool
+        tracer = self.tracer
+        outstanding: Dict[int, Tuple[float, str]] = {}
+        pending: Dict[int, List[bytes]] = {}
+        blobs = payloads or {}
+
+        def dispatch(wid: int, command: tuple, frames: Sequence[bytes], label: str) -> None:
+            if tracer is not None:
+                idle_from = self._idle_since.pop(wid, None)
+                if idle_from is not None:
+                    self._span(f"worker{wid}", "idle", idle_from)
+            pool.send(wid, command, frames)
+            sent_at = tracer.ipc_clock() if tracer is not None else 0.0
+            outstanding[wid] = (sent_at, label)
+
         for wid in sorted(commands):
-            self._conns[wid].send(commands[wid])
-        merged: List[tuple] = []
-        for wid in sorted(commands):
-            reply = self._conns[wid].recv()
+            dispatch(wid, commands[wid], blobs.get(wid, ()), commands[wid][0])
+        while outstanding or pending:
+            for wid in sorted(pending):
+                if wid not in outstanding:
+                    dispatch(wid, ("inbox",), pending.pop(wid), "drain")
+            probe_start = tracer.ipc_clock() if tracer is not None else 0.0
+            ready = pool.wait(sorted(outstanding))
+            if tracer is not None:
+                self._span(
+                    "coordinator",
+                    "quiescence-probe",
+                    probe_start,
+                    outstanding=len(outstanding),
+                    pending=len(pending),
+                )
+            for wid in ready:
+                sent_at, label = outstanding.pop(wid)
+                reply, frames = pool.recv(wid)
+                if reply[0] == "error":
+                    raise SimulationError(f"worker {wid} failed:\n{reply[1]}")
+                if tracer is not None:
+                    self._span(f"worker{wid}", label, sent_at)
+                    self._idle_since[wid] = tracer.ipc_clock()
+                routed = reply[1]
+                if routed:
+                    flush_start = (
+                        tracer.ipc_clock() if tracer is not None else 0.0
+                    )
+                    for (dst, count), frame in zip(routed, frames):
+                        pending.setdefault(dst, []).append(frame)
+                        self.metrics.routed_messages += count
+                        self.metrics.routed_bytes += len(frame)
+                    if tracer is not None:
+                        self._span(
+                            "coordinator",
+                            "flush",
+                            flush_start,
+                            src=wid,
+                            frames=len(routed),
+                        )
+
+    def _control(self, command: tuple) -> List[object]:
+        """Synchronous broadcast for state queries (collect/counts)."""
+        pool = self.pool
+        for wid in range(self.num_workers):
+            pool.send(wid, command)
+        out: List[object] = []
+        for wid in range(self.num_workers):
+            reply, _payloads = pool.recv(wid)
             if reply[0] == "error":
                 raise SimulationError(f"worker {wid} failed:\n{reply[1]}")
-            merged.extend(reply[1])
-        return merged
-
-    def _drain(self, remote: List[tuple]) -> None:
-        """Route cross-worker messages in deterministic rounds until quiet."""
-        while remote:
-            remote.sort(key=lambda entry: entry[0])
-            inboxes: Dict[int, List[tuple]] = {}
-            for entry in remote:
-                wid = self.assignment[entry[1]]
-                inboxes.setdefault(wid, []).append(entry)
-                self.metrics.routed_messages += 1
-                self.metrics.routed_bytes += len(entry[3])
-            remote = self._dispatch(
-                {wid: ("round", inbox) for wid, inbox in inboxes.items()}
-            )
-
-    def _broadcast(self, command: tuple) -> List[tuple]:
-        return self._dispatch({wid: command for wid in range(self.num_workers)})
+            out.append(reply[1])
+        return out
 
     # ------------------------------------------------------------------
     # Scenario drivers (SimNetwork surface)
@@ -235,22 +396,39 @@ class ParallelNetwork:
     # ------------------------------------------------------------------
     # Run + results
     # ------------------------------------------------------------------
+    def _ship_update(self, wid: int, install: Rule) -> Dict[str, object]:
+        """One update's wire payload for worker ``wid``.
+
+        The match predicate ships as serialized BDD bytes the first time
+        worker ``wid`` sees it and as a dictionary reference afterwards;
+        the worker caches the decoded predicate under the same id."""
+        mid = self._match_ids.get(install.match)
+        if mid is None:
+            mid = self._match_ids[install.match] = len(self._match_payloads)
+            self._match_payloads.append(
+                shipping.ship_rules([install])["blob"]
+            )
+        payload: Dict[str, object] = {
+            "meta": (install.action, install.priority, install.rule_id),
+            "mid": mid,
+        }
+        if (wid, mid) not in self._matches_shipped:
+            self._matches_shipped.add((wid, mid))
+            payload["blob"] = self._match_payloads[mid]
+        return payload
+
     def run(self, until: Optional[float] = None) -> float:
-        """Execute buffered ops, route to quiescence, refresh caches.
+        """Execute buffered ops and route to quiescence.
 
         Returns accumulated wall-clock seconds (the parallel analogue of the
         serial backend's simulated last-activity time; ``until`` is accepted
-        for interface parity and ignored — rounds always run to quiescence).
-        """
+        for interface parity and ignored — routing always runs to
+        quiescence).  Verdicts and metrics are *not* pulled here: the run
+        only marks them dirty, and the first accessor triggers a delta
+        collect."""
         del until
         start = time.perf_counter()
-        inherited = False
-        if self._procs is None:
-            # First run: every buffered install/update already sits in the
-            # mirror planes, and the fork hands those planes to the workers
-            # wholesale — the matching commands only need to (re)initialize.
-            self._spawn()
-            inherited = True
+        inherited = self._ensure_workers()
         ops = sorted(self._pending, key=lambda op: op[0])
         self._pending = []
         i = 0
@@ -269,7 +447,7 @@ class ParallelNetwork:
                 if not inherited:
                     for dev, rules in batch.items():
                         per_worker[self.assignment[dev]][dev] = rules
-                remote = self._dispatch(
+                self._execute(
                     {
                         wid: ("burst", shipping.ship_rule_sets(dev_rules))
                         for wid, dev_rules in per_worker.items()
@@ -281,71 +459,83 @@ class ParallelNetwork:
                     _at, _kind, a, b, is_up = ops[i]
                     changes.append((a, b, is_up))
                     i += 1
-                remote = self._broadcast(("link", changes))
+                self._execute(
+                    {
+                        wid: ("link", changes)
+                        for wid in range(self.num_workers)
+                    }
+                )
             elif kind == "scene":
                 _at, _kind, scene_id = ops[i]
                 i += 1
-                remote = self._broadcast(("scene", scene_id))
+                self._execute(
+                    {
+                        wid: ("scene", scene_id)
+                        for wid in range(self.num_workers)
+                    }
+                )
             elif kind == "update":
-                _at, _kind, dev, install, remove_id = ops[i]
-                i += 1
-                if inherited:
-                    # The fork already delivered the post-update plane; a
-                    # re-initialize reaches the same fixpoint as replaying
-                    # the delta would.
-                    remote = self._dispatch(
-                        {
-                            self.assignment[dev]: (
-                                "burst",
-                                shipping.ship_rule_sets({}),
-                            )
-                        }
-                    )
-                else:
+                # Consecutive updates coalesce into one batched command per
+                # owning worker; the DVM fixpoint is batching-independent,
+                # so one drain after n updates converges identically.
+                batches: Dict[int, List[tuple]] = {}
+                while i < len(ops) and ops[i][1] == "update":
+                    _at, _kind, dev, install, remove_id = ops[i]
+                    i += 1
+                    wid = self.assignment[dev]
                     payload = (
-                        shipping.ship_rules([install])
+                        self._ship_update(wid, install)
                         if install is not None
                         else None
                     )
-                    remote = self._dispatch(
+                    batches.setdefault(wid, []).append(
+                        (dev, payload, remove_id)
+                    )
+                if inherited:
+                    # The fork already delivered the post-update planes; a
+                    # re-initialize reaches the same fixpoint as replaying
+                    # the deltas would.
+                    self._execute(
                         {
-                            self.assignment[dev]: (
-                                "update",
-                                dev,
-                                payload,
-                                remove_id,
-                            )
+                            wid: ("burst", shipping.ship_rule_sets({}))
+                            for wid in sorted(batches)
+                        }
+                    )
+                else:
+                    self._execute(
+                        {
+                            wid: ("update", updates)
+                            for wid, updates in batches.items()
                         }
                     )
             else:  # pragma: no cover - guarded by the driver methods
                 raise SimulationError(f"unknown buffered op {kind!r}")
-            self._drain(remote)
         self.last_activity += time.perf_counter() - start
-        self._refresh()
+        self.metrics.parallel_wall = self.last_activity
+        self._dirty = True
         return self.last_activity
 
-    def _refresh(self) -> None:
-        """Pull verdicts, memory and transport stats from every worker."""
-        for conn in self._conns:
-            conn.send(("collect",))
-        self._verdicts = {}
-        events = 0
-        for wid, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] == "error":
-                raise SimulationError(f"worker {wid} failed:\n{reply[1]}")
-            state = reply[1]
-            for invariant, verdict_map in state["verdicts"].items():
-                self._verdicts.setdefault(invariant, {}).update(verdict_map)
+    def _refresh_if_needed(self) -> None:
+        """Merge delta collects from every worker into the cached view.
+
+        Each worker ships only the verifiers/devices touched since its last
+        collect (everything on the first), so a refresh after one
+        incremental update costs O(touched), not O(network)."""
+        if not self._dirty or not self._spawned:
+            return
+        self._dirty = False
+        for wid, state in enumerate(self._control(("collect",))):
+            for dev, invariant, entry in state["verdicts"]:
+                self._verdict_parts.setdefault(invariant, {})[dev] = entry
             self._memory.update(state["memory"])
             for dev, stats in state["stats"].items():
+                self._dev_stats[dev] = stats
                 device_metrics = self.metrics.device(dev)
                 device_metrics.events_processed = stats["events_processed"]
                 device_metrics.messages_sent = stats["messages_sent"]
                 device_metrics.bytes_sent = stats["bytes_sent"]
                 device_metrics.messages_received = stats["messages_received"]
                 device_metrics.bytes_received = stats["bytes_received"]
-                events += stats["events_processed"]
             info = state["worker"]
             worker_metrics = self.metrics.worker(wid)
             worker_metrics.busy_time = info["busy"]
@@ -357,8 +547,9 @@ class ParallelNetwork:
             atom_profile = state.get("atom_index")
             if atom_profile is not None:
                 self.metrics.record_atom_index(f"worker{wid}", atom_profile)
-        self.kernel.events_processed = events
-        self.metrics.parallel_wall = self.last_activity
+        self._events = sum(
+            stats["events_processed"] for stats in self._dev_stats.values()
+        )
 
     def _decode_violation(self, raw: Dict[str, object]) -> Violation:
         return Violation(
@@ -368,10 +559,18 @@ class ParallelNetwork:
             message=raw["message"],  # type: ignore[arg-type]
         )
 
+    def _merged_verdicts(self, invariant: str) -> Dict[str, tuple]:
+        self._refresh_if_needed()
+        parts = self._verdict_parts.get(invariant, {})
+        merged: Dict[str, tuple] = {}
+        for dev in sorted(parts):
+            merged.update(parts[dev])
+        return merged
+
     def verdicts(self, invariant: str) -> Dict[str, Tuple[bool, list]]:
         out: Dict[str, Tuple[bool, list]] = {}
-        for ingress, (ok, violations) in self._verdicts.get(
-            invariant, {}
+        for ingress, (ok, violations) in self._merged_verdicts(
+            invariant
         ).items():
             out[ingress] = (
                 ok,
@@ -380,7 +579,7 @@ class ParallelNetwork:
         return out
 
     def all_hold(self, invariant: str) -> bool:
-        verdicts = self._verdicts.get(invariant, {})
+        verdicts = self._merged_verdicts(invariant)
         return bool(verdicts) and all(
             ok for ok, _violations in verdicts.values()
         )
@@ -392,48 +591,39 @@ class ParallelNetwork:
         return out
 
     def snapshot_memory(self) -> None:
+        self._refresh_if_needed()
         for dev, total in self._memory.items():
             metrics = self.metrics.device(dev)
             metrics.memory_proxy_peak = max(metrics.memory_proxy_peak, total)
 
     def snapshot_engines(self) -> None:
-        """Interface parity with ``SimNetwork``: worker engine profiles are
-        already pulled into the metrics on every ``_refresh``."""
-        if self._procs is not None:
-            self._refresh()
+        """Pull fresh per-worker engine/atom-index profiles into metrics."""
+        if self._spawned:
+            self._dirty = True  # profiles ride the collect; force a fresh one
+            self._refresh_if_needed()
 
     def source_fingerprints(self) -> Dict[tuple, object]:
         """Canonical source-node counting results across all workers."""
-        for conn in self._conns:
-            conn.send(("counts",))
+        if not self._spawned:
+            return {}
         merged: Dict[tuple, object] = {}
-        for wid, conn in enumerate(self._conns):
-            reply = conn.recv()
-            if reply[0] == "error":
-                raise SimulationError(f"worker {wid} failed:\n{reply[1]}")
-            merged.update(reply[1])
+        for counts in self._control(("counts",)):
+            merged.update(counts)
         return merged
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Detach from the pool; private pools shut down with the network.
+
+        An attached (runner-owned) pool stays alive — its workers keep
+        their warm BDD contexts for the next deployment to reset onto."""
         if self._closed:
             return
         self._closed = True
-        if self._procs is None:
-            return
-        for conn in self._conns:
-            try:
-                conn.send(("exit",))
-            except (OSError, BrokenPipeError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung-worker backstop
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
 
     def __enter__(self) -> "ParallelNetwork":
         return self

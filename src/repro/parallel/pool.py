@@ -1,0 +1,216 @@
+"""Persistent shard-worker pool: spawn once, reuse across deployments.
+
+The BSP backend forked a fresh pool inside every :class:`ParallelNetwork`
+and tore it down with the network, so every deployment in a churn loop paid
+fork + context rebuild + BDD rewarm.  A :class:`WorkerPool` decouples the
+processes from any one deployment: the pool is spawned once (per
+:class:`~repro.sim.runner.TulkunRunner`), the first deployment forks with
+live copy-on-write state, and later deployments *reset* the existing
+workers — rebuilding planes and verifiers on each worker's already-warm BDD
+context (node table, op caches, atom index and the cross-worker atom
+dictionaries all survive).
+
+The pool also owns the transport plumbing:
+
+* one command pipe per worker (control tuples, small, pickled);
+* two :class:`~repro.parallel.shm.ShmRing` segments per worker (payload
+  bytes: DVM frames coordinator→worker and worker→coordinator).  Payloads
+  ride the ring as ``("s", position, length)`` descriptors on the pipe; if
+  a ring is momentarily full the payload falls back to an inline
+  ``("r", bytes)`` descriptor — same bytes, slow lane.
+
+Crash detection: any pipe failure marks the pool ``broken`` and raises
+:class:`~repro.errors.SimulationError` naming the worker and its exit
+status.  A broken pool refuses further commands; the runner responds by
+discarding it and spawning a fresh one on the next deployment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.parallel.shm import ShmRing, shared_memory_available
+
+__all__ = ["WorkerPool", "write_payloads", "read_payloads"]
+
+
+def write_payloads(ring: Optional[ShmRing], payloads: Sequence[bytes]) -> List[tuple]:
+    """Stage payload bytes for a pipe message; returns descriptors."""
+    descs: List[tuple] = []
+    for data in payloads:
+        if ring is not None:
+            pos = ring.try_write(data)
+            if pos is not None:
+                descs.append(("s", pos, len(data)))
+                continue
+        descs.append(("r", data))
+    return descs
+
+
+def read_payloads(ring: Optional[ShmRing], descs: Sequence[tuple]) -> List[bytes]:
+    """Materialize descriptors back into payload bytes (FIFO order)."""
+    out: List[bytes] = []
+    for desc in descs:
+        if desc[0] == "s":
+            if ring is None:
+                raise SimulationError("shared-memory descriptor without a ring")
+            out.append(ring.read(desc[1], desc[2]))
+        else:
+            out.append(desc[1])
+    return out
+
+
+class WorkerPool:
+    """A long-lived pool of forked verifier workers."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        use_shm: bool = True,
+        ring_capacity: int = 1 << 22,
+    ) -> None:
+        self.num_workers = num_workers
+        self.use_shm = use_shm and shared_memory_available()
+        self.ring_capacity = ring_capacity
+        self.spawned = False
+        self.broken = False
+        self.closed = False
+        #: Device -> wid map recorded at spawn; later deployments must match.
+        self.assignment: Optional[Dict[str, int]] = None
+        #: Compatibility fingerprint set by whoever manages pool reuse.
+        self.profile: Optional[dict] = None
+        #: Deployments served (1 fork + n-1 resets); exposed for benchmarks.
+        self.generations = 0
+        self._procs: List = []
+        self._conns: List = []
+        self._rings_out: List[Optional[ShmRing]] = []  # coordinator -> worker
+        self._rings_in: List[Optional[ShmRing]] = []  # worker -> coordinator
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def spawn(self, inits: List[dict], target, assignment: Dict[str, int]) -> None:
+        """Fork one worker per init dict (live-object inheritance)."""
+        if self.spawned:
+            raise SimulationError("worker pool is already spawned")
+        if self.closed:
+            raise SimulationError("worker pool is closed")
+        if len(inits) != self.num_workers:
+            raise SimulationError(
+                f"expected {self.num_workers} init payloads, got {len(inits)}"
+            )
+        mp = multiprocessing.get_context("fork")
+        self.assignment = dict(assignment)
+        for wid, init in enumerate(inits):
+            if self.use_shm:
+                ring_out: Optional[ShmRing] = ShmRing(self.ring_capacity)
+                ring_in: Optional[ShmRing] = ShmRing(self.ring_capacity)
+            else:
+                ring_out = ring_in = None
+            init = dict(init)
+            init["ring_in"] = ring_out  # the worker reads what we write
+            init["ring_out"] = ring_in
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(target=target, args=(child_conn, init), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._rings_out.append(ring_out)
+            self._rings_in.append(ring_in)
+        self.spawned = True
+        self.generations = 1
+        for wid in range(self.num_workers):
+            reply, _payloads = self.recv(wid)
+            if reply[0] != "ready":
+                raise SimulationError(
+                    f"worker {wid} failed to initialize:\n{reply[1]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _fail(self, wid: int, cause: BaseException) -> SimulationError:
+        self.broken = True
+        proc = self._procs[wid] if wid < len(self._procs) else None
+        code = None
+        if proc is not None:
+            proc.join(timeout=0.2)
+            code = proc.exitcode
+        detail = (
+            f"exit code {code}" if code is not None else "no exit status yet"
+        )
+        return SimulationError(
+            f"worker {wid} died ({detail}: {type(cause).__name__}); the pool "
+            f"is broken and must be respawned"
+        )
+
+    def send(self, wid: int, command: tuple, payloads: Sequence[bytes] = ()) -> None:
+        if self.broken:
+            raise SimulationError("worker pool is broken (a worker died)")
+        try:
+            descs = write_payloads(self._rings_out[wid], payloads)
+            self._conns[wid].send((command, descs))
+        except (OSError, BrokenPipeError, EOFError, ValueError) as exc:
+            raise self._fail(wid, exc)
+
+    def recv(self, wid: int) -> Tuple[tuple, List[bytes]]:
+        try:
+            reply, descs = self._conns[wid].recv()
+            return reply, read_payloads(self._rings_in[wid], descs)
+        except (OSError, BrokenPipeError, EOFError) as exc:
+            raise self._fail(wid, exc)
+
+    def wait(self, wids: Sequence[int], timeout: Optional[float] = None) -> List[int]:
+        """Block until at least one of ``wids`` has a reply ready."""
+        by_conn = {id(self._conns[wid]): wid for wid in wids}
+        try:
+            ready = _conn_wait([self._conns[wid] for wid in wids], timeout)
+        except (OSError, EOFError) as exc:
+            raise self._fail(min(wids), exc)
+        return sorted(by_conn[id(conn)] for conn in ready)
+
+    # ------------------------------------------------------------------
+    # Fault-injection and lifecycle
+    # ------------------------------------------------------------------
+    def kill_worker(self, wid: int) -> None:
+        """Hard-kill one worker (crash-detection tests)."""
+        self._procs[wid].terminate()
+        self._procs[wid].join(timeout=5)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if not self.spawned:
+            return
+        for wid, conn in enumerate(self._conns):
+            if not self.broken:
+                try:
+                    conn.send((("exit",), []))
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+        deadline = time.monotonic() + 5
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - hung-worker backstop
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        for ring in self._rings_out + self._rings_in:
+            if ring is not None:
+                ring.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,156 @@
+"""Shared-memory byte rings: zero-copy payload shipping between processes.
+
+Pipe-pickled payloads pay four copies (pickle buffer, pipe write, pipe read,
+unpickle) plus the pickle framing itself; for the parallel backend's DVM
+frames that overhead rivals the verification work being shipped.  A
+:class:`ShmRing` moves the payload bytes through a ``multiprocessing.
+shared_memory`` segment instead: the writer copies bytes in once, the reader
+copies them out once, and the pipe carries only a tiny ``(position, length)``
+descriptor.
+
+Concurrency model — single producer, single consumer, pipe-signaled:
+
+* Positions are *logical* (monotone ``u64`` byte counters); the physical
+  offset is ``position % capacity``, and a payload that crosses the end of
+  the segment wraps (two-slice copy).
+* The writer alone advances ``head``; the reader alone advances ``tail``.
+  Both live in a small fixed header inside the segment.
+* The reader only learns about a payload from a pipe descriptor the writer
+  sent *after* copying the bytes in, so payload reads are always ordered
+  after their writes — no locks needed.
+* The writer reads ``tail`` only to compute free space.  A stale read can
+  only *under*-estimate free space, in which case the writer falls back to
+  sending the payload inline over the pipe (bit-identical bytes, just the
+  slow lane) — never a correctness hazard.
+
+``create=True`` allocates the segment (the coordinator, before forking);
+workers inherit the mapping across the fork and attach to the same memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+__all__ = ["ShmRing", "shared_memory_available"]
+
+_HEADER = struct.Struct("<QQ")  # head, tail (logical byte positions)
+_HEADER_SIZE = _HEADER.size
+
+
+def shared_memory_available() -> bool:
+    """True if ``multiprocessing.shared_memory`` can allocate on this host."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (ImportError, OSError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - cleanup best-effort
+        pass
+    return True
+
+
+class ShmRing:
+    """A single-producer single-consumer byte ring in shared memory."""
+
+    def __init__(self, capacity: int = 1 << 22) -> None:
+        from multiprocessing import shared_memory
+
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_SIZE + capacity
+        )
+        self._buf = self._shm.buf
+        _HEADER.pack_into(self._buf, 0, 0, 0)
+        self._owner = True  # the creating (pre-fork) process unlinks
+
+    # ------------------------------------------------------------------
+    # Header accessors
+    # ------------------------------------------------------------------
+    def _head(self) -> int:
+        return _HEADER.unpack_from(self._buf, 0)[0]
+
+    def _tail(self) -> int:
+        return _HEADER.unpack_from(self._buf, 0)[1]
+
+    def _set_head(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, 0, value)
+
+    def _set_tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, 8, value)
+
+    # ------------------------------------------------------------------
+    # Producer / consumer
+    # ------------------------------------------------------------------
+    def try_write(self, data: bytes) -> Optional[int]:
+        """Copy ``data`` into the ring; return its logical position, or
+        ``None`` when the ring lacks space (caller falls back to the pipe)."""
+        length = len(data)
+        if length > self.capacity:
+            return None
+        head = self._head()
+        free = self.capacity - (head - self._tail())
+        if length > free:
+            return None
+        cap = self.capacity
+        offset = head % cap
+        first = min(length, cap - offset)
+        base = _HEADER_SIZE
+        self._buf[base + offset : base + offset + first] = data[:first]
+        if first < length:  # wrap to the start of the segment
+            self._buf[base : base + length - first] = data[first:]
+        self._set_head(head + length)
+        return head
+
+    def read(self, position: int, length: int) -> bytes:
+        """Copy ``length`` bytes written at logical ``position`` out of the
+        ring and release the space."""
+        cap = self.capacity
+        offset = position % cap
+        first = min(length, cap - offset)
+        base = _HEADER_SIZE
+        data = bytes(self._buf[base + offset : base + offset + first])
+        if first < length:
+            data += bytes(self._buf[base : base + length - first])
+        # Descriptors arrive in write order (pipe FIFO), so the consumed
+        # payload is always the oldest one: releasing through its end is
+        # exact, not an approximation.
+        self._set_tail(position + length)
+        return data
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def disown(self) -> None:
+        """Mark this process a non-owner (forked children call this so
+        only the creating coordinator unlinks the segment)."""
+        self._owner = False
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Detach; the creating process also unlinks the segment."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self._buf = None
+        do_unlink = self._owner if unlink is None else unlink
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+        if do_unlink:
+            try:
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass

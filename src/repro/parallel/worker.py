@@ -2,32 +2,44 @@
 
 Each worker owns the devices of one partition block: their data planes, one
 :class:`OnDeviceVerifier` per (device, invariant), and a private BDD context
-rebuilt from the coordinator's header layout.  A worker executes *commands*
-(burst install, DVM round, link change, scene switch, rule update) and after
-each one drains its local message queue to quiescence — messages between
-co-located devices never leave the process.  Only messages whose destination
-lives on another worker are returned, already encoded with
-:mod:`repro.core.wire`, for the coordinator to route.
+(inherited across the coordinator's fork).  A worker executes *commands*
+(burst install, inbox delivery, link change, scene switch, rule updates) and
+after each one drains its local message queue to quiescence — messages
+between co-located devices never leave the process.  Messages whose
+destination lives on another worker accumulate in per-destination outbound
+buckets and are flushed as packed :mod:`repro.parallel.atomwire` frames when
+the command completes (the worker goes idle), riding the shared-memory ring
+back to the coordinator.
+
+Workers are *persistent* (:mod:`repro.parallel.pool`): a ``reset`` command
+re-points the process at a new deployment — fresh planes and verifiers on
+the same warm BDD context.  The atom-wire encoder/decoder dictionaries
+deliberately survive resets: atom ids are never reused and extents are
+stable, so definitions shipped to a peer in one deployment remain valid in
+the next.
 
 Determinism: every message carries a ``(source device, per-device sequence)``
 key.  Batches are sorted by key and grouped by sorted ``(device, invariant)``
 before delivery, so a fixed partition always replays identically — and the
 DVM fixpoint itself is order-independent, which is what makes the result
-equal to the serial simulator's byte for byte.
+equal to the serial simulator's byte for byte even though the non-barrier
+coordinator delivers cross-worker batches in arrival order.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.bdd.serialize import serialize_predicate
+from repro.bdd.serialize import deserialize_predicates, serialize_predicate
 from repro.core.verifier import OnDeviceVerifier
-from repro.core.wire import decode_message, encode_message
 from repro.dataplane.device import DevicePlane
+from repro.dataplane.rule import Rule
 from repro.parallel import shipping
+from repro.parallel.atomwire import FrameDecoder, FrameEncoder
 from repro.parallel.parity import canonical_source_counts
+from repro.parallel.pool import read_payloads, write_payloads
 from repro.topology.graph import canonical_link
 
 __all__ = ["VerifierHost", "worker_main"]
@@ -35,7 +47,6 @@ __all__ = ["VerifierHost", "worker_main"]
 # (source device, per-source sequence number): a total, partition-independent
 # order over the messages any one device emits.
 MessageKey = Tuple[str, int]
-RemoteEntry = Tuple[MessageKey, str, str, bytes]  # key, dst dev, invariant, blob
 
 
 def _fresh_stats() -> Dict[str, int]:
@@ -54,26 +65,54 @@ class VerifierHost:
     Constructed from live objects inherited across the coordinator's fork
     (context, planes, tasks — no deserialization).  After the fork these are
     private copies; every later state change arrives as an explicit command,
-    with rules and DVM messages crossing the pipe as BDD wire bytes.
+    with rules crossing as shipped payloads and DVM messages as atom-wire
+    frames.
     """
 
     def __init__(self, init: Dict[str, object]) -> None:
         self.wid: int = init["wid"]  # type: ignore[assignment]
         self.ctx = init["ctx"]
         self.assignment: Dict[str, int] = dict(init["assignment"])  # type: ignore[arg-type]
-        self.planes: Dict[str, DevicePlane] = dict(init["planes"])  # type: ignore[arg-type]
+        self.predicate_index: str = init.get("predicate_index", "atoms")  # type: ignore[assignment]
+        self.index = (
+            self.ctx.atom_index()  # type: ignore[attr-defined]
+            if self.predicate_index == "atoms"
+            else None
+        )
+        # Cross-worker wire state.  Lives beside (not inside) the deployment
+        # state: reset() replaces verifiers and planes but the per-peer atom
+        # dictionaries stay coherent across deployments by construction.
+        self.encoder = FrameEncoder(self.wid, self.index)
+        self.decoder = FrameDecoder(self.ctx, self.index)
+        # Update-shipping dictionary (coordinator side assigns the ids):
+        # each distinct match predicate is decoded once, then referenced.
+        self._match_cache: Dict[int, object] = {}
+
+        # Arm the per-worker BDD engine's garbage collector if requested.
+        # Verifiers sweep at event boundaries; messages queued during a
+        # drain hold Predicates (GC roots), so mid-drain sweeps are safe.
+        gc_threshold = init.get("gc_threshold")
+        if gc_threshold is not None:
+            self.ctx.mgr.gc_threshold = gc_threshold  # type: ignore[attr-defined]
+
+        self.busy = 0.0
+        self.rounds = 0
+        self._attach(
+            dict(init["planes"]),  # type: ignore[arg-type]
+            list(init["tasks"]),  # type: ignore[arg-type]
+        )
+
+    def _attach(self, planes: Dict[str, DevicePlane], tasks: list) -> None:
+        """Bind this worker to one deployment's planes and tasks."""
+        self.planes = planes
+        if self.index is not None:
+            for plane in self.planes.values():
+                plane.enable_atom_algebra(self.index)
         self.verifiers: Dict[Tuple[str, str], OnDeviceVerifier] = {}
         self._by_dev: Dict[str, List[Tuple[str, OnDeviceVerifier]]] = {
             dev: [] for dev in self.planes
         }
-        self.predicate_index: str = init.get("predicate_index", "atoms")  # type: ignore[assignment]
-        if self.predicate_index == "atoms":
-            # Post-fork: these planes are this worker's private copies, and
-            # the index is private to this worker's context copy.
-            index = self.ctx.atom_index()  # type: ignore[attr-defined]
-            for plane in self.planes.values():
-                plane.enable_atom_algebra(index)
-        for task in init["tasks"]:  # type: ignore[union-attr]
+        for task in tasks:
             verifier = OnDeviceVerifier(
                 task, self.planes[task.dev],
                 predicate_index=self.predicate_index,
@@ -83,33 +122,41 @@ class VerifierHost:
         for pairs in self._by_dev.values():
             pairs.sort(key=lambda pair: pair[0])
 
-        # Arm the per-worker BDD engine's garbage collector if requested.
-        # Verifiers sweep at event boundaries; messages queued during a
-        # drain hold Predicates (GC roots), so mid-drain sweeps are safe.
-        gc_threshold = init.get("gc_threshold")
-        if gc_threshold is not None:
-            self.ctx.mgr.gc_threshold = gc_threshold  # type: ignore[attr-defined]
-
         self.failed: Set[Tuple[str, str]] = set()
         self._queue: List[Tuple[MessageKey, str, str, object]] = []
         self._seq: Dict[str, int] = {}
+        self._outbound: Dict[int, List[tuple]] = {}
         self.stats: Dict[str, Dict[str, int]] = {
             dev: _fresh_stats() for dev in self.planes
         }
-        self.busy = 0.0
-        self.rounds = 0
+        # Delta-collect bookkeeping: everything is dirty until the first
+        # collect, then only touched verifiers/devices ship.
+        self._dirty_verifiers: Set[Tuple[str, str]] = set(self.verifiers)
+        self._dirty_stats: Set[str] = set(self.planes)
+
+    def reset(self, payload: Dict[str, object]) -> None:
+        """Re-point this persistent worker at a new deployment.
+
+        Planes and verifiers are rebuilt from shipped state; the BDD context
+        (node table, op caches, serialize memos), the atom index and the
+        cross-worker atom dictionaries all survive — which is what makes a
+        redeploy on a warm pool much cheaper than a fresh fork."""
+        tasks = shipping.unship_tasks(self.ctx, payload["tasks"])  # type: ignore[arg-type]
+        planes = {
+            dev: DevicePlane(dev, self.ctx)
+            for dev in payload["devices"]  # type: ignore[union-attr]
+        }
+        # Match ids belong to the deployment's coordinator; a new one
+        # numbers from zero again, so the old dictionary must not answer.
+        self._match_cache.clear()
+        self._attach(planes, tasks)
 
     # ------------------------------------------------------------------
     # Message routing
     # ------------------------------------------------------------------
-    def _route(
-        self,
-        src: str,
-        invariant: str,
-        outgoing,
-        remote: List[RemoteEntry],
-    ) -> None:
+    def _route(self, src: str, invariant: str, outgoing) -> None:
         stats = self.stats[src]
+        self._dirty_stats.add(src)
         for dst, message in outgoing:
             if canonical_link(src, dst) in self.failed:
                 continue  # the DVM channel is down; resync on recovery
@@ -118,14 +165,16 @@ class VerifierHost:
             key = (src, seq)
             stats["messages_sent"] += 1
             stats["bytes_sent"] += message.wire_size()
-            if self.assignment[dst] == self.wid:
+            dst_wid = self.assignment[dst]
+            if dst_wid == self.wid:
                 self._queue.append((key, dst, invariant, message))
             else:
-                remote.append((key, dst, invariant, encode_message(message)))
+                self._outbound.setdefault(dst_wid, []).append(
+                    (key, dst, invariant, message)
+                )
 
-    def _drain(self) -> List[RemoteEntry]:
+    def _drain(self) -> None:
         """Deliver queued local messages in waves until none remain."""
-        remote: List[RemoteEntry] = []
         while self._queue:
             batch, self._queue = self._queue, []
             batch.sort(key=lambda entry: entry[0])
@@ -140,101 +189,127 @@ class VerifierHost:
                 stats["bytes_received"] += sum(
                     m.wire_size() for m in messages  # type: ignore[attr-defined]
                 )
+                self._dirty_stats.add(dst)
                 verifier = self.verifiers.get((dst, invariant))
                 if verifier is None:
                     continue
-                self._route(
-                    dst, invariant, verifier.handle_batch(messages), remote
-                )
-        return remote
+                self._dirty_verifiers.add((dst, invariant))
+                self._route(dst, invariant, verifier.handle_batch(messages))
+
+    def flush(self) -> List[Tuple[int, bytes, int]]:
+        """Encode the outbound buckets as one frame per destination worker;
+        returns ``(dst wid, frame bytes, entry count)`` triples."""
+        out: List[Tuple[int, bytes, int]] = []
+        for dst_wid in sorted(self._outbound):
+            entries = self._outbound[dst_wid]
+            frame = self.encoder.encode(dst_wid, entries)
+            out.append((dst_wid, frame, len(entries)))
+        self._outbound = {}
+        return out
 
     # ------------------------------------------------------------------
     # Commands
     # ------------------------------------------------------------------
-    def burst(self, payload: Dict[str, object]) -> List[RemoteEntry]:
+    def inbox(self, frames: Sequence[bytes]) -> None:
+        """Deliver a batch of cross-worker frames, then drain."""
+        self.rounds += 1
+        for data in frames:
+            _sender, entries = self.decoder.decode(data)
+            self._queue.extend(entries)
+        self._drain()
+
+    def burst(self, payload: Dict[str, object]) -> None:
         """Install rule bursts, then (re)initialize every local verifier."""
-        remote: List[RemoteEntry] = []
         installs = shipping.unship_rule_sets(self.ctx, payload)
         for dev in sorted(installs):
             self.planes[dev].install_many(installs[dev])
         for dev, invariant in sorted(self.verifiers):
             self.stats[dev]["events_processed"] += 1
+            self._dirty_stats.add(dev)
+            self._dirty_verifiers.add((dev, invariant))
             verifier = self.verifiers[(dev, invariant)]
-            self._route(dev, invariant, verifier.initialize(), remote)
-        remote.extend(self._drain())
-        return remote
+            self._route(dev, invariant, verifier.initialize())
+        self._drain()
 
-    def round(self, entries: List[RemoteEntry]) -> List[RemoteEntry]:
-        """Deliver one round of cross-worker messages, drain, reply."""
-        self.rounds += 1
-        for key, dst, invariant, blob in entries:
-            message = decode_message(self.ctx, blob)
-            self._queue.append((key, dst, invariant, message))
-        return self._drain()
-
-    def link(
-        self, changes: List[Tuple[str, str, bool]]
-    ) -> List[RemoteEntry]:
+    def link(self, changes: List[Tuple[str, str, bool]]) -> None:
         for a, b, is_up in changes:
             key = canonical_link(a, b)
             if is_up:
                 self.failed.discard(key)
             else:
                 self.failed.add(key)
-        remote: List[RemoteEntry] = []
         for a, b, is_up in changes:
             for endpoint, other in ((a, b), (b, a)):
                 for invariant, verifier in self._by_dev.get(endpoint, ()):
                     self.stats[endpoint]["events_processed"] += 1
+                    self._dirty_stats.add(endpoint)
+                    self._dirty_verifiers.add((endpoint, invariant))
                     self._route(
                         endpoint,
                         invariant,
                         verifier.handle_link_change(other, is_up),
-                        remote,
                     )
-        remote.extend(self._drain())
-        return remote
+        self._drain()
 
-    def scene(self, scene_id: Optional[int]) -> List[RemoteEntry]:
-        remote: List[RemoteEntry] = []
+    def scene(self, scene_id: Optional[int]) -> None:
         for dev, invariant in sorted(self.verifiers):
             self.stats[dev]["events_processed"] += 1
+            self._dirty_stats.add(dev)
+            self._dirty_verifiers.add((dev, invariant))
             verifier = self.verifiers[(dev, invariant)]
-            self._route(dev, invariant, verifier.activate_scene(scene_id), remote)
-        remote.extend(self._drain())
-        return remote
+            self._route(dev, invariant, verifier.activate_scene(scene_id))
+        self._drain()
 
-    def update(
-        self,
-        dev: str,
-        install_payload: Optional[Dict[str, object]],
-        remove_rule_id: Optional[int],
-    ) -> List[RemoteEntry]:
-        plane = self.planes[dev]
-        deltas = []
-        if remove_rule_id is not None:
-            deltas.extend(plane.remove_rule(remove_rule_id))
-        if install_payload is not None:
-            rule = shipping.unship_rules(self.ctx, install_payload)[0]
-            deltas.extend(plane.install_rule(rule))
-        remote: List[RemoteEntry] = []
-        for invariant, verifier in self._by_dev.get(dev, ()):
-            self.stats[dev]["events_processed"] += 1
-            self._route(
-                dev, invariant, verifier.handle_lec_deltas(deltas), remote
-            )
-        remote.extend(self._drain())
-        return remote
+    def _unship_update(self, payload: Dict[str, object]) -> Rule:
+        """Rebuild one shipped rule, caching its decoded match by id."""
+        mid: int = payload["mid"]  # type: ignore[assignment]
+        if "blob" in payload:  # first shipment carries the bytes
+            match = deserialize_predicates(self.ctx, payload["blob"])[0]
+            self._match_cache[mid] = match
+        else:
+            match = self._match_cache[mid]
+        action, priority, rule_id = payload["meta"]  # type: ignore[misc]
+        return Rule(match, action, priority, rule_id=rule_id)
+
+    def update(self, updates: Sequence[tuple]) -> None:
+        """Apply a batch of single-rule updates (in order), then drain once.
+
+        The DVM fixpoint is order- and batching-independent, so draining
+        once after n updates converges to the same state as n separate
+        drains — which is what lets the coordinator coalesce a churn burst
+        into one command."""
+        for dev, install_payload, remove_rule_id in updates:
+            plane = self.planes[dev]
+            deltas = []
+            if remove_rule_id is not None:
+                deltas.extend(plane.remove_rule(remove_rule_id))
+            if install_payload is not None:
+                rule = self._unship_update(install_payload)
+                deltas.extend(plane.install_rule(rule))
+            for invariant, verifier in self._by_dev.get(dev, ()):
+                self.stats[dev]["events_processed"] += 1
+                self._dirty_stats.add(dev)
+                self._dirty_verifiers.add((dev, invariant))
+                self._route(dev, invariant, verifier.handle_lec_deltas(deltas))
+        self._drain()
 
     # ------------------------------------------------------------------
     # State export
     # ------------------------------------------------------------------
     def collect(self) -> Dict[str, object]:
-        """Verdicts, memory and transport stats, all context-free."""
-        verdicts: Dict[str, Dict[str, tuple]] = {}
-        for (dev, invariant), verifier in sorted(self.verifiers.items()):
+        """Delta state export: only verifiers and devices touched since the
+        last collect ship their verdicts/stats (everything on the first one).
+
+        The coordinator merges deltas into its accumulated view, so per-run
+        refreshes in a churn loop cost O(touched), not O(network)."""
+        verdict_parts: List[tuple] = []
+        for dev, invariant in sorted(self._dirty_verifiers):
+            verifier = self.verifiers.get((dev, invariant))
+            if verifier is None:
+                continue
+            entry = {}
             for ingress, (ok, violations) in verifier.verdicts.items():
-                verdicts.setdefault(invariant, {})[ingress] = (
+                entry[ingress] = (
                     ok,
                     [
                         {
@@ -246,14 +321,20 @@ class VerifierHost:
                         for v in violations
                     ],
                 )
-        memory = {
-            dev: sum(v.memory_proxy() for _inv, v in pairs)
-            for dev, pairs in self._by_dev.items()
-        }
+            verdict_parts.append((dev, invariant, entry))
+        self._dirty_verifiers.clear()
+        stats = {}
+        memory = {}
+        for dev in sorted(self._dirty_stats):
+            stats[dev] = dict(self.stats[dev])
+            pairs = self._by_dev.get(dev)
+            if pairs is not None:
+                memory[dev] = sum(v.memory_proxy() for _inv, v in pairs)
+        self._dirty_stats.clear()
         return {
-            "verdicts": verdicts,
+            "verdicts": verdict_parts,
             "memory": memory,
-            "stats": self.stats,
+            "stats": stats,
             "worker": {
                 "wid": self.wid,
                 "busy": self.busy,
@@ -262,10 +343,9 @@ class VerifierHost:
             },
             "engine": self.ctx.mgr.profile(),  # type: ignore[attr-defined]
             "atom_index": (
-                self.ctx.atom_index().profile()  # type: ignore[attr-defined]
-                if self.ctx._atom_index is not None  # type: ignore[attr-defined]
-                else None
+                self.index.profile() if self.index is not None else None
             ),
+            "wire": dict(self.encoder.stats),
         }
 
     def fingerprints(self):
@@ -282,22 +362,39 @@ def worker_main(conn, init: Dict[str, object]) -> None:
     import gc
 
     gc.freeze()
+    # Ring directions are named from this process's perspective; only the
+    # coordinator (the creator) unlinks the shared segments.
+    ring_in = init.pop("ring_in", None)
+    ring_out = init.pop("ring_out", None)
+    if ring_in is not None:
+        ring_in.disown()
+    if ring_out is not None:
+        ring_out.disown()
+
+    def reply(message: tuple, payloads: Sequence[bytes] = ()) -> None:
+        conn.send((message, write_payloads(ring_out, payloads)))
+
     try:
         start = time.process_time()
         host = VerifierHost(init)
         host.busy += time.process_time() - start
-        conn.send(("ready", host.wid))
+        reply(("ready", host.wid))
     except Exception:
-        conn.send(("error", traceback.format_exc()))
+        reply(("error", traceback.format_exc()))
         return
     while True:
         try:
-            command = conn.recv()
+            command, descs = conn.recv()
         except EOFError:
             return
+        try:
+            payloads = read_payloads(ring_in, descs)
+        except Exception:
+            reply(("error", traceback.format_exc()))
+            continue
         op = command[0]
         if op == "exit":
-            conn.send(("bye",))
+            reply(("bye",))
             return
         try:
             # CPU time, not wall time: with more workers than cores the OS
@@ -305,24 +402,33 @@ def worker_main(conn, init: Dict[str, object]) -> None:
             # slices as this worker's "busy" time.
             start = time.process_time()
             if op == "collect":
-                conn.send(("state", host.collect()))
+                reply(("state", host.collect()))
                 continue
             if op == "counts":
-                conn.send(("counts", host.fingerprints()))
+                reply(("counts", host.fingerprints()))
                 continue
-            if op == "burst":
-                remote = host.burst(command[1])
-            elif op == "round":
-                remote = host.round(command[1])
+            if op == "reset":
+                host.reset(command[1])
+                host.busy += time.process_time() - start
+                reply(("ok",))
+                continue
+            if op == "inbox":
+                host.inbox(payloads)
+            elif op == "burst":
+                host.burst(command[1])
             elif op == "link":
-                remote = host.link(command[1])
+                host.link(command[1])
             elif op == "scene":
-                remote = host.scene(command[1])
+                host.scene(command[1])
             elif op == "update":
-                remote = host.update(command[1], command[2], command[3])
+                host.update(command[1])
             else:
                 raise RuntimeError(f"unknown worker command {op!r}")
+            frames = host.flush()
             host.busy += time.process_time() - start
-            conn.send(("out", remote))
+            reply(
+                ("out", [(dst, count) for dst, _frame, count in frames]),
+                [frame for _dst, frame, _count in frames],
+            )
         except Exception:
-            conn.send(("error", traceback.format_exc()))
+            reply(("error", traceback.format_exc()))

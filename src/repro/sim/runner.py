@@ -87,6 +87,7 @@ class TulkunRunner:
         transport_config: Optional[TransportConfig] = None,
         tracer=None,
         channel=None,
+        use_shm: bool = True,
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -112,10 +113,16 @@ class TulkunRunner:
         retransmission; converged verdicts stay byte-identical to the
         reliable run.  ``transport_config`` tunes the retransmission policy.
 
-        ``tracer`` attaches a :class:`repro.telemetry.Tracer` to collect the
-        causally-ordered event log (serial backend only).  ``channel``
-        overrides the transport channel — used by replay to substitute a
-        :class:`repro.telemetry.ReplayChannel` carrying recorded fates.
+        ``tracer`` attaches a :class:`repro.telemetry.Tracer`.  On the
+        serial backend it collects the causally-ordered event log; on the
+        process backend it collects coordinator/worker IPC spans (flush,
+        drain, idle, quiescence probes) for occupancy timelines.
+        ``channel`` overrides the transport channel — used by replay to
+        substitute a :class:`repro.telemetry.ReplayChannel` carrying
+        recorded fates (serial backend only).
+
+        ``use_shm`` (process backend) ships cross-worker DVM frames through
+        shared-memory rings; disable to force the pipe fallback lane.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -125,8 +132,6 @@ class TulkunRunner:
             raise ValueError(
                 "chaos fault injection requires the serial backend"
             )
-        if tracer is not None and backend != "serial":
-            raise ValueError("tracing requires the serial backend")
         if channel is not None and backend != "serial":
             raise ValueError(
                 "a channel override requires the serial backend"
@@ -152,15 +157,23 @@ class TulkunRunner:
         self.transport_config = transport_config
         self.tracer = tracer
         self.channel = channel
+        self.use_shm = use_shm
         self.network = None  # SimNetwork | ParallelNetwork
+        # Persistent worker pool (process backend): spawned on the first
+        # deployment, reused by every later one via worker resets.
+        self._pool = None
         # Rules withdrawn by drain_device, keyed by device, awaiting
         # restore_drained (rolling-upgrade bookkeeping).
         self._drained: Dict[str, List[Rule]] = {}
 
     # ------------------------------------------------------------------
     def deploy(self, planes: Mapping[str, DevicePlane]):
-        """Create the (serial or parallel) network with the given planes."""
-        self.close()
+        """Create the (serial or parallel) network with the given planes.
+
+        On the process backend the worker pool persists across deployments:
+        the first deploy forks it, later deploys reset its workers onto the
+        new planes (warm BDD contexts, no re-fork)."""
+        self._close_network()
         self._drained.clear()
         if self.backend == "process":
             from repro.parallel.coordinator import ParallelNetwork
@@ -175,6 +188,9 @@ class TulkunRunner:
                 partition_strategy=self.partition_strategy,
                 gc_threshold=self.gc_threshold,
                 predicate_index=self.predicate_index,
+                pool=self._ensure_pool(),
+                use_shm=self.use_shm,
+                tracer=self.tracer,
             )
         else:
             self.network = SimNetwork(
@@ -192,11 +208,48 @@ class TulkunRunner:
             )
         return self.network
 
-    def close(self) -> None:
-        """Shut down worker processes (no-op for the serial backend)."""
+    def _ensure_pool(self):
+        """The runner's persistent worker pool, respawned only when its
+        shape no longer fits (worker count, partition strategy, GC/index
+        settings) or a worker has died."""
+        from repro.parallel.coordinator import default_worker_count
+        from repro.parallel.pool import WorkerPool
+
+        num_devices = len(self.topology.devices)
+        workers = self.workers if self.workers else default_worker_count()
+        num_workers = max(1, min(workers, num_devices))
+        profile = {
+            "num_workers": num_workers,
+            "strategy": self.partition_strategy,
+            "gc_threshold": self.gc_threshold,
+            "predicate_index": self.predicate_index,
+            "use_shm": self.use_shm,
+        }
+        pool = self._pool
+        if pool is not None and (
+            pool.broken or pool.closed or pool.profile != profile
+        ):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = WorkerPool(num_workers, use_shm=self.use_shm)
+            pool.profile = profile
+            self._pool = pool
+        return pool
+
+    def _close_network(self) -> None:
         network = self.network
         if network is not None and hasattr(network, "close"):
             network.close()
+        self.network = None
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the serial backend)."""
+        self._close_network()
+        pool = self._pool
+        if pool is not None:
+            pool.close()
+            self._pool = None
 
     def __enter__(self) -> "TulkunRunner":
         return self

@@ -41,6 +41,7 @@ __all__ = [
     "CRASH",
     "RESTART",
     "KERNEL_RUN",
+    "IPC",
     "SPAN_KINDS",
 ]
 
@@ -48,7 +49,11 @@ __all__ = [
 # instant at ``ts``).
 TASK = "task"
 KERNEL_RUN = "kernel_run"
-SPAN_KINDS = frozenset({TASK, KERNEL_RUN})
+# Process-backend coordinator/worker IPC: command execution ("drain" for
+# inbox deliveries), outbound-frame routing ("flush"), worker idle gaps and
+# quiescence probes — the per-worker occupancy timeline.
+IPC = "ipc"
+SPAN_KINDS = frozenset({TASK, KERNEL_RUN, IPC})
 
 # DVM messaging (the CIB announce / subscribe / update traffic).
 DVM_SEND = "dvm_send"

@@ -23,6 +23,7 @@ from repro.telemetry.events import (
     DVM_DELIVER,
     DVM_SEND,
     GC,
+    IPC,
     KERNEL_RUN,
     LINK,
     RESTART,
@@ -53,6 +54,9 @@ class Tracer:
         self._msg_refs: List[object] = []
         self._msg_clock: Dict[int, int] = {}
         self._next_msg_id = 1
+        # Wall-clock origin for IPC spans (process backend), set on first
+        # use so spans from successive deployments share one timeline.
+        self._ipc_epoch: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -96,6 +100,35 @@ class Tracer:
             device,
             start,
             {"name": name, "invariant": invariant, "start": start, "finish": finish},
+        )
+
+    # ------------------------------------------------------------------
+    # Process-backend IPC spans
+    # ------------------------------------------------------------------
+    def ipc_clock(self) -> float:
+        """Seconds on the tracer's IPC timeline (wall clock, origin at the
+        first call) — the process backend has no simulated clock to bind."""
+        import time
+
+        if self._ipc_epoch is None:
+            self._ipc_epoch = time.perf_counter()
+        return time.perf_counter() - self._ipc_epoch
+
+    def ipc_span(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        finish: float,
+        **fields: Any,
+    ) -> None:
+        """One coordinator/worker IPC interval (``flush`` / ``drain`` /
+        ``idle`` / ``quiescence-probe``) on the given track."""
+        self._record(
+            IPC,
+            track,
+            start,
+            {"name": name, "start": start, "finish": finish, **fields},
         )
 
     # ------------------------------------------------------------------

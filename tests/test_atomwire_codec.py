@@ -1,0 +1,327 @@
+"""Packed atom-wire codec: round-trips, one-time definitions, parity.
+
+Three layers of guarantees, each pinned here:
+
+* the run packers — ``array``-based fast path and pure-``struct`` fallback
+  — are inverses and *bit-compatible* with each other over random sorted
+  id sets (property-based);
+* a frame encoded from one worker's atom index decodes on another context
+  into byte-identical predicates (packed ↔ AtomSet ↔ canonical BDD hex),
+  atom definitions ship exactly once per channel, and out-of-order frames
+  are rejected;
+* the process backend produces byte-identical verdicts, violation regions
+  and source fingerprints whether DVM frames ride the shared-memory rings
+  or the inline-pipe fallback, with GC armed, in both ``--predicate-index``
+  modes — on randomized differential scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import HeaderLayout, PacketSpaceContext
+from repro.bdd.serialize import serialize_predicate
+from repro.core.dvm import SubscribeMessage, UpdateMessage
+from repro.errors import SerializationError
+from repro.parallel.atomwire import (
+    FrameDecoder,
+    FrameEncoder,
+    ids_to_runs,
+    pack_id_runs,
+    pack_id_runs_py,
+    runs_to_ids,
+    set_fallback_codec,
+    unpack_id_runs,
+    unpack_id_runs_py,
+)
+
+
+# ----------------------------------------------------------------------
+# Run packing (property-based)
+# ----------------------------------------------------------------------
+def _random_id_set(rng: random.Random) -> list:
+    """A sorted id set with a mix of dense runs and isolated ids."""
+    ids = set()
+    for _ in range(rng.randrange(6)):
+        start = rng.randrange(0, 5000)
+        ids.update(range(start, start + rng.randrange(1, 40)))
+    for _ in range(rng.randrange(8)):
+        ids.add(rng.randrange(0, 10000))
+    return sorted(ids)
+
+
+class TestRunPacking:
+    def test_runs_roundtrip_random(self):
+        rng = random.Random(42)
+        for _ in range(300):
+            ids = _random_id_set(rng)
+            assert runs_to_ids(ids_to_runs(ids)) == ids
+
+    def test_pack_unpack_roundtrip_random(self):
+        rng = random.Random(43)
+        for _ in range(300):
+            ids = _random_id_set(rng)
+            assert unpack_id_runs(pack_id_runs(ids)) == ids
+            assert unpack_id_runs_py(pack_id_runs_py(ids)) == ids
+
+    def test_fast_and_fallback_are_bit_compatible(self):
+        rng = random.Random(44)
+        for _ in range(300):
+            ids = _random_id_set(rng)
+            fast = pack_id_runs(ids)
+            slow = pack_id_runs_py(ids)
+            assert fast == slow
+            # Cross-decoding: either unpacker accepts either packer's bytes.
+            assert unpack_id_runs(slow) == ids
+            assert unpack_id_runs_py(fast) == ids
+
+    def test_empty_set(self):
+        assert pack_id_runs([]) == b""
+        assert unpack_id_runs(b"") == []
+        assert pack_id_runs_py([]) == b""
+
+    def test_unpack_rejects_misaligned_payload(self):
+        with pytest.raises(SerializationError):
+            unpack_id_runs(b"\x00" * 7)
+        with pytest.raises(SerializationError):
+            unpack_id_runs_py(b"\x00" * 7)
+
+
+# ----------------------------------------------------------------------
+# Frame encode/decode across contexts
+# ----------------------------------------------------------------------
+def _ctx() -> PacketSpaceContext:
+    return PacketSpaceContext(HeaderLayout.dst_only())
+
+
+def _random_pred(ctx: PacketSpaceContext, rng: random.Random):
+    """Union of a few random prefixes — overlapping, so atomization splits."""
+    parts = [
+        ctx.ip_prefix(
+            f"10.{rng.randrange(4)}.{rng.randrange(4)}.0"
+            f"/{rng.choice([16, 20, 24])}"
+        )
+        for _ in range(rng.randint(1, 3))
+    ]
+    return ctx.union(parts)
+
+
+def _random_update(ctx, rng: random.Random) -> UpdateMessage:
+    preds = []
+    while not preds:
+        candidate = _random_pred(ctx, rng)
+        rest = _random_pred(ctx, rng) - candidate
+        preds = [p for p in (candidate, rest) if not p.is_empty]
+    results = tuple(
+        (pred, ((rng.randrange(3), rng.randrange(3)),)) for pred in preds
+    )
+    withdrawn = ctx.union(pred for pred, _cs in results)
+    return UpdateMessage((rng.randrange(50), rng.randrange(50)), withdrawn, results)
+
+
+def _random_entries(ctx, rng: random.Random, count: int) -> list:
+    entries = []
+    for i in range(count):
+        if rng.random() < 0.3:
+            message = SubscribeMessage(
+                (rng.randrange(50), rng.randrange(50)),
+                _random_pred(ctx, rng),
+                _random_pred(ctx, rng),
+            )
+        else:
+            message = _random_update(ctx, rng)
+        entries.append(
+            ((f"dev{rng.randrange(5)}", i), f"dst{rng.randrange(5)}",
+             f"inv{rng.randrange(2)}", message)
+        )
+    return entries
+
+
+def _fingerprint(message) -> tuple:
+    if isinstance(message, UpdateMessage):
+        return (
+            "U",
+            message.intended_link,
+            serialize_predicate(message.withdrawn),
+            tuple(
+                (serialize_predicate(pred), cs) for pred, cs in message.results
+            ),
+        )
+    return (
+        "S",
+        message.intended_link,
+        serialize_predicate(message.pred_from),
+        serialize_predicate(message.pred_to),
+    )
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_roundtrip_random_universes(self, seed):
+        rng = random.Random(seed)
+        sender_ctx, receiver_ctx = _ctx(), _ctx()
+        encoder = FrameEncoder(0, sender_ctx.atom_index())
+        decoder = FrameDecoder(receiver_ctx, receiver_ctx.atom_index())
+        for _round in range(4):
+            entries = _random_entries(sender_ctx, rng, rng.randint(1, 6))
+            frame = encoder.encode(1, entries)
+            sender, decoded = decoder.decode(frame)
+            assert sender == 0
+            assert len(decoded) == len(entries)
+            for (key_a, dst_a, inv_a, msg_a), (key_b, dst_b, inv_b, msg_b) in zip(
+                entries, decoded
+            ):
+                assert (key_a, dst_a, inv_a) == (key_b, dst_b, inv_b)
+                # Canonical ROBDD bytes: packed runs through the receiver's
+                # own atom index must reproduce the BDD hex exactly.
+                assert _fingerprint(msg_a) == _fingerprint(msg_b)
+
+    def test_definitions_ship_once_per_channel(self):
+        rng = random.Random(7)
+        sender_ctx, receiver_ctx = _ctx(), _ctx()
+        encoder = FrameEncoder(0, sender_ctx.atom_index())
+        decoder = FrameDecoder(receiver_ctx, receiver_ctx.atom_index())
+        entries = _random_entries(sender_ctx, rng, 4)
+        decoder.decode(encoder.encode(1, entries))
+        assert encoder.stats["defs_shipped"] > 0
+        # Encoding itself refines the index (later regions split atoms
+        # earlier ones used), so one more pass may define the freshly-minted
+        # children — after which the channel dictionary is stable.
+        decoder.decode(encoder.encode(1, entries))
+        stable_defs = encoder.stats["defs_shipped"]
+        decoder.decode(encoder.encode(1, entries))
+        assert encoder.stats["defs_shipped"] == stable_defs
+        assert decoder.stats["defs_seen"] == stable_defs
+        # A different destination is a different channel: defs ship again.
+        encoder.encode(2, entries)
+        assert encoder.stats["defs_shipped"] > stable_defs
+
+    def test_out_of_order_frame_rejected(self):
+        rng = random.Random(8)
+        sender_ctx, receiver_ctx = _ctx(), _ctx()
+        encoder = FrameEncoder(0, sender_ctx.atom_index())
+        decoder = FrameDecoder(receiver_ctx, receiver_ctx.atom_index())
+        frame1 = encoder.encode(1, _random_entries(sender_ctx, rng, 2))
+        frame2 = encoder.encode(1, _random_entries(sender_ctx, rng, 2))
+        decoder.decode(frame1)
+        with pytest.raises(SerializationError):
+            decoder.decode(frame1)  # replay
+        fresh = FrameDecoder(receiver_ctx, receiver_ctx.atom_index())
+        fresh.decode(frame1)
+        decoder2 = FrameDecoder(receiver_ctx, receiver_ctx.atom_index())
+        with pytest.raises(SerializationError):
+            decoder2.decode(frame2)  # skipped frame1
+
+    def test_bdd_mode_roundtrip(self):
+        """Without an atom index regions travel as canonical BDD bytes."""
+        rng = random.Random(9)
+        sender_ctx, receiver_ctx = _ctx(), _ctx()
+        encoder = FrameEncoder(0, None)
+        decoder = FrameDecoder(receiver_ctx, None)
+        entries = _random_entries(sender_ctx, rng, 3)
+        _sender, decoded = decoder.decode(encoder.encode(1, entries))
+        for (_, _, _, msg_a), (_, _, _, msg_b) in zip(entries, decoded):
+            assert _fingerprint(msg_a) == _fingerprint(msg_b)
+        assert encoder.stats["bdd_regions"] > 0
+        assert encoder.stats["run_regions"] == 0
+
+    def test_runs_frame_rejected_by_bdd_decoder(self):
+        rng = random.Random(10)
+        sender_ctx, receiver_ctx = _ctx(), _ctx()
+        encoder = FrameEncoder(0, sender_ctx.atom_index())
+        decoder = FrameDecoder(receiver_ctx, None)
+        frame = encoder.encode(1, _random_entries(sender_ctx, rng, 2))
+        with pytest.raises(SerializationError):
+            decoder.decode(frame)
+
+    def test_fallback_codec_frames_are_bit_identical(self):
+        """The pure-Python packer must produce (and accept) the exact frame
+        bytes of the ``array`` fast path."""
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        ctx_a, ctx_b = _ctx(), _ctx()
+        try:
+            set_fallback_codec(False)
+            enc_fast = FrameEncoder(0, ctx_a.atom_index())
+            frames_fast = [
+                enc_fast.encode(1, _random_entries(ctx_a, rng_a, 3))
+                for _ in range(3)
+            ]
+            set_fallback_codec(True)
+            enc_slow = FrameEncoder(0, ctx_b.atom_index())
+            frames_slow = [
+                enc_slow.encode(1, _random_entries(ctx_b, rng_b, 3))
+                for _ in range(3)
+            ]
+            assert frames_fast == frames_slow
+            # Decode fast-path frames with the fallback unpacker active.
+            receiver = _ctx()
+            decoder = FrameDecoder(receiver, receiver.atom_index())
+            for frame in frames_fast:
+                decoder.decode(frame)
+        finally:
+            set_fallback_codec(False)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory vs pipe shipping parity (differential scenarios)
+# ----------------------------------------------------------------------
+def _process_outcome(topology, ctx, rules, pairs, use_shm, predicate_index):
+    from repro.core.library import reachability
+    from repro.dataplane.rule import Rule
+    from repro.sim import TulkunRunner
+
+    invariants = []
+    for src, dst in pairs:
+        prefix = topology.external_prefixes[dst][0]
+        invariants.append(
+            reachability(ctx.ip_prefix(prefix), src, dst, max_extra_hops=2)
+        )
+    runner = TulkunRunner(
+        topology,
+        ctx,
+        invariants,
+        backend="process",
+        workers=2,
+        gc_threshold=256,
+        predicate_index=predicate_index,
+        use_shm=use_shm,
+    )
+    fresh = {
+        dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
+        for dev, dev_rules in rules.items()
+    }
+    try:
+        result = runner.burst_update(fresh)
+        violations = {
+            inv.name: sorted(
+                (v.ingress, serialize_predicate(v.region), v.counts, v.message)
+                for v in runner.network.violations(inv.name)
+            )
+            for inv in invariants
+        }
+        return {
+            "holds": dict(result.holds),
+            "violations": violations,
+            "fingerprints": runner.network.source_fingerprints(),
+            "shm_active": runner._pool.use_shm,
+        }
+    finally:
+        runner.close()
+
+
+@pytest.mark.parametrize("predicate_index", ["atoms", "bdd"])
+@pytest.mark.parametrize("seed", [101, 119, 137])
+def test_shm_and_pipe_shipping_parity(seed, predicate_index):
+    from tests.test_differential_random import _build_scenario
+
+    topology, ctx, rules, pairs = _build_scenario(seed)
+    via_shm = _process_outcome(
+        topology, ctx, rules, pairs, True, predicate_index
+    )
+    via_pipe = _process_outcome(
+        topology, ctx, rules, pairs, False, predicate_index
+    )
+    assert via_pipe["shm_active"] is False
+    assert via_shm["holds"] == via_pipe["holds"], f"seed={seed}"
+    assert via_shm["violations"] == via_pipe["violations"], f"seed={seed}"
+    assert via_shm["fingerprints"] == via_pipe["fingerprints"], f"seed={seed}"
