@@ -25,6 +25,7 @@ __all__ = [
     "union",
     "CountExp",
     "minimal_info",
+    "make_reduce_kernel",
 ]
 
 CountVec = Tuple[int, ...]
@@ -163,3 +164,26 @@ def reduce_countset(cs: CountSet, exps: Sequence[CountExp | None]) -> CountSet:
         for vec in cs
         if any(vec[i] in keep_per_component[i] for i in range(arity))
     )
+
+
+def make_reduce_kernel(exps: Sequence[CountExp | None]):
+    """A memoized Proposition-1 reducer specialized to one invariant.
+
+    ``reduce_countset`` is deterministic in ``(cs, exps)`` and ``exps`` is
+    fixed per device task, so the fused verifier path binds it once and
+    memoizes by count set — announcement-side reductions of unchanged
+    counts become dict hits.  All-``None`` expressions compile to the
+    identity (no memo, no call overhead).
+    """
+    exps = tuple(exps)
+    if all(exp is None for exp in exps):
+        return lambda cs: cs
+    memo: dict = {}
+
+    def reduce_(cs: CountSet) -> CountSet:
+        out = memo.get(cs)
+        if out is None:
+            out = memo[cs] = reduce_countset(cs, exps)
+        return out
+
+    return reduce_

@@ -66,6 +66,10 @@ class DpvNet:
         self.nodes = nodes
         self.sources = sources
         self.arity = arity
+        # dev -> [nodes] grouping, built lazily on first nodes_of_device
+        # (the planner asks per device, per invariant — the node table is
+        # immutable once constructed).
+        self._nodes_by_dev: Optional[Dict[str, List[DpvNode]]] = None
         # child (node -> dev -> child id); devices are unique among children
         # because both constructions are deterministic per device step.
         self.child_by_dev: Dict[int, Dict[str, int]] = {}
@@ -101,7 +105,12 @@ class DpvNet:
         return {node.dev for node in self.nodes.values()}
 
     def nodes_of_device(self, dev: str) -> List[DpvNode]:
-        return [node for node in self.nodes.values() if node.dev == dev]
+        by_dev = self._nodes_by_dev
+        if by_dev is None:
+            by_dev = self._nodes_by_dev = {}
+            for node in self.nodes.values():
+                by_dev.setdefault(node.dev, []).append(node)
+        return list(by_dev.get(dev, ()))
 
     def reverse_topological_order(self) -> List[int]:
         """Children before parents — the traversal order of Algorithm 1."""

@@ -1,0 +1,92 @@
+"""Compiled per-invariant check kernels.
+
+The generic verdict path walks the behavior tree once per count vector,
+re-deriving each atom's component index by a linear scan — per piece, per
+recompute.  The same trick the BDD engine uses for its apply kernels
+applies here: compile the (immutable) behavior tree once per verifier into
+a specialized closure chain with the component indexes and comparison ops
+pre-bound, and memoize the verdict of whole count *sets* so steady-state
+recomputations (same counts, shifted regions) skip evaluation entirely.
+
+Used by both predicate-index modes — the kernel is representation-
+independent, so verdicts stay byte-identical to the tree walk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.core.counting import CountSet, CountVec
+from repro.core.invariant import And, Atom, Behavior, Not, Or, component_index
+from repro.errors import SpecificationError
+
+__all__ = ["BehaviorKernel", "compile_behavior"]
+
+
+def compile_behavior(
+    behavior: Behavior, atoms: Sequence[Atom]
+) -> Callable[[CountVec], bool]:
+    """Compile a behavior tree into a single ``vec -> bool`` closure.
+
+    Component indexes are resolved at compile time (the per-call linear
+    scan of :func:`~repro.core.invariant.component_index` disappears) and
+    each count comparison specializes to its operator, mirroring
+    :func:`~repro.core.invariant.evaluate_behavior` exactly.
+    """
+    if isinstance(behavior, Atom):
+        if behavior.count_exp is None:
+            raise SpecificationError(f"atom {behavior} has no count expression")
+        i = component_index(atoms, behavior)
+        op = behavior.count_exp.op
+        bound = behavior.count_exp.bound
+        if op == "==":
+            return lambda vec: vec[i] == bound
+        if op == ">=":
+            return lambda vec: vec[i] >= bound
+        if op == ">":
+            return lambda vec: vec[i] > bound
+        if op == "<=":
+            return lambda vec: vec[i] <= bound
+        return lambda vec: vec[i] < bound
+    if isinstance(behavior, Not):
+        inner = compile_behavior(behavior.inner, atoms)
+        return lambda vec: not inner(vec)
+    if isinstance(behavior, And):
+        parts = tuple(compile_behavior(p, atoms) for p in behavior.parts)
+        if len(parts) == 2:
+            a, b = parts
+            return lambda vec: a(vec) and b(vec)
+        return lambda vec: all(p(vec) for p in parts)
+    if isinstance(behavior, Or):
+        parts = tuple(compile_behavior(p, atoms) for p in behavior.parts)
+        if len(parts) == 2:
+            a, b = parts
+            return lambda vec: a(vec) or b(vec)
+        return lambda vec: any(p(vec) for p in parts)
+    raise SpecificationError(f"unknown behavior node {behavior!r}")
+
+
+class BehaviorKernel:
+    """One invariant's compiled check plus a count-set verdict memo.
+
+    ``bad_of`` returns the violating vectors of a count set in the set's
+    own (canonical) order — byte-identical to filtering with
+    :func:`~repro.core.invariant.evaluate_behavior` — and memoizes by the
+    count set itself (canonical tuples hash cheaply and the distinct sets a
+    device ever sees is small), so unchanged counts are never re-evaluated
+    on incremental updates.
+    """
+
+    __slots__ = ("holds", "_bad_memo")
+
+    def __init__(self, behavior: Behavior, atoms: Sequence[Atom]) -> None:
+        self.holds = compile_behavior(behavior, atoms)
+        self._bad_memo: Dict[CountSet, Tuple[CountVec, ...]] = {}
+
+    def bad_of(self, cs: CountSet) -> Tuple[CountVec, ...]:
+        bad = self._bad_memo.get(cs)
+        if bad is None:
+            holds = self.holds
+            bad = tuple(vec for vec in cs if not holds(vec))
+            self._bad_memo[cs] = bad
+        return bad

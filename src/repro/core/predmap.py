@@ -87,6 +87,50 @@ class PredMap(Generic[V]):
                 return value
         return None
 
+    # ------------------------------------------------------------------
+    # Packed-mask fast paths (atom-backed maps only)
+    # ------------------------------------------------------------------
+    # The fused verifier kernels work on raw leaf-slot bitmasks and only
+    # wrap masks back into AtomSets at storage boundaries.  These twins
+    # mirror lookup/lookup_with_default/assign bit for bit: same entry
+    # iteration order, same piece order, same merge semantics — which is
+    # what keeps wire bytes identical to the generic path.
+
+    def lookup_masks(self, region_mask: int) -> List[Tuple[int, V]]:
+        """:meth:`lookup` over a raw bitmask: ``(piece_mask, value)`` pairs."""
+        pieces: List[Tuple[int, V]] = []
+        remaining = region_mask
+        for aset, value in self._entries:
+            if not remaining:
+                break
+            piece = remaining & aset.mask()
+            if piece:
+                pieces.append((piece, value))
+                remaining &= ~piece
+        return pieces
+
+    def lookup_masks_with_default(
+        self, region_mask: int, default: V
+    ) -> List[Tuple[int, V]]:
+        """:meth:`lookup_with_default` over a raw bitmask."""
+        pieces = self.lookup_masks(region_mask)
+        covered = 0
+        for mask, _value in pieces:
+            covered |= mask
+        leftover = region_mask & ~covered
+        if leftover:
+            pieces.append((leftover, default))
+        return pieces
+
+    def assign_masks(self, pieces: Iterable[Tuple[int, V]]) -> None:
+        """:meth:`assign` over raw bitmasks (``ctx`` must be an AtomIndex).
+
+        Masks are wrapped into tracked AtomSets here — entries must stay
+        live sets so :meth:`AtomIndex.compact` sees (and preserves) the
+        boundaries this map distinguishes."""
+        from_mask = self.ctx.from_mask
+        self.assign((from_mask(mask), value) for mask, value in pieces)
+
     def __len__(self) -> int:
         return len(self._entries)
 

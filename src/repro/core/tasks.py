@@ -48,6 +48,11 @@ class NodeTask:
     # a trace ending here matches.  Atoms absent from the dict accept in all
     # scenes (plain, non-fault-tolerant DPVNets).
     accept_scenes: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    # scene id -> effective acceptance vector; the verifier asks on every
+    # counted piece and the inputs are immutable after planning.
+    _accept_memo: Dict[int, Tuple[bool, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def accept_in_scene(self, scene: Optional[int]) -> Tuple[bool, ...]:
         """Effective acceptance vector for the given fault scene (scene
@@ -55,10 +60,14 @@ class NodeTask:
         if not self.accept_scenes:
             return self.accept
         sid = 0 if scene is None else scene
-        return tuple(
-            flag and (i not in self.accept_scenes or sid in self.accept_scenes[i])
-            for i, flag in enumerate(self.accept)
-        )
+        vec = self._accept_memo.get(sid)
+        if vec is None:
+            vec = self._accept_memo[sid] = tuple(
+                flag
+                and (i not in self.accept_scenes or sid in self.accept_scenes[i])
+                for i, flag in enumerate(self.accept)
+            )
+        return vec
 
     def downstream_devices(self) -> List[str]:
         return [ref.dev for ref in self.downstream]

@@ -37,18 +37,14 @@ from repro.bdd.predicate import PacketSpaceContext, Predicate
 from repro.core.counting import (
     CountSet,
     cross_sum,
-    reduce_countset,
+    make_reduce_kernel,
     singleton,
     union,
     zero_vec,
 )
 from repro.core.dvm import SubscribeMessage, UpdateMessage
-from repro.core.invariant import (
-    Atom,
-    EndKind,
-    MatchKind,
-    evaluate_behavior,
-)
+from repro.core.invariant import EndKind, MatchKind
+from repro.core.kernels import BehaviorKernel
 from repro.core.offline import node_base_vector
 from repro.core.predmap import PredMap
 from repro.core.result import Violation
@@ -141,8 +137,25 @@ class OnDeviceVerifier:
 
         # Per-node memo of the forwarding split of ``interest``, keyed on
         # (FIB epoch, interest) so rule updates and subscribe-driven interest
-        # growth both invalidate it.
-        self._fwd_split_cache: Dict[int, Tuple[Tuple[int, object], list]] = {}
+        # growth both invalidate it.  In atoms mode the cached value is a
+        # pair of parallel (mask, action) arrays — the table the fused
+        # LEC+count kernel bulk-intersects against.
+        self._fwd_split_cache: Dict[int, Tuple[Tuple[int, object], object]] = {}
+
+        # Compiled per-invariant kernels (see repro.core.kernels): the
+        # behavior check as one closure with pre-bound component indexes +
+        # a count-set verdict memo, and a memoized Proposition-1 reducer.
+        # Both are representation-independent, so bdd mode shares them.
+        self._behavior_kernel = (
+            None if self.is_local_check
+            else BehaviorKernel(task.behavior, task.atoms)
+        )
+        self._reduce = make_reduce_kernel(task.reduction_exps)
+        self._zero_cs = singleton(zero_vec(self.arity))
+        # (accept vector, end kind) -> base count vector; accept_in_scene
+        # and node_base_vector are pure in these, recomputed per piece on
+        # the generic path.
+        self._base_vec_memo: Dict[Tuple[Tuple[bool, ...], EndKind], tuple] = {}
 
         self.dead_neighbors: Set[str] = set()
         self.active_scene: Optional[int] = None
@@ -185,6 +198,45 @@ class OnDeviceVerifier:
         if cached is not None and cached[0] == key:
             return cached[1]
         split = self._fwd(st.interest)
+        self._fwd_split_cache[node_id] = (key, split)
+        return split
+
+    def _interest_split_masks(self, node_id: int):
+        """Atoms-mode twin of :meth:`_interest_fwd`: the LEC split of the
+        node's interest as parallel ``(masks, actions)`` arrays.
+
+        This is the table the fused LEC+count kernel bulk-intersects
+        against.  Pieces appear in LEC-table entry order with the uncovered
+        remainder mapped to drop — exactly the order ``action_of_atoms``
+        yields, so everything downstream stays byte-identical.  Cached on
+        (FIB epoch, resolved interest mask): any split or merge that touches
+        the interest changes its resolved mask and misses the cache.
+        """
+        st = self.state[node_id]
+        index = self._index
+        # atom_entries() may atomize rules on first use (refining the
+        # forest), so force it BEFORE snapshotting the interest mask.
+        entries = self.plane.lec_table().atom_entries(index)
+        interest_mask = st.interest.mask()
+        key = (self.plane.epoch, interest_mask)
+        cached = self._fwd_split_cache.get(node_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        masks: List[int] = []
+        actions: List[Action] = []
+        remaining = interest_mask
+        for lec_aset, action in entries:
+            if not remaining:
+                break
+            piece = remaining & lec_aset.mask()
+            if piece:
+                masks.append(piece)
+                actions.append(action)
+                remaining &= ~piece
+        if remaining:
+            masks.append(remaining)
+            actions.append(Action.drop())
+        split = (masks, actions)
         self._fwd_split_cache[node_id] = (key, split)
         return split
 
@@ -383,6 +435,27 @@ class OnDeviceVerifier:
         child_dev = self._child_dev[node_id].get(child_id)
         if child_dev is None:
             return self._space.empty
+        if self._use_atoms:
+            index = self._index
+            resolve = index._resolve_mask
+            masks, actions = self._interest_split_masks(node_id)
+            down_mask = downstream_region.mask()
+            region_mask = 0
+            for m, action in zip(masks, actions):
+                if child_dev not in action.group:
+                    continue
+                if action.transform is None:
+                    region_mask |= resolve(m) & down_mask
+                else:
+                    # transform_preimage may refine the forest; re-read the
+                    # downstream mask afterwards (AtomSets self-heal) and
+                    # resolve() every raw mask at its use point.
+                    pre = index.transform_preimage(
+                        action.transform, downstream_region
+                    )
+                    region_mask |= resolve(m) & pre.mask()
+                    down_mask = downstream_region.mask()
+            return index.from_mask(resolve(region_mask))
         region = self._space.empty
         for piece, action in self._interest_fwd(node_id):
             if child_dev not in action.group:
@@ -400,15 +473,34 @@ class OnDeviceVerifier:
 
     def _region_toward(self, node_id: int, neighbor: str):
         """Packet space this node's device forwards toward ``neighbor``."""
+        if self._use_atoms:
+            masks, actions = self._interest_split_masks(node_id)
+            region_mask = 0
+            for m, action in zip(masks, actions):
+                if neighbor in action.group:
+                    region_mask |= m
+            return self._index.from_mask(region_mask)
         region = self._space.empty
         for piece, action in self._interest_fwd(node_id):
             if neighbor in action.group:
                 region = region | piece
         return region
 
+    def _base_vector(self, accept, end: EndKind):
+        """Memoized :func:`node_base_vector` (pure in its arguments)."""
+        key = (accept, end)
+        vec = self._base_vec_memo.get(key)
+        if vec is None:
+            vec = self._base_vec_memo[key] = node_base_vector(
+                accept, self.task.atoms, end
+            )
+        return vec
+
     def _recompute(self, node_id: int, region) -> List[Outgoing]:
         """Steps 2 and 3 of UPDATE handling: rebuild LocCIB over ``region``
         from the LEC table and the CIBIn tables, then propagate changes."""
+        if self._use_atoms:
+            return self._recompute_atoms(node_id, region)
         st = self.state[node_id]
         region = region & st.interest
         if region.is_empty:
@@ -425,6 +517,104 @@ class OnDeviceVerifier:
         outgoing = self._announce_region(node_id, region, precomputed=pieces)
         return subscribes + outgoing
 
+    def _recompute_atoms(self, node_id: int, region) -> List[Outgoing]:
+        """Fused LEC+count pass over packed atom words.
+
+        One loop bulk-intersects the changed region against the memoized
+        interest split (:meth:`_interest_split_masks`) and counts each piece
+        with pure mask algebra — no AtomSet wrappers, no BDD calls — for
+        transform-free actions (the overwhelming hot path).  Actions with a
+        header transform fall back to the generic self-healing AtomSet
+        kernel for just their piece, since applying a transform may refine
+        the forest and stale raw masks there; resolve() at every use point
+        plus a final resolve of the accumulated pieces keeps the math exact
+        (compact() never runs mid-handler, so rewrite tables are intact).
+
+        Pieces come out in the same order as the generic path splits them
+        (LEC entries are disjoint, so splitting the pre-split interest
+        against ``region`` equals splitting ``region`` against the table),
+        which keeps LocCIB merges, announcements and wire bytes identical.
+        """
+        st = self.state[node_id]
+        region = region & st.interest
+        if region.is_empty:
+            return []
+        self.stats.recomputations += 1
+        node = self.nodes[node_id]
+        index = self._index
+        resolve = index._resolve_mask
+        subscribes: List[Outgoing] = []
+        # Force the split table BEFORE reading the region mask: building it
+        # may atomize LEC entries (refining the forest).
+        masks, actions = self._interest_split_masks(node_id)
+        region_mask = region.mask()
+        pieces: List[Tuple[int, CountSet]] = []
+        for m, action in zip(masks, actions):
+            piece = resolve(region_mask) & resolve(m)
+            if not piece:
+                continue
+            if action.transform is None:
+                pieces.extend(self._count_action_masks(node, piece, action))
+            else:
+                for sub, cs in self._count_action(
+                    node, index.from_mask(piece), action, subscribes
+                ):
+                    pieces.append((sub.mask(), cs))
+        final = [(resolve(m), cs) for m, cs in pieces]
+        st.loc_cib.assign_masks(final)
+        if node.is_source_for is not None:
+            self._update_verdict(node)
+        outgoing = self._announce_masks(
+            node_id, resolve(region_mask), precomputed=final
+        )
+        return subscribes + outgoing
+
+    def _count_action_masks(
+        self, node: NodeTask, piece_mask: int, action: Action
+    ) -> List[Tuple[int, CountSet]]:
+        """Transform-free counting over raw masks: the fused kernel's inner
+        loop.  Mirrors :meth:`_count_action` case for case — same seeds,
+        same ⊕/⊗ combination order, same piece order."""
+        st = self.state[node.node_id]
+        accept = node.accept_in_scene(self.active_scene)
+        if action.is_drop:
+            base = self._base_vector(accept, EndKind.DROPPED)
+            return [(piece_mask, singleton(base))]
+        deliver_cs = singleton(self._base_vector(accept, EndKind.DELIVERED))
+        zero = self._zero_cs
+        child_by_dev = self._child_by_dev[node.node_id]
+        cib_in = st.cib_in
+
+        def member_pieces(member: str, region_mask: int):
+            if member == EXTERNAL:
+                return [(region_mask, deliver_cs)]
+            child_id = child_by_dev.get(member)
+            if child_id is None or not self._edge_alive(node, child_id, member):
+                return [(region_mask, zero)]
+            cib = cib_in.get(child_id)
+            if cib is None:
+                return [(region_mask, zero)]
+            return cib.lookup_masks_with_default(region_mask, zero)
+
+        if action.group_type is GroupType.ANY:
+            parts: List[Tuple[int, CountSet]] = [(piece_mask, ())]
+            for member in action.group:
+                refined: List[Tuple[int, CountSet]] = []
+                for region_mask, cs in parts:
+                    for sub, cs_member in member_pieces(member, region_mask):
+                        refined.append((sub, union(cs, cs_member)))
+                parts = refined
+            return parts
+
+        parts = [(piece_mask, zero)]
+        for member in action.group:
+            refined = []
+            for region_mask, cs in parts:
+                for sub, cs_member in member_pieces(member, region_mask):
+                    refined.append((sub, cross_sum(cs, cs_member)))
+            parts = refined
+        return parts
+
     def _count_action(
         self,
         node: NodeTask,
@@ -433,17 +623,16 @@ class OnDeviceVerifier:
         subscribes: List[Outgoing],
     ) -> List[Tuple[object, CountSet]]:
         arity = self.arity
-        atoms = self.task.atoms
         st = self.state[node.node_id]
 
         accept = node.accept_in_scene(self.active_scene)
         if action.is_drop:
-            base = node_base_vector(accept, atoms, EndKind.DROPPED)
+            base = self._base_vector(accept, EndKind.DROPPED)
             return [(piece, singleton(base))]
 
-        deliver_vec = node_base_vector(accept, atoms, EndKind.DELIVERED)
+        deliver_vec = self._base_vector(accept, EndKind.DELIVERED)
         transform = action.transform
-        zero = singleton(zero_vec(arity))
+        zero = self._zero_cs
 
         def member_pieces(member: str, region):
             if member == EXTERNAL:
@@ -527,29 +716,25 @@ class OnDeviceVerifier:
     ) -> List[Outgoing]:
         """Send UPDATEs upstream for the parts of ``region`` whose (reduced)
         counting result actually changed."""
+        if self._use_atoms:
+            return self._announce_masks(node_id, region.mask(), force=force)
         node = self.nodes[node_id]
         if not node.upstream:
             return []
         st = self.state[node_id]
         if precomputed is None:
-            current = st.loc_cib.lookup_with_default(
-                region, singleton(zero_vec(self.arity))
-            )
+            current = st.loc_cib.lookup_with_default(region, self._zero_cs)
         else:
             current = precomputed
-        reduced = [
-            (pred, reduce_countset(cs, self.task.reduction_exps))
-            for pred, cs in current
-        ]
+        reduce_ = self._reduce
+        reduced = [(pred, reduce_(cs)) for pred, cs in current]
         if force:
             changed = region
         else:
             # A region never announced is equivalent to the all-zero count:
             # receivers default missing CIBIn entries to zero, so suppressing
             # initial zero announcements keeps the protocol quiet and correct.
-            zero_cs = reduce_countset(
-                singleton(zero_vec(self.arity)), self.task.reduction_exps
-            )
+            zero_cs = reduce_(self._zero_cs)
             changed = self._space.empty
             for pred, cs in reduced:
                 for sub, old in st.cib_out.lookup_with_default(pred, None):
@@ -581,27 +766,97 @@ class OnDeviceVerifier:
             outgoing.append((parent.dev, message))
         return outgoing
 
+    def _announce_masks(
+        self,
+        node_id: int,
+        region_mask: int,
+        precomputed: Optional[List[Tuple[int, CountSet]]] = None,
+        force: bool = False,
+    ) -> List[Outgoing]:
+        """:meth:`_announce_region` over raw masks (fused-path step 3).
+
+        Diffing against CIBOut, the Proposition-1 reduction and payload
+        carving all run on packed words; only the final wire conversion
+        touches BDDs, through the index's memoized ``mask_to_predicate``.
+        """
+        node = self.nodes[node_id]
+        if not node.upstream:
+            return []
+        st = self.state[node_id]
+        if precomputed is None:
+            current = st.loc_cib.lookup_masks_with_default(
+                region_mask, self._zero_cs
+            )
+        else:
+            current = precomputed
+        reduce_ = self._reduce
+        reduced = [(m, reduce_(cs)) for m, cs in current]
+        if force:
+            changed = region_mask
+        else:
+            zero_cs = reduce_(self._zero_cs)
+            changed = 0
+            for m, cs in reduced:
+                for sub, old in st.cib_out.lookup_masks_with_default(m, None):
+                    effective_old = old if old is not None else zero_cs
+                    if effective_old != cs:
+                        changed |= sub
+        if not changed:
+            return []
+        payload: List[Tuple[int, CountSet]] = []
+        for m, cs in reduced:
+            part = m & changed
+            if part:
+                payload.append((part, cs))
+        st.cib_out.assign_masks(payload)
+        # Boundary: the wire always carries canonical BDD predicates.
+        to_pred = self._index.mask_to_predicate
+        wire_withdrawn = to_pred(changed)
+        wire_results = tuple((to_pred(m), cs) for m, cs in payload)
+        outgoing: List[Outgoing] = []
+        for parent in node.upstream:
+            message = UpdateMessage(
+                intended_link=(parent.node_id, node_id),
+                withdrawn=wire_withdrawn,
+                results=wire_results,
+            )
+            self.stats.updates_sent += 1
+            self.stats.bytes_sent += message.wire_size()
+            outgoing.append((parent.dev, message))
+        return outgoing
+
     # ------------------------------------------------------------------
     # Verdicts
     # ------------------------------------------------------------------
     def _update_verdict(self, node: NodeTask) -> None:
         assert node.is_source_for is not None
         st = self.state[node.node_id]
-        pieces = st.loc_cib.lookup_with_default(
-            self._to_region(self.task.packet_space),
-            singleton(zero_vec(self.arity)),
-        )
+        bad_of = self._behavior_kernel.bad_of
         violations: List[Violation] = []
-        for region, cs in pieces:
-            bad = tuple(
-                vec
-                for vec in cs
-                if not evaluate_behavior(self.task.behavior, self.task.atoms, vec)
+        if self._use_atoms:
+            # Fused verdict: mask lookup + memoized compiled check; the
+            # packet space was atomized at init so this is a cache hit.
+            space_mask = self._index.atomize_mask(self.task.packet_space)
+            to_pred = self._index.mask_to_predicate
+            pieces_masks = st.loc_cib.lookup_masks_with_default(
+                space_mask, self._zero_cs
             )
-            if bad:
-                violations.append(
-                    Violation(node.is_source_for, self._to_pred(region), bad)
-                )
+            for m, cs in pieces_masks:
+                bad = bad_of(cs)
+                if bad:
+                    violations.append(
+                        Violation(node.is_source_for, to_pred(m), bad)
+                    )
+        else:
+            pieces = st.loc_cib.lookup_with_default(
+                self._to_region(self.task.packet_space), self._zero_cs
+            )
+            for region, cs in pieces:
+                bad = bad_of(cs)
+                if bad:
+                    violations.append(
+                        Violation(node.is_source_for, self._to_pred(region), bad)
+                    )
         self.verdicts[node.is_source_for] = (not violations, violations)
         if self.tracer is not None:
             self.tracer.verdict(

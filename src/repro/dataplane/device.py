@@ -75,16 +75,16 @@ class DevicePlane:
             return
         index = self._atom_index
         rules = self.rules
-        # Two passes: atomizing any match may split atoms, so id snapshots
+        # Two passes: atomizing any match may split atoms, so mask snapshots
         # are taken only after every boundary is installed (AtomSets
         # renormalize on read).
         match_atoms = {rule.rule_id: index.atomize(rule.match) for rule in rules}
         eff_atoms: Dict[int, object] = {}
-        covered: frozenset = frozenset()
+        covered = 0
         for rule in rules:
-            ids = match_atoms[rule.rule_id].ids()
-            eff_atoms[rule.rule_id] = index.from_ids(ids - covered)
-            covered = covered | ids
+            mask = match_atoms[rule.rule_id].mask()
+            eff_atoms[rule.rule_id] = index.from_mask(mask & ~covered)
+            covered |= mask
         self._match_atoms = match_atoms
         self._eff_atoms = eff_atoms
 

@@ -324,25 +324,25 @@ def _rebuild_with_moves_atoms(
     ctx: PacketSpaceContext,
     index,
     table: LecTable,
-    moves: Dict[Tuple[Action, Action], frozenset],
+    moves: Dict[Tuple[Action, Action], int],
 ) -> Tuple[LecTable, List[LecDelta]]:
     """Atom-set twin of :func:`_rebuild_with_moves`.
 
-    ``moves`` carries atom-id sets instead of BDD nodes.  Each region is
-    converted once through :meth:`AtomIndex.to_predicate` — ROBDDs are
-    canonical, so the delta predicates (and the new table's entries) are
-    byte-identical to what the BDD path would have produced for the same
-    update.  The new table's atomized view is seeded by pure set algebra,
-    with no re-atomization."""
+    ``moves`` carries packed leaf-slot masks instead of BDD nodes.  Each
+    region is converted once through the index's memoized
+    ``mask_to_predicate`` — ROBDDs are canonical, so the delta predicates
+    (and the new table's entries) are byte-identical to what the BDD path
+    would have produced for the same update.  The new table's atomized view
+    is seeded by pure set algebra, with no re-atomization."""
     mgr = ctx.mgr
     entries: Dict[Action, int] = {
         action: pred.node for action, pred in table._entries.items()
     }
     deltas: List[LecDelta] = []
     move_sets: Dict[Tuple[Action, Action], object] = {}
-    for (old_action, new_action), ids in moves.items():
-        aset = index.from_ids(ids)
-        pred = index.to_predicate(aset)
+    for (old_action, new_action), mask in moves.items():
+        aset = index.from_mask(mask)
+        pred = index.mask_to_predicate(mask)
         entries[old_action] = mgr.apply_diff(entries[old_action], pred.node)
         entries[new_action] = mgr.apply_or(
             entries.get(new_action, FALSE), pred.node
@@ -382,34 +382,34 @@ def install_into_table_atoms(
     atomizing the new rule's match — one refinement walk, a cache hit
     whenever the same match predicate was seen before (route refreshes,
     re-points of an existing rule) — and the boundary conversion of the few
-    moved regions; the priority scans are frozenset intersections/diffs.
+    moved regions; the priority scans are single-int mask AND/ANDNOTs.
     """
     # Atomize FIRST: the walk may split atoms, and every stored AtomSet
-    # renormalizes itself when read afterwards.  Raw id-set snapshots below
+    # renormalizes itself when read afterwards.  Raw mask snapshots below
     # are safe because nothing after this point refines the forest.
     match_aset = index.atomize(rule.match)
     match_atoms[rule.rule_id] = match_aset
     position = next(
         i for i, r in enumerate(sorted_rules) if r.rule_id == rule.rule_id
     )
-    effective = match_aset.ids()
+    effective = match_aset.mask()
     for higher in sorted_rules[:position]:
         if not effective:
             break
         prev = eff_atoms.get(higher.rule_id)
         if prev is None:
             continue
-        effective = effective - prev.ids()
-    eff_atoms[rule.rule_id] = index.from_ids(effective)
+        effective &= ~prev.mask()
+    eff_atoms[rule.rule_id] = index.from_mask(effective)
     if not effective:
         return table, []  # fully shadowed: behaviour unchanged
-    moves: Dict[Tuple[Action, Action], frozenset] = {}
+    moves: Dict[Tuple[Action, Action], int] = {}
 
-    def take(ids: frozenset, old_action: Action) -> None:
+    def take(mask: int, old_action: Action) -> None:
         if old_action == rule.action:
             return  # same behaviour: no class boundary moves
         key = (old_action, rule.action)
-        moves[key] = moves.get(key, frozenset()) | ids
+        moves[key] = moves.get(key, 0) | mask
 
     remaining = effective
     for lower in sorted_rules[position + 1 :]:
@@ -418,12 +418,12 @@ def install_into_table_atoms(
         prev = eff_atoms.get(lower.rule_id)
         if prev is None or prev.is_empty:
             continue
-        prev_ids = prev.ids()
-        piece = remaining & prev_ids
+        prev_mask = prev.mask()
+        piece = remaining & prev_mask
         if not piece:
             continue
-        remaining = remaining - piece
-        eff_atoms[lower.rule_id] = index.from_ids(prev_ids - piece)
+        remaining &= ~piece
+        eff_atoms[lower.rule_id] = index.from_mask(prev_mask & ~piece)
         take(piece, lower.action)
     if remaining:
         # Packets no rule owned fell through to the implicit drop class.
@@ -452,15 +452,15 @@ def remove_from_table_atoms(
     if eff is None or eff.is_empty:
         return table, []  # the rule never won any packets
     removed_key = removed.sort_key()
-    moves: Dict[Tuple[Action, Action], frozenset] = {}
+    moves: Dict[Tuple[Action, Action], int] = {}
 
-    def give(ids: frozenset, new_action: Action) -> None:
+    def give(mask: int, new_action: Action) -> None:
         if new_action == removed.action:
             return
         key = (removed.action, new_action)
-        moves[key] = moves.get(key, frozenset()) | ids
+        moves[key] = moves.get(key, 0) | mask
 
-    remaining = eff.ids()
+    remaining = eff.mask()
     for lower in sorted_rules:
         if lower.sort_key() < removed_key:
             continue  # higher priority: never matched these packets
@@ -469,13 +469,13 @@ def remove_from_table_atoms(
         match = match_atoms.get(lower.rule_id)
         if match is None:
             continue
-        piece = remaining & match.ids()
+        piece = remaining & match.mask()
         if not piece:
             continue
-        remaining = remaining - piece
+        remaining &= ~piece
         prev = eff_atoms.get(lower.rule_id)
-        prev_ids = frozenset() if prev is None else prev.ids()
-        eff_atoms[lower.rule_id] = index.from_ids(prev_ids | piece)
+        prev_mask = 0 if prev is None else prev.mask()
+        eff_atoms[lower.rule_id] = index.from_mask(prev_mask | piece)
         give(piece, lower.action)
     if remaining:
         give(remaining, Action.drop())

@@ -199,7 +199,9 @@ class FrameEncoder:
         )
         index = self.index
         if index is not None:
-            ids = sorted(index.atomize_ids(pred))
+            # Straight off the packed mask: bits -> stable atom ids, sorted.
+            # No frozenset detour; same id list (and bytes) as before.
+            ids = index.mask_to_sorted_ids(index.atomize_mask(pred))
             if not ids or ids[-1] <= _U32_MAX:
                 out.append(_KIND_RUNS)
                 new = [aid for aid in ids if aid not in sent]

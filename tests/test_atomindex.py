@@ -243,3 +243,60 @@ class TestProfile:
         assert snap["atoms"] == index.num_atoms
         assert snap["splits"] >= 1
         assert snap["atomize_calls"] >= 1
+
+
+class TestResolveFastPath:
+    """Version-matched sets must not pay any resolution work.
+
+    The frozenset representation re-resolved every operand on every
+    coerce — a `_leaves_of` forest walk per id even when nothing had
+    split.  The packed representation's contract: once a set has
+    renormalized to the current version, algebra on it does no resolution
+    at all, and even the slow path is a rewrite-table lookup (counted by
+    ``index.resolves``), never a forest walk.
+    """
+
+    def test_version_match_skips_resolution(self, sctx, index):
+        a = index.atomize(sctx.range_("f", 0, 31))
+        b = index.atomize(sctx.range_("f", 16, 47))
+        a.mask(), b.mask()  # renormalize once after the mutual splits
+
+        walks = {"count": 0}
+        real = index._leaves_of
+
+        def counting(aid):
+            walks["count"] += 1
+            return real(aid)
+
+        index._leaves_of = counting
+        resolves_before = index.resolves
+        for _ in range(50):
+            assert (a & b) == (b & a)
+            assert (a | b).covers(a)
+            assert not (a - a)
+            assert a.overlaps(b)
+        assert walks["count"] == 0, "steady-state algebra walked the forest"
+        assert index.resolves == resolves_before, (
+            "steady-state algebra hit the stale-bit slow path"
+        )
+
+    def test_resolution_once_per_refinement(self, sctx, index):
+        a = index.atomize(sctx.range_("f", 0, 31))
+        a.mask()
+        index.atomize(sctx.range_("f", 8, 15))  # splits inside a
+        before = index.resolves
+        a.mask()  # first read after the split: one rewrite-table pass
+        assert index.resolves == before + 1
+        a.mask()
+        a.mask()
+        assert index.resolves == before + 1, "re-resolved a current mask"
+
+    def test_splits_outside_set_do_not_resolve(self, sctx, index):
+        a = index.atomize(sctx.range_("f", 0, 15))
+        a.mask()
+        # Refinement disjoint from ``a``: version moves, but none of a's
+        # slots retired, so the slow path must see zero stale bits.
+        index.atomize(sctx.range_("f", 32, 47))
+        before = index.resolves
+        a.mask()
+        assert index.resolves == before

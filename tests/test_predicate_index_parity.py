@@ -8,6 +8,9 @@ rule updates.  This is the acceptance gate that lets ``atoms`` be the
 default without perturbing any seed behaviour.
 """
 
+import ipaddress
+import random
+
 import pytest
 
 from repro.bdd import PacketSpaceContext
@@ -94,7 +97,76 @@ class TestFig2aParity:
         assert prints_a == prints_b
 
 
-def fattree_outcome(predicate_index, backend, workers=2):
+class TestBitsetAlgebraProperty:
+    """Seeded random-rule workloads: packed-bitset AtomSet algebra must
+    agree with raw Predicate (BDD) semantics operation for operation,
+    through interleaved refinement, merge-on-collect and engine GC."""
+
+    @staticmethod
+    def random_prefix_preds(ctx, rng, count):
+        preds = []
+        for _ in range(count):
+            plen = rng.randint(6, 28)
+            net = ipaddress.ip_network((rng.getrandbits(32), plen), strict=False)
+            preds.append(ctx.ip_prefix(str(net)))
+        return preds
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_algebra_agrees_with_bdd(self, seed):
+        rng = random.Random(seed)
+        ctx = PacketSpaceContext()
+        index = ctx.atom_index()
+        preds = self.random_prefix_preds(ctx, rng, 24)
+        # Derived regions diversify beyond pure prefixes (unions and
+        # carve-outs are what CIB entries actually look like).
+        for _ in range(12):
+            a, b = rng.sample(preds, 2)
+            preds.append((a | b) if rng.random() < 0.5 else (a - b))
+        sets = [index.atomize(p) for p in preds]
+        live = list(zip(preds, sets))
+        for step in range(150):
+            (pa, sa), (pb, sb) = rng.sample(live, 2)
+            assert (sa & sb).to_predicate() == pa & pb
+            assert (sa | sb).to_predicate() == pa | pb
+            assert (sa - sb).to_predicate() == pa - pb
+            assert (sa ^ sb).to_predicate() == (pa | pb) - (pa & pb)
+            assert sa.covers(sb) == pa.covers(pb)
+            assert sa.overlaps(sb) == (not (pa & pb).is_empty)
+            assert (sa - sb).is_empty == (pa - pb).is_empty
+            if step % 10 == 9:
+                # Refine mid-stream: all live masks go stale and must
+                # renormalize through the rewrite tables.
+                extra = self.random_prefix_preds(ctx, rng, 1)[0]
+                live.append((extra, index.atomize(extra)))
+            if step % 40 == 39:
+                # Shrink the live set, merge-on-collect, then sweep the
+                # engine: conversions must survive both.
+                live = rng.sample(live, max(8, len(live) // 2))
+                import gc as pygc
+
+                pygc.collect()
+                index.compact()
+                ctx.mgr.collect()
+                for pred, aset in rng.sample(live, 4):
+                    assert aset.to_predicate() == pred
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_sets_stay_valid_dict_keys(self, seed):
+        """Hash/equality survive splits and merges: a CIB keyed by AtomSet
+        must still find its entries after arbitrary refinement."""
+        rng = random.Random(seed)
+        ctx = PacketSpaceContext()
+        index = ctx.atom_index()
+        preds = self.random_prefix_preds(ctx, rng, 16)
+        table = {index.atomize(p): i for i, p in enumerate(preds)}
+        self.random_prefix_preds(ctx, rng, 16)  # refine under the keys
+        index.compact()
+        for i, p in enumerate(preds):
+            hits = [v for aset, v in table.items() if aset == index.atomize(p)]
+            assert i in hits
+
+
+def fattree_outcome(predicate_index, backend, workers=2, use_shm=True):
     ds = build_dataset("FT-4", pair_limit=6, seed=3)
     kwargs = {
         "gc_threshold": GC_THRESHOLD, "predicate_index": predicate_index,
@@ -102,6 +174,7 @@ def fattree_outcome(predicate_index, backend, workers=2):
     }
     if backend == "process":
         kwargs["workers"] = workers
+        kwargs["use_shm"] = use_shm
     runner = TulkunRunner(ds.topology, ds.ctx, ds.invariants, **kwargs)
     try:
         rules = {
@@ -141,6 +214,18 @@ class TestFattreeParity:
         serial = fattree_outcome("atoms", "serial")
         process = fattree_outcome("atoms", "process")
         assert serial == process
+
+    def test_pipe_transport_byte_identical(self):
+        """Same gate with shm frame shipping disabled: the pickled-pipe
+        path must carry the exact same regions and counts."""
+        atoms = fattree_outcome("atoms", "process", use_shm=False)
+        bdd = fattree_outcome("bdd", "process", use_shm=False)
+        assert atoms == bdd
+
+    def test_shm_and_pipe_agree_in_atoms_mode(self):
+        shm = fattree_outcome("atoms", "process", use_shm=True)
+        pipe = fattree_outcome("atoms", "process", use_shm=False)
+        assert shm == pipe
 
 
 class TestModeValidation:

@@ -231,3 +231,86 @@ class TestAtomBackedAgreement:
             )
         }
         assert atom_pieces == bdd_pieces
+
+
+class TestDomainCacheInvalidation:
+    """The cached domain() must track every write path — assign, remove,
+    clear — or announce-side diffs would run against a stale footprint."""
+
+    def test_remove_invalidates_cached_domain(self, sctx):
+        pm = PredMap(sctx)
+        low = sctx.range_("f", 0, 15)
+        high = sctx.range_("f", 16, 31)
+        pm.assign([(low, "a"), (high, "b")])
+        assert pm.domain() == low | high  # prime the cache
+        pm.remove(low)
+        assert pm.domain() == high
+        pm.remove(sctx.universe)
+        assert pm.domain().is_empty
+
+    def test_empty_remove_keeps_cache_valid(self, sctx):
+        pm = PredMap(sctx)
+        low = sctx.range_("f", 0, 15)
+        pm.assign([(low, "a")])
+        primed = pm.domain()
+        pm.remove(sctx.empty)  # no-op removal must not corrupt anything
+        assert pm.domain() == primed == low
+
+    def test_assign_after_remove(self, sctx):
+        pm = PredMap(sctx)
+        low = sctx.range_("f", 0, 15)
+        high = sctx.range_("f", 16, 31)
+        pm.assign([(low, "a")])
+        pm.domain()
+        pm.remove(low)
+        pm.assign([(high, "b")])
+        assert pm.domain() == high
+
+    def test_clear_invalidates_cached_domain(self, sctx):
+        pm = PredMap(sctx)
+        pm.assign([(sctx.range_("f", 0, 7), "a")])
+        pm.domain()
+        pm.clear()
+        assert pm.domain().is_empty
+
+
+class TestMaskTwins:
+    """lookup_masks/assign_masks must mirror the generic entry walk bit
+    for bit — the fused verifier path rides on this equivalence."""
+
+    def atom_map(self):
+        from repro.bdd import HeaderLayout, PacketSpaceContext
+
+        ctx = PacketSpaceContext(HeaderLayout([("f", 6)]))
+        index = ctx.atom_index()
+        pm = PredMap(index)
+        a = index.atomize(ctx.range_("f", 0, 15))
+        b = index.atomize(ctx.range_("f", 16, 40))
+        pm.assign([(a, "x"), (b, "y")])
+        return ctx, index, pm
+
+    def test_lookup_masks_matches_generic(self):
+        ctx, index, pm = self.atom_map()
+        region = index.atomize(ctx.range_("f", 8, 20))
+        generic = pm.lookup(region)
+        masks = pm.lookup_masks(region.mask())
+        assert [(piece.mask(), v) for piece, v in generic] == masks
+
+    def test_lookup_masks_with_default_matches_generic(self):
+        ctx, index, pm = self.atom_map()
+        region = index.atomize(ctx.range_("f", 8, 60))
+        generic = pm.lookup_with_default(region, "zero")
+        masks = pm.lookup_masks_with_default(region.mask(), "zero")
+        assert [(piece.mask(), v) for piece, v in generic] == masks
+
+    def test_assign_masks_matches_generic_assign(self):
+        ctx, index, pm = self.atom_map()
+        region = index.atomize(ctx.range_("f", 8, 20))
+        twin = PredMap(index)
+        twin.assign(pm.entries())
+        pm.assign([(region, "z")])
+        twin.assign_masks([(region.mask(), "z")])
+        assert [(p.mask(), v) for p, v in pm.entries()] == [
+            (p.mask(), v) for p, v in twin.entries()
+        ]
+        assert pm.domain() == twin.domain()
