@@ -28,14 +28,17 @@ no speedup assertion); ``small`` (default) and ``large`` assert the ≥3×
 serial-backend acceptance bar.
 """
 
+import json
 import time
 from pathlib import Path
 
 import pytest
 
 from benchmarks._common import SCALE, print_header, print_row, record_trajectory
-from repro.dataplane import Rule
+from repro.core.language import parse_packet_space
+from repro.dataplane import Action, Rule
 from repro.datasets import build_dataset
+from repro.serve import StreamSession
 from repro.sim import TulkunRunner, apply_intents, random_update_intents
 
 # Serial-backend atoms/bdd acceptance floor, per scale.  Smoke is a bitrot
@@ -57,7 +60,21 @@ PROCESS_INTENTS = {"smoke": 4, "small": 12, "large": 24}
 PROCESS_WORKERS = 2
 
 TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_dvm_churn.json"
-TRAJECTORY_KEY = ("scale", "dataset", "pair_limit", "rule_multiplier", "intents")
+TRAJECTORY_KEY = (
+    "scale", "dataset", "pair_limit", "rule_multiplier", "intents", "mode",
+)
+
+# Steady-state serving workloads: (dataset, pair_limit, rule_multiplier,
+# update_count, coalesce_chunk).  The serving pipeline (protocol decode →
+# validation → coalescer → epoch → delta) must sustain ≥ RATIO_FLOOR × the
+# raw apply_updates batch rate on the same op stream — i.e. staying resident
+# behind the daemon costs at most ~10% over driving the runner directly.
+STREAM_WORKLOADS = {
+    "smoke": [("FT-4", 4, 2, 24, 4)],
+    "small": [("FT-4", 16, 32, 96, 8)],
+    "large": [("FT-4", 24, 32, 192, 8), ("INet2", 12, 32, 192, 8)],
+}
+STREAM_RATIO_FLOORS = {"smoke": None, "small": 0.9, "large": 0.9}
 
 
 def _fresh_rules(ds):
@@ -162,6 +179,7 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
             "pair_limit": pair_limit,
             "rule_multiplier": multiplier,
             "intents": intents,
+            "mode": "batch",
             "updates_per_sec": {
                 f"{backend}_{mode}": results[(backend, mode)]
                 for backend, mode in results
@@ -179,4 +197,190 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
         assert speedups["serial"] >= floor, (
             f"atoms predicate index {speedups['serial']:.2f}x over bdd on "
             f"{name} (serial churn); acceptance floor {floor}x"
+        )
+
+
+# ----------------------------------------------------------------------
+# Steady-state streaming mode (`pytest benchmarks/bench_dvm_churn.py
+# --streaming`): the serving pipeline vs raw apply_updates on the same
+# op stream.
+# ----------------------------------------------------------------------
+def _shadow_chunks(ds, count, chunk):
+    """A deterministic shadow-rule churn plan over the dataset's query
+    prefixes: step ``i`` installs shadow key ``i`` at its query's ingress
+    and (once the window is full) withdraws the key installed ``chunk``
+    steps earlier.  Installs and removals inside one chunk therefore touch
+    disjoint keys — the coalescer cannot squash anything away, so both
+    legs apply the identical op multiset per epoch."""
+    devs = [q.ingress for q in ds.queries]
+    prefixes = [q.prefix for q in ds.queries]
+    steps = []
+    for i in range(count):
+        step = {
+            "key": f"shadow:{i}",
+            "device": devs[i % len(devs)],
+            "prefix": prefixes[i % len(prefixes)],
+        }
+        if i >= chunk:
+            step["remove_key"] = f"shadow:{i - chunk}"
+            step["remove_device"] = devs[(i - chunk) % len(devs)]
+        steps.append(step)
+    return [steps[i:i + chunk] for i in range(0, len(steps), chunk)]
+
+
+def _stream_batch_rate(name, pair_limit, multiplier, count, chunk):
+    """Reference leg: the same chunked op stream driven straight into
+    ``TulkunRunner.apply_updates`` (one quiescence epoch per chunk), rule
+    objects prepared outside the timed window."""
+    ds = build_dataset(
+        name, pair_limit=pair_limit, seed=3, rule_multiplier=multiplier
+    )
+    runner = TulkunRunner(
+        ds.topology, ds.ctx, ds.invariants, predicate_index="atoms"
+    )
+    try:
+        runner.burst_update(_fresh_rules(ds))
+        live, prepared, total_ops = {}, [], 0
+        for steps in _shadow_chunks(ds, count, chunk):
+            updates = []
+            for step in steps:
+                if "remove_key" in step:
+                    gone = live.pop(step["remove_key"])
+                    updates.append((step["remove_device"], None, gone.rule_id))
+                rule = Rule(
+                    parse_packet_space(ds.ctx, f"dst_ip = {step['prefix']}"),
+                    Action.drop(),
+                    0,
+                )
+                live[step["key"]] = rule
+                updates.append((step["device"], rule, None))
+            prepared.append(updates)
+            total_ops += len(updates)
+        start = time.perf_counter()
+        for updates in prepared:
+            runner.apply_updates(updates)
+        wall = time.perf_counter() - start
+        return total_ops / wall, runner.statuses()
+    finally:
+        runner.close()
+
+
+def _stream_serve_rate(name, pair_limit, multiplier, count, chunk):
+    """Serving leg: the identical op stream as ``tulkun-serve-v1`` lines
+    through a resident :class:`StreamSession` — protocol decode, validation,
+    coalescing and delta emission all inside the timed window, one flushed
+    epoch per chunk."""
+    ds = build_dataset(
+        name, pair_limit=pair_limit, seed=3, rule_multiplier=multiplier
+    )
+    runner = TulkunRunner(
+        ds.topology, ds.ctx, ds.invariants, predicate_index="atoms"
+    )
+    session = StreamSession(runner, _fresh_rules(ds))
+    try:
+        session.start()
+        line_chunks, total_ops = [], 0
+        for steps in _shadow_chunks(ds, count, chunk):
+            lines = []
+            for step in steps:
+                if "remove_key" in step:
+                    lines.append(json.dumps({
+                        "op": "update",
+                        "device": step["remove_device"],
+                        "remove": step["remove_key"],
+                    }))
+                lines.append(json.dumps({
+                    "op": "update",
+                    "device": step["device"],
+                    "install": {
+                        "key": step["key"],
+                        "match": f"dst_ip = {step['prefix']}",
+                        "action": "drop",
+                        "priority": 0,
+                    },
+                }))
+            line_chunks.append(lines)
+            total_ops += len(lines)
+        start = time.perf_counter()
+        for lines in line_chunks:
+            for line in lines:
+                reply = session.handle_line(line)
+                assert not any(
+                    frame["frame"] == "error" for frame in reply.frames
+                ), reply.frames
+            session.run_epoch("flush")
+        wall = time.perf_counter() - start
+        return total_ops / wall, runner.statuses(), session.histogram.summary()
+    finally:
+        session.close()
+
+
+@pytest.mark.streaming
+@pytest.mark.benchmark(group="dvm_streaming")
+@pytest.mark.parametrize(
+    "name,pair_limit,multiplier,updates,chunk",
+    STREAM_WORKLOADS[SCALE],
+    ids=[entry[0] for entry in STREAM_WORKLOADS[SCALE]],
+)
+def test_dvm_streaming(benchmark, name, pair_limit, multiplier, updates, chunk):
+    results = {}
+
+    def measure():
+        batch_rate, batch_statuses = _stream_batch_rate(
+            name, pair_limit, multiplier, updates, chunk
+        )
+        serve_rate, serve_statuses, latency = _stream_serve_rate(
+            name, pair_limit, multiplier, updates, chunk
+        )
+        # Same op stream, same epochs — the serving pipeline must land on
+        # the same verdicts as driving the runner directly.
+        assert serve_statuses == batch_statuses, "serving verdicts diverged"
+        results.update(
+            batch=batch_rate, streaming=serve_rate, latency=latency
+        )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    ratio = results["streaming"] / results["batch"]
+    latency = results["latency"]
+    print_header(
+        f"DVM steady-state serving — {name} ×{multiplier} "
+        f"({updates} updates, chunk={chunk}, scale={SCALE})"
+    )
+    print_row("leg", "ops/s", "p50 ms", "p99 ms")
+    print_row("batch", f"{results['batch']:.1f}", "-", "-")
+    print_row(
+        "streaming",
+        f"{results['streaming']:.1f}",
+        f"{latency['p50'] * 1e3:.2f}",
+        f"{latency['p99'] * 1e3:.2f}",
+    )
+    print_row("ratio", f"{ratio:.3f}", "", "")
+
+    record_trajectory(
+        TRAJECTORY,
+        {
+            "scale": SCALE,
+            "dataset": name,
+            "pair_limit": pair_limit,
+            "rule_multiplier": multiplier,
+            "intents": updates,
+            "mode": "streaming",
+            "chunk": chunk,
+            "updates_per_sec": {
+                "batch_serial_atoms": results["batch"],
+                "streaming_serial_atoms": results["streaming"],
+            },
+            "verdict_latency": latency,
+            "ratio": ratio,
+            "ratio_floor": STREAM_RATIO_FLOORS[SCALE],
+        },
+        TRAJECTORY_KEY,
+    )
+
+    floor = STREAM_RATIO_FLOORS[SCALE]
+    if floor is not None:
+        assert ratio >= floor, (
+            f"streaming serving sustained only {ratio:.3f}x of the batch "
+            f"apply_updates rate on {name}; acceptance floor {floor}x"
         )

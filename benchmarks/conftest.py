@@ -1,0 +1,32 @@
+"""Benchmark collection switches.
+
+The steady-state serving benchmarks (``@pytest.mark.streaming``) drive the
+``tulkun-serve-v1`` pipeline and are a separate acceptance gate from the
+figure-reproduction benches, so they are opt-in:
+
+* ``pytest benchmarks/ ...``              — figure benches only (default);
+* ``pytest benchmarks/ --streaming ...``  — streaming benches only;
+* ``pytest benchmarks/ -m streaming ...`` — marker selection, untouched.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--streaming",
+        action="store_true",
+        default=False,
+        help="run only the steady-state streaming serving benchmarks",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if "streaming" in (config.getoption("-m") or ""):
+        return  # explicit marker expression wins
+    streaming_only = config.getoption("--streaming")
+    selected, deselected = [], []
+    for item in items:
+        is_streaming = item.get_closest_marker("streaming") is not None
+        (selected if is_streaming == streaming_only else deselected).append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected

@@ -221,14 +221,8 @@ def cmd_simulate(args) -> int:
     except ValueError as exc:  # e.g. --chaos with --backend process
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rules = {dev: list(plane.rules) for dev, plane in planes.items()}
-    # Fresh planes inside the runner: re-create rules to avoid reuse of ids.
-    from repro.dataplane.rule import Rule
-
-    rules = {
-        dev: [Rule(r.match, r.action, r.priority) for r in dev_rules]
-        for dev, dev_rules in rules.items()
-    }
+    # Fresh rules inside the runner: re-created to avoid reuse of ids.
+    rules = _fresh_rules(planes)
     try:
         result = runner.burst_update(rules)
         clock = "wall" if args.backend == "process" else "simulated"
@@ -504,6 +498,118 @@ def cmd_explore(args) -> int:
     return 1 if report.violated else 0
 
 
+def _fresh_rules(planes):
+    """Re-create the parsed rules so ids are private to this deployment."""
+    from repro.dataplane.rule import Rule
+
+    return {
+        dev: [Rule(r.match, r.action, r.priority) for r in plane.rules]
+        for dev, plane in planes.items()
+    }
+
+
+def _parse_host_port(spec: str):
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ServeDaemon, StreamSession, serve_stdio
+    from repro.sim import TulkunRunner
+
+    ctx, topology, planes, invariants = _load_inputs(args)
+    tracer = None
+    if args.perfetto:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    try:
+        runner = TulkunRunner(
+            topology,
+            ctx,
+            invariants,
+            cpu_scale=args.cpu_scale,
+            backend=args.backend,
+            workers=args.workers,
+            gc_threshold=args.gc_threshold,
+            predicate_index=args.predicate_index,
+            tracer=tracer,
+            use_shm=not args.no_shm,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = StreamSession(runner, _fresh_rules(planes))
+    try:
+        if args.listen:
+            try:
+                host, port = _parse_host_port(args.listen)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            daemon = ServeDaemon(
+                session,
+                host=host,
+                port=port,
+                coalesce_window=args.coalesce_window,
+                coalesce_limit=args.coalesce_limit,
+            )
+            bound_host, bound_port = daemon.bind()
+            print(f"listening on {bound_host}:{bound_port}", file=sys.stderr)
+            sys.stderr.flush()
+            daemon.serve_forever()
+        else:
+            serve_stdio(
+                session,
+                sys.stdin,
+                sys.stdout,
+                coalesce_limit=args.coalesce_limit,
+            )
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if tracer is not None and args.perfetto:
+            from repro.telemetry import write_chrome_trace
+
+            write_chrome_trace(
+                args.perfetto,
+                tracer.events,
+                metadata={"predicate_index": args.predicate_index},
+            )
+            print(f"perfetto trace written to {args.perfetto}",
+                  file=sys.stderr)
+    return 0
+
+
+def cmd_serve_client(args) -> int:
+    from repro.serve.client import format_report, run_script
+
+    try:
+        host, port = _parse_host_port(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.script == "-":
+        script = sys.stdin.readlines()
+    else:
+        script = Path(args.script).read_text(encoding="utf-8").splitlines()
+    try:
+        report = run_script(host, port, script, timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report, verbose=args.verbose))
+    if report.errors:
+        print(f"{len(report.errors)} error frame(s) received", file=sys.stderr)
+    if args.expect_delta and not report.deltas:
+        print("error: no delta frame received", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_dpvnet(args) -> int:
     ctx, topology, _planes, invariants = _load_inputs(args)
     planner = Planner(topology, ctx)
@@ -730,6 +836,71 @@ def build_parser() -> argparse.ArgumentParser:
              "file (cex-N.json) into this directory",
     )
     p_exp.set_defaults(func=cmd_explore)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="always-on verification daemon (stream updates, get deltas)",
+    )
+    p_serve.add_argument("--topology", required=True, help="topology text file")
+    p_serve.add_argument("--fib", required=True, help="FIB text file")
+    p_serve.add_argument("--spec", required=True, help="invariant spec file")
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the tulkun-serve-v1 protocol on a TCP socket (port 0 "
+             "picks a free port, printed to stderr); default is a "
+             "deterministic stdin/stdout session",
+    )
+    p_serve.add_argument(
+        "--coalesce-window", type=float, default=0.05, metavar="SECONDS",
+        help="socket mode: quiet time after the first buffered event before "
+             "an epoch fires (default 0.05s)",
+    )
+    p_serve.add_argument(
+        "--coalesce-limit", type=int, default=64, metavar="N",
+        help="buffered events that force an epoch regardless of the window "
+             "(default 64)",
+    )
+    p_serve.add_argument("--cpu-scale", type=float, default=1.0)
+    p_serve.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+        help="serial = discrete-event simulator (also the only backend for "
+             "crash/drain ops); process = multiprocessing worker pool",
+    )
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--no-shm", action="store_true")
+    p_serve.add_argument("--gc-threshold", type=int, default=None)
+    p_serve.add_argument(
+        "--predicate-index", choices=("atoms", "bdd"), default="atoms",
+    )
+    p_serve.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="export the serving-epoch span log as Chrome trace-event JSON "
+             "on shutdown",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "serve-client",
+        help="stream a request script to a running serve daemon",
+    )
+    p_client.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="daemon address (from 'serve --listen')",
+    )
+    p_client.add_argument(
+        "--script", default="-", metavar="PATH",
+        help="newline-JSON request script ('-' = stdin); a shutdown op is "
+             "appended when the script has none",
+    )
+    p_client.add_argument(
+        "--expect-delta", action="store_true",
+        help="exit 1 unless at least one delta frame arrives (CI smoke)",
+    )
+    p_client.add_argument("--timeout", type=float, default=60.0)
+    p_client.add_argument(
+        "--verbose", action="store_true", help="dump every received frame",
+    )
+    p_client.set_defaults(func=cmd_serve_client)
 
     p_net = sub.add_parser("dpvnet", help="print planner output (DPVNet + tasks)")
     add_io(p_net)

@@ -382,6 +382,41 @@ class ParallelNetwork:
             plane.install_many([install])
         self._pending.append((at, "update", dev, install, remove_rule_id))
 
+    def apply_rule_updates(self, dev: str, at: float, ops) -> None:
+        """Batched per-device rule updates (ordered remove/install ops).
+
+        The coordinator mirrors the net plane state immediately; each op
+        ships to the owning worker as an ordinary update at the same
+        timestamp, so a coalesced burst and the equivalent op-at-a-time
+        stream reach the same fixpoint (``sorted`` is stable, preserving
+        the in-batch order)."""
+        for kind, arg in ops:
+            if kind == "remove":
+                self.apply_rule_update(dev, at, remove_rule_id=arg)
+            elif kind == "install":
+                self.apply_rule_update(dev, at, install=arg)
+            else:
+                raise SimulationError(f"unknown rule op {kind!r}")
+
+    @property
+    def converged(self) -> bool:
+        """Quiescence: the worker pool has no buffered scenario ops.
+
+        The process backend has no lossy transport — ``run()`` always
+        drains routing to a fixpoint — so convergence is simply "nothing
+        left to execute"."""
+        return not self._pending
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Persistent-pool reuse counters (serving-mode telemetry)."""
+        pool = self.pool
+        if pool is None:
+            return {"workers": self.num_workers, "generations": 0}
+        return {
+            "workers": pool.num_workers,
+            "generations": int(getattr(pool, "generations", 0)),
+        }
+
     def change_link(self, a: str, b: str, is_up: bool, at: float) -> None:
         link = canonical_link(a, b)
         if is_up:

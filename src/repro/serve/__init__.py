@@ -1,0 +1,49 @@
+"""Always-on serving mode: stream updates into a live verification session.
+
+The ``repro serve`` command keeps a deployment resident and re-verifies
+incrementally as FIB updates, link/device events and invariant changes
+stream in over the ``tulkun-serve-v1`` newline-JSON protocol — no
+per-change redeploy, warm BDD engines throughout, verdict *deltas* out.
+
+Layering (transport-agnostic core, two front ends):
+
+* :mod:`repro.serve.protocol` — frame codec + request validation;
+* :mod:`repro.serve.coalesce` — burst squashing between epochs;
+* :mod:`repro.serve.deltas` — verdict-change tracking;
+* :mod:`repro.serve.session` — the protocol→runner bridge (one epoch =
+  drain + apply + delta);
+* :mod:`repro.serve.daemon` — the TCP selector loop and the deterministic
+  stdio loop;
+* :mod:`repro.serve.client` — a scripted client (CI smoke, examples).
+"""
+
+from repro.serve.coalesce import Barrier, Coalescer, FibBatch
+from repro.serve.daemon import ServeDaemon, serve_stdio
+from repro.serve.deltas import DeltaEmitter
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_line,
+    decode_request,
+    encode_frame,
+    parse_action,
+)
+from repro.serve.session import Reply, StreamSession, auto_key_rules
+
+__all__ = [
+    "Barrier",
+    "Coalescer",
+    "DeltaEmitter",
+    "FibBatch",
+    "PROTOCOL",
+    "ProtocolError",
+    "Reply",
+    "ServeDaemon",
+    "StreamSession",
+    "auto_key_rules",
+    "decode_line",
+    "decode_request",
+    "encode_frame",
+    "parse_action",
+    "serve_stdio",
+]

@@ -1,0 +1,119 @@
+"""A scripted client for the serving daemon (CI smoke + examples).
+
+Connects to a running :class:`ServeDaemon`, streams a newline-JSON request
+script, and collects every response frame until the daemon says ``bye``.
+A ``shutdown`` request is appended when the script does not end the
+session itself, so a plain script always terminates.
+
+This is intentionally a dumb pipe with bookkeeping — all protocol
+intelligence lives server-side — but it tallies what CI needs to assert:
+the frames by type, whether any ``delta`` arrived, and the last known
+statuses (hello baseline + every delta applied in order).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.serve.protocol import ProtocolError, decode_line
+
+__all__ = ["ClientReport", "run_script"]
+
+
+@dataclass
+class ClientReport:
+    """Everything a scripted session produced, ready for assertions."""
+
+    frames: List[Dict[str, object]] = field(default_factory=list)
+    statuses: Dict[str, str] = field(default_factory=dict)
+
+    def by_type(self, frame_type: str) -> List[Dict[str, object]]:
+        return [f for f in self.frames if f.get("frame") == frame_type]
+
+    @property
+    def deltas(self) -> List[Dict[str, object]]:
+        return self.by_type("delta")
+
+    @property
+    def errors(self) -> List[Dict[str, object]]:
+        return self.by_type("error")
+
+    def apply_statuses(self) -> None:
+        """Fold hello + deltas into the final per-invariant statuses."""
+        for frame in self.frames:
+            if frame.get("frame") == "hello":
+                self.statuses = dict(frame.get("statuses", {}))
+            elif frame.get("frame") == "delta":
+                for name, change in dict(frame.get("changed", {})).items():
+                    if change.get("to") is None:
+                        self.statuses.pop(name, None)
+                    else:
+                        self.statuses[name] = change["to"]
+
+
+def _script_has_shutdown(lines: List[str]) -> bool:
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            if decode_line(stripped).get("op") == "shutdown":
+                return True
+        except ProtocolError:
+            continue  # malformed lines are the daemon's problem to report
+    return False
+
+
+def run_script(
+    host: str,
+    port: int,
+    script: Iterable[str],
+    timeout: float = 60.0,
+    ensure_shutdown: bool = True,
+) -> ClientReport:
+    """Stream ``script`` lines to the daemon; return every frame received.
+
+    Reads until the ``bye`` frame (or the socket closes), so the caller
+    sees all broadcast deltas, including the shutdown drain.
+    """
+    lines = [line.rstrip("\n") for line in script]
+    if ensure_shutdown and not _script_has_shutdown(lines):
+        lines.append(json.dumps({"op": "shutdown"}))
+    report = ClientReport()
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            stream.write(stripped + "\n")
+        stream.flush()
+        for raw in stream:
+            frame = json.loads(raw)
+            report.frames.append(frame)
+            if frame.get("frame") == "bye":
+                break
+    report.apply_statuses()
+    return report
+
+
+def format_report(report: ClientReport, verbose: bool = False) -> str:
+    """Human summary for the CLI client (``--verbose`` dumps every frame)."""
+    counts: Dict[str, int] = {}
+    for frame in report.frames:
+        kind = str(frame.get("frame", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines = [
+        "frames: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    ]
+    for name, status in sorted(report.statuses.items()):
+        lines.append(f"  {name}: {status}")
+    if verbose:
+        lines.extend(
+            json.dumps(frame, sort_keys=True) for frame in report.frames
+        )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Burst coalescing for the always-on daemon.
+
+Between re-verification epochs the daemon buffers incoming events here.
+FIB updates accumulate into an open :class:`FibBatch` and are *squashed*
+per rule key:
+
+* install ``k`` then remove ``k`` in the same window → both cancel (the
+  rule never existed as far as the verifiers are concerned);
+* remove ``k`` then (re)install ``k`` → a single replace op;
+* an update carrying both a remove and an install stays one replace when
+  both touch the same device, else it splits into its two halves.
+
+Everything that is *not* a FIB update — link flaps, device crash/restart,
+maintenance drain/restore, invariant add/remove — is a **barrier**: it
+closes the open batch and is applied in arrival order at the next epoch.
+Squashing therefore never commutes an update past a topology or task-set
+change, which is what makes ``apply(coalesce(burst))`` equivalent to
+``apply(sequential(burst))`` at quiescence: within one batch the update
+fixpoint is path-independent (the commutativity results pinned by
+``tests/test_protocol_orderings.py``), and across barriers order is
+preserved exactly.
+
+The coalescer is deliberately ignorant of the wire protocol and of
+deployment state — the session validates requests against its *projected*
+key map before enqueueing, so an error surfaces on the same request no
+matter how the stream is chunked into epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dataplane.rule import Rule
+
+__all__ = ["Barrier", "Coalescer", "FibBatch"]
+
+
+class _Entry:
+    """Squashed per-key state inside the open batch."""
+
+    __slots__ = ("remove_dev", "remove_id", "install_dev", "install_rule")
+
+    def __init__(self) -> None:
+        self.remove_dev: Optional[str] = None
+        self.remove_id: Optional[int] = None
+        self.install_dev: Optional[str] = None
+        self.install_rule: Optional[Rule] = None
+
+
+@dataclass
+class FibBatch:
+    """One squashed batch of rule updates, applied as a single epoch burst.
+
+    ``ops`` is in first-touch key order, each op in the
+    ``(device, rule_to_install, rule_id_to_remove)`` shape
+    :meth:`TulkunRunner.apply_updates` consumes.
+    """
+
+    ops: List[Tuple[str, Optional[Rule], Optional[int]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class Barrier:
+    """A non-coalescable event: applied alone, in arrival order.
+
+    ``kind`` is one of ``link``, ``crash``, ``restart``, ``drain``,
+    ``restore``, ``invariant-add``, ``invariant-remove``; ``payload`` is the
+    kind-specific tuple the session packed (already validated/parsed).
+    """
+
+    kind: str
+    payload: tuple
+
+
+Segment = Union[FibBatch, Barrier]
+
+
+class Coalescer:
+    """Accumulates events between epochs; drained atomically by the session."""
+
+    def __init__(self) -> None:
+        self._open: Dict[str, _Entry] = {}   # key -> entry, insertion-ordered
+        self._order: List[str] = []
+        self._events = 0
+        # Interleaved segment log: indices into a conceptual sequence where
+        # an open batch closes whenever a barrier arrives.
+        self._closed: List[Segment] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return bool(self._closed or self._open)
+
+    @property
+    def events(self) -> int:
+        """Requests enqueued since the last drain (pre-squash)."""
+        return self._events
+
+    # ------------------------------------------------------------------
+    def install(self, key: str, device: str, rule: Rule) -> None:
+        """Enqueue an install under ``key`` (projected-absent, says session)."""
+        entry = self._open.get(key)
+        if entry is None:
+            entry = _Entry()
+            self._open[key] = entry
+            self._order.append(key)
+        # A live entry here can only be a pure remove (the session rejects
+        # duplicate keys): remove-then-install squashes to a replace.
+        entry.install_dev = device
+        entry.install_rule = rule
+        self._events += 1
+
+    def remove(self, key: str, device: str, rule_id: int) -> None:
+        """Enqueue a removal of ``key`` (projected-live, says session)."""
+        entry = self._open.get(key)
+        if entry is not None and entry.install_rule is not None:
+            # The install is still pending in this window: cancel it.  If
+            # the entry was a replace, its original removal survives.
+            entry.install_dev = None
+            entry.install_rule = None
+            if entry.remove_id is None:
+                del self._open[key]
+                self._order.remove(key)
+            self._events += 1
+            return
+        if entry is None:
+            entry = _Entry()
+            self._open[key] = entry
+            self._order.append(key)
+        entry.remove_dev = device
+        entry.remove_id = rule_id
+        self._events += 1
+
+    def barrier(self, kind: str, payload: tuple) -> None:
+        """Close the open batch and append a non-coalescable event."""
+        self._close_open()
+        self._closed.append(Barrier(kind, payload))
+        self._events += 1
+
+    # ------------------------------------------------------------------
+    def _close_open(self) -> None:
+        if not self._open:
+            return
+        batch = FibBatch()
+        for key in self._order:
+            entry = self._open[key]
+            if (
+                entry.remove_id is not None
+                and entry.install_rule is not None
+                and entry.remove_dev == entry.install_dev
+            ):
+                batch.ops.append(
+                    (entry.install_dev, entry.install_rule, entry.remove_id)
+                )
+                continue
+            if entry.remove_id is not None:
+                batch.ops.append((entry.remove_dev, None, entry.remove_id))
+            if entry.install_rule is not None:
+                batch.ops.append((entry.install_dev, entry.install_rule, None))
+        self._open = {}
+        self._order = []
+        if batch.ops:
+            self._closed.append(batch)
+
+    def drain(self) -> Tuple[List[Segment], int]:
+        """Atomically take everything pending: ``(segments, event_count)``.
+
+        The coalescer is empty afterwards, so events arriving while the
+        drained segments are being applied land in the *next* epoch.
+        """
+        self._close_open()
+        segments, events = self._closed, self._events
+        self._closed = []
+        self._events = 0
+        return segments, events

@@ -1,0 +1,260 @@
+"""The always-on daemon: a selector loop feeding one :class:`StreamSession`.
+
+Two transports share the session logic:
+
+* :class:`ServeDaemon` — a non-blocking TCP server (``selectors``-based,
+  single-threaded, no asyncio dependency).  Any number of clients connect
+  and stream requests; ``ack``/``error`` frames go to the requester,
+  ``delta`` frames are broadcast to every connected client.  Epochs fire
+  when the **coalesce window** (wall-clock, armed by the first buffered
+  event) expires, when the **coalesce limit** (buffered event count) is
+  hit, or immediately on a client ``flush``.
+* :func:`serve_stdio` — a deterministic line-at-a-time loop over file
+  objects (stdin/stdout by default).  There is no wall-clock window here —
+  epochs fire only on ``flush``, the coalesce limit, ``shutdown`` or EOF —
+  so scripted sessions replay identically, which the protocol tests and
+  the CI smoke job rely on.
+
+Robustness contract (pinned by ``tests/test_serve_protocol.py``): a
+malformed line produces an ``error`` frame, never a dead daemon; a client
+disconnecting mid-epoch is dropped on the next write, never unravels the
+loop; ``shutdown`` drains in-flight work before the ``bye``.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.serve.protocol import encode_frame
+from repro.serve.session import StreamSession
+
+__all__ = ["ServeDaemon", "serve_stdio"]
+
+DEFAULT_COALESCE_WINDOW = 0.05   # seconds of quiet before an epoch fires
+DEFAULT_COALESCE_LIMIT = 64      # buffered events that force an epoch
+
+
+class _Client:
+    """One connected peer: its socket plus a partial-line receive buffer."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = b""
+
+
+class ServeDaemon:
+    """Single-threaded TCP front end for a :class:`StreamSession`."""
+
+    def __init__(
+        self,
+        session: StreamSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coalesce_window: float = DEFAULT_COALESCE_WINDOW,
+        coalesce_limit: int = DEFAULT_COALESCE_LIMIT,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.coalesce_window = max(0.0, coalesce_window)
+        self.coalesce_limit = max(1, coalesce_limit)
+        self.address: Optional[Tuple[str, int]] = None
+        self._selector = selectors.DefaultSelector()
+        self._listener: Optional[socket.socket] = None
+        self._clients: Dict[socket.socket, _Client] = {}
+        self._hello_line: Optional[str] = None
+        self._deadline: Optional[float] = None
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    def bind(self) -> Tuple[str, int]:
+        """Bind and listen (port 0 picks a free port); returns the address."""
+        if self._listener is not None:
+            return self.address  # type: ignore[return-value]
+        listener = socket.create_server((self.host, self.port))
+        listener.setblocking(False)
+        self._selector.register(listener, selectors.EVENT_READ, "listen")
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Deploy, then run the accept/ingest/epoch loop until ``shutdown``."""
+        self.bind()
+        if self._hello_line is None:
+            self._hello_line = encode_frame(self.session.start())
+        try:
+            while not self._shutdown:
+                timeout = self._select_timeout()
+                events = self._selector.select(timeout)
+                for key, _mask in events:
+                    if key.data == "listen":
+                        self._accept()
+                    else:
+                        self._service(key.fileobj)  # type: ignore[arg-type]
+                    if self._shutdown:
+                        break
+                self._maybe_run_epoch()
+            self._finalize()
+        finally:
+            self._close_all()
+
+    # ------------------------------------------------------------------
+    def _select_timeout(self) -> Optional[float]:
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def _accept(self) -> None:
+        assert self._listener is not None
+        try:
+            sock, _addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        client = _Client(sock)
+        self._clients[sock] = client
+        self._selector.register(sock, selectors.EVENT_READ, "client")
+        if self._hello_line is not None:
+            self._send(client, self._hello_line)
+
+    def _service(self, sock: socket.socket) -> None:
+        client = self._clients.get(sock)
+        if client is None:
+            return
+        try:
+            data = sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(client)
+            return
+        if not data:
+            self._drop(client)
+            return
+        client.buffer += data
+        while b"\n" in client.buffer:
+            raw, client.buffer = client.buffer.split(b"\n", 1)
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            reply = self.session.handle_line(line)
+            for frame in reply.frames:
+                self._send(client, encode_frame(frame))
+            if reply.shutdown:
+                # The finalize path drains pending work and says goodbye.
+                self._shutdown = True
+                return
+            if reply.flush:
+                self._run_epoch("flush")
+        self._arm_or_fire()
+
+    def _arm_or_fire(self) -> None:
+        if not self.session.pending:
+            return
+        if self.session.coalescer.events >= self.coalesce_limit:
+            self._run_epoch("limit")
+        elif self._deadline is None:
+            self._deadline = time.monotonic() + self.coalesce_window
+
+    def _maybe_run_epoch(self) -> None:
+        if self._shutdown or self._deadline is None:
+            return
+        if time.monotonic() >= self._deadline:
+            self._run_epoch("window")
+
+    def _run_epoch(self, reason: str) -> None:
+        self._deadline = None
+        frames = self.session.run_epoch(reason)
+        if frames:
+            self._broadcast([encode_frame(f) for f in frames])
+
+    def _finalize(self) -> None:
+        lines = [encode_frame(f) for f in self.session.shutdown_frames()]
+        self._broadcast(lines)
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, lines: List[str]) -> None:
+        # Iterate over a snapshot: a dead client is dropped mid-loop.
+        for client in list(self._clients.values()):
+            for line in lines:
+                if not self._send(client, line):
+                    break
+
+    def _send(self, client: _Client, line: str) -> bool:
+        """Best-effort blocking send; a dead peer drops the client, never
+        the daemon (the disconnect-mid-epoch regression)."""
+        try:
+            client.sock.setblocking(True)
+            client.sock.sendall(line.encode("utf-8"))
+            client.sock.setblocking(False)
+            return True
+        except OSError:
+            self._drop(client)
+            return False
+
+    def _drop(self, client: _Client) -> None:
+        self._clients.pop(client.sock, None)
+        try:
+            self._selector.unregister(client.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+
+    def _close_all(self) -> None:
+        for client in list(self._clients.values()):
+            self._drop(client)
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            self._listener.close()
+            self._listener = None
+        self._selector.close()
+        self.session.close()
+
+
+def serve_stdio(
+    session: StreamSession,
+    lines_in,
+    out: TextIO,
+    coalesce_limit: int = DEFAULT_COALESCE_LIMIT,
+) -> int:
+    """Deterministic one-client loop over text streams (the stdio mode).
+
+    Blank lines and ``#`` comments are skipped so script files stay
+    readable.  Epochs fire on ``flush``, the coalesce limit, ``shutdown``
+    and EOF — never on wall-clock, so a script replays identically.
+    Returns the number of epochs run.
+    """
+
+    def emit(frames) -> None:
+        for frame in frames:
+            out.write(encode_frame(frame))
+        out.flush()
+
+    emit([session.start()])
+    try:
+        for line in lines_in:
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            reply = session.handle_line(line)
+            emit(reply.frames)
+            if reply.shutdown:
+                emit(session.shutdown_frames())
+                return session.epoch
+            if reply.flush:
+                emit(session.run_epoch("flush"))
+            elif session.coalescer.events >= coalesce_limit:
+                emit(session.run_epoch("limit"))
+        emit(session.shutdown_frames(reason="eof"))
+        return session.epoch
+    finally:
+        session.close()

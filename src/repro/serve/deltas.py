@@ -1,0 +1,46 @@
+"""Verdict-delta tracking for the streaming daemon.
+
+After every epoch the session reads the per-invariant statuses
+(``HOLDS`` / ``VIOLATED`` / ``UNKNOWN(...)``) off the runner and asks the
+:class:`DeltaEmitter` what changed since the last epoch.  Only changes ride
+the ``delta`` frame — a quiet epoch (the common case under churn that
+re-proves the same verdicts) reports an empty ``changed`` map, so clients
+can cheaply watch for flips instead of re-diffing full status dumps.
+
+An invariant added mid-stream appears with ``"from": null``; one removed
+mid-stream appears with ``"to": null``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["DeltaEmitter"]
+
+
+class DeltaEmitter:
+    """Remembers the last emitted statuses and diffs new ones against them."""
+
+    def __init__(self) -> None:
+        self._last: Dict[str, str] = {}
+
+    @property
+    def statuses(self) -> Dict[str, str]:
+        """The statuses as of the last diff (what clients currently know)."""
+        return dict(self._last)
+
+    def diff(
+        self, statuses: Mapping[str, str]
+    ) -> Dict[str, Dict[str, Optional[str]]]:
+        """Return ``{invariant: {"from": old|None, "to": new|None}}`` for
+        every status that changed, and make ``statuses`` the new baseline."""
+        changed: Dict[str, Dict[str, Optional[str]]] = {}
+        for name, status in statuses.items():
+            old = self._last.get(name)
+            if old != status:
+                changed[name] = {"from": old, "to": status}
+        for name, old in self._last.items():
+            if name not in statuses:
+                changed[name] = {"from": old, "to": None}
+        self._last = dict(statuses)
+        return changed

@@ -1,0 +1,247 @@
+"""The ``tulkun-serve-v1`` line protocol: frames, codec, request parsing.
+
+The always-on daemon (:mod:`repro.serve.daemon`) speaks newline-delimited
+JSON in both directions.  Every *request* is one JSON object per line with
+an ``"op"`` field; every *response* is one JSON object per line with a
+``"frame"`` field.  The full specification lives in ``docs/PROTOCOL.md``
+("The tulkun-serve-v1 line protocol"); this module is the reference codec.
+
+Parsing here is purely structural — field presence, types, value grammar.
+Anything needing deployment state (does the device exist? is the rule key
+live?) is validated by the session, which replies with a structured
+``error`` frame instead of dying.  That split keeps the malformed-input
+surface small and testable: :func:`decode_line` + :func:`decode_request`
+either return a typed request or raise :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dataplane.action import Action
+
+__all__ = [
+    "PROTOCOL",
+    "ProtocolError",
+    "Request",
+    "UpdateRequest",
+    "InstallSpec",
+    "LinkRequest",
+    "DeviceRequest",
+    "InvariantRequest",
+    "ControlRequest",
+    "decode_line",
+    "decode_request",
+    "encode_frame",
+    "parse_action",
+]
+
+PROTOCOL = "tulkun-serve-v1"
+
+# Ops a DeviceRequest may carry (single-device lifecycle verbs).
+_DEVICE_OPS = ("crash", "restart", "drain", "restore")
+# Ops a ControlRequest may carry (no payload beyond the op itself).
+_CONTROL_OPS = ("flush", "status", "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A line the daemon rejects (reply: ``error`` frame, never a crash)."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """Base: every request may carry a client correlation ``id`` echoed in
+    the matching ``ack``/``error`` frame."""
+
+    id: Optional[str]
+
+
+@dataclass(frozen=True)
+class InstallSpec:
+    """A rule to install, in wire form (match/action still text)."""
+
+    key: str
+    match: str
+    action: str
+    priority: int
+
+
+@dataclass(frozen=True)
+class UpdateRequest(Request):
+    device: str
+    install: Optional[InstallSpec]
+    remove: Optional[str]
+
+
+@dataclass(frozen=True)
+class LinkRequest(Request):
+    a: str
+    b: str
+    up: bool
+
+
+@dataclass(frozen=True)
+class DeviceRequest(Request):
+    op: str  # crash | restart | drain | restore
+    device: str
+
+
+@dataclass(frozen=True)
+class InvariantRequest(Request):
+    add_spec: Optional[str]   # invariant-language source text
+    remove: Optional[str]     # invariant name
+
+
+@dataclass(frozen=True)
+class ControlRequest(Request):
+    op: str  # flush | status | stats | shutdown
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def encode_frame(obj: Dict[str, object]) -> str:
+    """One response frame as a wire line (compact, key-sorted, ``\\n``)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_line(line: str) -> Dict[str, object]:
+    """Parse one request line into a JSON object, or raise ProtocolError."""
+    text = line.strip()
+    if not text:
+        raise ProtocolError("empty-line", "blank request line")
+    try:
+        obj = json.loads(text)
+    except ValueError as exc:
+        raise ProtocolError("bad-json", str(exc)) from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "bad-request", f"expected a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def _string(obj: Dict[str, object], field: str, *, op: str) -> str:
+    value = obj.get(field)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            "bad-request", f"op {op!r} needs a non-empty string {field!r}"
+        )
+    return value
+
+
+def _request_id(obj: Dict[str, object]) -> Optional[str]:
+    value = obj.get("id")
+    if value is None:
+        return None
+    if isinstance(value, (str, int)):
+        return str(value)
+    raise ProtocolError("bad-request", "'id' must be a string or integer")
+
+
+def decode_request(obj: Dict[str, object]) -> Request:
+    """Validate a decoded line into a typed request (structure only)."""
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "missing 'op' field")
+    rid = _request_id(obj)
+
+    if op == "update":
+        device = _string(obj, "device", op=op)
+        install_obj = obj.get("install")
+        install: Optional[InstallSpec] = None
+        if install_obj is not None:
+            if not isinstance(install_obj, dict):
+                raise ProtocolError(
+                    "bad-request", "'install' must be an object"
+                )
+            priority = install_obj.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                raise ProtocolError(
+                    "bad-request", "'install.priority' must be an integer"
+                )
+            install = InstallSpec(
+                key=_string(install_obj, "key", op=op),
+                match=_string(install_obj, "match", op=op),
+                action=_string(install_obj, "action", op=op),
+                priority=priority,
+            )
+        remove = obj.get("remove")
+        if remove is not None and not isinstance(remove, str):
+            raise ProtocolError("bad-request", "'remove' must be a rule key")
+        if install is None and remove is None:
+            raise ProtocolError(
+                "bad-request", "op 'update' needs 'install' and/or 'remove'"
+            )
+        return UpdateRequest(
+            id=rid, device=device, install=install, remove=remove
+        )
+
+    if op == "link":
+        up = obj.get("up")
+        if not isinstance(up, bool):
+            raise ProtocolError("bad-request", "op 'link' needs boolean 'up'")
+        return LinkRequest(
+            id=rid, a=_string(obj, "a", op=op), b=_string(obj, "b", op=op),
+            up=up,
+        )
+
+    if op in _DEVICE_OPS:
+        return DeviceRequest(id=rid, op=op, device=_string(obj, "device", op=op))
+
+    if op == "invariant":
+        add_spec = obj.get("add")
+        remove = obj.get("remove")
+        if add_spec is not None and not isinstance(add_spec, str):
+            raise ProtocolError("bad-request", "'add' must be spec text")
+        if remove is not None and not isinstance(remove, str):
+            raise ProtocolError("bad-request", "'remove' must be a name")
+        if (add_spec is None) == (remove is None):
+            raise ProtocolError(
+                "bad-request",
+                "op 'invariant' needs exactly one of 'add' or 'remove'",
+            )
+        return InvariantRequest(id=rid, add_spec=add_spec, remove=remove)
+
+    if op in _CONTROL_OPS:
+        return ControlRequest(id=rid, op=op)
+
+    raise ProtocolError("unknown-op", f"unknown op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Action grammar
+# ----------------------------------------------------------------------
+def parse_action(text: str) -> Tuple[Action, Tuple[str, ...]]:
+    """Parse the wire action grammar into an :class:`Action`.
+
+    Grammar: ``drop`` | ``deliver`` | ``all D1,D2,...`` | ``any D1,D2,...``.
+    Returns the action plus its next-hop tuple so the session can check
+    adjacency against the topology.
+    """
+    stripped = text.strip()
+    if stripped == "drop":
+        return Action.drop(), ()
+    if stripped == "deliver":
+        return Action.deliver(), ()
+    head, _, rest = stripped.partition(" ")
+    hops = tuple(h.strip() for h in rest.split(",") if h.strip())
+    if head in ("all", "any") and hops:
+        if head == "all":
+            return Action.forward_all(hops), hops
+        return Action.forward_any(hops), hops
+    raise ProtocolError(
+        "bad-action",
+        f"action must be 'drop', 'deliver', 'all D,..' or 'any D,..', "
+        f"got {text!r}",
+    )

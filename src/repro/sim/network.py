@@ -434,13 +434,37 @@ class SimNetwork:
         remove_rule_id: Optional[int] = None,
     ) -> None:
         """Incremental rule update: compute LEC deltas, drive verifiers."""
+        ops: List[Tuple[str, object]] = []
+        if remove_rule_id is not None:
+            ops.append(("remove", remove_rule_id))
+        if install is not None:
+            ops.append(("install", install))
+        self.apply_rule_updates(dev, at, ops)
+
+    def apply_rule_updates(
+        self, dev: str, at: float, ops: Sequence[Tuple[str, object]]
+    ) -> None:
+        """Apply a coalesced batch of rule updates on one device.
+
+        ``ops`` is an ordered sequence of ``("remove", rule_id)`` /
+        ``("install", Rule)`` pairs.  The whole batch runs in *one* event
+        handler — one plane mutation pass, one LEC-delta hand-off per
+        verifier — which is the squashing win the serving mode's coalescer
+        exploits; the quiescent fixpoint is identical to applying the same
+        ops one handler at a time (DVM update commutativity).
+        """
+        if dev not in self.devices:
+            raise SimulationError(f"unknown device {dev!r}")
 
         def mutate(plane) -> list:
             deltas = []
-            if remove_rule_id is not None:
-                deltas.extend(plane.remove_rule(remove_rule_id))
-            if install is not None:
-                deltas.extend(plane.install_rule(install))
+            for kind, arg in ops:
+                if kind == "remove":
+                    deltas.extend(plane.remove_rule(arg))
+                elif kind == "install":
+                    deltas.extend(plane.install_rule(arg))
+                else:
+                    raise SimulationError(f"unknown rule op {kind!r}")
             return deltas
 
         self._schedule_fib_rewrite(dev, at, "rule_update", mutate)
@@ -581,6 +605,59 @@ class SimNetwork:
                             handler, inv, label="neighbor_restart"
                         )
                     make()()
+
+        self.kernel.schedule_at(at, run)
+
+    def add_task_sets(self, task_sets: Sequence[TaskSet], at: float) -> None:
+        """Deploy additional invariants onto the live network.
+
+        Each live device gains a verifier for every new task set and runs
+        its initialization (count announcement + subscriptions) in place —
+        no redeploy, no disturbance to the verifiers already converged.
+        Crashed devices are skipped here; their restart path rebuilds
+        verifiers from ``self.task_sets``, which now includes the new ones.
+        """
+        task_sets = list(task_sets)
+        self.task_sets.extend(task_sets)
+
+        def run() -> None:
+            for task_set in task_sets:
+                for name, device in self.devices.items():
+                    if name in self.devices_down:
+                        continue
+                    device.add_task(task_set)
+                    verifier = device.verifiers.get(task_set.invariant_name)
+                    if verifier is None:
+                        continue
+
+                    def make(dev=device, ver=verifier, inv=task_set.invariant_name):
+                        return lambda: dev.process(
+                            ver.initialize, inv,
+                            record_init_cost=True, label="init",
+                        )
+
+                    self.kernel.schedule_at(self.kernel.now, make())
+
+        self.kernel.schedule_at(at, run)
+
+    def remove_task_sets(self, names: Sequence[str], at: float) -> None:
+        """Retire invariants from the live network.
+
+        Verifiers for the named invariants are dropped on every device;
+        DVM messages still in flight for them are discarded on delivery
+        (dispatch finds no verifier).  ``self.task_sets`` shrinks too, so a
+        later device restart does not resurrect them.
+        """
+        doomed = set(names)
+        self.task_sets = [
+            ts for ts in self.task_sets if ts.invariant_name not in doomed
+        ]
+
+        def run() -> None:
+            for device in self.devices.values():
+                for name in doomed:
+                    device.verifiers.pop(name, None)
+            self.note_activity(self.kernel.now)
 
         self.kernel.schedule_at(at, run)
 

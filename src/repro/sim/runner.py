@@ -284,6 +284,45 @@ class TulkunRunner:
             statuses=self.statuses(),
         )
 
+    def apply_updates(
+        self,
+        updates: Sequence[Tuple[str, Optional[Rule], Optional[int]]],
+    ) -> float:
+        """Apply a burst of rule updates to the live deployment as *one*
+        epoch: every update is scheduled at the same instant, per-device
+        updates collapse into a single batched handler, and the network
+        runs to quiescence once.  Returns the settle duration.
+
+        This is the public "apply updates without rebuild" entry point the
+        serving mode (and any other long-lived driver) reuses — two
+        sequential bursts reach the same fixpoint as one combined burst.
+
+        Each update is ``(device, rule_to_install, rule_id_to_remove)``;
+        per-device order is preserved, removals within a pair run before
+        the install (the :meth:`SimNetwork.apply_rule_update` contract).
+        """
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        if not updates:
+            return 0.0
+        start = _schedule_start(network)
+        per_device: Dict[str, List[Tuple[str, object]]] = {}
+        order: List[str] = []
+        for dev, install, remove_id in updates:
+            ops = per_device.get(dev)
+            if ops is None:
+                ops = per_device[dev] = []
+                order.append(dev)
+            if remove_id is not None:
+                ops.append(("remove", remove_id))
+            if install is not None:
+                ops.append(("install", install))
+        for dev in order:
+            network.apply_rule_updates(dev, start, per_device[dev])
+        finish = network.run()
+        return max(0.0, finish - start)
+
     def incremental_updates(
         self,
         updates: Sequence[Tuple[str, Optional[Rule], Optional[int]]],
@@ -297,16 +336,96 @@ class TulkunRunner:
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
         result = IncrementalResult()
-        for dev, install, remove_id in updates:
-            start = _schedule_start(network)
-            network.apply_rule_update(
-                dev, at=start, install=install, remove_rule_id=remove_id
-            )
-            finish = network.run()
-            result.times.append(max(0.0, finish - start))
+        for update in updates:
+            result.times.append(self.apply_updates([update]))
         network.snapshot_memory()
         network.snapshot_engines()
         return result
+
+    def add_invariants(self, invariants: Sequence[Invariant]) -> float:
+        """Deploy additional invariants onto the live network; return the
+        settle duration (0.0 when nothing is deployed yet).
+
+        On the serial backend the new verifiers are added and initialized
+        in place.  The process backend redeploys from the live planes —
+        worker processes and their warm BDD contexts are reused through the
+        persistent pool, and every installed rule survives with its id.
+        """
+        invariants = list(invariants)
+        existing = {inv.name for inv in self.invariants}
+        new_sets: List[TaskSet] = []
+        for inv in invariants:
+            if inv.name in existing:
+                raise SimulationError(
+                    f"invariant {inv.name!r} is already deployed"
+                )
+            existing.add(inv.name)
+            new_sets.append(self.planner.decompose(inv))
+        self.invariants.extend(invariants)
+        self.task_sets.extend(new_sets)
+        network = self.network
+        if network is None or not invariants:
+            return 0.0
+        if isinstance(network, SimNetwork):
+            start = _schedule_start(network)
+            network.add_task_sets(new_sets, at=start)
+            finish = network.run()
+            return max(0.0, finish - start)
+        return self.redeploy()
+
+    def remove_invariants(self, names: Sequence[str]) -> float:
+        """Retire invariants from the live network by name; return the
+        settle duration (0.0 when nothing is deployed yet)."""
+        doomed = set(names)
+        known = {inv.name for inv in self.invariants}
+        missing = doomed - known
+        if missing:
+            raise SimulationError(
+                f"unknown invariant(s): {', '.join(sorted(missing))}"
+            )
+        self.invariants = [
+            inv for inv in self.invariants if inv.name not in doomed
+        ]
+        self.task_sets = [
+            ts for ts in self.task_sets if ts.invariant_name not in doomed
+        ]
+        network = self.network
+        if network is None or not doomed:
+            return 0.0
+        if isinstance(network, SimNetwork):
+            start = _schedule_start(network)
+            network.remove_task_sets(sorted(doomed), at=start)
+            finish = network.run()
+            return max(0.0, finish - start)
+        return self.redeploy()
+
+    def redeploy(self) -> float:
+        """Rebuild the deployment from the live planes (same Rule objects,
+        ids preserved; the process backend's worker pool is reused) and run
+        back to quiescence under the current link state.  Returns the
+        convergence time of the rebuilt deployment."""
+        network = self.network
+        if network is None:
+            raise RuntimeError("deploy/burst_update the network first")
+        if getattr(network, "devices_down", None):
+            raise SimulationError(
+                "cannot redeploy while devices are crashed"
+            )
+        if self._drained:
+            raise SimulationError(
+                "cannot redeploy while devices are drained"
+            )
+        saved = {
+            dev: list(network.devices[dev].plane.rules)
+            for dev in network.devices
+        }
+        failed = [tuple(link) for link in sorted(network.failed_links)]
+        fresh = self.deploy({})
+        for dev in self.topology.devices:
+            fresh.install_rules(dev, saved.get(dev, []), at=0.0)
+        for a, b in failed:
+            fresh.change_link(a, b, is_up=False, at=0.0)
+        return fresh.run()
 
     def fail_links(
         self, links: Sequence[Tuple[str, str]], scene_id: Optional[int] = None
@@ -385,16 +504,15 @@ class TulkunRunner:
         The withdrawn rules are kept so :meth:`restore_drained` can
         reinstall them — a crash/restart of the device in between (the
         rolling-upgrade window) does not lose them, matching real
-        maintenance where the intended FIB lives in the controller.
+        maintenance where the intended FIB lives in the controller.  The
+        *same* Rule objects come back on restore, so their ids stay valid
+        across the maintenance window (the serving mode addresses live
+        rules by id through client-visible keys).
         """
         network = self._sim_network()
         if dev in self._drained:
             raise SimulationError(f"device {dev!r} is already drained")
-        saved = [
-            Rule(r.match, r.action, r.priority)
-            for r in network.devices[dev].plane.rules
-        ]
-        self._drained[dev] = saved
+        self._drained[dev] = list(network.devices[dev].plane.rules)
         start = _schedule_start(network)
         network.drain_device(dev, at=start)
         finish = network.run()
@@ -406,9 +524,8 @@ class TulkunRunner:
         saved = self._drained.pop(dev, None)
         if saved is None:
             raise SimulationError(f"device {dev!r} is not drained")
-        rules = [Rule(r.match, r.action, r.priority) for r in saved]
         start = _schedule_start(network)
-        network.restore_rules(dev, rules, at=start)
+        network.restore_rules(dev, saved, at=start)
         finish = network.run()
         return max(0.0, finish - start)
 
@@ -498,10 +615,7 @@ def apply_intents(
     result = IncrementalResult()
 
     def one_update(dev: str, install: Rule, remove_id: int) -> None:
-        start = _schedule_start(network)
-        network.apply_rule_update(dev, at=start, install=install, remove_rule_id=remove_id)
-        finish = network.run()
-        result.times.append(max(0.0, finish - start))
+        result.times.append(runner.apply_updates([(dev, install, remove_id)]))
 
     for intent in intents:
         plane = network.devices[intent.dev].plane

@@ -10,6 +10,7 @@ fates included) so any run — flaky seed or not — replays byte-identically.
 
 from repro.telemetry.chrome import export_chrome_trace, write_chrome_trace
 from repro.telemetry.events import TraceEvent
+from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.record import (
     RecordingChannel,
     ReplayChannel,
@@ -21,6 +22,7 @@ from repro.telemetry.timeline import convergence_timeline, violation_provenance
 from repro.telemetry.tracer import Tracer
 
 __all__ = [
+    "LatencyHistogram",
     "RecordingChannel",
     "ReplayChannel",
     "TraceEvent",

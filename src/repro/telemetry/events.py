@@ -42,6 +42,7 @@ __all__ = [
     "RESTART",
     "KERNEL_RUN",
     "IPC",
+    "SERVE_EPOCH",
     "SPAN_KINDS",
 ]
 
@@ -53,7 +54,10 @@ KERNEL_RUN = "kernel_run"
 # inbox deliveries), outbound-frame routing ("flush"), worker idle gaps and
 # quiescence probes — the per-worker occupancy timeline.
 IPC = "ipc"
-SPAN_KINDS = frozenset({TASK, KERNEL_RUN, IPC})
+# Serving-mode epochs: one span per coalesced re-verification pass through
+# the always-on daemon (events ingested, ops applied, wall latency).
+SERVE_EPOCH = "serve_epoch"
+SPAN_KINDS = frozenset({TASK, KERNEL_RUN, IPC, SERVE_EPOCH})
 
 # DVM messaging (the CIB announce / subscribe / update traffic).
 DVM_SEND = "dvm_send"

@@ -1,0 +1,74 @@
+"""Verdict-latency bookkeeping for the always-on serving mode.
+
+A :class:`LatencyHistogram` accumulates per-epoch verdict latencies (the
+wall interval from ingesting a coalesced update batch to the quiescent
+verdicts) and reports the serving quantiles the streaming benchmark and the
+daemon's ``stats`` frame expose: p50/p90/p99, mean and max.
+
+Samples are kept exactly — a serving run produces one sample per *epoch*
+(thousands at most), not one per update, so a reservoir or bucketed sketch
+would buy nothing and cost fidelity in the p99 tail.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+__all__ = ["LatencyHistogram"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Linear-interpolation percentile (mirrors ``repro.sim.metrics``,
+    duplicated here so telemetry never imports the simulator package)."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = q * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class LatencyHistogram:
+    """Exact-sample latency accumulator with percentile readout."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._total = 0.0
+
+    def record(self, latency: float) -> None:
+        self._samples.append(float(latency))
+        self._total += float(latency)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (0.0 with no samples)."""
+        return _percentile(self._samples, q)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._total / len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """The serving-latency digest: count, mean, p50/p90/p99, max."""
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": max(self._samples) if self._samples else 0.0,
+        }

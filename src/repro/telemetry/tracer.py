@@ -27,6 +27,7 @@ from repro.telemetry.events import (
     KERNEL_RUN,
     LINK,
     RESTART,
+    SERVE_EPOCH,
     TASK,
     VERDICT,
     TraceEvent,
@@ -129,6 +130,35 @@ class Tracer:
             track,
             start,
             {"name": name, "start": start, "finish": finish, **fields},
+        )
+
+    # ------------------------------------------------------------------
+    # Serving-mode epochs
+    # ------------------------------------------------------------------
+    def epoch_span(
+        self,
+        epoch: int,
+        reason: str,
+        start: float,
+        finish: float,
+        **fields: Any,
+    ) -> None:
+        """One serving-mode re-verification epoch (a span on the ``serve``
+        track): the wall interval from ingesting a coalesced batch to the
+        quiescent verdicts, with the batch shape as fields (``events``
+        ingested, ``ops`` applied after squashing, trigger ``reason``)."""
+        self._record(
+            SERVE_EPOCH,
+            "serve",
+            start,
+            {
+                "name": f"epoch-{epoch}",
+                "epoch": epoch,
+                "reason": reason,
+                "start": start,
+                "finish": finish,
+                **fields,
+            },
         )
 
     # ------------------------------------------------------------------

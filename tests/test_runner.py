@@ -136,6 +136,61 @@ class TestDcDataset:
         assert all(result.holds.values())
 
 
+class TestApplyUpdates:
+    def _bursts(self, inet2, runner):
+        """Two bursts touching two devices: blackhole then restore on dev
+        A, plus a fresh low-priority drop appearing on dev B in burst 2."""
+        q0, q1 = inet2.queries[0], inet2.queries[1]
+        plane_a = runner.network.devices[q0.ingress].plane
+        victim = plane_a.rules[0]
+        blackhole = Rule(victim.match, Action.drop(), victim.priority)
+        restored = Rule(victim.match, victim.action, victim.priority)
+        shadow = Rule(
+            inet2.ctx.ip_prefix(q1.prefix), Action.drop(), 0
+        )
+        burst_1 = [(q0.ingress, blackhole, victim.rule_id)]
+        burst_2 = [
+            (q0.ingress, restored, blackhole.rule_id),
+            (q1.ingress, shadow, None),
+        ]
+        return burst_1, burst_2
+
+    def _fingerprint(self, runner):
+        from tests.test_parallel_backend import (
+            serial_fingerprints,
+            verdict_flags,
+        )
+
+        return (
+            serial_fingerprints(runner),
+            verdict_flags(runner.network, runner.invariants),
+        )
+
+    def test_two_bursts_match_one_combined_batch(self, inet2):
+        """apply_updates is associative at quiescence: splitting a batch
+        into two sequential bursts reaches the same fixpoint."""
+        split = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        split.burst_update(fresh_rules(inet2))
+        burst_1, burst_2 = self._bursts(inet2, split)
+        assert split.apply_updates(burst_1) >= 0
+        assert split.apply_updates(burst_2) >= 0
+
+        combined = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        combined.burst_update(fresh_rules(inet2))
+        burst_1c, burst_2c = self._bursts(inet2, combined)
+        combined.apply_updates(burst_1c + burst_2c)
+
+        assert self._fingerprint(split) == self._fingerprint(combined)
+        assert split.statuses() == combined.statuses()
+
+    def test_empty_burst_is_a_noop(self, inet2):
+        runner = TulkunRunner(inet2.topology, inet2.ctx, inet2.invariants)
+        runner.burst_update(fresh_rules(inet2))
+        before = self._fingerprint(runner)
+        assert runner.apply_updates([]) == 0.0
+        assert self._fingerprint(runner) == before
+
+
 class TestDirectIncrementalApi:
     def test_incremental_updates_tuples(self, inet2):
         """The low-level (device, install, remove) update API."""

@@ -1,0 +1,246 @@
+"""Coalescer correctness: squashing is invisible at quiescence.
+
+Two layers:
+
+* unit tests of the squash algebra itself (install→remove cancels,
+  remove→install fuses to a replace, cross-device key moves split, barriers
+  close batches in order);
+* property tests through the full session: for seeded random bursts,
+  ``apply(coalesce(burst))`` — everything in one squashed epoch — must
+  reach the same quiescent state as ``apply(sequential(burst))`` — one
+  epoch per event, nothing ever squashed.  This is the stronger form of
+  the streaming-vs-batch differential: sequential application is the
+  ground truth the coalescer must be equivalent to.
+
+Plus the adversarial cases from the issue: install+withdraw inside one
+window, an invariant retired mid-burst, and a request arriving while an
+epoch is in flight (it must land in the *next* epoch, atomically).
+"""
+
+import json
+
+import pytest
+
+from repro.dataplane import Action, Rule
+from repro.serve import Coalescer, FibBatch
+from repro.serve.coalesce import Barrier
+from tests.test_serve_differential import (
+    assert_identical,
+    collect_outcome,
+    fig2a_session,
+    fig2a_stream,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _rule(ctx=None, priority=100):
+    from repro.bdd import PacketSpaceContext
+    from repro.core.language import parse_packet_space
+
+    ctx = ctx or PacketSpaceContext()
+    return Rule(
+        parse_packet_space(ctx, "dst_ip = 10.0.0.0/24"),
+        Action.drop(),
+        priority,
+    )
+
+
+# ----------------------------------------------------------------------
+# Squash algebra
+# ----------------------------------------------------------------------
+class TestSquash:
+    def test_install_then_remove_cancels(self):
+        c = Coalescer()
+        rule = _rule()
+        c.install("k", "A", rule)
+        c.remove("k", "A", rule.rule_id)
+        segments, events = c.drain()
+        assert segments == [] and events == 2
+
+    def test_remove_then_install_fuses_to_replace(self):
+        c = Coalescer()
+        rule = _rule()
+        c.remove("k", "A", 17)
+        c.install("k", "A", rule)
+        segments, _ = c.drain()
+        assert len(segments) == 1 and isinstance(segments[0], FibBatch)
+        assert segments[0].ops == [("A", rule, 17)]
+
+    def test_replace_then_remove_keeps_original_removal(self):
+        c = Coalescer()
+        rule = _rule()
+        c.remove("k", "A", 17)
+        c.install("k", "A", rule)       # replace pending
+        c.remove("k", "A", rule.rule_id)  # new install withdrawn again
+        segments, _ = c.drain()
+        assert segments[0].ops == [("A", None, 17)]
+
+    def test_cross_device_key_move_splits(self):
+        # key removed on A, reinstalled on B: two ops, not one replace
+        c = Coalescer()
+        rule = _rule()
+        c.remove("k", "A", 17)
+        c.install("k", "B", rule)
+        segments, _ = c.drain()
+        assert segments[0].ops == [("A", None, 17), ("B", rule, None)]
+
+    def test_barrier_closes_batch_and_preserves_order(self):
+        c = Coalescer()
+        rule_1, rule_2 = _rule(), _rule()
+        c.install("k1", "A", rule_1)
+        c.barrier("link", ("A", "B", False))
+        c.install("k2", "B", rule_2)
+        segments, events = c.drain()
+        assert [type(s) for s in segments] == [FibBatch, Barrier, FibBatch]
+        assert segments[0].ops == [("A", rule_1, None)]
+        assert segments[1].kind == "link"
+        assert segments[2].ops == [("B", rule_2, None)]
+        assert events == 3
+
+    def test_no_squash_across_barrier(self):
+        # install k, BARRIER, remove k: must stay install-then-remove
+        c = Coalescer()
+        rule = _rule()
+        c.install("k", "A", rule)
+        c.barrier("crash", ("W",))
+        c.remove("k", "A", rule.rule_id)
+        segments, _ = c.drain()
+        assert [type(s) for s in segments] == [FibBatch, Barrier, FibBatch]
+        assert segments[0].ops == [("A", rule, None)]
+        assert segments[2].ops == [("A", None, rule.rule_id)]
+
+    def test_drain_is_atomic(self):
+        c = Coalescer()
+        c.install("k", "A", _rule())
+        segments, events = c.drain()
+        assert segments and events == 1
+        assert not c.pending and c.events == 0
+        assert c.drain() == ([], 0)
+
+
+# ----------------------------------------------------------------------
+# Property: coalesced == sequential at quiescence
+# ----------------------------------------------------------------------
+def run_coalesced(lines):
+    """All events buffered into one squashed epoch."""
+    session = fig2a_session()
+    try:
+        session.start()
+        for line in lines:
+            reply = session.handle_line(line)
+            assert all(f["frame"] != "error" for f in reply.frames), line
+        session.run_epoch("final")
+        return collect_outcome(session)
+    finally:
+        session.close()
+
+
+def run_sequential(lines):
+    """One epoch per event: the never-coalesced ground truth."""
+    session = fig2a_session()
+    try:
+        session.start()
+        for line in lines:
+            reply = session.handle_line(line)
+            assert all(f["frame"] != "error" for f in reply.frames), line
+            session.run_epoch("flush")
+        assert not session.pending
+        return collect_outcome(session)
+    finally:
+        session.close()
+
+
+class TestCoalescedEqualsSequential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_bursts(self, seed):
+        lines = fig2a_stream(seed + 700, count=20)
+        assert_identical(run_sequential(lines), run_coalesced(lines))
+
+    def test_install_withdraw_same_window(self):
+        """The coalesced leg never installs the rule at all; the sequential
+        leg installs (flipping verdicts) then withdraws.  Quiescent states
+        must still agree."""
+        lines = [
+            json.dumps({
+                "op": "update", "device": "S",
+                "install": {"key": "black", "match": "dst_ip = 10.0.0.0/23",
+                            "action": "drop", "priority": 999},
+            }),
+            json.dumps({"op": "update", "device": "S", "remove": "black"}),
+        ]
+        sequential = run_sequential(lines)
+        coalesced = run_coalesced(lines)
+        assert_identical(sequential, coalesced)
+        # and the blackhole really was observable in the sequential leg:
+        # statuses after event 1 alone would be VIOLATED for both invariants
+        session = fig2a_session()
+        try:
+            session.start()
+            session.handle_line(lines[0])
+            session.run_epoch("flush")
+            assert set(session.runner.statuses().values()) == {"VIOLATED"}
+        finally:
+            session.close()
+
+    def test_invariant_removed_mid_burst(self):
+        """FIB churn, then the invariant watching it is retired, then more
+        churn: the retire is a barrier, so the first batch still verifies
+        under it; the final state has no trace of the removed invariant."""
+        lines = [
+            json.dumps({"op": "update", "device": "A", "remove": "A:0"}),
+            json.dumps({"op": "invariant", "remove": "reach"}),
+            json.dumps({
+                "op": "update", "device": "A",
+                "install": {"key": "A:0b", "match": "dst_ip = 10.0.0.0/24",
+                            "action": "all B,W", "priority": 210},
+            }),
+        ]
+        sequential = run_sequential(lines)
+        coalesced = run_coalesced(lines)
+        assert_identical(sequential, coalesced)
+        assert "reach" not in sequential["statuses"]
+        assert "waypoint" in sequential["statuses"]
+
+    def test_event_during_in_flight_epoch_lands_in_next(self):
+        """A request arriving *while an epoch is applying* must not leak
+        into the draining batch — it belongs to the next epoch."""
+        session = fig2a_session()
+        try:
+            session.start()
+            intruder = json.dumps(
+                {"op": "update", "device": "A", "remove": "A:1"}
+            )
+            fired = []
+            original = session._apply_segment
+
+            def reentrant(segment):
+                # Simulates a client racing the epoch: the line arrives
+                # mid-apply, exactly once.
+                if not fired:
+                    fired.append(True)
+                    reply = session.handle_line(intruder)
+                    assert reply.frames[0]["frame"] == "ack"
+                return original(segment)
+
+            session._apply_segment = reentrant
+            session.handle_line(
+                json.dumps({"op": "update", "device": "A", "remove": "A:0"})
+            )
+            frames = session.run_epoch("flush")
+            delta = frames[-1]
+            assert delta["epoch"] == 1 and delta["ops"] == 1  # A:0 only
+            assert session.pending  # the intruder is still queued
+            session._apply_segment = original
+            frames = session.run_epoch("flush")
+            delta = frames[-1]
+            assert delta["epoch"] == 2 and delta["ops"] == 1  # now A:1
+            assert not session.pending
+            # End state matches feeding both updates sequentially.
+            both = run_sequential([
+                json.dumps({"op": "update", "device": "A", "remove": "A:0"}),
+                intruder,
+            ])
+            assert_identical(both, collect_outcome(session))
+        finally:
+            session.close()

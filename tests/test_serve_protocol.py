@@ -1,0 +1,408 @@
+"""The tulkun-serve-v1 wire layer: codec goldens, rejection, robustness.
+
+Three contracts pinned here:
+
+* the codec is stable — response frames serialize to exact golden bytes
+  (clients may parse lines with anything, including ``grep``), and every
+  request shape round-trips through decode;
+* a malformed or invalid line produces a structured ``error`` frame with a
+  stable code, and the session keeps serving afterwards — the daemon never
+  dies on input;
+* lifecycle: graceful shutdown drains in-flight (unflushed) work before
+  ``bye``, and a client disconnecting mid-epoch is dropped without
+  unravelling the daemon loop (the other clients still get their frames).
+"""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    PROTOCOL,
+    ProtocolError,
+    ServeDaemon,
+    StreamSession,
+    decode_line,
+    decode_request,
+    encode_frame,
+    parse_action,
+    serve_stdio,
+)
+from repro.serve.protocol import (
+    ControlRequest,
+    DeviceRequest,
+    InvariantRequest,
+    LinkRequest,
+    UpdateRequest,
+)
+from repro.sim import TulkunRunner
+from tests.test_serve_differential import fig2a_session
+
+pytestmark = pytest.mark.serve
+
+
+# ----------------------------------------------------------------------
+# Codec goldens
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_encode_frame_golden_bytes(self):
+        # Keys sorted, compact separators, one trailing newline: stable
+        # enough to grep from a shell pipeline.
+        frame = {"frame": "ack", "op": "update", "id": "u1"}
+        assert (
+            encode_frame(frame)
+            == '{"frame":"ack","id":"u1","op":"update"}\n'
+        )
+
+    def test_encode_frame_nested_golden(self):
+        frame = {
+            "frame": "delta",
+            "epoch": 2,
+            "changed": {"reach": {"from": "HOLDS", "to": "VIOLATED"}},
+        }
+        assert encode_frame(frame) == (
+            '{"changed":{"reach":{"from":"HOLDS","to":"VIOLATED"}},'
+            '"epoch":2,"frame":"delta"}\n'
+        )
+
+    def test_protocol_id(self):
+        assert PROTOCOL == "tulkun-serve-v1"
+
+    def test_update_round_trip(self):
+        line = json.dumps(
+            {
+                "op": "update",
+                "device": "A",
+                "remove": "A:0",
+                "install": {
+                    "key": "k1",
+                    "match": "dst_ip = 10.0.0.0/24",
+                    "action": "all B,W",
+                    "priority": 300,
+                },
+                "id": 7,
+            }
+        )
+        request = decode_request(decode_line(line))
+        assert isinstance(request, UpdateRequest)
+        assert request.device == "A"
+        assert request.remove == "A:0"
+        assert request.install.key == "k1"
+        assert request.install.priority == 300
+        assert request.id == "7"  # integer ids normalize to strings
+
+    def test_link_and_device_round_trip(self):
+        link = decode_request(decode_line('{"op":"link","a":"A","b":"B","up":false}'))
+        assert isinstance(link, LinkRequest)
+        assert (link.a, link.b, link.up) == ("A", "B", False)
+        for op in ("crash", "restart", "drain", "restore"):
+            request = decode_request(
+                decode_line(json.dumps({"op": op, "device": "W"}))
+            )
+            assert isinstance(request, DeviceRequest)
+            assert (request.op, request.device) == (op, "W")
+
+    def test_invariant_and_control_round_trip(self):
+        add = decode_request(decode_line('{"op":"invariant","add":"..."}'))
+        assert isinstance(add, InvariantRequest) and add.add_spec == "..."
+        rem = decode_request(decode_line('{"op":"invariant","remove":"x"}'))
+        assert rem.remove == "x" and rem.add_spec is None
+        for op in ("flush", "status", "stats", "shutdown"):
+            request = decode_request(decode_line(json.dumps({"op": op})))
+            assert isinstance(request, ControlRequest) and request.op == op
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            ("", "empty-line"),
+            ("   ", "empty-line"),
+            ("{not json", "bad-json"),
+            ('["a","list"]', "bad-request"),
+            ("42", "bad-request"),
+        ],
+    )
+    def test_bad_lines(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            decode_line(line)
+        assert err.value.code == code
+
+    @pytest.mark.parametrize(
+        "obj,code",
+        [
+            ({}, "bad-request"),                          # missing op
+            ({"op": 3}, "bad-request"),
+            ({"op": "teleport"}, "unknown-op"),
+            ({"op": "update", "device": "A"}, "bad-request"),  # no halves
+            ({"op": "update", "device": ""}, "bad-request"),
+            ({"op": "update", "device": "A", "install": "x"}, "bad-request"),
+            (
+                {
+                    "op": "update",
+                    "device": "A",
+                    "install": {"key": "k", "match": "m", "action": "drop",
+                                "priority": "high"},
+                },
+                "bad-request",
+            ),
+            ({"op": "link", "a": "A", "b": "B"}, "bad-request"),  # no up
+            ({"op": "link", "a": "A", "b": "B", "up": 1}, "bad-request"),
+            ({"op": "crash"}, "bad-request"),
+            ({"op": "invariant"}, "bad-request"),
+            ({"op": "invariant", "add": "x", "remove": "y"}, "bad-request"),
+            ({"op": "status", "id": [1]}, "bad-request"),
+        ],
+    )
+    def test_bad_requests(self, obj, code):
+        with pytest.raises(ProtocolError) as err:
+            decode_request(obj)
+        assert err.value.code == code
+
+    def test_parse_action_grammar(self):
+        from repro.dataplane import Action
+
+        assert parse_action("drop") == (Action.drop(), ())
+        assert parse_action("deliver") == (Action.deliver(), ())
+        action, hops = parse_action("all B,W")
+        assert action == Action.forward_all(("B", "W")) and hops == ("B", "W")
+        action, hops = parse_action("any  B , W ")
+        assert action == Action.forward_any(("B", "W"))
+        with pytest.raises(ProtocolError):
+            parse_action("multicast B")
+        with pytest.raises(ProtocolError):
+            parse_action("all")
+
+
+# ----------------------------------------------------------------------
+# Session-level rejection (validation against the live deployment)
+# ----------------------------------------------------------------------
+def _one_error(session, obj):
+    reply = session.handle_line(json.dumps(obj))
+    assert len(reply.frames) == 1
+    frame = reply.frames[0]
+    assert frame["frame"] == "error"
+    return frame
+
+
+class TestSessionRejection:
+    @pytest.fixture()
+    def session(self):
+        session = fig2a_session()
+        session.start()
+        yield session
+        session.close()
+
+    def test_malformed_line_then_healthy(self, session):
+        frame = session.handle_line("{broken").frames[0]
+        assert frame["frame"] == "error" and frame["code"] == "bad-json"
+        # The session survives and still serves valid requests.
+        reply = session.handle_line('{"op":"status"}')
+        assert reply.frames[0]["frame"] == "status"
+
+    def test_unknown_device(self, session):
+        frame = _one_error(
+            session,
+            {"op": "update", "device": "Z", "remove": "A:0"},
+        )
+        assert frame["code"] == "unknown-device"
+
+    def test_unknown_key(self, session):
+        frame = _one_error(
+            session, {"op": "update", "device": "A", "remove": "nope"}
+        )
+        assert frame["code"] == "unknown-key"
+
+    def test_key_device_mismatch(self, session):
+        frame = _one_error(
+            session, {"op": "update", "device": "B", "remove": "A:0"}
+        )
+        assert frame["code"] == "key-device-mismatch"
+
+    def test_duplicate_key(self, session):
+        frame = _one_error(
+            session,
+            {
+                "op": "update",
+                "device": "A",
+                "install": {"key": "A:0", "match": "dst_ip = 10.0.0.0/24",
+                            "action": "drop", "priority": 1},
+            },
+        )
+        assert frame["code"] == "duplicate-key"
+
+    def test_bad_match_and_next_hop(self, session):
+        frame = _one_error(
+            session,
+            {
+                "op": "update",
+                "device": "A",
+                "install": {"key": "k", "match": "dst_ip == oops",
+                            "action": "drop", "priority": 1},
+            },
+        )
+        assert frame["code"] == "bad-match"
+        frame = _one_error(
+            session,
+            {
+                "op": "update",
+                "device": "A",
+                "install": {"key": "k", "match": "dst_ip = 10.0.0.0/24",
+                            "action": "all D", "priority": 1},
+            },
+        )
+        assert frame["code"] == "bad-next-hop"  # D is not adjacent to A
+
+    def test_rejected_request_has_no_effect(self, session):
+        _one_error(session, {"op": "update", "device": "A", "remove": "nope"})
+        assert not session.pending
+
+    def test_link_projection(self, session):
+        frame = _one_error(session, {"op": "link", "a": "S", "b": "D", "up": False})
+        assert frame["code"] == "unknown-link"
+        frame = _one_error(session, {"op": "link", "a": "S", "b": "A", "up": True})
+        assert frame["code"] == "link-not-down"
+        assert session.handle_line(
+            '{"op":"link","a":"S","b":"A","up":false}'
+        ).frames[0]["frame"] == "ack"
+        frame = _one_error(session, {"op": "link", "a": "S", "b": "A", "up": False})
+        assert frame["code"] == "link-already-down"
+
+    def test_device_lifecycle_projection(self, session):
+        assert session.handle_line(
+            '{"op":"crash","device":"W"}'
+        ).frames[0]["frame"] == "ack"
+        assert _one_error(session, {"op": "crash", "device": "W"})["code"] == (
+            "already-crashed"
+        )
+        # A dead device takes no FIB updates — rejected at enqueue, so the
+        # verdict is the same no matter how the stream is chunked.
+        assert _one_error(
+            session, {"op": "update", "device": "W", "remove": "W:0"}
+        )["code"] == "device-down"
+        assert _one_error(session, {"op": "restart", "device": "A"})["code"] == (
+            "not-crashed"
+        )
+        assert _one_error(session, {"op": "restore", "device": "A"})["code"] == (
+            "not-drained"
+        )
+
+    def test_invariant_projection(self, session):
+        assert _one_error(session, {"op": "invariant", "remove": "ghost"})[
+            "code"
+        ] == "unknown-invariant"
+        assert _one_error(
+            session, {"op": "invariant", "add": "invariant reach {}"}
+        )["code"] in ("bad-spec", "duplicate-invariant")
+        frame = _one_error(session, {"op": "invariant", "add": "not a spec"})
+        assert frame["code"] == "bad-spec"
+
+    def test_crash_rejected_on_process_backend(self):
+        # Construction only — validation fires before any pool is spawned.
+        session = fig2a_session(backend="process")
+        frame = _one_error(session, {"op": "crash", "device": "W"})
+        assert frame["code"] == "serial-only"
+
+    def test_error_echoes_request_id(self, session):
+        frame = _one_error(
+            session, {"op": "update", "device": "A", "remove": "nope",
+                      "id": "req-9"}
+        )
+        assert frame["id"] == "req-9"
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: stdio loop + graceful shutdown
+# ----------------------------------------------------------------------
+class TestStdioLoop:
+    def _run(self, lines, **kwargs):
+        session = fig2a_session()
+        out = io.StringIO()
+        serve_stdio(session, iter(lines), out, **kwargs)
+        return [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_shutdown_drains_in_flight_epoch(self):
+        # An unflushed update must still be verified before the bye.
+        frames = self._run([
+            '{"op":"update","device":"A","remove":"A:0"}\n',
+            '{"op":"shutdown"}\n',
+        ])
+        kinds = [f["frame"] for f in frames]
+        assert kinds == ["hello", "ack", "ack", "delta", "bye"]
+        delta = frames[3]
+        assert delta["reason"] == "shutdown" and delta["events"] == 1
+
+    def test_eof_drains_like_shutdown(self):
+        frames = self._run(['{"op":"update","device":"A","remove":"A:0"}\n'])
+        kinds = [f["frame"] for f in frames]
+        assert kinds == ["hello", "ack", "delta", "bye"]
+        assert frames[2]["reason"] == "eof"
+
+    def test_blank_and_comment_lines_skipped(self):
+        frames = self._run(["\n", "# a comment\n", '{"op":"status"}\n'])
+        assert [f["frame"] for f in frames] == ["hello", "status", "bye"]
+
+    def test_coalesce_limit_forces_epoch(self):
+        lines = [
+            '{"op":"update","device":"A","remove":"A:0"}\n',
+            '{"op":"update","device":"A","remove":"A:1"}\n',
+            '{"op":"shutdown"}\n',
+        ]
+        frames = self._run(lines, coalesce_limit=2)
+        deltas = [f for f in frames if f["frame"] == "delta"]
+        assert deltas[0]["reason"] == "limit" and deltas[0]["events"] == 2
+
+    def test_malformed_line_mid_stream_keeps_daemon_alive(self):
+        frames = self._run([
+            "{oops\n",
+            '{"op":"update","device":"A","remove":"A:0"}\n',
+            '{"op":"flush"}\n',
+            '{"op":"shutdown"}\n',
+        ])
+        kinds = [f["frame"] for f in frames]
+        assert kinds == ["hello", "error", "ack", "ack", "delta", "ack", "bye"]
+
+
+# ----------------------------------------------------------------------
+# Socket daemon: disconnect-mid-epoch regression
+# ----------------------------------------------------------------------
+@pytest.mark.serve
+def test_client_disconnect_mid_epoch_does_not_kill_daemon():
+    """Client A enqueues work and vanishes before the epoch broadcast;
+    client B must still get the delta, and shutdown must stay graceful."""
+    session = fig2a_session()
+    daemon = ServeDaemon(session, coalesce_window=10.0)  # window never fires
+    host, port = daemon.bind()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        a = socket.create_connection((host, port), timeout=30)
+        a_stream = a.makefile("rw", encoding="utf-8", newline="\n")
+        assert json.loads(a_stream.readline())["frame"] == "hello"
+        a_stream.write('{"op":"update","device":"A","remove":"A:0"}\n')
+        a_stream.flush()
+        assert json.loads(a_stream.readline())["frame"] == "ack"
+
+        b = socket.create_connection((host, port), timeout=30)
+        b_stream = b.makefile("rw", encoding="utf-8", newline="\n")
+        assert json.loads(b_stream.readline())["frame"] == "hello"
+
+        # A drops dead with the epoch still pending...
+        a.close()
+        # ...B triggers the epoch; the broadcast hits A's corpse first
+        # (insertion order) and must survive to reach B.
+        b_stream.write('{"op":"flush"}\n')
+        b_stream.flush()
+        frames = [json.loads(b_stream.readline()) for _ in range(2)]
+        assert [f["frame"] for f in frames] == ["ack", "delta"]
+        assert frames[1]["changed"]  # the removal flipped a verdict
+
+        b_stream.write('{"op":"shutdown"}\n')
+        b_stream.flush()
+        tail = [json.loads(line) for line in b_stream]
+        assert tail[-1]["frame"] == "bye"
+        b.close()
+    finally:
+        thread.join(timeout=60)
+    assert not thread.is_alive()
