@@ -188,6 +188,9 @@ def test_dvm_churn(benchmark, name, pair_limit, multiplier, intents):
                 backend: speedups[backend] for backend in speedups
             },
             "speedup_floor": SPEEDUP_FLOORS[SCALE],
+            # Smoke rows are bitrot checks: no floor was enforced, so a
+            # sub-floor ratio there must not read as a standing loss.
+            "speedup_asserted": SPEEDUP_FLOORS[SCALE] is not None,
         },
         TRAJECTORY_KEY,
     )
@@ -374,6 +377,7 @@ def test_dvm_streaming(benchmark, name, pair_limit, multiplier, updates, chunk):
             "verdict_latency": latency,
             "ratio": ratio,
             "ratio_floor": STREAM_RATIO_FLOORS[SCALE],
+            "speedup_asserted": STREAM_RATIO_FLOORS[SCALE] is not None,
         },
         TRAJECTORY_KEY,
     )

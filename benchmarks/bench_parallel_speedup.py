@@ -384,6 +384,7 @@ def test_sharded_churn_ft8(benchmark):
         # meaningful on this host.
         "process_over_serial": round(effective, 3),
         "effective_figure": "measured" if use_measured else "modelled",
+        "speedup_asserted": CHURN_FLOORS[SCALE] is not None,
     }
     record_trajectory(TRAJECTORY, record, TRAJECTORY_KEY)
     benchmark.extra_info.update(record)

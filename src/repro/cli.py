@@ -537,11 +537,17 @@ def cmd_serve(args) -> int:
             predicate_index=args.predicate_index,
             tracer=tracer,
             use_shm=not args.no_shm,
+            slices="auto" if args.slices else None,
+        )
+        session = StreamSession(
+            runner,
+            _fresh_rules(planes),
+            max_pending_per_tenant=args.max_pending_per_tenant,
+            max_slices_per_tenant=args.max_slices_per_tenant,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    session = StreamSession(runner, _fresh_rules(planes))
     try:
         if args.listen:
             try:
@@ -555,6 +561,7 @@ def cmd_serve(args) -> int:
                 port=port,
                 coalesce_window=args.coalesce_window,
                 coalesce_limit=args.coalesce_limit,
+                queue_limit=args.queue_limit,
             )
             bound_host, bound_port = daemon.bind()
             print(f"listening on {bound_host}:{bound_port}", file=sys.stderr)
@@ -876,6 +883,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--perfetto", default=None, metavar="PATH",
         help="export the serving-epoch span log as Chrome trace-event JSON "
              "on shutdown",
+    )
+    p_serve.add_argument(
+        "--slices", action="store_true",
+        help="slice invariants into tenant intents (tenant/name prefix "
+             "convention): updates route only to touched slices, delta "
+             "frames carry the touched tenant list",
+    )
+    p_serve.add_argument(
+        "--max-pending-per-tenant", type=int, default=None, metavar="N",
+        help="admission control: reject (tenant-backlog) requests pushing "
+             "one tenant past N un-drained events; needs --slices",
+    )
+    p_serve.add_argument(
+        "--max-slices-per-tenant", type=int, default=None, metavar="N",
+        help="admission control: cap the invariants one tenant slice may "
+             "hold (tenant-quota on invariant add)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="socket mode: outbound frames buffered per client before "
+             "drop-and-flag backpressure kicks in (default 256)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -101,6 +101,7 @@ class ParallelNetwork:
         pool: Optional[WorkerPool] = None,
         use_shm: bool = True,
         tracer=None,
+        slice_groups: Optional[Sequence[Sequence[str]]] = None,
     ) -> None:
         """``pool`` attaches an existing (possibly already spawned)
         :class:`WorkerPool` — the persistent-worker path.  Without one the
@@ -108,7 +109,14 @@ class ParallelNetwork:
 
         ``tracer`` optionally collects coordinator/worker IPC spans
         (``flush`` / ``drain`` / ``idle`` / ``quiescence-probe``) for
-        per-worker occupancy timelines."""
+        per-worker occupancy timelines.
+
+        ``slice_groups`` (slice-footprint components from
+        :meth:`repro.slicing.SliceRegistry.device_groups`) switches the
+        partition to the slice-aligned strategy: each component stays whole
+        on one worker, so disjoint-footprint slices are verified by
+        different shard workers with no cross-worker DVM traffic between
+        them."""
         self.topology = topology
         self.ctx = ctx
         self.task_sets = list(task_sets)
@@ -125,9 +133,15 @@ class ParallelNetwork:
         devices = sorted(topology.devices)
         workers = num_workers if num_workers else default_worker_count()
         self.num_workers = max(1, min(workers, len(devices)))
-        self.assignment = partition_devices(
-            topology, self.num_workers, strategy=partition_strategy
-        )
+        if slice_groups is not None:
+            self.assignment = partition_devices(
+                topology, self.num_workers, strategy="slices",
+                groups=slice_groups,
+            )
+        else:
+            self.assignment = partition_devices(
+                topology, self.num_workers, strategy=partition_strategy
+            )
         self.cut_links = cut_edges(topology, self.assignment)
 
         self.devices: Dict[str, _MirrorDevice] = {}
@@ -374,27 +388,36 @@ class ParallelNetwork:
         at: float,
         install: Optional[Rule] = None,
         remove_rule_id: Optional[int] = None,
+        only: Optional[Set[str]] = None,
     ) -> None:
         plane = self.devices[dev].plane
         if remove_rule_id is not None:
             plane.discard_rule(remove_rule_id)
         if install is not None:
             plane.install_many([install])
-        self._pending.append((at, "update", dev, install, remove_rule_id))
+        only_wire = tuple(sorted(only)) if only is not None else None
+        self._pending.append(
+            (at, "update", dev, install, remove_rule_id, only_wire)
+        )
 
-    def apply_rule_updates(self, dev: str, at: float, ops) -> None:
+    def apply_rule_updates(
+        self, dev: str, at: float, ops, only: Optional[Set[str]] = None
+    ) -> None:
         """Batched per-device rule updates (ordered remove/install ops).
 
         The coordinator mirrors the net plane state immediately; each op
         ships to the owning worker as an ordinary update at the same
         timestamp, so a coalesced burst and the equivalent op-at-a-time
         stream reach the same fixpoint (``sorted`` is stable, preserving
-        the in-batch order)."""
+        the in-batch order).
+
+        ``only`` restricts the workers' LEC-delta hand-off to the named
+        invariants (slicing: untouched verifiers provably no-op)."""
         for kind, arg in ops:
             if kind == "remove":
-                self.apply_rule_update(dev, at, remove_rule_id=arg)
+                self.apply_rule_update(dev, at, remove_rule_id=arg, only=only)
             elif kind == "install":
-                self.apply_rule_update(dev, at, install=arg)
+                self.apply_rule_update(dev, at, install=arg, only=only)
             else:
                 raise SimulationError(f"unknown rule op {kind!r}")
 
@@ -515,7 +538,7 @@ class ParallelNetwork:
                 # so one drain after n updates converges identically.
                 batches: Dict[int, List[tuple]] = {}
                 while i < len(ops) and ops[i][1] == "update":
-                    _at, _kind, dev, install, remove_id = ops[i]
+                    _at, _kind, dev, install, remove_id, only = ops[i]
                     i += 1
                     wid = self.assignment[dev]
                     payload = (
@@ -524,7 +547,7 @@ class ParallelNetwork:
                         else None
                     )
                     batches.setdefault(wid, []).append(
-                        (dev, payload, remove_id)
+                        (dev, payload, remove_id, only)
                     )
                 if inherited:
                     # The fork already delivered the post-update planes; a
@@ -602,7 +625,12 @@ class ParallelNetwork:
             merged.update(parts[dev])
         return merged
 
-    def verdicts(self, invariant: str) -> Dict[str, Tuple[bool, list]]:
+    def verdicts(
+        self, invariant: str, within: Optional[Sequence[str]] = None
+    ) -> Dict[str, Tuple[bool, list]]:
+        # ``within`` is interface parity with the serial backend; the merged
+        # view is already per-invariant (delta collects touch O(footprint)).
+        del within
         out: Dict[str, Tuple[bool, list]] = {}
         for ingress, (ok, violations) in self._merged_verdicts(
             invariant
@@ -613,7 +641,10 @@ class ParallelNetwork:
             )
         return out
 
-    def all_hold(self, invariant: str) -> bool:
+    def all_hold(
+        self, invariant: str, within: Optional[Sequence[str]] = None
+    ) -> bool:
+        del within
         verdicts = self._merged_verdicts(invariant)
         return bool(verdicts) and all(
             ok for ok, _violations in verdicts.values()

@@ -70,14 +70,63 @@ def _round_robin(devices: List[str], num_workers: int) -> Dict[str, int]:
     return {dev: i % num_workers for i, dev in enumerate(sorted(devices))}
 
 
+def _slice_aligned(
+    devices: List[str],
+    num_workers: int,
+    groups: Sequence[Sequence[str]],
+) -> Dict[str, int]:
+    """Keep each slice group (connected component of slices that share
+    devices) whole on one worker, spreading groups across workers by load.
+
+    Slices with disjoint footprints land in different groups, so their DVM
+    traffic never crosses a worker boundary; within a group every message
+    stays process-local too.  Greedy longest-group-first onto the currently
+    least-loaded worker balances device counts; devices outside every group
+    (no verifier will ever run there) backfill the lightest workers.
+    Deterministic: groups and devices are processed in sorted order.
+    """
+    universe = set(devices)
+    load = [0] * num_workers
+    assigned: Dict[str, int] = {}
+    normalized: List[List[str]] = []
+    claimed: set = set()
+    for group in groups:
+        members = sorted(
+            dev for dev in set(group) if dev in universe and dev not in claimed
+        )
+        if members:
+            normalized.append(members)
+            claimed.update(members)
+    normalized.sort(key=lambda g: (-len(g), g))
+
+    def lightest() -> int:
+        return min(range(num_workers), key=lambda w: (load[w], w))
+
+    for members in normalized:
+        wid = lightest()
+        for dev in members:
+            assigned[dev] = wid
+        load[wid] += len(members)
+    for dev in sorted(universe - claimed):
+        wid = lightest()
+        assigned[dev] = wid
+        load[wid] += 1
+    return assigned
+
+
 def partition_devices(
     topology: Topology,
     num_workers: int,
     strategy: str = "locality",
     devices: Sequence[str] = (),
     weights: Optional[Mapping[str, int]] = None,
+    groups: Optional[Sequence[Sequence[str]]] = None,
 ) -> Dict[str, int]:
-    """Assign every device to a worker id in ``[0, num_workers)``."""
+    """Assign every device to a worker id in ``[0, num_workers)``.
+
+    ``strategy="slices"`` requires ``groups`` (slice-footprint components
+    from :meth:`repro.slicing.SliceRegistry.device_groups`) and keeps each
+    component whole on one worker."""
     if num_workers < 1:
         raise SimulationError("need at least one worker")
     names = sorted(devices) if devices else sorted(topology.devices)
@@ -85,6 +134,12 @@ def partition_devices(
         return _locality(topology, names, num_workers, weights)
     if strategy == "round_robin":
         return _round_robin(names, num_workers)
+    if strategy == "slices":
+        if groups is None:
+            raise SimulationError(
+                "partition strategy 'slices' needs slice device groups"
+            )
+        return _slice_aligned(names, num_workers, groups)
     raise SimulationError(f"unknown partition strategy {strategy!r}")
 
 

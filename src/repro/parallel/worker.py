@@ -277,8 +277,12 @@ class VerifierHost:
         The DVM fixpoint is order- and batching-independent, so draining
         once after n updates converges to the same state as n separate
         drains — which is what lets the coordinator coalesce a churn burst
-        into one command."""
-        for dev, install_payload, remove_rule_id in updates:
+        into one command.
+
+        An update's ``only`` component (a sorted tuple of invariant names,
+        or None) restricts the LEC-delta hand-off to those invariants —
+        the slicing scheduler's routing verdict, shipped with the op."""
+        for dev, install_payload, remove_rule_id, only in updates:
             plane = self.planes[dev]
             deltas = []
             if remove_rule_id is not None:
@@ -287,6 +291,8 @@ class VerifierHost:
                 rule = self._unship_update(install_payload)
                 deltas.extend(plane.install_rule(rule))
             for invariant, verifier in self._by_dev.get(dev, ()):
+                if only is not None and invariant not in only:
+                    continue
                 self.stats[dev]["events_processed"] += 1
                 self._dirty_stats.add(dev)
                 self._dirty_verifiers.add((dev, invariant))

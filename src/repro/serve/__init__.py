@@ -10,6 +10,8 @@ Layering (transport-agnostic core, two front ends):
 * :mod:`repro.serve.protocol` — frame codec + request validation;
 * :mod:`repro.serve.coalesce` — burst squashing between epochs;
 * :mod:`repro.serve.deltas` — verdict-change tracking;
+* :mod:`repro.serve.subscribe` — per-client delta subscriptions (tenant /
+  invariant fan-out filters);
 * :mod:`repro.serve.session` — the protocol→runner bridge (one epoch =
   drain + apply + delta);
 * :mod:`repro.serve.daemon` — the TCP selector loop and the deterministic
@@ -29,6 +31,7 @@ from repro.serve.protocol import (
     parse_action,
 )
 from repro.serve.session import Reply, StreamSession, auto_key_rules
+from repro.serve.subscribe import SUBSCRIBE_ALL, Subscription, filter_delta
 
 __all__ = [
     "Barrier",
@@ -38,12 +41,15 @@ __all__ = [
     "PROTOCOL",
     "ProtocolError",
     "Reply",
+    "SUBSCRIBE_ALL",
     "ServeDaemon",
     "StreamSession",
+    "Subscription",
     "auto_key_rules",
     "decode_line",
     "decode_request",
     "encode_frame",
+    "filter_delta",
     "parse_action",
     "serve_stdio",
 ]

@@ -19,6 +19,15 @@ Robustness contract (pinned by ``tests/test_serve_protocol.py``): a
 malformed line produces an ``error`` frame, never a dead daemon; a client
 disconnecting mid-epoch is dropped on the next write, never unravels the
 loop; ``shutdown`` drains in-flight work before the ``bye``.
+
+Backpressure: outbound frames go through a bounded per-client queue and are
+written opportunistically (plus on ``EVENT_WRITE`` readiness) — a slow
+reader can never stall the verification loop.  When a client's queue is
+full the frame is *dropped and flagged*: the client's ``dropped`` counter
+(visible in the ``stats`` frame's per-client table) records how many frames
+it missed.  Per-client ``subscribe`` filters are applied at broadcast time,
+so a client subscribed to tenant ``A`` never receives tenant ``B``'s
+deltas.
 """
 
 from __future__ import annotations
@@ -26,23 +35,39 @@ from __future__ import annotations
 import selectors
 import socket
 import time
-from typing import Dict, List, Optional, TextIO, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, TextIO, Tuple
 
 from repro.serve.protocol import encode_frame
 from repro.serve.session import StreamSession
+from repro.serve.subscribe import SUBSCRIBE_ALL, Subscription, filter_delta
 
 __all__ = ["ServeDaemon", "serve_stdio"]
 
 DEFAULT_COALESCE_WINDOW = 0.05   # seconds of quiet before an epoch fires
 DEFAULT_COALESCE_LIMIT = 64      # buffered events that force an epoch
+DEFAULT_QUEUE_LIMIT = 256        # outbound frames buffered per client
 
 
 class _Client:
-    """One connected peer: its socket plus a partial-line receive buffer."""
+    """One connected peer: socket, receive buffer, bounded send queue and
+    the broadcast subscription this client asked for."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, client_id: int) -> None:
         self.sock = sock
+        self.id = client_id
         self.buffer = b""
+        self.outq: Deque[bytes] = deque()
+        self.dropped = 0
+        self.subscription: Subscription = SUBSCRIBE_ALL
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "queued": len(self.outq),
+            "dropped": self.dropped,
+            "subscription": self.subscription.describe(),
+        }
 
 
 class ServeDaemon:
@@ -55,19 +80,24 @@ class ServeDaemon:
         port: int = 0,
         coalesce_window: float = DEFAULT_COALESCE_WINDOW,
         coalesce_limit: int = DEFAULT_COALESCE_LIMIT,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
     ) -> None:
         self.session = session
         self.host = host
         self.port = port
         self.coalesce_window = max(0.0, coalesce_window)
         self.coalesce_limit = max(1, coalesce_limit)
+        self.queue_limit = max(1, queue_limit)
         self.address: Optional[Tuple[str, int]] = None
         self._selector = selectors.DefaultSelector()
         self._listener: Optional[socket.socket] = None
         self._clients: Dict[socket.socket, _Client] = {}
+        self._next_client_id = 1
         self._hello_line: Optional[str] = None
         self._deadline: Optional[float] = None
         self._shutdown = False
+        # The session's stats frame pulls the per-client table from here.
+        session.stats_clients = self._client_stats
 
     # ------------------------------------------------------------------
     def bind(self) -> Tuple[str, int]:
@@ -90,11 +120,11 @@ class ServeDaemon:
             while not self._shutdown:
                 timeout = self._select_timeout()
                 events = self._selector.select(timeout)
-                for key, _mask in events:
+                for key, mask in events:
                     if key.data == "listen":
                         self._accept()
                     else:
-                        self._service(key.fileobj)  # type: ignore[arg-type]
+                        self._service(key.fileobj, mask)  # type: ignore[arg-type]
                     if self._shutdown:
                         break
                 self._maybe_run_epoch()
@@ -115,15 +145,22 @@ class ServeDaemon:
         except OSError:
             return
         sock.setblocking(False)
-        client = _Client(sock)
+        client = _Client(sock, self._next_client_id)
+        self._next_client_id += 1
         self._clients[sock] = client
         self._selector.register(sock, selectors.EVENT_READ, "client")
         if self._hello_line is not None:
-            self._send(client, self._hello_line)
+            self._enqueue(client, self._hello_line)
 
-    def _service(self, sock: socket.socket) -> None:
+    def _service(self, sock: socket.socket, mask: int) -> None:
         client = self._clients.get(sock)
         if client is None:
+            return
+        if mask & selectors.EVENT_WRITE:
+            self._flush(client)
+            if client.sock not in self._clients:
+                return
+        if not mask & selectors.EVENT_READ:
             return
         try:
             data = sock.recv(65536)
@@ -143,7 +180,9 @@ class ServeDaemon:
                 continue
             reply = self.session.handle_line(line)
             for frame in reply.frames:
-                self._send(client, encode_frame(frame))
+                self._enqueue(client, encode_frame(frame))
+            if reply.subscribe is not None:
+                client.subscription = reply.subscribe
             if reply.shutdown:
                 # The finalize path drains pending work and says goodbye.
                 self._shutdown = True
@@ -170,31 +209,84 @@ class ServeDaemon:
         self._deadline = None
         frames = self.session.run_epoch(reason)
         if frames:
-            self._broadcast([encode_frame(f) for f in frames])
+            self._broadcast(frames)
 
     def _finalize(self) -> None:
-        lines = [encode_frame(f) for f in self.session.shutdown_frames()]
-        self._broadcast(lines)
+        self._broadcast(self.session.shutdown_frames())
+        # Last chance to deliver: the loop is about to close every socket,
+        # so drain each queue with one best-effort blocking write.
+        for client in list(self._clients.values()):
+            self._drain_blocking(client)
 
     # ------------------------------------------------------------------
-    def _broadcast(self, lines: List[str]) -> None:
+    def _client_stats(self) -> List[Dict[str, object]]:
+        return [
+            client.describe()
+            for client in sorted(self._clients.values(), key=lambda c: c.id)
+        ]
+
+    def _broadcast(self, frames: List[Dict[str, object]]) -> None:
+        # Encode once for full-broadcast subscribers; clients with a
+        # narrowed subscription get their own projection of each frame
+        # (irrelevant deltas are suppressed entirely).
+        default_lines = [encode_frame(f) for f in frames]
+        tenant_of = self.session.tenant_of
         # Iterate over a snapshot: a dead client is dropped mid-loop.
         for client in list(self._clients.values()):
-            for line in lines:
-                if not self._send(client, line):
-                    break
+            if client.subscription.mode == "all":
+                for line in default_lines:
+                    self._enqueue(client, line)
+                continue
+            for frame in frames:
+                projected = filter_delta(frame, client.subscription, tenant_of)
+                if projected is not None:
+                    self._enqueue(client, encode_frame(projected))
 
-    def _send(self, client: _Client, line: str) -> bool:
-        """Best-effort blocking send; a dead peer drops the client, never
-        the daemon (the disconnect-mid-epoch regression)."""
+    def _enqueue(self, client: _Client, line: str) -> None:
+        """Queue one outbound frame, dropping (and flagging) when the
+        client's queue is full; then write as much as the socket takes."""
+        if len(client.outq) >= self.queue_limit:
+            client.dropped += 1
+            return
+        client.outq.append(line.encode("utf-8"))
+        self._flush(client)
+
+    def _flush(self, client: _Client) -> None:
+        """Non-blocking drain of the client's queue; a dead peer drops the
+        client, never the daemon (the disconnect-mid-epoch regression)."""
         try:
-            client.sock.setblocking(True)
-            client.sock.sendall(line.encode("utf-8"))
-            client.sock.setblocking(False)
-            return True
+            while client.outq:
+                chunk = client.outq[0]
+                sent = client.sock.send(chunk)
+                if sent < len(chunk):
+                    client.outq[0] = chunk[sent:]
+                    break
+                client.outq.popleft()
+        except (BlockingIOError, InterruptedError):
+            pass
         except OSError:
             self._drop(client)
-            return False
+            return
+        self._update_interest(client)
+
+    def _update_interest(self, client: _Client) -> None:
+        mask = selectors.EVENT_READ
+        if client.outq:
+            mask |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(client.sock, mask, "client")
+        except (KeyError, ValueError):
+            pass
+
+    def _drain_blocking(self, client: _Client) -> None:
+        if not client.outq:
+            return
+        try:
+            client.sock.setblocking(True)
+            client.sock.sendall(b"".join(client.outq))
+        except OSError:
+            pass
+        client.outq.clear()
 
     def _drop(self, client: _Client) -> None:
         self._clients.pop(client.sock, None)
@@ -235,10 +327,21 @@ def serve_stdio(
     Returns the number of epochs run.
     """
 
+    subscription = SUBSCRIBE_ALL
+
     def emit(frames) -> None:
         for frame in frames:
             out.write(encode_frame(frame))
         out.flush()
+
+    def emit_broadcast(frames) -> None:
+        # The single stdio client is still a subscriber: its ``subscribe``
+        # filter applies to the epoch frames exactly as over a socket.
+        projected = [
+            filter_delta(frame, subscription, session.tenant_of)
+            for frame in frames
+        ]
+        emit([frame for frame in projected if frame is not None])
 
     emit([session.start()])
     try:
@@ -247,14 +350,16 @@ def serve_stdio(
                 continue
             reply = session.handle_line(line)
             emit(reply.frames)
+            if reply.subscribe is not None:
+                subscription = reply.subscribe
             if reply.shutdown:
-                emit(session.shutdown_frames())
+                emit_broadcast(session.shutdown_frames())
                 return session.epoch
             if reply.flush:
-                emit(session.run_epoch("flush"))
+                emit_broadcast(session.run_epoch("flush"))
             elif session.coalescer.events >= coalesce_limit:
-                emit(session.run_epoch("limit"))
-        emit(session.shutdown_frames(reason="eof"))
+                emit_broadcast(session.run_epoch("limit"))
+        emit_broadcast(session.shutdown_frames(reason="eof"))
         return session.epoch
     finally:
         session.close()

@@ -32,6 +32,7 @@ __all__ = [
     "DeviceRequest",
     "InvariantRequest",
     "ControlRequest",
+    "SubscribeRequest",
     "decode_line",
     "decode_request",
     "encode_frame",
@@ -100,11 +101,25 @@ class DeviceRequest(Request):
 class InvariantRequest(Request):
     add_spec: Optional[str]   # invariant-language source text
     remove: Optional[str]     # invariant name
+    tenant: Optional[str] = None  # explicit tenant slice (add only)
 
 
 @dataclass(frozen=True)
 class ControlRequest(Request):
     op: str  # flush | status | stats | shutdown
+
+
+@dataclass(frozen=True)
+class SubscribeRequest(Request):
+    """Narrow (or reset) this client's share of the delta broadcast.
+
+    Exactly one of the three selectors is set: ``tenants`` (tenant slice
+    names), ``invariants`` (invariant names), or ``all=True`` (reset to
+    the default full broadcast)."""
+
+    tenants: Optional[Tuple[str, ...]]
+    invariants: Optional[Tuple[str, ...]]
+    all: bool
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +217,7 @@ def decode_request(obj: Dict[str, object]) -> Request:
     if op == "invariant":
         add_spec = obj.get("add")
         remove = obj.get("remove")
+        tenant = obj.get("tenant")
         if add_spec is not None and not isinstance(add_spec, str):
             raise ProtocolError("bad-request", "'add' must be spec text")
         if remove is not None and not isinstance(remove, str):
@@ -211,12 +227,64 @@ def decode_request(obj: Dict[str, object]) -> Request:
                 "bad-request",
                 "op 'invariant' needs exactly one of 'add' or 'remove'",
             )
-        return InvariantRequest(id=rid, add_spec=add_spec, remove=remove)
+        if tenant is not None:
+            if not isinstance(tenant, str) or not tenant:
+                raise ProtocolError(
+                    "bad-request", "'tenant' must be a non-empty string"
+                )
+            if add_spec is None:
+                raise ProtocolError(
+                    "bad-request", "'tenant' only applies to 'add'"
+                )
+        return InvariantRequest(
+            id=rid, add_spec=add_spec, remove=remove, tenant=tenant
+        )
+
+    if op == "subscribe":
+        return _decode_subscribe(obj, rid)
 
     if op in _CONTROL_OPS:
         return ControlRequest(id=rid, op=op)
 
     raise ProtocolError("unknown-op", f"unknown op {op!r}")
+
+
+def _name_list(
+    obj: Dict[str, object], field: str
+) -> Optional[Tuple[str, ...]]:
+    value = obj.get(field)
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(n, str) and n for n in value)
+    ):
+        raise ProtocolError(
+            "bad-request",
+            f"'{field}' must be a non-empty list of non-empty strings",
+        )
+    return tuple(value)
+
+
+def _decode_subscribe(obj: Dict[str, object], rid: Optional[str]) -> Request:
+    tenants = _name_list(obj, "tenants")
+    invariants = _name_list(obj, "invariants")
+    all_flag = obj.get("all", False)
+    if not isinstance(all_flag, bool):
+        raise ProtocolError("bad-request", "'all' must be a boolean")
+    selectors = sum(
+        (tenants is not None, invariants is not None, bool(all_flag))
+    )
+    if selectors != 1:
+        raise ProtocolError(
+            "bad-request",
+            "op 'subscribe' needs exactly one of "
+            "'tenants', 'invariants' or 'all'",
+        )
+    return SubscribeRequest(
+        id=rid, tenants=tenants, invariants=invariants, all=bool(all_flag)
+    )
 
 
 # ----------------------------------------------------------------------

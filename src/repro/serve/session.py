@@ -29,7 +29,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.language import parse_invariants, parse_packet_space
 from repro.dataplane.rule import Rule
@@ -45,12 +55,15 @@ from repro.serve.protocol import (
     LinkRequest,
     ProtocolError,
     Request,
+    SubscribeRequest,
     UpdateRequest,
     decode_line,
     decode_request,
     parse_action,
 )
+from repro.serve.subscribe import SUBSCRIBE_ALL, Subscription
 from repro.sim.runner import TulkunRunner
+from repro.slicing import tenant_of_invariant
 from repro.telemetry.histogram import LatencyHistogram
 
 __all__ = ["Reply", "StreamSession", "auto_key_rules"]
@@ -63,6 +76,9 @@ class Reply:
     frames: List[Dict[str, object]] = field(default_factory=list)
     flush: bool = False      # client asked for an immediate epoch
     shutdown: bool = False   # client asked the daemon to stop
+    # A subscribe request changes the *requesting* client's broadcast
+    # filter; the transport applies it after sending the ack.
+    subscribe: Optional[Subscription] = None
 
 
 def auto_key_rules(
@@ -84,7 +100,20 @@ class StreamSession:
         runner: TulkunRunner,
         rules_by_device: Mapping[str, Sequence[Rule]],
         histogram: Optional[LatencyHistogram] = None,
+        max_pending_per_tenant: Optional[int] = None,
+        max_slices_per_tenant: Optional[int] = None,
     ) -> None:
+        """``max_pending_per_tenant`` caps how many un-drained events may be
+        attributed to one tenant slice (needs slicing enabled on the runner,
+        since attribution routes through the slice registry); excess requests
+        are rejected with a ``tenant-backlog`` error.  ``max_slices_per_tenant``
+        caps how many invariants one tenant slice may hold (``tenant-quota``).
+        Both default to ``None`` — unlimited — which keeps admission out of
+        the request/response stream entirely."""
+        if max_pending_per_tenant is not None and runner.slice_registry is None:
+            raise ValueError(
+                "max_pending_per_tenant needs a runner with slicing enabled"
+            )
         self.runner = runner
         self.rules_by_device = {
             dev: list(rules) for dev, rules in rules_by_device.items()
@@ -92,12 +121,24 @@ class StreamSession:
         self.coalescer = Coalescer()
         self.deltas = DeltaEmitter()
         self.histogram = histogram if histogram is not None else LatencyHistogram()
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self.max_slices_per_tenant = max_slices_per_tenant
         self.epoch = 0
         self.total_events = 0
         self.total_ops = 0
+        # Per-tenant epoch latency (recorded for every tenant an epoch
+        # touched) and the pending-event admission counters.
+        self.tenant_histograms: Dict[str, LatencyHistogram] = {}
+        self._pending_by_tenant: Dict[str, int] = {}
+        # Transport hook: the daemon installs a callable returning its
+        # per-client table (queue depth, drops, subscription) for ``stats``.
+        self.stats_clients: Optional[
+            Callable[[], List[Dict[str, object]]]
+        ] = None
         # Projected state: the deployment after everything enqueued applies.
         self._keys: Dict[str, Tuple[str, Rule]] = {}
         self._invariant_names: Set[str] = set()
+        self._tenant_of_projected: Dict[str, str] = {}
         self._devices_down: Set[str] = set()
         self._drained: Set[str] = set()
         self._links_down: Set[Tuple[str, str]] = set()
@@ -115,6 +156,14 @@ class StreamSession:
         result = self.runner.burst_update(self.rules_by_device)
         self._keys = auto_key_rules(self.rules_by_device)
         self._invariant_names = {inv.name for inv in self.runner.invariants}
+        registry = self.runner.slice_registry
+        for name in self._invariant_names:
+            tenant = registry.tenant_of(name) if registry is not None else None
+            self._tenant_of_projected[name] = (
+                tenant if tenant is not None else tenant_of_invariant(name)
+            )
+        if registry is not None:
+            self.runner.consume_touched()  # deploy touches everything
         statuses = self.runner.statuses()
         self.deltas.diff(statuses)  # set the baseline clients start from
         return {
@@ -156,11 +205,67 @@ class StreamSession:
             if isinstance(request, InvariantRequest):
                 self._enqueue_invariant(request)
                 return Reply(frames=[self._ack(request, "invariant")])
+            if isinstance(request, SubscribeRequest):
+                subscription = self._subscription_for(request)
+                frame = self._ack(request, "subscribe")
+                frame["subscription"] = subscription.describe()
+                return Reply(frames=[frame], subscribe=subscription)
             if isinstance(request, ControlRequest):
                 return self._control(request)
         except ProtocolError as exc:
             return Reply(frames=[self._error(request.id, exc.code, exc.detail)])
         raise AssertionError(f"unhandled request {request!r}")
+
+    # ------------------------------------------------------------------
+    # Tenancy + admission
+    # ------------------------------------------------------------------
+    def tenant_of(self, invariant_name: str) -> Optional[str]:
+        """Resolve an invariant's tenant through the slice registry when
+        slicing is on, the projected membership otherwise, and finally the
+        ``tenant/`` name-prefix convention."""
+        registry = self.runner.slice_registry
+        if registry is not None:
+            tenant = registry.tenant_of(invariant_name)
+            if tenant is not None:
+                return tenant
+        tenant = self._tenant_of_projected.get(invariant_name)
+        if tenant is not None:
+            return tenant
+        return tenant_of_invariant(invariant_name)
+
+    def _subscription_for(self, request: SubscribeRequest) -> Subscription:
+        if request.all:
+            return SUBSCRIBE_ALL
+        if request.invariants is not None:
+            for name in request.invariants:
+                if name not in self._invariant_names:
+                    raise ProtocolError(
+                        "unknown-invariant", f"no invariant {name!r}"
+                    )
+            return Subscription("invariants", frozenset(request.invariants))
+        assert request.tenants is not None
+        # Tenant slices come and go with invariant churn, so any name is
+        # accepted — an unknown tenant simply matches nothing yet.
+        return Subscription("tenants", frozenset(request.tenants))
+
+    def _admit(self, tenants: Iterable[str], cost: int = 1) -> None:
+        """Charge ``cost`` pending events to each touched tenant, rejecting
+        the request (before any projection commits) when a tenant would
+        exceed its backlog limit.  No-op with the limit unset."""
+        limit = self.max_pending_per_tenant
+        if limit is None:
+            return
+        charged = sorted(set(tenants))
+        counts = self._pending_by_tenant
+        for tenant in charged:
+            if counts.get(tenant, 0) + cost > limit:
+                raise ProtocolError(
+                    "tenant-backlog",
+                    f"tenant {tenant!r} has {counts.get(tenant, 0)} pending "
+                    f"events (limit {limit})",
+                )
+        for tenant in charged:
+            counts[tenant] = counts.get(tenant, 0) + cost
 
     # ------------------------------------------------------------------
     # Per-op validation + enqueue (all against projected state)
@@ -197,6 +302,21 @@ class StreamSession:
         install_rule: Optional[Rule] = None
         if request.install is not None:
             install_rule = self._parse_install(request.device, request.install)
+        if self.max_pending_per_tenant is not None:
+            registry = self.runner.slice_registry
+            touched: Set[str] = set()
+            cost = 0
+            if remove_entry is not None:
+                touched |= registry.touched_by_update(
+                    request.device, remove_entry[1].match
+                )
+                cost += 1
+            if install_rule is not None:
+                touched |= registry.touched_by_update(
+                    request.device, install_rule.match
+                )
+                cost += 1
+            self._admit(touched, cost)
         # Both halves validated — now commit projections and enqueue.
         if request.remove is not None and remove_entry is not None:
             del self._keys[request.remove]
@@ -240,18 +360,22 @@ class StreamSession:
                 f"no link between {request.a!r} and {request.b!r}",
             )
         link = (min(request.a, request.b), max(request.a, request.b))
+        if request.up and link not in self._links_down:
+            raise ProtocolError(
+                "link-not-down", f"link {link[0]}:{link[1]} is up"
+            )
+        if not request.up and link in self._links_down:
+            raise ProtocolError(
+                "link-already-down",
+                f"link {link[0]}:{link[1]} is already down",
+            )
+        if self.max_pending_per_tenant is not None:
+            self._admit(
+                self.runner.slice_registry.touched_by_link(request.a, request.b)
+            )
         if request.up:
-            if link not in self._links_down:
-                raise ProtocolError(
-                    "link-not-down", f"link {link[0]}:{link[1]} is up"
-                )
             self._links_down.discard(link)
         else:
-            if link in self._links_down:
-                raise ProtocolError(
-                    "link-already-down",
-                    f"link {link[0]}:{link[1]} is already down",
-                )
             self._links_down.add(link)
         self.coalescer.barrier("link", (request.a, request.b, request.up))
         self.total_events += 1
@@ -266,29 +390,33 @@ class StreamSession:
         dev = request.device
         if not self.runner.topology.has_device(dev):
             raise ProtocolError("unknown-device", f"no device {dev!r}")
+        if request.op == "crash" and dev in self._devices_down:
+            raise ProtocolError(
+                "already-crashed", f"device {dev!r} is already down"
+            )
+        if request.op == "restart" and dev not in self._devices_down:
+            raise ProtocolError("not-crashed", f"device {dev!r} is not down")
+        if request.op == "drain" and dev in self._drained:
+            raise ProtocolError(
+                "already-drained", f"device {dev!r} is already drained"
+            )
+        if request.op == "restore" and dev not in self._drained:
+            raise ProtocolError(
+                "not-drained", f"device {dev!r} is not drained"
+            )
+        if self.max_pending_per_tenant is not None:
+            registry = self.runner.slice_registry
+            if request.op in ("crash", "restart"):
+                self._admit(registry.touched_by_lifecycle(dev))
+            else:  # drain / restore: whole-FIB rewrite on the device
+                self._admit(registry.touched_by_rewrite(dev))
         if request.op == "crash":
-            if dev in self._devices_down:
-                raise ProtocolError(
-                    "already-crashed", f"device {dev!r} is already down"
-                )
             self._devices_down.add(dev)
         elif request.op == "restart":
-            if dev not in self._devices_down:
-                raise ProtocolError(
-                    "not-crashed", f"device {dev!r} is not down"
-                )
             self._devices_down.discard(dev)
         elif request.op == "drain":
-            if dev in self._drained:
-                raise ProtocolError(
-                    "already-drained", f"device {dev!r} is already drained"
-                )
             self._drained.add(dev)
-        else:  # restore
-            if dev not in self._drained:
-                raise ProtocolError(
-                    "not-drained", f"device {dev!r} is not drained"
-                )
+        else:
             self._drained.discard(dev)
         self.coalescer.barrier(request.op, (dev,))
         self.total_events += 1
@@ -309,15 +437,48 @@ class StreamSession:
                         "duplicate-invariant",
                         f"invariant {inv.name!r} is already deployed",
                     )
-            self._invariant_names.update(inv.name for inv in invariants)
-            self.coalescer.barrier("invariant-add", tuple(invariants))
+            tenants = {
+                inv.name: (
+                    request.tenant
+                    if request.tenant is not None
+                    else tenant_of_invariant(inv.name)
+                )
+                for inv in invariants
+            }
+            if self.max_slices_per_tenant is not None:
+                load: Dict[str, int] = {}
+                for tenant in self._tenant_of_projected.values():
+                    load[tenant] = load.get(tenant, 0) + 1
+                incoming: Dict[str, int] = {}
+                for tenant in tenants.values():
+                    incoming[tenant] = incoming.get(tenant, 0) + 1
+                for tenant in sorted(incoming):
+                    if (
+                        load.get(tenant, 0) + incoming[tenant]
+                        > self.max_slices_per_tenant
+                    ):
+                        raise ProtocolError(
+                            "tenant-quota",
+                            f"tenant {tenant!r} holds {load.get(tenant, 0)} "
+                            f"invariants "
+                            f"(limit {self.max_slices_per_tenant})",
+                        )
+            self._admit(set(tenants.values()))
+            self._invariant_names.update(tenants)
+            self._tenant_of_projected.update(tenants)
+            self.coalescer.barrier(
+                "invariant-add", (tuple(invariants), request.tenant)
+            )
         else:
             name = request.remove
             if name not in self._invariant_names:
                 raise ProtocolError(
                     "unknown-invariant", f"no invariant {name!r}"
                 )
+            tenant = self.tenant_of(name)
+            self._admit([tenant] if tenant is not None else [])
             self._invariant_names.discard(name)
+            self._tenant_of_projected.pop(name, None)
             self.coalescer.barrier("invariant-remove", (name,))
         self.total_events += 1
 
@@ -357,6 +518,26 @@ class StreamSession:
         pool_stats = getattr(self.runner.network, "pool_stats", None)
         if pool_stats is not None:
             frame["pool"] = pool_stats()
+        if self.tenant_histograms:
+            frame["tenants"] = {
+                tenant: hist.summary()
+                for tenant, hist in sorted(self.tenant_histograms.items())
+            }
+        if (
+            self.max_pending_per_tenant is not None
+            or self.max_slices_per_tenant is not None
+        ):
+            frame["admission"] = {
+                "max_pending_per_tenant": self.max_pending_per_tenant,
+                "max_slices_per_tenant": self.max_slices_per_tenant,
+                "pending": {
+                    tenant: count
+                    for tenant, count in sorted(self._pending_by_tenant.items())
+                    if count
+                },
+            }
+        if self.stats_clients is not None:
+            frame["clients"] = self.stats_clients()
         return frame
 
     # ------------------------------------------------------------------
@@ -372,6 +553,7 @@ class StreamSession:
         if not self.coalescer.pending:
             return []
         segments, events = self.coalescer.drain()
+        self._pending_by_tenant = {}
         self.epoch += 1
         epoch = self.epoch
         tracer = self.runner.tracer
@@ -397,29 +579,38 @@ class StreamSession:
         latency = time.perf_counter() - wall_start
         self.histogram.record(latency)
         self.total_ops += ops
+        # Sliced deployments report which tenant slices this epoch touched
+        # (and record the epoch's latency against each of them); unsliced
+        # deployments keep the PR 9 frame shape exactly.
+        touched: Optional[List[str]] = None
+        if self.runner.slice_registry is not None:
+            touched = sorted(self.runner.consume_touched())
+            for tenant in touched:
+                hist = self.tenant_histograms.get(tenant)
+                if hist is None:
+                    hist = self.tenant_histograms[tenant] = LatencyHistogram()
+                hist.record(latency)
         if tracer is not None:
+            t1 = tracer.ipc_clock()
             tracer.epoch_span(
-                epoch,
-                reason,
-                t0,
-                tracer.ipc_clock(),
-                events=events,
-                ops=ops,
-                settle=settle,
+                epoch, reason, t0, t1, events=events, ops=ops, settle=settle
             )
+            for tenant in touched or ():
+                tracer.slice_span(epoch, tenant, t0, t1, events=events)
         changed = self.deltas.diff(self.runner.statuses())
-        frames.append(
-            {
-                "frame": "delta",
-                "epoch": epoch,
-                "reason": reason,
-                "events": events,
-                "ops": ops,
-                "settle": settle,
-                "changed": changed,
-                "converged": True,
-            }
-        )
+        delta: Dict[str, object] = {
+            "frame": "delta",
+            "epoch": epoch,
+            "reason": reason,
+            "events": events,
+            "ops": ops,
+            "settle": settle,
+            "changed": changed,
+            "converged": True,
+        }
+        if touched is not None:
+            delta["touched"] = touched
+        frames.append(delta)
         return frames
 
     def _apply_segment(self, segment) -> float:
@@ -442,7 +633,13 @@ class StreamSession:
         if kind == "restore":
             return runner.restore_drained(payload[0])
         if kind == "invariant-add":
-            return runner.add_invariants(list(payload))
+            invariants, tenant = payload
+            tenant_map = (
+                {inv.name: tenant for inv in invariants}
+                if tenant is not None
+                else None
+            )
+            return runner.add_invariants(list(invariants), tenants=tenant_map)
         if kind == "invariant-remove":
             return runner.remove_invariants(list(payload))
         raise AssertionError(f"unknown barrier kind {kind!r}")

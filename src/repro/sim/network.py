@@ -396,11 +396,15 @@ class SimNetwork:
         self.kernel.schedule_at(at, run)
 
     def _schedule_fib_rewrite(
-        self, dev: str, at: float, label: str, mutate
+        self, dev: str, at: float, label: str, mutate, only=None
     ) -> None:
         """Schedule a FIB mutation on one device: ``mutate(plane)`` returns
         the LEC deltas, which every local verifier processes in the same
-        handler before the outgoing DVM messages are routed."""
+        handler before the outgoing DVM messages are routed.
+
+        ``only`` (a set of invariant names) restricts which local verifiers
+        see the deltas — the slicing scheduler passes the invariants of the
+        touched slices, having proven the rest would no-op on them."""
         device = self.devices[dev]
 
         def run() -> None:
@@ -409,6 +413,8 @@ class SimNetwork:
             deltas = mutate(device.plane)
             all_out: List[Tuple[str, object, str]] = []
             for inv_name, verifier in device.verifiers.items():
+                if only is not None and inv_name not in only:
+                    continue
                 for dest, msg in verifier.handle_lec_deltas(deltas):
                     all_out.append((dest, msg, inv_name))
             cost = (_time.perf_counter() - t0) * self.cpu_scale
@@ -442,7 +448,11 @@ class SimNetwork:
         self.apply_rule_updates(dev, at, ops)
 
     def apply_rule_updates(
-        self, dev: str, at: float, ops: Sequence[Tuple[str, object]]
+        self,
+        dev: str,
+        at: float,
+        ops: Sequence[Tuple[str, object]],
+        only: Optional[Set[str]] = None,
     ) -> None:
         """Apply a coalesced batch of rule updates on one device.
 
@@ -452,6 +462,9 @@ class SimNetwork:
         verifier — which is the squashing win the serving mode's coalescer
         exploits; the quiescent fixpoint is identical to applying the same
         ops one handler at a time (DVM update commutativity).
+
+        ``only`` restricts the LEC-delta hand-off to the named invariants
+        (slicing: untouched verifiers provably no-op on these deltas).
         """
         if dev not in self.devices:
             raise SimulationError(f"unknown device {dev!r}")
@@ -467,7 +480,7 @@ class SimNetwork:
                     raise SimulationError(f"unknown rule op {kind!r}")
             return deltas
 
-        self._schedule_fib_rewrite(dev, at, "rule_update", mutate)
+        self._schedule_fib_rewrite(dev, at, "rule_update", mutate, only=only)
 
     def drain_device(self, dev: str, at: float) -> None:
         """Maintenance drain: withdraw every rule from a device's FIB.
@@ -693,16 +706,22 @@ class SimNetwork:
             return True
         return self.transport.quiescent() and not self.transport.unreachable
 
-    def invariant_status(self, invariant: str) -> str:
+    def invariant_status(
+        self, invariant: str, within: Optional[Sequence[str]] = None
+    ) -> str:
         """``HOLDS`` / ``VIOLATED``, or ``UNKNOWN(unreachable_upstream)``
         when a transport flow carrying this invariant's results gave up —
-        the surviving counts are stale, so no verdict is reported."""
+        the surviving counts are stale, so no verdict is reported.
+
+        ``within`` limits the verdict gathering to the named devices (the
+        slicing scheduler passes the invariant's footprint — verifiers
+        cannot exist elsewhere, so the answer is unchanged)."""
         if (
             self.transport is not None
             and invariant in self.transport.unreachable_invariants()
         ):
             return "UNKNOWN(unreachable_upstream)"
-        return "HOLDS" if self.all_hold(invariant) else "VIOLATED"
+        return "HOLDS" if self.all_hold(invariant, within) else "VIOLATED"
 
     def transport_summary(self) -> Dict[str, int]:
         """Aggregate transport/channel counters (zeros without transport)."""
@@ -718,17 +737,31 @@ class SimNetwork:
         )
         return totals
 
-    def verdicts(self, invariant: str) -> Dict[str, Tuple[bool, list]]:
-        """Per-ingress verdicts gathered from source-node devices."""
+    def verdicts(
+        self, invariant: str, within: Optional[Sequence[str]] = None
+    ) -> Dict[str, Tuple[bool, list]]:
+        """Per-ingress verdicts gathered from source-node devices.
+
+        ``within`` restricts the scan to the named devices — sound when it
+        covers the invariant's footprint, since verifiers exist nowhere
+        else; turns the gather from O(all devices) into O(footprint)."""
         verdicts: Dict[str, Tuple[bool, list]] = {}
-        for device in self.devices.values():
+        if within is None:
+            devices = self.devices.values()
+        else:
+            devices = [
+                self.devices[dev] for dev in within if dev in self.devices
+            ]
+        for device in devices:
             verifier = device.verifiers.get(invariant)
             if verifier is not None:
                 verdicts.update(verifier.verdicts)
         return verdicts
 
-    def all_hold(self, invariant: str) -> bool:
-        verdicts = self.verdicts(invariant)
+    def all_hold(
+        self, invariant: str, within: Optional[Sequence[str]] = None
+    ) -> bool:
+        verdicts = self.verdicts(invariant, within)
         return bool(verdicts) and all(ok for ok, _violations in verdicts.values())
 
     def violations(self, invariant: str) -> list:

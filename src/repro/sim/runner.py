@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.bdd.predicate import PacketSpaceContext
 from repro.core.invariant import Invariant
@@ -25,6 +25,7 @@ from repro.dataplane.rule import Rule
 from repro.errors import SimulationError
 from repro.sim.network import SimNetwork
 from repro.sim.transport import ChaosConfig, TransportConfig
+from repro.slicing import SliceRegistry
 from repro.topology.graph import Topology
 
 __all__ = ["TulkunRunner", "BurstResult", "IncrementalResult"]
@@ -88,6 +89,7 @@ class TulkunRunner:
         tracer=None,
         channel=None,
         use_shm: bool = True,
+        slices: Union[None, str, Mapping[str, Sequence[str]]] = None,
     ) -> None:
         """``prebuilt_nets`` optionally maps invariant names to prebuilt
         DPVNets (e.g. fault-tolerant ones from
@@ -123,6 +125,17 @@ class TulkunRunner:
 
         ``use_shm`` (process backend) ships cross-worker DVM frames through
         shared-memory rings; disable to force the pipe fallback lane.
+
+        ``slices`` enables intent-based slicing (:mod:`repro.slicing`):
+        ``"auto"`` groups invariants into tenant slices by their
+        ``tenant/name`` prefix; a mapping ``{tenant: [invariant names]}``
+        assigns them explicitly (unlisted invariants fall back to the
+        prefix convention).  With slicing on, every FIB update / link /
+        lifecycle event is routed only to the slices whose footprint it
+        intersects, verdict statuses of untouched slices are served from
+        cache, and (process backend) disjoint-footprint slice groups are
+        partitioned onto different shard workers.  Verdicts are
+        byte-identical to the unsliced run.
         """
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -165,6 +178,30 @@ class TulkunRunner:
         # Rules withdrawn by drain_device, keyed by device, awaiting
         # restore_drained (rolling-upgrade bookkeeping).
         self._drained: Dict[str, List[Rule]] = {}
+        # Intent-based slicing (None = off): footprint router + per-slice
+        # verdict bookkeeping.  ``_status_dirty`` holds invariant names whose
+        # cached status a touched slice invalidated; ``touched_tenants``
+        # accumulates routing verdicts until consume_touched() (the serving
+        # layer drains it once per epoch for per-tenant delta fan-out).
+        self.slice_registry: Optional[SliceRegistry] = None
+        self._status_cache: Dict[str, str] = {}
+        self._status_dirty: Set[str] = set()
+        self.touched_tenants: Set[str] = set()
+        self._scene_active = False
+        if slices is not None:
+            if isinstance(slices, str) and slices != "auto":
+                raise ValueError(f"unknown slices mode {slices!r}")
+            tenant_by_inv: Dict[str, str] = {}
+            if not isinstance(slices, str):
+                for tenant, names in slices.items():
+                    for inv_name in names:
+                        tenant_by_inv[inv_name] = tenant
+            registry = SliceRegistry(topology)
+            for inv, task_set in zip(self.invariants, self.task_sets):
+                registry.add_invariant(
+                    inv, task_set, tenant=tenant_by_inv.get(inv.name)
+                )
+            self.slice_registry = registry
 
     # ------------------------------------------------------------------
     def deploy(self, planes: Mapping[str, DevicePlane]):
@@ -175,6 +212,14 @@ class TulkunRunner:
         new planes (warm BDD contexts, no re-fork)."""
         self._close_network()
         self._drained.clear()
+        registry = self.slice_registry
+        if registry is not None:
+            registry.note_rules(
+                rule for plane in planes.values() for rule in plane.rules
+            )
+            self._mark_touched(registry.all_tenants())
+            self._status_cache.clear()
+            self._status_dirty.update(inv.name for inv in self.invariants)
         if self.backend == "process":
             from repro.parallel.coordinator import ParallelNetwork
 
@@ -191,6 +236,7 @@ class TulkunRunner:
                 pool=self._ensure_pool(),
                 use_shm=self.use_shm,
                 tracer=self.tracer,
+                slice_groups=self._slice_groups(),
             )
         else:
             self.network = SimNetwork(
@@ -224,6 +270,14 @@ class TulkunRunner:
             "gc_threshold": self.gc_threshold,
             "predicate_index": self.predicate_index,
             "use_shm": self.use_shm,
+            # The slice-aligned partition changes with slice membership; a
+            # warm pool only fits deployments with the same assignment, so
+            # the group fingerprint forces a respawn when groups move.
+            "slice_groups": (
+                tuple(tuple(group) for group in self._slice_groups())
+                if self.slice_registry is not None
+                else None
+            ),
         }
         pool = self._pool
         if pool is not None and (
@@ -236,6 +290,29 @@ class TulkunRunner:
             pool.profile = profile
             self._pool = pool
         return pool
+
+    def _slice_groups(self):
+        """Slice-footprint device groups for the process partition (None
+        when slicing is off — the configured strategy applies instead)."""
+        registry = self.slice_registry
+        if registry is None:
+            return None
+        return registry.device_groups()
+
+    def _mark_touched(self, tenants: Set[str]) -> None:
+        """Record routing verdicts: dirty the statuses of every invariant
+        in a touched slice and accumulate the tenants for the serve layer."""
+        registry = self.slice_registry
+        if registry is None or not tenants:
+            return
+        self.touched_tenants.update(tenants)
+        self._status_dirty.update(registry.invariants_of(tenants))
+
+    def consume_touched(self) -> Set[str]:
+        """Drain the tenants touched since the last call (serving epochs)."""
+        touched = self.touched_tenants
+        self.touched_tenants = set()
+        return touched
 
     def _close_network(self) -> None:
         network = self.network
@@ -264,6 +341,10 @@ class TulkunRunner:
         """§9.3.2: all forwarding rules installed at once at t=0."""
         planes: Dict[str, DevicePlane] = {}
         network = self.deploy(planes)
+        if self.slice_registry is not None:
+            self.slice_registry.note_rules(
+                rule for rules in rules_by_device.values() for rule in rules
+            )
         for dev, rules in rules_by_device.items():
             network.install_rules(dev, list(rules), at=0.0)
         # Devices without rules still initialize (they announce zero counts).
@@ -318,10 +399,52 @@ class TulkunRunner:
                 ops.append(("remove", remove_id))
             if install is not None:
                 ops.append(("install", install))
+        only_by_dev = self._route_updates(updates)
         for dev in order:
-            network.apply_rule_updates(dev, start, per_device[dev])
+            only = only_by_dev.get(dev) if only_by_dev is not None else None
+            network.apply_rule_updates(dev, start, per_device[dev], only=only)
         finish = network.run()
         return max(0.0, finish - start)
+
+    def _route_updates(
+        self,
+        updates: Sequence[Tuple[str, Optional[Rule], Optional[int]]],
+    ) -> Optional[Dict[str, Set[str]]]:
+        """Slicing router for one update burst: per device, the invariant
+        names of every slice the device's ops can touch (None = slicing
+        off, no filtering).
+
+        Runs *before* any plane mutation: a removal's match predicate is
+        looked up on the still-unmutated plane; a removal whose rule was
+        installed earlier in the same burst resolves to ``match=None``
+        (conservative: every slice on the device).  Installs carrying a
+        transform action widen the registry first — packet gating is then
+        off for this and every later burst."""
+        registry = self.slice_registry
+        if registry is None:
+            return None
+        network = self.network
+        touched_all: Set[str] = set()
+        slices_by_dev: Dict[str, Set[str]] = {}
+        for dev, install, remove_id in updates:
+            dev_slices = slices_by_dev.setdefault(dev, set())
+            if remove_id is not None:
+                rule = network.devices[dev].plane.get_rule(remove_id)
+                match = rule.match if rule is not None else None
+                dev_slices |= registry.touched_by_update(dev, match)
+            if install is not None:
+                if (
+                    not registry.widened
+                    and install.action.transform is not None
+                ):
+                    registry.widen()
+                dev_slices |= registry.touched_by_update(dev, install.match)
+            touched_all |= dev_slices
+        self._mark_touched(touched_all)
+        return {
+            dev: registry.invariants_of(slices)
+            for dev, slices in slices_by_dev.items()
+        }
 
     def incremental_updates(
         self,
@@ -342,7 +465,11 @@ class TulkunRunner:
         network.snapshot_engines()
         return result
 
-    def add_invariants(self, invariants: Sequence[Invariant]) -> float:
+    def add_invariants(
+        self,
+        invariants: Sequence[Invariant],
+        tenants: Optional[Mapping[str, str]] = None,
+    ) -> float:
         """Deploy additional invariants onto the live network; return the
         settle duration (0.0 when nothing is deployed yet).
 
@@ -350,6 +477,9 @@ class TulkunRunner:
         in place.  The process backend redeploys from the live planes —
         worker processes and their warm BDD contexts are reused through the
         persistent pool, and every installed rule survives with its id.
+
+        ``tenants`` (slicing only) maps invariant names to explicit tenant
+        slices; unmapped names follow the ``tenant/name`` prefix convention.
         """
         invariants = list(invariants)
         existing = {inv.name for inv in self.invariants}
@@ -363,6 +493,16 @@ class TulkunRunner:
             new_sets.append(self.planner.decompose(inv))
         self.invariants.extend(invariants)
         self.task_sets.extend(new_sets)
+        registry = self.slice_registry
+        if registry is not None:
+            touched = set()
+            for inv, task_set in zip(invariants, new_sets):
+                touched.add(
+                    registry.add_invariant(
+                        inv, task_set, tenant=(tenants or {}).get(inv.name)
+                    )
+                )
+            self._mark_touched(touched)
         network = self.network
         if network is None or not invariants:
             return 0.0
@@ -389,6 +529,19 @@ class TulkunRunner:
         self.task_sets = [
             ts for ts in self.task_sets if ts.invariant_name not in doomed
         ]
+        registry = self.slice_registry
+        if registry is not None:
+            touched = set()
+            for name in sorted(doomed):
+                tenant = registry.remove_invariant(name)
+                if tenant is not None:
+                    touched.add(tenant)
+                self._status_cache.pop(name, None)
+                self._status_dirty.discard(name)
+            # Surviving slice members keep valid cached statuses; the
+            # tenant is still reported touched (even when dissolved) so
+            # subscribers observe the membership change.
+            self.touched_tenants.update(touched)
         network = self.network
         if network is None or not doomed:
             return 0.0
@@ -439,6 +592,18 @@ class TulkunRunner:
         network = self.network
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
+        registry = self.slice_registry
+        if registry is not None:
+            if scene_id is not None:
+                # A scene switch re-labels every verifier's DPVNet: all
+                # slices recount, no footprint gating applies.
+                self._scene_active = True
+                self._mark_touched(registry.all_tenants())
+            else:
+                touched: Set[str] = set()
+                for a, b in links:
+                    touched |= registry.touched_by_link(a, b)
+                self._mark_touched(touched)
         start = _schedule_start(network)
         for a, b in links:
             network.change_link(a, b, is_up=False, at=start)
@@ -452,6 +617,18 @@ class TulkunRunner:
         network = self.network
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
+        registry = self.slice_registry
+        if registry is not None:
+            if self._scene_active:
+                # Deactivating the fault scene restores every verifier's
+                # base labels — all slices recount.
+                self._scene_active = False
+                self._mark_touched(registry.all_tenants())
+            else:
+                touched = set()
+                for a, b in links:
+                    touched |= registry.touched_by_link(a, b)
+                self._mark_touched(touched)
         start = _schedule_start(network)
         for a, b in links:
             network.change_link(a, b, is_up=True, at=start)
@@ -466,24 +643,48 @@ class TulkunRunner:
         """Per-invariant verdict status, degrading to ``UNKNOWN`` honestly.
 
         Backends without a transport layer (process pool) always converge
-        reliably, so their statuses are plain HOLDS/VIOLATED."""
+        reliably, so their statuses are plain HOLDS/VIOLATED.
+
+        With slicing enabled, only invariants whose slice was touched since
+        the last call are recomputed — and their verdict gathering is
+        scoped to the slice's device footprint.  Untouched invariants are
+        answered from cache, making a statuses sweep O(touched footprint)
+        instead of O(invariants × devices)."""
         network = self.network
         if network is None:
             raise RuntimeError("deploy/burst_update the network first")
         status_of = getattr(network, "invariant_status", None)
-        out: Dict[str, str] = {}
-        for inv in self.invariants:
+        registry = self.slice_registry
+        if registry is None:
+            out: Dict[str, str] = {}
+            for inv in self.invariants:
+                if status_of is not None:
+                    out[inv.name] = status_of(inv.name)
+                else:
+                    out[inv.name] = (
+                        "HOLDS" if network.all_hold(inv.name) else "VIOLATED"
+                    )
+            return out
+        cache = self._status_cache
+        for name in self._status_dirty:
+            footprint = registry.footprint_of(name)
+            if footprint is None:
+                continue  # invariant removed since it was dirtied
+            within = sorted(footprint.devices)
             if status_of is not None:
-                out[inv.name] = status_of(inv.name)
+                cache[name] = status_of(name, within=within)
             else:
-                out[inv.name] = (
-                    "HOLDS" if network.all_hold(inv.name) else "VIOLATED"
+                cache[name] = (
+                    "HOLDS" if network.all_hold(name, within) else "VIOLATED"
                 )
-        return out
+        self._status_dirty.clear()
+        return {inv.name: cache[inv.name] for inv in self.invariants}
 
     def crash_device(self, dev: str) -> float:
         """Crash a device (serial backend); return the settle duration."""
         network = self._sim_network()
+        if self.slice_registry is not None:
+            self._mark_touched(self.slice_registry.touched_by_lifecycle(dev))
         start = _schedule_start(network)
         network.crash_device(dev, at=start)
         finish = network.run()
@@ -492,6 +693,8 @@ class TulkunRunner:
     def restart_device(self, dev: str) -> float:
         """Restart a crashed device and resync; return the settle duration."""
         network = self._sim_network()
+        if self.slice_registry is not None:
+            self._mark_touched(self.slice_registry.touched_by_lifecycle(dev))
         start = _schedule_start(network)
         network.restart_device(dev, at=start)
         finish = network.run()
@@ -512,6 +715,8 @@ class TulkunRunner:
         network = self._sim_network()
         if dev in self._drained:
             raise SimulationError(f"device {dev!r} is already drained")
+        if self.slice_registry is not None:
+            self._mark_touched(self.slice_registry.touched_by_rewrite(dev))
         self._drained[dev] = list(network.devices[dev].plane.rules)
         start = _schedule_start(network)
         network.drain_device(dev, at=start)
@@ -524,6 +729,9 @@ class TulkunRunner:
         saved = self._drained.pop(dev, None)
         if saved is None:
             raise SimulationError(f"device {dev!r} is not drained")
+        if self.slice_registry is not None:
+            self.slice_registry.note_rules(saved)
+            self._mark_touched(self.slice_registry.touched_by_rewrite(dev))
         start = _schedule_start(network)
         network.restore_rules(dev, saved, at=start)
         finish = network.run()

@@ -1,0 +1,275 @@
+"""The slice registry: tenants, footprints and the inverted event index.
+
+One :class:`SliceRegistry` lives on a :class:`~repro.sim.runner.TulkunRunner`
+when slicing is enabled.  It groups deployed invariants into tenant slices,
+keeps each slice's merged footprint, and answers the only question the
+scheduler asks: *which slices does this event touch?*
+
+Routing rules (all conservative over-approximations — see the module doc of
+:mod:`repro.slicing.footprint` for why each is sound):
+
+* **FIB update** ``(device, match)`` → slices with a verifier on the device
+  whose packet space overlaps the match (packet gating is skipped once the
+  deployment has been :meth:`widen`\\ ed by a transform rule).
+* **drain / restore** on a device → slices with a verifier on it (a full
+  FIB rewrite touches every packet space).
+* **link** ``(a, b)`` → slices with a verifier on either endpoint.
+* **crash / restart** of a device → slices with a verifier on the device
+  or any of its topology neighbors (neighbors observe the adjacency loss).
+* **invariant add/remove** → exactly the named slice.
+
+The inverted index is device-keyed: ``device → slice names``.  Packet
+overlap tests are memoized per ``(match, slice)`` — churn overwhelmingly
+reinstalls known match predicates, so steady state routes with set lookups
+and dictionary hits only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bdd.predicate import Predicate
+from repro.core.invariant import Invariant
+from repro.core.tasks import TaskSet
+from repro.errors import SimulationError
+from repro.slicing.footprint import SliceFootprint, invariant_footprint
+from repro.topology.graph import Topology
+
+__all__ = ["Slice", "SliceRegistry", "tenant_of_invariant"]
+
+
+def tenant_of_invariant(name: str) -> str:
+    """Default tenant of an invariant: the ``tenant/`` name prefix if the
+    name carries one, else the invariant's own name (every unprefixed
+    invariant is its own single-intent slice)."""
+    head, sep, _rest = name.partition("/")
+    return head if sep else name
+
+
+class Slice:
+    """One tenant intent: a named group of invariants plus their merged
+    footprint.  Mutable — invariants join and leave as the tenant deploys
+    and retires them; the merged footprint is rebuilt on every change."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.invariants: Set[str] = set()
+        self.devices: FrozenSetStr = frozenset()
+        self.packet_space: Optional[Predicate] = None
+
+    def rebuild(self, footprints: Mapping[str, SliceFootprint]) -> None:
+        devices: Set[str] = set()
+        space: Optional[Predicate] = None
+        for inv_name in self.invariants:
+            fp = footprints[inv_name]
+            devices.update(fp.devices)
+            space = fp.packet_space if space is None else space | fp.packet_space
+        self.devices = frozenset(devices)
+        self.packet_space = space
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Slice({self.name!r}, invariants={sorted(self.invariants)}, "
+            f"devices={sorted(self.devices)})"
+        )
+
+
+FrozenSetStr = frozenset
+
+
+class SliceRegistry:
+    """Slices, their footprints, and the event → touched-slices router."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.slices: Dict[str, Slice] = {}
+        self._tenant_of: Dict[str, str] = {}       # invariant -> tenant
+        self._footprints: Dict[str, SliceFootprint] = {}
+        self._by_device: Dict[str, Set[str]] = {}  # device -> slice names
+        # Sticky: a transform rule anywhere disables packet-space gating
+        # (SUBSCRIBE can grow verifier interest beyond the packet space).
+        self.widened = False
+        # (match predicate, slice name) -> overlap verdict.
+        self._overlap_memo: Dict[Tuple[Predicate, str], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_invariant(
+        self,
+        invariant: Invariant,
+        task_set: TaskSet,
+        tenant: Optional[str] = None,
+    ) -> str:
+        """Register a deployed invariant under its tenant slice; returns the
+        tenant name.  ``tenant=None`` derives it from the name prefix."""
+        name = invariant.name
+        if name in self._tenant_of:
+            raise SimulationError(f"invariant {name!r} is already sliced")
+        tenant = tenant if tenant is not None else tenant_of_invariant(name)
+        self._tenant_of[name] = tenant
+        self._footprints[name] = invariant_footprint(invariant, task_set)
+        sl = self.slices.get(tenant)
+        if sl is None:
+            sl = self.slices[tenant] = Slice(tenant)
+        sl.invariants.add(name)
+        self._reindex(sl)
+        return tenant
+
+    def remove_invariant(self, name: str) -> Optional[str]:
+        """Drop an invariant; dissolves its slice when it was the last
+        member.  Returns the tenant the invariant belonged to."""
+        tenant = self._tenant_of.pop(name, None)
+        if tenant is None:
+            return None
+        self._footprints.pop(name, None)
+        sl = self.slices[tenant]
+        sl.invariants.discard(name)
+        if not sl.invariants:
+            del self.slices[tenant]
+            self._drop_from_index(tenant)
+        else:
+            self._reindex(sl)
+        self._purge_memo(tenant)
+        return tenant
+
+    def _reindex(self, sl: Slice) -> None:
+        self._drop_from_index(sl.name)
+        sl.rebuild(self._footprints)
+        for dev in sl.devices:
+            self._by_device.setdefault(dev, set()).add(sl.name)
+        self._purge_memo(sl.name)
+
+    def _drop_from_index(self, tenant: str) -> None:
+        for members in self._by_device.values():
+            members.discard(tenant)
+
+    def _purge_memo(self, tenant: str) -> None:
+        stale = [key for key in self._overlap_memo if key[1] == tenant]
+        for key in stale:
+            del self._overlap_memo[key]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def tenant_of(self, invariant_name: str) -> Optional[str]:
+        return self._tenant_of.get(invariant_name)
+
+    def footprint_of(self, invariant_name: str) -> Optional[SliceFootprint]:
+        return self._footprints.get(invariant_name)
+
+    def tenants(self) -> List[str]:
+        return sorted(self.slices)
+
+    def invariants_of(self, tenants: Iterable[str]) -> Set[str]:
+        out: Set[str] = set()
+        for tenant in tenants:
+            sl = self.slices.get(tenant)
+            if sl is not None:
+                out.update(sl.invariants)
+        return out
+
+    def slice_count(self) -> int:
+        return len(self.slices)
+
+    def device_groups(self) -> List[List[str]]:
+        """Connected components of slices that share devices, as sorted
+        device lists — the process backend's scheduling unit: slices with
+        disjoint footprints land in different groups and can be spread
+        across shard workers without cutting any slice in two."""
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        for tenant in self.slices:
+            parent[tenant] = tenant
+        for members in self._by_device.values():
+            members_sorted = sorted(members)
+            for other in members_sorted[1:]:
+                union(members_sorted[0], other)
+        groups: Dict[str, Set[str]] = {}
+        for tenant, sl in self.slices.items():
+            groups.setdefault(find(tenant), set()).update(sl.devices)
+        return sorted(
+            (sorted(devs) for devs in groups.values()),
+            key=lambda devs: (-len(devs), devs),
+        )
+
+    # ------------------------------------------------------------------
+    # Conservative widening
+    # ------------------------------------------------------------------
+    def widen(self) -> None:
+        """Disable packet-space gating permanently (transform rules seen).
+
+        Sticky by design: a transform rule may have triggered SUBSCRIBEs
+        that grew verifier interests beyond their packet spaces, and those
+        extensions survive the rule's removal."""
+        self.widened = True
+        self._overlap_memo.clear()
+
+    def note_rules(self, rules: Iterable) -> None:
+        """Scan rules (e.g. an initial FIB) for transform actions."""
+        if self.widened:
+            return
+        for rule in rules:
+            action = getattr(rule, "action", None)
+            if action is not None and getattr(action, "transform", None) is not None:
+                self.widen()
+                return
+
+    # ------------------------------------------------------------------
+    # Event routing
+    # ------------------------------------------------------------------
+    def touched_by_update(
+        self, dev: str, match: Optional[Predicate]
+    ) -> Set[str]:
+        """Slices a rule update on ``dev`` with the given match can reach.
+
+        ``match=None`` means the match predicate could not be resolved
+        (e.g. a removal of a rule installed earlier in the same batch) —
+        packet gating is skipped for that op, device gating still applies.
+        """
+        candidates = self._by_device.get(dev)
+        if not candidates:
+            return set()
+        if match is None or self.widened:
+            return set(candidates)
+        touched: Set[str] = set()
+        memo = self._overlap_memo
+        for tenant in candidates:
+            key = (match, tenant)
+            hit = memo.get(key)
+            if hit is None:
+                space = self.slices[tenant].packet_space
+                hit = memo[key] = (
+                    space is not None and space.overlaps(match)
+                )
+            if hit:
+                touched.add(tenant)
+        return touched
+
+    def touched_by_rewrite(self, dev: str) -> Set[str]:
+        """Drain/restore: a whole-FIB rewrite touches every packet space."""
+        return set(self._by_device.get(dev, ()))
+
+    def touched_by_link(self, a: str, b: str) -> Set[str]:
+        return set(self._by_device.get(a, ())) | set(self._by_device.get(b, ()))
+
+    def touched_by_lifecycle(self, dev: str) -> Set[str]:
+        """Crash/restart: the device plus every topology neighbor reacts."""
+        touched = set(self._by_device.get(dev, ()))
+        for neighbor in self.topology.neighbors(dev):
+            touched.update(self._by_device.get(neighbor, ()))
+        return touched
+
+    def all_tenants(self) -> Set[str]:
+        return set(self.slices)

@@ -43,6 +43,7 @@ __all__ = [
     "KERNEL_RUN",
     "IPC",
     "SERVE_EPOCH",
+    "SLICE_SPAN",
     "SPAN_KINDS",
 ]
 
@@ -57,7 +58,10 @@ IPC = "ipc"
 # Serving-mode epochs: one span per coalesced re-verification pass through
 # the always-on daemon (events ingested, ops applied, wall latency).
 SERVE_EPOCH = "serve_epoch"
-SPAN_KINDS = frozenset({TASK, KERNEL_RUN, IPC, SERVE_EPOCH})
+# Tenant-slice activity: one span per slice touched by an epoch, on a
+# ``slice:<tenant>`` track — which tenants each verification pass reached.
+SLICE_SPAN = "slice_span"
+SPAN_KINDS = frozenset({TASK, KERNEL_RUN, IPC, SERVE_EPOCH, SLICE_SPAN})
 
 # DVM messaging (the CIB announce / subscribe / update traffic).
 DVM_SEND = "dvm_send"

@@ -28,6 +28,7 @@ from repro.telemetry.events import (
     LINK,
     RESTART,
     SERVE_EPOCH,
+    SLICE_SPAN,
     TASK,
     VERDICT,
     TraceEvent,
@@ -155,6 +156,31 @@ class Tracer:
                 "name": f"epoch-{epoch}",
                 "epoch": epoch,
                 "reason": reason,
+                "start": start,
+                "finish": finish,
+                **fields,
+            },
+        )
+
+    def slice_span(
+        self,
+        epoch: int,
+        tenant: str,
+        start: float,
+        finish: float,
+        **fields: Any,
+    ) -> None:
+        """One tenant slice touched by a serving epoch: the same wall
+        interval as the epoch span, recorded on the slice's own track so
+        per-tenant activity (and idleness) is visible in the export."""
+        self._record(
+            SLICE_SPAN,
+            f"slice:{tenant}",
+            start,
+            {
+                "name": tenant,
+                "epoch": epoch,
+                "tenant": tenant,
                 "start": start,
                 "finish": finish,
                 **fields,

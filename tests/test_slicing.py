@@ -1,0 +1,369 @@
+"""Tenant slicing: registry routing, widening, footprint groups, runner wiring.
+
+The slicing subsystem treats each tenant intent (a named group of
+invariants) as a first-class slice with a packet-space + device footprint,
+and routes every event only to the slices whose footprint it intersects.
+These tests pin the routing rules on topologies where the footprints are
+known exactly (two disjoint chains), the conservative widening escape hatch
+(transform rules disable packet gating, stickily), and the runner-level
+bookkeeping: touched-tenant tracking, the status cache recomputing only
+dirty invariants, and slice-aligned device groups for the process backend.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bdd import PacketSpaceContext
+from repro.core.library import reachability, waypoint_reachability
+from repro.dataplane import Action, DevicePlane, Rule
+from repro.dataplane.action import Transform
+from repro.errors import SimulationError
+from repro.sim import TulkunRunner
+from repro.slicing import SliceRegistry, tenant_of_invariant
+from repro.topology import Topology, fig2a_example
+from tests.conftest import build_fig2_planes
+
+pytestmark = pytest.mark.slicing
+
+
+def named(inv, name):
+    return dataclasses.replace(inv, name=name)
+
+
+# ----------------------------------------------------------------------
+# Fixtures: two disjoint chains (exact footprints) and fig2a (realistic)
+# ----------------------------------------------------------------------
+def chains_topology():
+    """X1-X2-X3 and Y1-Y2-Y3: two connected components, so the tenant
+    footprints are exactly the chain device sets."""
+    topo = Topology("chains")
+    for a, b in [("X1", "X2"), ("X2", "X3"), ("Y1", "Y2"), ("Y2", "Y3")]:
+        topo.add_link(a, b)
+    return topo
+
+
+def chains_runner(slices="auto", **kwargs):
+    ctx = PacketSpaceContext()
+    topo = chains_topology()
+    space = ctx.ip_prefix("10.0.0.0/24")
+    invariants = [
+        named(reachability(space, "X1", "X3"), "tx/x-reach"),
+        named(reachability(space, "Y1", "Y3"), "ty/y-reach"),
+    ]
+    return ctx, topo, TulkunRunner(
+        topo, ctx, invariants, slices=slices, **kwargs
+    )
+
+
+def chains_rules(ctx):
+    space = ctx.ip_prefix("10.0.0.0/24")
+    return {
+        "X1": [Rule(space, Action.forward_all(["X2"]), 10)],
+        "X2": [Rule(space, Action.forward_all(["X3"]), 10)],
+        "X3": [Rule(space, Action.deliver(), 10)],
+        "Y1": [Rule(space, Action.forward_all(["Y2"]), 10)],
+        "Y2": [Rule(space, Action.forward_all(["Y3"]), 10)],
+        "Y3": [Rule(space, Action.deliver(), 10)],
+    }
+
+
+def fig2a_runner(slices="auto"):
+    ctx = PacketSpaceContext()
+    topo = fig2a_example()
+    space = ctx.ip_prefix("10.0.0.0/23")
+    invariants = [
+        named(reachability(space, "S", "D"), "alice/s-to-d"),
+        named(waypoint_reachability(space, "S", "W", "D"), "alice/via-w"),
+        named(reachability(space, "A", "D"), "bob/a-to-d"),
+    ]
+    return ctx, topo, TulkunRunner(topo, ctx, invariants, slices=slices)
+
+
+# ----------------------------------------------------------------------
+# Tenant naming + membership
+# ----------------------------------------------------------------------
+class TestMembership:
+    def test_tenant_prefix_convention(self):
+        assert tenant_of_invariant("alice/s-to-d") == "alice"
+        assert tenant_of_invariant("alice/a/b") == "alice"
+        # Unprefixed invariants are their own single-intent slice.
+        assert tenant_of_invariant("reach_S_D") == "reach_S_D"
+
+    def test_auto_mode_groups_by_prefix(self):
+        _ctx, _topo, runner = fig2a_runner()
+        registry = runner.slice_registry
+        assert registry.tenants() == ["alice", "bob"]
+        assert registry.slices["alice"].invariants == {
+            "alice/s-to-d", "alice/via-w",
+        }
+        assert registry.tenant_of("bob/a-to-d") == "bob"
+
+    def test_mapping_mode_with_prefix_fallback(self):
+        ctx = PacketSpaceContext()
+        topo = fig2a_example()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        invariants = [
+            named(reachability(space, "S", "D"), "alice/s-to-d"),
+            named(reachability(space, "A", "D"), "bob/a-to-d"),
+        ]
+        runner = TulkunRunner(
+            topo, ctx, invariants, slices={"team": ["alice/s-to-d"]}
+        )
+        registry = runner.slice_registry
+        assert registry.tenant_of("alice/s-to-d") == "team"
+        # Unlisted invariants fall back to the prefix convention.
+        assert registry.tenant_of("bob/a-to-d") == "bob"
+
+    def test_duplicate_add_rejected(self):
+        _ctx, _topo, runner = fig2a_runner()
+        registry = runner.slice_registry
+        inv = runner.invariants[0]
+        with pytest.raises(SimulationError):
+            registry.add_invariant(inv, runner.task_sets[0])
+
+    def test_remove_dissolves_empty_slice(self):
+        _ctx, _topo, runner = fig2a_runner()
+        registry = runner.slice_registry
+        assert registry.remove_invariant("bob/a-to-d") == "bob"
+        assert "bob" not in registry.slices
+        assert registry.touched_by_rewrite("A") <= {"alice"}
+        # Removing one of two alice invariants keeps the slice alive.
+        assert registry.remove_invariant("alice/via-w") == "alice"
+        assert "alice" in registry.slices
+        assert registry.remove_invariant("nope") is None
+
+    def test_slices_off_by_default(self):
+        ctx = PacketSpaceContext()
+        topo = fig2a_example()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        runner = TulkunRunner(
+            topo, ctx, [reachability(space, "S", "D")]
+        )
+        assert runner.slice_registry is None
+
+    def test_unknown_slices_mode_rejected(self):
+        ctx = PacketSpaceContext()
+        topo = fig2a_example()
+        space = ctx.ip_prefix("10.0.0.0/23")
+        with pytest.raises(ValueError):
+            TulkunRunner(
+                topo, ctx, [reachability(space, "S", "D")], slices="magic"
+            )
+
+
+# ----------------------------------------------------------------------
+# Event routing (exact on the disjoint chains)
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_update_routes_by_device(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        match = ctx.ip_prefix("10.0.0.0/24")
+        assert registry.touched_by_update("X2", match) == {"tx"}
+        assert registry.touched_by_update("Y2", match) == {"ty"}
+
+    def test_update_packet_gating(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        disjoint = ctx.ip_prefix("192.168.0.0/16")
+        assert registry.touched_by_update("X2", disjoint) == set()
+        overlapping = ctx.ip_prefix("10.0.0.128/25")
+        assert registry.touched_by_update("X2", overlapping) == {"tx"}
+
+    def test_unresolvable_match_falls_back_to_device_gating(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        assert registry.touched_by_update("X2", None) == {"tx"}
+        assert registry.touched_by_update("Y1", None) == {"ty"}
+
+    def test_link_routes_to_either_endpoint(self):
+        _ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        assert registry.touched_by_link("X1", "X2") == {"tx"}
+        assert registry.touched_by_link("Y2", "Y3") == {"ty"}
+
+    def test_lifecycle_includes_neighbors(self):
+        _ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        assert registry.touched_by_lifecycle("X2") == {"tx"}
+        assert registry.touched_by_lifecycle("Y3") == {"ty"}
+
+    def test_rewrite_skips_packet_gating(self):
+        _ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        assert registry.touched_by_rewrite("X1") == {"tx"}
+        assert registry.touched_by_rewrite("Y1") == {"ty"}
+
+    def test_overlap_memo_hits_are_stable(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        match = ctx.ip_prefix("10.0.0.0/25")
+        first = registry.touched_by_update("X2", match)
+        assert registry.touched_by_update("X2", match) == first
+        assert (match, "tx") in registry._overlap_memo
+
+
+# ----------------------------------------------------------------------
+# Conservative widening
+# ----------------------------------------------------------------------
+class TestWidening:
+    def test_transform_rule_widens(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        rewrite = Transform.set_fields(dst_port=80)
+        registry.note_rules(
+            [Rule(ctx.ip_prefix("10.0.0.0/24"),
+                  Action.forward_all(["X2"], transform=rewrite), 10)]
+        )
+        assert registry.widened
+
+    def test_widened_disables_packet_gating_but_not_device_gating(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        registry.widen()
+        disjoint = ctx.ip_prefix("192.168.0.0/16")
+        # Packet gating off: the disjoint match now touches the slice...
+        assert registry.touched_by_update("X2", disjoint) == {"tx"}
+        # ...but device gating still confines it to slices on the device.
+        assert registry.touched_by_update("Y2", disjoint) == {"ty"}
+
+    def test_widen_is_sticky(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        registry.widen()
+        registry.note_rules(
+            [Rule(ctx.ip_prefix("10.0.0.0/24"), Action.deliver(), 10)]
+        )
+        assert registry.widened
+
+    def test_plain_rules_do_not_widen(self):
+        ctx, _topo, runner = chains_runner()
+        registry = runner.slice_registry
+        registry.note_rules(chains_rules(ctx)["X1"])
+        assert not registry.widened
+
+
+# ----------------------------------------------------------------------
+# Device groups (process-backend scheduling unit)
+# ----------------------------------------------------------------------
+class TestDeviceGroups:
+    def test_disjoint_footprints_make_separate_groups(self):
+        _ctx, _topo, runner = chains_runner()
+        groups = runner.slice_registry.device_groups()
+        assert groups == [["X1", "X2", "X3"], ["Y1", "Y2", "Y3"]]
+
+    def test_overlapping_footprints_merge(self):
+        _ctx, _topo, runner = fig2a_runner()
+        groups = runner.slice_registry.device_groups()
+        # alice and bob share A/B/W/D, so everything is one group.
+        assert len(groups) == 1
+        assert set(groups[0]) >= {"A", "B", "D", "W"}
+
+    def test_runner_exposes_groups_only_when_sliced(self):
+        _ctx, _topo, runner = chains_runner()
+        assert runner._slice_groups() == [
+            ["X1", "X2", "X3"], ["Y1", "Y2", "Y3"],
+        ]
+        ctx = PacketSpaceContext()
+        topo = chains_topology()
+        space = ctx.ip_prefix("10.0.0.0/24")
+        unsliced = TulkunRunner(
+            topo, ctx, [named(reachability(space, "X1", "X3"), "tx/x")]
+        )
+        assert unsliced._slice_groups() is None
+
+
+# ----------------------------------------------------------------------
+# Runner wiring: touched tenants, status cache, verdict parity
+# ----------------------------------------------------------------------
+class TestRunnerWiring:
+    def test_update_touches_only_intersecting_slice(self):
+        ctx, _topo, runner = chains_runner()
+        with runner:
+            runner.burst_update(chains_rules(ctx))
+            assert runner.consume_touched() == {"tx", "ty"}  # deploy
+            space = ctx.ip_prefix("10.0.0.0/25")
+            runner.apply_updates(
+                [("X2", Rule(space, Action.forward_all(["X3"]), 99), None)]
+            )
+            assert runner.touched_tenants == {"tx"}
+            # Only the touched slice's invariants are dirty in the cache.
+            assert runner._status_dirty == {"tx/x-reach"}
+            statuses = runner.statuses()
+            assert statuses == {"tx/x-reach": "HOLDS", "ty/y-reach": "HOLDS"}
+            assert runner._status_dirty == set()
+
+    def test_consume_touched_drains(self):
+        ctx, _topo, runner = chains_runner()
+        with runner:
+            runner.burst_update(chains_rules(ctx))
+            assert runner.consume_touched() >= {"tx", "ty"}
+            assert runner.consume_touched() == set()
+
+    def test_link_and_lifecycle_touch_their_chain(self):
+        ctx, _topo, runner = chains_runner()
+        with runner:
+            runner.burst_update(chains_rules(ctx))
+            runner.consume_touched()
+            runner.fail_links([("Y2", "Y3")])
+            assert runner.consume_touched() == {"ty"}
+            runner.recover_links([("Y2", "Y3")])
+            assert runner.consume_touched() == {"ty"}
+            runner.crash_device("X3")
+            assert runner.consume_touched() == {"tx"}
+            runner.restart_device("X3")
+            assert runner.consume_touched() == {"tx"}
+
+    def test_sliced_statuses_match_unsliced(self):
+        ctx, _topo, runner = chains_runner()
+        ctx2 = PacketSpaceContext()
+        topo2 = chains_topology()
+        space2 = ctx2.ip_prefix("10.0.0.0/24")
+        plain = TulkunRunner(
+            topo2,
+            ctx2,
+            [
+                named(reachability(space2, "X1", "X3"), "tx/x-reach"),
+                named(reachability(space2, "Y1", "Y3"), "ty/y-reach"),
+            ],
+        )
+        with runner, plain:
+            runner.burst_update(chains_rules(ctx))
+            plain.burst_update(chains_rules(ctx2))
+            # Break the Y chain on the sliced and unsliced legs alike.
+            for target in (runner, plain):
+                c = target.ctx
+                target.apply_updates(
+                    [("Y2", Rule(c.ip_prefix("10.0.0.0/24"),
+                                 Action.drop(), 99), None)]
+                )
+            assert runner.statuses() == plain.statuses()
+            assert runner.statuses()["ty/y-reach"] == "VIOLATED"
+
+    def test_invariant_add_remove_updates_registry(self):
+        ctx, _topo, runner = chains_runner()
+        with runner:
+            runner.burst_update(chains_rules(ctx))
+            runner.consume_touched()
+            space = ctx.ip_prefix("10.0.0.0/24")
+            extra = named(reachability(space, "X2", "X3"), "tx/x-tail")
+            runner.add_invariants([extra])
+            registry = runner.slice_registry
+            assert registry.tenant_of("tx/x-tail") == "tx"
+            assert runner.consume_touched() == {"tx"}
+            assert runner.statuses()["tx/x-tail"] == "HOLDS"
+            runner.remove_invariants(["tx/x-tail"])
+            assert registry.tenant_of("tx/x-tail") is None
+            assert "tx/x-tail" not in runner.statuses()
+            assert runner.consume_touched() == {"tx"}
+
+    def test_explicit_tenant_mapping_on_add(self):
+        ctx, _topo, runner = chains_runner()
+        with runner:
+            runner.burst_update(chains_rules(ctx))
+            runner.consume_touched()
+            space = ctx.ip_prefix("10.0.0.0/24")
+            extra = named(reachability(space, "X3", "X1"), "back")
+            runner.add_invariants([extra], tenants={"back": "tx"})
+            assert runner.slice_registry.tenant_of("back") == "tx"
